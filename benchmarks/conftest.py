@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one experiment from DESIGN.md's experiment index
+(E1-E12), asserts the paper's qualitative/quantitative claim, and writes its
+result table to ``benchmarks/results/<experiment>.csv`` so the numbers quoted
+in EXPERIMENTS.md can be re-derived from a single run of::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ResultTable, write_csv
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where benchmark result tables are written."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_results(results_dir):
+    """Callable that persists a ResultTable and echoes it to stdout."""
+
+    def _save(table: ResultTable, name: str) -> None:
+        write_csv(table, results_dir / f"{name}.csv")
+        print(f"\n=== {name} ===")
+        print(table.to_text())
+
+    return _save

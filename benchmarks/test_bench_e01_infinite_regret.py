@@ -1,0 +1,70 @@
+"""E1 — Theorem 4.3: infinite-population regret is at most 3*delta.
+
+Paper claim: for ``1/2 < beta <= e/(e+1)``, ``6*mu <= delta^2`` and
+``T >= ln(m)/delta^2``, the infinite-population distributed learning dynamics
+(the stochastic MWU process of Eq. 1) has average regret at most
+``3*delta = 3*ln(beta/(1-beta))``.
+
+The benchmark sweeps ``beta`` and ``m``, measures the regret over several
+replications and records measured-vs-bound for every grid point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BernoulliEnvironment,
+    TheoryBounds,
+    expected_regret,
+    simulate_infinite_population,
+)
+from repro.experiments import ResultTable
+
+BETAS = [0.55, 0.6, 0.65, 0.72]
+OPTION_COUNTS = [2, 5, 10, 20]
+REPLICATIONS = 4
+
+
+def run_experiment() -> ResultTable:
+    table = ResultTable()
+    for beta in BETAS:
+        for num_options in OPTION_COUNTS:
+            delta = TheoryBounds(num_options=num_options, beta=beta, mu=0.0, strict=False).delta
+            mu = delta**2 / 6.0
+            bounds = TheoryBounds(num_options=num_options, beta=beta, mu=mu)
+            horizon = int(np.ceil(bounds.minimum_horizon())) * 2
+            regrets = []
+            for seed in range(REPLICATIONS):
+                env = BernoulliEnvironment.with_gap(
+                    num_options, best_quality=0.8, gap=0.3, rng=seed
+                )
+                trajectory = simulate_infinite_population(env, horizon, beta=beta, mu=mu)
+                regrets.append(
+                    expected_regret(trajectory.distribution_matrix(), env.qualities)
+                )
+            table.add_row(
+                {
+                    "beta": beta,
+                    "m": num_options,
+                    "delta": delta,
+                    "horizon": horizon,
+                    "measured_regret": float(np.mean(regrets)),
+                    "bound_3delta": bounds.infinite_regret_bound(),
+                    "bound_sharper": bounds.infinite_regret_bound(horizon),
+                    "within_bound": bool(np.mean(regrets) <= bounds.infinite_regret_bound()),
+                }
+            )
+    return table
+
+
+@pytest.mark.benchmark(group="E1-infinite-regret")
+def test_infinite_population_regret_within_three_delta(benchmark, save_results):
+    table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_results(table, "E1_infinite_regret")
+    assert all(table.column("within_bound"))
+    # The measured regret should also beat the sharper intermediate bound.
+    assert all(
+        row["measured_regret"] <= row["bound_sharper"] + 1e-9 for row in table.rows
+    )

@@ -1,0 +1,69 @@
+"""E2 — Theorem 4.3 (part 2): the best option's average probability.
+
+Paper claim: under the Theorem 4.3 conditions,
+``(1/T) sum_t E[P^{t-1}_1] >= 1 - 3*delta/(eta_1 - eta_2)``.
+
+The benchmark sweeps the quality gap and ``beta`` and verifies the bound holds
+wherever it is non-vacuous, also recording how much slack there is.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BernoulliEnvironment,
+    TheoryBounds,
+    best_option_share,
+    simulate_infinite_population,
+)
+from repro.experiments import ResultTable
+
+GAPS = [0.2, 0.4, 0.6]
+BETAS = [0.55, 0.6]
+REPLICATIONS = 4
+NUM_OPTIONS = 5
+
+
+def run_experiment() -> ResultTable:
+    table = ResultTable()
+    for beta in BETAS:
+        delta = TheoryBounds(num_options=NUM_OPTIONS, beta=beta, mu=0.0, strict=False).delta
+        mu = delta**2 / 6.0
+        bounds = TheoryBounds(num_options=NUM_OPTIONS, beta=beta, mu=mu)
+        horizon = int(np.ceil(bounds.minimum_horizon())) * 3
+        for gap in GAPS:
+            shares = []
+            for seed in range(REPLICATIONS):
+                env = BernoulliEnvironment.with_gap(
+                    NUM_OPTIONS, best_quality=0.85, gap=gap, rng=seed
+                )
+                trajectory = simulate_infinite_population(env, horizon, beta=beta, mu=mu)
+                shares.append(best_option_share(trajectory.distribution_matrix(), 0))
+            bound = bounds.best_option_share_bound(gap)
+            measured = float(np.mean(shares))
+            table.add_row(
+                {
+                    "beta": beta,
+                    "gap": gap,
+                    "delta": delta,
+                    "horizon": horizon,
+                    "measured_share": measured,
+                    "bound": bound,
+                    "bound_vacuous": bound == 0.0,
+                    "within_bound": measured >= bound,
+                }
+            )
+    return table
+
+
+@pytest.mark.benchmark(group="E2-best-option-share")
+def test_best_option_share_lower_bound(benchmark, save_results):
+    table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_results(table, "E2_best_option_share")
+    assert all(table.column("within_bound"))
+    # Larger gaps should yield larger best-option shares for fixed beta.
+    for beta in BETAS:
+        shares = table.filter(beta=beta).sort_by("gap").column("measured_share")
+        assert shares == sorted(shares)

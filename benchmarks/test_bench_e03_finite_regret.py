@@ -1,0 +1,92 @@
+"""E3 — Theorem 4.4: finite-population regret is at most 6*delta.
+
+Paper claim: for finite ``N`` (satisfying the theorem's — very conservative —
+size conditions) and ``ln(m)/delta^2 <= T <= N^10/(m*delta)``, the average
+regret of the finite-population dynamics is at most ``6*delta``.
+
+The benchmark sweeps the population size ``N`` and the number of options
+``m``, runs horizons spanning several proof epochs, and records
+measured-vs-bound plus the additional finite-population penalty relative to
+the infinite dynamics on matched parameters.  The paper's bound holds at
+population sizes orders of magnitude below the theorem's thresholds — the
+bound is conservative, which the table makes visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BernoulliEnvironment,
+    TheoryBounds,
+    expected_regret,
+    simulate_finite_population,
+    simulate_infinite_population,
+)
+from repro.core.epochs import EpochSchedule
+from repro.experiments import ResultTable
+
+POPULATIONS = [100, 1000, 10_000]
+OPTION_COUNTS = [2, 5, 10]
+BETA = 0.6
+REPLICATIONS = 3
+
+
+def run_experiment() -> ResultTable:
+    table = ResultTable()
+    delta = TheoryBounds(num_options=2, beta=BETA, mu=0.0, strict=False).delta
+    mu = delta**2 / 6.0
+    for num_options in OPTION_COUNTS:
+        bounds = TheoryBounds(num_options=num_options, beta=BETA, mu=mu)
+        horizon = int(np.ceil(bounds.epoch_length())) * 3
+        infinite_regrets = []
+        for seed in range(REPLICATIONS):
+            env = BernoulliEnvironment.with_gap(num_options, best_quality=0.8, gap=0.3, rng=seed)
+            trajectory = simulate_infinite_population(env, horizon, beta=BETA, mu=mu)
+            infinite_regrets.append(
+                expected_regret(trajectory.distribution_matrix(), env.qualities)
+            )
+        infinite_regret = float(np.mean(infinite_regrets))
+        for population in POPULATIONS:
+            regrets, worst_epoch = [], []
+            for seed in range(REPLICATIONS):
+                env = BernoulliEnvironment.with_gap(
+                    num_options, best_quality=0.8, gap=0.3, rng=seed
+                )
+                trajectory = simulate_finite_population(
+                    env, population, horizon, beta=BETA, mu=mu, rng=seed + 1000
+                )
+                matrix = trajectory.popularity_matrix()
+                regrets.append(expected_regret(matrix, env.qualities))
+                schedule = EpochSchedule.from_bounds(bounds, horizon)
+                per_epoch = schedule.per_epoch_regret(
+                    matrix, trajectory.reward_matrix().astype(float), env.best_quality
+                )
+                worst_epoch.append(per_epoch.max())
+            measured = float(np.mean(regrets))
+            table.add_row(
+                {
+                    "m": num_options,
+                    "N": population,
+                    "horizon": horizon,
+                    "measured_regret": measured,
+                    "bound_6delta": bounds.finite_regret_bound(),
+                    "infinite_regret": infinite_regret,
+                    "finite_penalty": measured - infinite_regret,
+                    "worst_epoch_regret": float(np.mean(worst_epoch)),
+                    "within_bound": measured <= bounds.finite_regret_bound(),
+                }
+            )
+    return table
+
+
+@pytest.mark.benchmark(group="E3-finite-regret")
+def test_finite_population_regret_within_six_delta(benchmark, save_results):
+    table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_results(table, "E3_finite_regret")
+    assert all(table.column("within_bound"))
+    # The finite-population penalty should shrink as N grows, for every m.
+    for num_options in OPTION_COUNTS:
+        penalties = table.filter(m=num_options).sort_by("N").column("finite_penalty")
+        assert penalties[-1] <= penalties[0] + 0.02

@@ -1,0 +1,67 @@
+"""E4 — Lemma 4.5: coupling closeness between finite and infinite dynamics.
+
+Paper claim: under a coupling in which both processes see the same rewards,
+``P^t_j / Q^t_j`` stays within ``[1/(1+delta_t), 1+delta_t]`` for
+``delta_t = 5^t * delta''`` with probability at least ``1 - 6tm/N^10``, where
+``delta'' = sqrt(60 m ln N / ((1-beta) mu N))``.  The closeness degrades with
+time (5^t) and improves with N.
+
+The benchmark realises the coupling for a sweep of population sizes, records
+the measured worst-case ratio at several horizons and the lemma's bound, and
+checks (a) every measured ratio is within the bound, and (b) the measured
+ratio improves monotonically with N.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BernoulliEnvironment, run_coupled_dynamics
+from repro.experiments import ResultTable
+
+POPULATIONS = [1_000, 10_000, 100_000]
+HORIZON = 8
+CHECKPOINTS = [1, 4, 8]
+BETA = 0.6
+REPLICATIONS = 3
+
+
+def run_experiment() -> ResultTable:
+    table = ResultTable()
+    for population in POPULATIONS:
+        ratio_samples = {checkpoint: [] for checkpoint in CHECKPOINTS}
+        bound_values = {}
+        for seed in range(REPLICATIONS):
+            env = BernoulliEnvironment([0.8, 0.5, 0.5], rng=seed)
+            run = run_coupled_dynamics(
+                env, population_size=population, horizon=HORIZON, beta=BETA, rng=seed + 100
+            )
+            for checkpoint in CHECKPOINTS:
+                ratio_samples[checkpoint].append(run.ratio_series[checkpoint - 1])
+                bound_values[checkpoint] = (
+                    run.bound_series[checkpoint - 1] if run.bound_series is not None else np.inf
+                )
+        for checkpoint in CHECKPOINTS:
+            measured = float(np.mean(ratio_samples[checkpoint]))
+            table.add_row(
+                {
+                    "N": population,
+                    "t": checkpoint,
+                    "measured_ratio": measured,
+                    "lemma_bound": float(bound_values[checkpoint]),
+                    "within_bound": measured <= bound_values[checkpoint],
+                }
+            )
+    return table
+
+
+@pytest.mark.benchmark(group="E4-coupling")
+def test_coupling_within_lemma_bound_and_improves_with_population(benchmark, save_results):
+    table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_results(table, "E4_coupling")
+    assert all(table.column("within_bound"))
+    # Closeness improves with N at every checkpoint.
+    for checkpoint in CHECKPOINTS:
+        ratios = table.filter(t=checkpoint).sort_by("N").column("measured_ratio")
+        assert ratios == sorted(ratios, reverse=True)

@@ -1,0 +1,93 @@
+"""E6 — both stages are necessary (Section 3 ablation).
+
+Paper claim: "if we only have sampling (beta = 1 - alpha = 1) or only have
+adoption (mu = 1), the process does not always converge to the best option.
+Hence, both steps of the process seem crucial."
+
+The benchmark runs the full two-stage dynamics against the two ablations on
+identical reward sequences:
+
+* sampling-only — every considered option is adopted regardless of its signal
+  (``alpha = beta = 1``): pure imitation, which herds onto an arbitrary option;
+* adoption-only — every individual explores uniformly every step (``mu = 1``):
+  signals are used but no social information spreads, capping the share the
+  best option can reach at roughly ``beta / (m - (m-1)(beta - alpha))``-ish
+  levels, far from 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BernoulliEnvironment, RecordedRewardSequence, best_option_share, empirical_regret
+from repro.baselines import SocialLearningBaseline
+from repro.core.adoption import AlwaysAdoptRule, SymmetricAdoptionRule
+from repro.core.sampling import MixtureSampling, UniformSampling
+from repro.experiments import ResultTable
+
+POPULATION = 3000
+NUM_OPTIONS = 5
+HORIZON = 600
+BETA = 0.62
+REPLICATIONS = 3
+
+
+def build_variants():
+    return {
+        "full two-stage": dict(
+            adoption_rule=SymmetricAdoptionRule(BETA), sampling_rule=MixtureSampling(0.02)
+        ),
+        "sampling-only (beta=1)": dict(
+            adoption_rule=AlwaysAdoptRule(), sampling_rule=MixtureSampling(0.02)
+        ),
+        "adoption-only (mu=1)": dict(
+            adoption_rule=SymmetricAdoptionRule(BETA), sampling_rule=UniformSampling()
+        ),
+    }
+
+
+def run_experiment() -> ResultTable:
+    table = ResultTable()
+    accumulators = {name: {"regret": [], "share": []} for name in build_variants()}
+    for seed in range(REPLICATIONS):
+        env = BernoulliEnvironment.with_gap(NUM_OPTIONS, best_quality=0.8, gap=0.3, rng=seed)
+        recorded = RecordedRewardSequence.from_environment(env, HORIZON)
+        rewards = recorded.rewards
+        for name, rules in build_variants().items():
+            learner = SocialLearningBaseline(
+                NUM_OPTIONS, population_size=POPULATION, rng=seed + 500, **rules
+            )
+            distributions = learner.run_on_rewards(rewards.copy())
+            accumulators[name]["regret"].append(
+                empirical_regret(distributions, rewards, best_quality=0.8)
+            )
+            accumulators[name]["share"].append(best_option_share(distributions, 0))
+    for name, metrics in accumulators.items():
+        table.add_row(
+            {
+                "variant": name,
+                "regret": float(np.mean(metrics["regret"])),
+                "best_option_share": float(np.mean(metrics["share"])),
+            }
+        )
+    return table
+
+
+@pytest.mark.benchmark(group="E6-stage-ablation")
+def test_two_stage_dynamics_beats_single_stage_ablations(benchmark, save_results):
+    table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_results(table, "E6_stage_ablation")
+    rows = {row["variant"]: row for row in table.rows}
+    full = rows["full two-stage"]
+    sampling_only = rows["sampling-only (beta=1)"]
+    adoption_only = rows["adoption-only (mu=1)"]
+    # The full dynamics dominates both ablations on regret and best-option share.
+    assert full["regret"] < sampling_only["regret"]
+    assert full["regret"] < adoption_only["regret"]
+    assert full["best_option_share"] > sampling_only["best_option_share"]
+    assert full["best_option_share"] > adoption_only["best_option_share"]
+    # And reaches a strong majority on the best option, which neither ablation does.
+    assert full["best_option_share"] > 0.6
+    assert sampling_only["best_option_share"] < 0.6
+    assert adoption_only["best_option_share"] < 0.6

@@ -1,0 +1,100 @@
+"""E13 (ablation) — sensitivity to the exploration rate mu.
+
+The paper requires ``mu > 0`` (to keep every option alive and to restart the
+epochs of Theorem 4.4) and ``6*mu <= delta^2`` (so the exploration cost term
+``6*mu/delta`` in the regret bound stays below ``delta``).  This ablation
+sweeps ``mu`` from 0 to well past the theorem cap on a stationary environment
+and on an environment whose best option changes identity, exhibiting the
+trade-off the bound encodes:
+
+* ``mu = 0`` — lowest regret while the environment is stationary, but the
+  group cannot recover once the best option changes (popularity of an emptied
+  option never regenerates);
+* moderate ``mu`` (around the theorem cap ``delta^2/6``) — near-optimal
+  stationary regret and fast recovery after a change;
+* large ``mu`` — stationary regret grows roughly linearly with ``mu`` as the
+  bound's ``6*mu/delta`` term predicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BernoulliEnvironment,
+    PiecewiseConstantDriftEnvironment,
+    TheoryBounds,
+    expected_regret,
+    simulate_finite_population,
+)
+from repro.experiments import ResultTable
+
+POPULATION = 3000
+NUM_OPTIONS = 4
+BETA = 0.62
+HORIZON = 500
+PHASE = 300
+REPLICATIONS = 3
+MUS = [0.0, 0.005, 0.028, 0.1, 0.3]
+
+
+def stationary_regret(mu: float) -> float:
+    regrets = []
+    for seed in range(REPLICATIONS):
+        env = BernoulliEnvironment.with_gap(NUM_OPTIONS, best_quality=0.85, gap=0.35, rng=seed)
+        trajectory = simulate_finite_population(
+            env, POPULATION, HORIZON, beta=BETA, mu=mu, rng=seed + 100
+        )
+        regrets.append(expected_regret(trajectory.popularity_matrix(), env.qualities))
+    return float(np.mean(regrets))
+
+
+def post_switch_share(mu: float) -> float:
+    """Average share of the *new* best option in the second half after a switch."""
+    shares = []
+    for seed in range(REPLICATIONS):
+        env = PiecewiseConstantDriftEnvironment(
+            phases=[[0.85, 0.4, 0.4, 0.4], [0.4, 0.85, 0.4, 0.4]],
+            phase_length=PHASE,
+            rng=seed,
+        )
+        trajectory = simulate_finite_population(
+            env, POPULATION, 2 * PHASE, beta=BETA, mu=mu, rng=seed + 200
+        )
+        matrix = trajectory.popularity_matrix()
+        shares.append(float(matrix[PHASE + PHASE // 2 :, 1].mean()))
+    return float(np.mean(shares))
+
+
+def run_experiment() -> ResultTable:
+    table = ResultTable()
+    theorem_cap = TheoryBounds(
+        num_options=NUM_OPTIONS, beta=BETA, mu=0.0, strict=False
+    ).delta ** 2 / 6.0
+    for mu in MUS:
+        table.add_row(
+            {
+                "mu": mu,
+                "theorem_cap_delta2_over_6": theorem_cap,
+                "within_theorem_range": mu <= theorem_cap and mu > 0,
+                "stationary_regret": stationary_regret(mu),
+                "post_switch_best_share": post_switch_share(mu),
+            }
+        )
+    return table
+
+
+@pytest.mark.benchmark(group="E13-mu-sensitivity")
+def test_exploration_rate_trade_off(benchmark, save_results):
+    table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_results(table, "E13_mu_sensitivity")
+    rows = {row["mu"]: row for row in table.rows}
+    # Without exploration the group cannot re-learn after the switch...
+    assert rows[0.0]["post_switch_best_share"] < 0.3
+    # ...while the theorem-capped mu recovers decisively.
+    assert rows[0.028]["post_switch_best_share"] > 0.6
+    # Large mu pays the exploration tax on stationary regret.
+    assert rows[0.3]["stationary_regret"] > rows[0.028]["stationary_regret"] + 0.05
+    # Moderate mu costs little compared to mu = 0 in the stationary setting.
+    assert rows[0.028]["stationary_regret"] <= rows[0.0]["stationary_regret"] + 0.05

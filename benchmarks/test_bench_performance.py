@@ -1,0 +1,65 @@
+"""Throughput benchmarks for the simulators themselves.
+
+These are conventional pytest-benchmark timings (multiple rounds) of the
+hot paths — the vectorised finite-population step, the infinite-population
+step, the network-restricted step and one protocol round — so performance
+regressions in the core simulators are visible alongside the scientific
+benchmarks E1-E12.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adoption import SymmetricAdoptionRule
+from repro.core.dynamics import FinitePopulationDynamics
+from repro.core.infinite import InfinitePopulationDynamics
+from repro.core.sampling import MixtureSampling
+from repro.distributed import DistributedLearningProtocol
+from repro.environments import BernoulliEnvironment
+from repro.network import NetworkDynamics, SocialNetwork
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_finite_population_step_throughput(benchmark):
+    dynamics = FinitePopulationDynamics(
+        100_000, 10, adoption_rule=SymmetricAdoptionRule(0.6),
+        sampling_rule=MixtureSampling(0.02), rng=0,
+    )
+    rewards = np.random.default_rng(1).integers(0, 2, size=10)
+    benchmark(dynamics.step, rewards)
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_infinite_population_step_throughput(benchmark):
+    dynamics = InfinitePopulationDynamics(
+        100, adoption_rule=SymmetricAdoptionRule(0.6), sampling_rule=MixtureSampling(0.02)
+    )
+    rewards = np.random.default_rng(2).integers(0, 2, size=100)
+    benchmark(dynamics.step, rewards)
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_full_simulation_throughput(benchmark):
+    def run():
+        env = BernoulliEnvironment.with_gap(5, best_quality=0.8, gap=0.3, rng=3)
+        dynamics = FinitePopulationDynamics(10_000, 5, rng=4)
+        return dynamics.run(env, 200)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_network_dynamics_step_throughput(benchmark):
+    network = SocialNetwork.watts_strogatz(1000, 8, 0.1, rng=5)
+    dynamics = NetworkDynamics(network, 5, rng=6)
+    rewards = np.random.default_rng(7).integers(0, 2, size=5)
+    benchmark(dynamics.step, rewards)
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_protocol_round_throughput(benchmark):
+    protocol = DistributedLearningProtocol(1000, 5, rng=8)
+    rewards = np.random.default_rng(9).integers(0, 2, size=5)
+    benchmark(protocol.run_round, rewards)

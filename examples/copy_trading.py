@@ -1,0 +1,96 @@
+"""Copy-trading investors: the Krafft et al. (2016) instantiation of the model.
+
+The paper's simplest worked example (Section 2.1) models amateur investors on
+a social-trading platform: each user can copy the portfolio choice of a random
+other user and then decides whether to keep it based on the most recent
+return.  In the paper's notation this is ``alpha = 1 - beta`` with
+``beta >= 1/2``, and qualities ``eta_1 > 1/2 = eta_2 = ... = eta_m``.
+
+The script compares the group of copy-traders against
+
+* individually rational investors running per-individual Thompson sampling
+  (full per-user memory of past returns), and
+* a "follow the crowd" group that copies without ever checking returns,
+
+all on the same realised return sequences, and reports how much of the
+group sits on the best asset over time.
+
+Run with:  python examples/copy_trading.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BernoulliEnvironment, RecordedRewardSequence, empirical_regret
+from repro.baselines import (
+    FollowTheCrowd,
+    IndividualThompsonSampling,
+    SocialLearningBaseline,
+)
+from repro.core.adoption import SymmetricAdoptionRule
+from repro.utils import ascii_line_plot, format_table
+
+NUM_ASSETS = 6
+NUM_INVESTORS = 2000
+TRADING_DAYS = 500
+BETA = 0.62  # how strongly a good recent return persuades an investor
+
+
+def main() -> None:
+    # Asset 0 beats the market 70% of days; the others are coin flips.
+    qualities = [0.7] + [0.5] * (NUM_ASSETS - 1)
+    market = BernoulliEnvironment(qualities, rng=0)
+    recorded = RecordedRewardSequence.from_environment(market, TRADING_DAYS)
+    returns = recorded.rewards
+
+    groups = {
+        "copy-traders (paper dynamics)": SocialLearningBaseline(
+            NUM_ASSETS,
+            population_size=NUM_INVESTORS,
+            adoption_rule=SymmetricAdoptionRule(BETA),
+            rng=1,
+        ),
+        "individual Thompson sampling": IndividualThompsonSampling(
+            NUM_ASSETS, population_size=NUM_INVESTORS, rng=2
+        ),
+        "follow the crowd (no signals)": FollowTheCrowd(
+            NUM_ASSETS, population_size=NUM_INVESTORS, exploration_rate=0.01, rng=3
+        ),
+    }
+
+    rows = []
+    best_asset_series = {}
+    for name, group in groups.items():
+        distributions = group.run_on_rewards(returns.copy())
+        rows.append(
+            {
+                "group": name,
+                "avg regret": empirical_regret(distributions, returns, best_quality=0.7),
+                "final share on best asset": distributions[-1, 0],
+                "avg share on best asset": distributions[:, 0].mean(),
+            }
+        )
+        best_asset_series[name.split(" (")[0]] = distributions[:, 0]
+
+    print(f"{NUM_INVESTORS} investors, {NUM_ASSETS} assets, {TRADING_DAYS} trading days")
+    print(format_table(rows))
+    print()
+    print(
+        ascii_line_plot(
+            best_asset_series,
+            title="Fraction of investors holding the best asset",
+            width=72,
+            height=14,
+        )
+    )
+    print()
+    print(
+        "The memoryless copy-traders concentrate on the best asset almost as\n"
+        "effectively as investors running a full Bayesian bandit algorithm, and\n"
+        "dramatically better than imitation without quality signals."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Quickstart: the distributed social learning dynamics end to end.
+
+This script walks through the paper's model on a small example:
+
+1. build a Bernoulli option environment with one clearly-best option,
+2. run the finite-population distributed learning dynamics,
+3. run the infinite-population (stochastic MWU) benchmark on the same
+   parameters,
+4. compare the measured regret to the paper's Theorem 4.3 / 4.4 bounds,
+5. print an ASCII chart of the best option's popularity over time.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    BernoulliEnvironment,
+    TheoryBounds,
+    best_option_share,
+    expected_regret,
+    simulate_finite_population,
+    simulate_infinite_population,
+)
+from repro.utils import ascii_line_plot, format_table
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ setup
+    # Five options; option 0 is good 80% of the time, the rest 50%.
+    qualities = [0.8, 0.5, 0.5, 0.5, 0.5]
+    beta = 0.6                      # adopt a good-signalled option w.p. 0.6
+    bounds = TheoryBounds(num_options=len(qualities), beta=beta,
+                          mu=0.027, population_size=5000)
+    mu = bounds.mu                  # exploration rate (satisfies 6*mu <= delta^2)
+    # Theorem 4.3 needs T >= ln(m)/delta^2 (~10 here); run well past it so the
+    # popularity chart shows the long-run behaviour too.
+    horizon = int(np.ceil(bounds.minimum_horizon())) * 30
+
+    print("Parameters")
+    print(format_table([{
+        "m": len(qualities), "N": 5000, "beta": beta, "mu": mu,
+        "delta": bounds.delta, "horizon": horizon,
+    }]))
+    print()
+
+    # -------------------------------------------------- finite population run
+    environment = BernoulliEnvironment(qualities, rng=0)
+    finite = simulate_finite_population(
+        environment, population_size=5000, horizon=horizon, beta=beta, mu=mu, rng=1
+    )
+    finite_regret = expected_regret(finite.popularity_matrix(), qualities)
+    finite_share = best_option_share(finite.popularity_matrix(), 0)
+
+    # ------------------------------------------------ infinite population run
+    environment = BernoulliEnvironment(qualities, rng=2)
+    infinite = simulate_infinite_population(environment, horizon, beta=beta, mu=mu)
+    infinite_regret = expected_regret(infinite.distribution_matrix(), qualities)
+
+    # ----------------------------------------------------------------- report
+    print("Results vs. paper bounds")
+    print(format_table([
+        {
+            "process": "finite population (Thm 4.4)",
+            "measured regret": finite_regret,
+            "paper bound": bounds.finite_regret_bound(),
+            "best-option share": finite_share,
+        },
+        {
+            "process": "infinite population (Thm 4.3)",
+            "measured regret": infinite_regret,
+            "paper bound": bounds.infinite_regret_bound(),
+            "best-option share": best_option_share(infinite.distribution_matrix(), 0),
+        },
+    ]))
+    print()
+    print(ascii_line_plot(
+        {
+            "finite N=5000": finite.best_option_popularity(0),
+            "infinite": infinite.best_option_series(0),
+        },
+        title="Popularity of the best option over time",
+        width=72,
+        height=14,
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Sensor-network MWU: the protocol as a low-memory distributed algorithm.
+
+The paper's introduction points out that the learning dynamics "can inform
+novel, low-memory, low-communication, distributed implementations of the MWU
+algorithm ... perhaps appropriate for low-power devices in distributed
+settings such as sensor networks or the internet-of-things."
+
+Scenario: a fleet of battery-powered sensors must agree on which of several
+radio channels to use.  Each round a channel either works (signal 1) or is
+jammed (signal 0); channel 0 is genuinely the cleanest.  Every sensor stores
+only its current channel and exchanges two tiny messages per round with one
+random peer.  The script stresses the protocol with message loss, message
+delay and a mid-run mass failure, and shows the surviving fleet still
+concentrates on the best channel.
+
+Run with:  python examples/sensor_network.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BernoulliEnvironment
+from repro.core.adoption import SymmetricAdoptionRule
+from repro.distributed import (
+    CrashFailureModel,
+    DistributedLearningProtocol,
+    LossyTransport,
+)
+from repro.utils import ascii_line_plot, format_table
+
+NUM_SENSORS = 500
+NUM_CHANNELS = 4
+ROUNDS = 400
+CHANNEL_QUALITIES = [0.9, 0.6, 0.6, 0.5]
+BETA = 0.65
+
+
+def run_fleet(loss_rate: float, delay_rate: float, crash_fraction: float, seed: int):
+    environment = BernoulliEnvironment(CHANNEL_QUALITIES, rng=seed)
+    protocol = DistributedLearningProtocol(
+        num_nodes=NUM_SENSORS,
+        num_options=NUM_CHANNELS,
+        adoption_rule=SymmetricAdoptionRule(BETA),
+        exploration_rate=0.03,
+        transport=LossyTransport(loss_rate=loss_rate, delay_rate=delay_rate, rng=seed + 1),
+        failure_model=CrashFailureModel(
+            mass_failure_round=ROUNDS // 2,
+            mass_failure_fraction=crash_fraction,
+            rng=seed + 2,
+        ),
+        rng=seed + 3,
+    )
+    return protocol.run(environment, ROUNDS)
+
+
+def main() -> None:
+    scenarios = [
+        {"name": "perfect network", "loss": 0.0, "delay": 0.0, "crash": 0.0},
+        {"name": "10% loss, 10% delay", "loss": 0.1, "delay": 0.1, "crash": 0.0},
+        {"name": "30% loss", "loss": 0.3, "delay": 0.0, "crash": 0.0},
+        {"name": "10% loss + 40% of sensors die mid-run", "loss": 0.1, "delay": 0.0, "crash": 0.4},
+    ]
+
+    rows = []
+    series = {}
+    for index, scenario in enumerate(scenarios):
+        result = run_fleet(scenario["loss"], scenario["delay"], scenario["crash"], seed=10 * index)
+        rows.append(
+            {
+                "scenario": scenario["name"],
+                "regret": result.regret,
+                "share on best channel": result.best_option_share,
+                "messages sent": result.transport_stats["sent"],
+                "messages dropped": result.transport_stats["dropped"],
+                "sensors alive at end": int(result.alive_series[-1]),
+            }
+        )
+        series[scenario["name"]] = result.popularity_matrix[:, 0]
+
+    print(
+        f"{NUM_SENSORS} sensors agreeing on 1 of {NUM_CHANNELS} radio channels over {ROUNDS} rounds"
+    )
+    print(format_table(rows))
+    print()
+    print(
+        ascii_line_plot(
+            series,
+            title="Fraction of (alive) sensors on the best channel",
+            width=72,
+            height=14,
+        )
+    )
+    print()
+    print(
+        "Each sensor stores a single integer and exchanges O(1) messages per round,\n"
+        "yet the fleet implements a stochastic multiplicative-weights update whose\n"
+        "regret degrades gracefully under message loss and node failures."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Word-of-mouth product adoption: the Ellison-Fudenberg (1995) example.
+
+Section 2.1's second worked example shows how a model with continuous-valued
+rewards and player-specific shocks reduces to the paper's binary framework:
+
+* two products with continuous quality draws ``r_1 ~ N(gap, 1)``, ``r_2 ~ N(0, 1)``;
+* consumers experience idiosyncratic shocks, so their adopt/reject decision is
+  a noisy comparison of the two most recent experiences;
+* the reduction yields ``eta_1 = P[r_1 > r_2]`` and adoption parameters
+  ``(alpha, beta)`` with ``alpha < beta``.
+
+This script performs the reduction numerically, runs the finite-population
+dynamics with the implied parameters, and shows that the consumer population
+converges to the genuinely better product even though no consumer ever stores
+more than its current choice.
+
+Run with:  python examples/word_of_mouth.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import EllisonFudenbergEnvironment, best_option_share, expected_regret
+from repro.core.adoption import GeneralAdoptionRule
+from repro.core.dynamics import FinitePopulationDynamics
+from repro.core.sampling import MixtureSampling
+from repro.utils import ascii_line_plot, format_table
+
+NUM_CONSUMERS = 5000
+WEEKS = 600
+
+
+def main() -> None:
+    rows = []
+    share_series = {}
+    for gap in (0.25, 0.5, 1.0):
+        environment = EllisonFudenbergEnvironment.gaussian(
+            mean_gap=gap, reward_scale=1.0, shock_scale=1.0, rng=0
+        )
+        alpha, beta = environment.implied_adoption_parameters()
+        qualities = environment.qualities
+
+        dynamics = FinitePopulationDynamics(
+            population_size=NUM_CONSUMERS,
+            num_options=2,
+            adoption_rule=GeneralAdoptionRule(alpha=alpha, beta=beta),
+            sampling_rule=MixtureSampling(0.02),
+            rng=1,
+        )
+        trajectory = dynamics.run(environment, WEEKS)
+        matrix = trajectory.popularity_matrix()
+
+        rows.append(
+            {
+                "quality gap": gap,
+                "implied eta_1": qualities[0],
+                "implied alpha": alpha,
+                "implied beta": beta,
+                "avg share product 1": best_option_share(matrix, 0),
+                "final share product 1": matrix[-1, 0],
+                "regret": expected_regret(matrix, qualities),
+            }
+        )
+        share_series[f"gap={gap}"] = matrix[:, 0]
+
+    print(f"{NUM_CONSUMERS} consumers choosing between two products for {WEEKS} weeks")
+    print(format_table(rows))
+    print()
+    print(
+        ascii_line_plot(
+            share_series,
+            title="Share of consumers on the better product (word-of-mouth dynamics)",
+            width=72,
+            height=14,
+        )
+    )
+    print()
+    print(
+        "Larger true quality gaps both sharpen the implied reward signal (eta_1\n"
+        "further from 1/2) and make consumers more responsive (beta - alpha grows),\n"
+        "so the population locks onto the better product faster and more firmly —\n"
+        "exactly the behaviour the Ellison-Fudenberg reduction predicts."
+    )
+
+
+if __name__ == "__main__":
+    main()

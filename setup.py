@@ -1,0 +1,14 @@
+"""Setup shim.
+
+The execution environment for this reproduction is offline and ships
+setuptools without the ``wheel`` package, so PEP 517/660 editable installs
+(which must build a wheel) cannot run.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .`` on environments that do have ``wheel``) fall back to the
+legacy ``setup.py develop`` path.  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,118 @@
+"""repro — reproduction of *A Distributed Learning Dynamics in Social Groups*.
+
+Celis, Krafft, Vishnoi (PODC 2017; arXiv:1705.03414).
+
+The package implements the paper's two-stage distributed social learning
+dynamics in finite populations, its infinite-population limit (a stochastic
+multiplicative-weights process), the coupling between the two, regret
+accounting, every bound stated in the paper's theorems, and the surrounding
+substrates needed to evaluate them: reward environments, baseline learners,
+social-network-restricted sampling and a message-passing distributed-protocol
+simulation.
+
+Quickstart
+----------
+>>> from repro import BernoulliEnvironment, simulate_finite_population, expected_regret
+>>> env = BernoulliEnvironment([0.8, 0.5, 0.5], rng=0)
+>>> trajectory = simulate_finite_population(env, population_size=2000, horizon=300,
+...                                          beta=0.6, rng=1)
+>>> regret = expected_regret(trajectory.popularity_matrix(), env.qualities)
+
+See ``examples/quickstart.py`` for a narrated version and ``EXPERIMENTS.md``
+for the experiment-by-experiment reproduction of the paper's results.
+"""
+
+from repro.core import (
+    AdoptionRule,
+    AgentBasedDynamics,
+    AgentType,
+    AlwaysAdoptRule,
+    CoupledRun,
+    EpochSchedule,
+    HeterogeneousPopulationDynamics,
+    FinitePopulationDynamics,
+    GeneralAdoptionRule,
+    InfinitePopulationDynamics,
+    MixtureSampling,
+    PopularityOnlySampling,
+    PopulationState,
+    RegretAccumulator,
+    SamplingRule,
+    SymmetricAdoptionRule,
+    TheoryBounds,
+    Trajectory,
+    UniformSampling,
+    average_regret,
+    best_option_share,
+    empirical_regret,
+    optimal_beta,
+    run_coupled_dynamics,
+    simulate_finite_population,
+    simulate_infinite_population,
+)
+from repro.core.regret import expected_regret, expected_step_rewards, step_rewards
+from repro.environments import (
+    BernoulliEnvironment,
+    ContinuousRewardEnvironment,
+    CorrelatedOptionsEnvironment,
+    EllisonFudenbergEnvironment,
+    ExactlyOneGoodEnvironment,
+    PiecewiseConstantDriftEnvironment,
+    RandomWalkDriftEnvironment,
+    RecordedRewardSequence,
+    RewardEnvironment,
+    record_rewards,
+)
+from repro.agents import Agent, Population
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core dynamics
+    "FinitePopulationDynamics",
+    "AgentBasedDynamics",
+    "AgentType",
+    "HeterogeneousPopulationDynamics",
+    "InfinitePopulationDynamics",
+    "simulate_finite_population",
+    "simulate_infinite_population",
+    "run_coupled_dynamics",
+    "CoupledRun",
+    # rules and state
+    "AdoptionRule",
+    "SymmetricAdoptionRule",
+    "GeneralAdoptionRule",
+    "AlwaysAdoptRule",
+    "SamplingRule",
+    "MixtureSampling",
+    "UniformSampling",
+    "PopularityOnlySampling",
+    "PopulationState",
+    "Trajectory",
+    "EpochSchedule",
+    # regret and theory
+    "RegretAccumulator",
+    "average_regret",
+    "best_option_share",
+    "empirical_regret",
+    "expected_regret",
+    "expected_step_rewards",
+    "step_rewards",
+    "TheoryBounds",
+    "optimal_beta",
+    # environments
+    "RewardEnvironment",
+    "BernoulliEnvironment",
+    "ContinuousRewardEnvironment",
+    "EllisonFudenbergEnvironment",
+    "PiecewiseConstantDriftEnvironment",
+    "RandomWalkDriftEnvironment",
+    "CorrelatedOptionsEnvironment",
+    "ExactlyOneGoodEnvironment",
+    "RecordedRewardSequence",
+    "record_rewards",
+    # agents
+    "Agent",
+    "Population",
+    "__version__",
+]

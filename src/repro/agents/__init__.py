@@ -1,0 +1,20 @@
+"""Agent-level substrate: individuals, their adoption behaviour and populations.
+
+The paper's dynamics is essentially memoryless at the individual level: an
+agent carries only its current choice (or "sitting out") from one step to the
+next, plus its personal adoption function ``f_i`` parameterised by
+``(alpha_i, beta_i)``.  :class:`Agent` models exactly that;
+:class:`Population` groups agents and exposes the aggregate popularity vector
+the sampling stage needs.
+
+The fast vectorised simulator in :mod:`repro.core.dynamics` does not use these
+objects (it works directly on per-option counts); the agent-based simulator in
+:mod:`repro.core.dynamics` does, and the two are cross-validated in the test
+suite.  Heterogeneous populations (per-agent ``f_i``, which the paper notes
+its results tolerate) are only expressible through this substrate.
+"""
+
+from repro.agents.agent import Agent
+from repro.agents.population import Population
+
+__all__ = ["Agent", "Population"]

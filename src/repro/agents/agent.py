@@ -1,0 +1,90 @@
+"""A single memoryless individual in the social learning dynamics."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.adoption import AdoptionRule
+from repro.utils.validation import check_non_negative_int
+
+
+class Agent:
+    """One individual: an identifier, an adoption rule and a current choice.
+
+    The agent holds no history beyond its current option — matching the
+    paper's emphasis that the dynamics requires essentially no memory.  An
+    agent whose latest adoption decision was negative is "sitting out"
+    (``current_option is None``) for that step; it still participates in the
+    next sampling stage.
+
+    Parameters
+    ----------
+    agent_id:
+        Non-negative integer identifier (index into the population).
+    adoption_rule:
+        The agent's ``f_i`` — maps the observed binary signal to an adoption
+        probability.
+    initial_option:
+        Option adopted before the first step, or ``None`` to sit out.
+    """
+
+    __slots__ = ("agent_id", "adoption_rule", "current_option")
+
+    def __init__(
+        self,
+        agent_id: int,
+        adoption_rule: AdoptionRule,
+        initial_option: Optional[int] = None,
+    ) -> None:
+        self.agent_id = check_non_negative_int(agent_id, "agent_id")
+        if not isinstance(adoption_rule, AdoptionRule):
+            raise TypeError("adoption_rule must be an AdoptionRule instance")
+        if initial_option is not None:
+            initial_option = check_non_negative_int(initial_option, "initial_option")
+        self.adoption_rule = adoption_rule
+        self.current_option = initial_option
+
+    def is_committed(self) -> bool:
+        """Whether the agent currently holds an option (is not sitting out)."""
+        return self.current_option is not None
+
+    def decide(
+        self,
+        considered_option: int,
+        signal: int,
+        rng: np.random.Generator,
+    ) -> Optional[int]:
+        """Run the adoption stage for one step.
+
+        Parameters
+        ----------
+        considered_option:
+            The option obtained from the sampling stage.
+        signal:
+            The fresh binary quality signal ``R^{t+1}_j`` of that option.
+        rng:
+            Generator used for the adoption coin flip.
+
+        Returns
+        -------
+        Optional[int]
+            The new ``current_option`` (the considered option if adopted,
+            otherwise ``None`` for sitting out).
+        """
+        considered_option = check_non_negative_int(considered_option, "considered_option")
+        if signal not in (0, 1):
+            raise ValueError(f"signal must be 0 or 1, got {signal}")
+        probability = self.adoption_rule.adopt_probability(signal)
+        if rng.random() < probability:
+            self.current_option = considered_option
+        else:
+            self.current_option = None
+        return self.current_option
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Agent(id={self.agent_id}, option={self.current_option}, "
+            f"rule={self.adoption_rule!r})"
+        )

@@ -1,0 +1,176 @@
+"""Populations of agents and helpers to construct them."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.agents.agent import Agent
+from repro.core.adoption import AdoptionRule, GeneralAdoptionRule, SymmetricAdoptionRule
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+class Population:
+    """A finite group of :class:`~repro.agents.agent.Agent` objects.
+
+    Provides the aggregate views the sampling stage needs (per-option adoption
+    counts and the popularity distribution ``Q^t``) and constructors for the
+    common population types.
+
+    Parameters
+    ----------
+    agents:
+        The member agents.  Their ``agent_id`` fields must be
+        ``0 .. len(agents) - 1`` in order.
+    num_options:
+        Number of options ``m`` the population chooses among.
+    """
+
+    def __init__(self, agents: Sequence[Agent], num_options: int) -> None:
+        self._num_options = check_positive_int(num_options, "num_options")
+        agents = list(agents)
+        if not agents:
+            raise ValueError("a population needs at least one agent")
+        for index, agent in enumerate(agents):
+            if not isinstance(agent, Agent):
+                raise TypeError("agents must contain Agent instances")
+            if agent.agent_id != index:
+                raise ValueError(
+                    f"agent at position {index} has id {agent.agent_id}; ids must "
+                    "be consecutive from 0"
+                )
+            if agent.current_option is not None and agent.current_option >= num_options:
+                raise ValueError(
+                    f"agent {index} holds option {agent.current_option} but there "
+                    f"are only {num_options} options"
+                )
+        self._agents = agents
+
+    # ------------------------------------------------------------------ views
+    @property
+    def size(self) -> int:
+        """Number of individuals ``N``."""
+        return len(self._agents)
+
+    @property
+    def num_options(self) -> int:
+        """Number of options ``m``."""
+        return self._num_options
+
+    @property
+    def agents(self) -> List[Agent]:
+        """The member agents (the live list; mutating an agent mutates the population)."""
+        return self._agents
+
+    def __len__(self) -> int:
+        return len(self._agents)
+
+    def __iter__(self):
+        return iter(self._agents)
+
+    def __getitem__(self, index: int) -> Agent:
+        return self._agents[index]
+
+    def option_counts(self) -> np.ndarray:
+        """Per-option adoption counts ``D^t_j`` (sitting-out agents excluded)."""
+        counts = np.zeros(self._num_options, dtype=np.int64)
+        for agent in self._agents:
+            if agent.current_option is not None:
+                counts[agent.current_option] += 1
+        return counts
+
+    def committed_count(self) -> int:
+        """Number of agents currently holding an option."""
+        return int(sum(1 for agent in self._agents if agent.is_committed()))
+
+    def popularity(self) -> np.ndarray:
+        """Popularity distribution ``Q^t_j = D^t_j / sum_k D^t_k``.
+
+        Falls back to the uniform distribution when nobody is committed (the
+        same convention the vectorised simulator and the paper's
+        initialisation ``Q^0_j = 1/m`` use).
+        """
+        counts = self.option_counts()
+        total = counts.sum()
+        if total == 0:
+            return np.full(self._num_options, 1.0 / self._num_options)
+        return counts / total
+
+    # ---------------------------------------------------------- constructors
+    @classmethod
+    def homogeneous(
+        cls,
+        size: int,
+        num_options: int,
+        *,
+        beta: float = 0.6,
+        alpha: Optional[float] = None,
+        seed_options: bool = True,
+        rng: RngLike = None,
+    ) -> "Population":
+        """Build ``size`` identical agents with adoption parameters ``(alpha, beta)``.
+
+        With ``alpha=None`` the paper's symmetric convention ``alpha = 1 - beta``
+        is used.  When ``seed_options`` is true, initial options are assigned
+        uniformly at random so the initial popularity is approximately uniform
+        (matching ``Q^0_j = 1/m``); otherwise everyone starts sitting out.
+        """
+        size = check_positive_int(size, "size")
+        num_options = check_positive_int(num_options, "num_options")
+        if alpha is None:
+            rule: AdoptionRule = SymmetricAdoptionRule(beta)
+        else:
+            rule = GeneralAdoptionRule(alpha=alpha, beta=beta)
+        generator = ensure_rng(rng)
+        agents = []
+        for agent_id in range(size):
+            initial = int(generator.integers(num_options)) if seed_options else None
+            agents.append(Agent(agent_id, rule, initial_option=initial))
+        return cls(agents, num_options)
+
+    @classmethod
+    def heterogeneous(
+        cls,
+        adoption_rules: Iterable[AdoptionRule],
+        num_options: int,
+        *,
+        seed_options: bool = True,
+        rng: RngLike = None,
+    ) -> "Population":
+        """Build a population with one (possibly distinct) adoption rule per agent."""
+        rules = list(adoption_rules)
+        if not rules:
+            raise ValueError("adoption_rules must be non-empty")
+        num_options = check_positive_int(num_options, "num_options")
+        generator = ensure_rng(rng)
+        agents = []
+        for agent_id, rule in enumerate(rules):
+            initial = int(generator.integers(num_options)) if seed_options else None
+            agents.append(Agent(agent_id, rule, initial_option=initial))
+        return cls(agents, num_options)
+
+    @classmethod
+    def with_beta_distribution(
+        cls,
+        size: int,
+        num_options: int,
+        *,
+        beta_low: float = 0.55,
+        beta_high: float = 0.7,
+        rng: RngLike = None,
+    ) -> "Population":
+        """Heterogeneous population with per-agent ``beta_i ~ Uniform[beta_low, beta_high]``.
+
+        The paper's analysis assumes identical ``f_i`` "for simplicity in the
+        exposition" but states the assumption is not essential; this
+        constructor exists so experiments can check that claim empirically.
+        """
+        size = check_positive_int(size, "size")
+        if not (0.0 <= beta_low <= beta_high <= 1.0):
+            raise ValueError("need 0 <= beta_low <= beta_high <= 1")
+        generator = ensure_rng(rng)
+        betas = generator.uniform(beta_low, beta_high, size=size)
+        rules = [SymmetricAdoptionRule(float(beta)) for beta in betas]
+        return cls.heterogeneous(rules, num_options, rng=generator)

@@ -1,0 +1,156 @@
+"""Executable trace of the Theorem 4.3 potential-function argument.
+
+The proof of Theorem 4.3 (Section 5) controls the potential
+``Phi^T = sum_j W^T_j`` from above and below:
+
+* upper bound (applied step by step):
+  ``Phi^T <= (1-beta)^T (1 + mu(e^delta - 1))^T m exp(delta' * sum_t <P^{t-1}, R^t>)``
+  with ``delta' = (1-mu)(e^delta - 1)/(1 + mu delta) <= delta(1+delta)``;
+* lower bound: ``Phi^T >= (1-beta)^T (1-mu)^T exp(delta * sum_t R^t_1)``.
+
+Combining the two and taking logs yields the regret bound.  This module
+replays an infinite-population trajectory and evaluates every intermediate
+inequality numerically, producing a :class:`ProofTrace` whose
+:meth:`ProofTrace.all_hold` certifies that each step of the argument holds on
+the realised reward sequence — an "executable proof" useful both as a strong
+regression test for the implementation of Eq. (1) and as a pedagogical tool.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.infinite import InfiniteTrajectory
+
+
+@dataclass(frozen=True)
+class ProofTrace:
+    """Numerical evaluation of the Theorem 4.3 proof steps on one trajectory.
+
+    Attributes
+    ----------
+    log_potential:
+        The realised ``ln Phi^T`` from the trajectory.
+    log_upper_bound:
+        The proof's upper bound on ``ln Phi^T``.
+    log_lower_bound:
+        The proof's lower bound on ``ln Phi^T``.
+    regret_bound_rhs:
+        The bound on the average regret implied by the potential argument,
+        in its exact pathwise form
+        ``ln(m)/(delta T) + ln((1 + mu(e^delta - 1))/(1 - mu))/delta
+        + max(delta' - delta, 0)/delta * (group reward / T)``;
+        for the theorem's parameter range (``delta <= 1``, ``6 mu <= delta^2``)
+        this is at most the paper's ``ln(m)/(delta T) + 2*delta``.
+    realised_average_regret:
+        ``(1/T)(sum_t R^t_1 - sum_t <P^{t-1}, R^t>)`` — the quantity the proof
+        actually bounds (regret against the best option's realised rewards).
+    """
+
+    log_potential: float
+    log_upper_bound: float
+    log_lower_bound: float
+    regret_bound_rhs: float
+    realised_average_regret: float
+
+    def upper_bound_holds(self) -> bool:
+        """Whether ``Phi^T <=`` the proof's upper bound."""
+        return self.log_potential <= self.log_upper_bound + 1e-9
+
+    def lower_bound_holds(self) -> bool:
+        """Whether ``Phi^T >=`` the proof's lower bound."""
+        return self.log_potential >= self.log_lower_bound - 1e-9
+
+    def regret_bound_holds(self) -> bool:
+        """Whether the realised average regret is within the derived bound."""
+        return self.realised_average_regret <= self.regret_bound_rhs + 1e-9
+
+    def all_hold(self) -> bool:
+        """Whether every traced inequality holds."""
+        return (
+            self.upper_bound_holds()
+            and self.lower_bound_holds()
+            and self.regret_bound_holds()
+        )
+
+
+def trace_theorem_43(
+    trajectory: InfiniteTrajectory,
+    *,
+    beta: float,
+    mu: float,
+    best_option: int = 0,
+) -> ProofTrace:
+    """Evaluate the Theorem 4.3 proof inequalities on a recorded trajectory.
+
+    Parameters
+    ----------
+    trajectory:
+        Output of :meth:`repro.core.infinite.InfinitePopulationDynamics.run`
+        (or ``run_on_rewards``) started from the uniform distribution with
+        the same ``beta``/``mu``.
+    beta, mu:
+        The parameters the trajectory was generated with.
+    best_option:
+        Index of the option playing the role of ``j = 1`` in the proof.
+    """
+    if trajectory.horizon == 0:
+        raise ValueError("trajectory must contain at least one step")
+    if not 0.5 < beta < 1.0:
+        raise ValueError(f"beta must be in (1/2, 1), got {beta}")
+    if not 0.0 <= mu <= 1.0:
+        raise ValueError(f"mu must be in [0, 1], got {mu}")
+    if mu >= 1.0:
+        raise ValueError("the lower bound degenerates at mu = 1")
+
+    horizon = trajectory.horizon
+    num_options = trajectory.num_options
+    if not 0 <= best_option < num_options:
+        raise ValueError(f"best_option {best_option} out of range")
+
+    delta = math.log(beta / (1.0 - beta))
+    rewards = trajectory.reward_matrix().astype(float)
+    distributions = trajectory.distribution_matrix()
+    group_reward = float(np.einsum("tj,tj->t", distributions, rewards).sum())
+    best_reward = float(rewards[:, best_option].sum())
+
+    log_potential = trajectory.log_potentials[-1]
+
+    delta_prime = (1.0 - mu) * (math.exp(delta) - 1.0) / (1.0 + mu * delta)
+    log_upper_bound = (
+        horizon * math.log(1.0 - beta)
+        + horizon * math.log(1.0 + mu * (math.exp(delta) - 1.0))
+        + math.log(num_options)
+        + delta_prime * group_reward
+    )
+    log_lower_bound = (
+        horizon * math.log(1.0 - beta)
+        + horizon * math.log(1.0 - mu)
+        + delta * best_reward
+    )
+
+    realised_average_regret = (best_reward - group_reward) / horizon
+    # Exact pathwise form of the paper's combination of the two potential
+    # bounds: delta * sum R_1 - delta' * sum <P, R> <= ln m + T ln(...),
+    # rearranged for (sum R_1 - sum <P, R>) / T and with the (delta' - delta)
+    # term dropped only when it is negative (which can only help the bound).
+    mixing_term = math.log(
+        (1.0 + mu * (math.exp(delta) - 1.0)) / (1.0 - mu)
+    )
+    slack_term = max(delta_prime - delta, 0.0) * group_reward / horizon
+    regret_bound_rhs = (
+        math.log(num_options) / (delta * horizon)
+        + mixing_term / delta
+        + slack_term / delta
+    )
+
+    return ProofTrace(
+        log_potential=float(log_potential),
+        log_upper_bound=float(log_upper_bound),
+        log_lower_bound=float(log_lower_bound),
+        regret_bound_rhs=float(regret_bound_rhs),
+        realised_average_regret=float(realised_average_regret),
+    )

@@ -1,0 +1,103 @@
+"""Replication statistics: means, confidence intervals, summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+import numpy as np
+from scipy import stats
+
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_in_range, check_positive_int
+
+
+def normal_confidence_interval(
+    values: Iterable[float], confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Student-t confidence interval for the mean of ``values``.
+
+    With a single value the interval degenerates to ``(value, value)``.
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("values must be non-empty")
+    confidence = check_in_range(
+        confidence, "confidence", 0.0, 1.0, inclusive_low=False, inclusive_high=False
+    )
+    mean = float(array.mean())
+    if array.size == 1:
+        return mean, mean
+    sem = float(stats.sem(array))
+    if sem == 0.0:
+        return mean, mean
+    margin = float(stats.t.ppf(0.5 + confidence / 2.0, df=array.size - 1) * sem)
+    return mean - margin, mean + margin
+
+
+def bootstrap_confidence_interval(
+    values: Iterable[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    rng: RngLike = None,
+) -> Tuple[float, float]:
+    """Percentile bootstrap confidence interval for the mean of ``values``."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("values must be non-empty")
+    confidence = check_in_range(
+        confidence, "confidence", 0.0, 1.0, inclusive_low=False, inclusive_high=False
+    )
+    resamples = check_positive_int(resamples, "resamples")
+    if array.size == 1:
+        return float(array[0]), float(array[0])
+    generator = ensure_rng(rng)
+    indices = generator.integers(array.size, size=(resamples, array.size))
+    means = array[indices].mean(axis=1)
+    lower = float(np.quantile(means, (1.0 - confidence) / 2.0))
+    upper = float(np.quantile(means, 0.5 + confidence / 2.0))
+    return lower, upper
+
+
+@dataclass(frozen=True)
+class ReplicationSummary:
+    """Mean, spread and confidence interval of a scalar metric over replications."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    ci_low: float
+    ci_high: float
+    replications: int
+
+    def as_dict(self) -> dict:
+        """Summary as a plain dict for result tables."""
+        return {
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "replications": self.replications,
+        }
+
+
+def summarize_replications(
+    values: Iterable[float], confidence: float = 0.95
+) -> ReplicationSummary:
+    """Summarise a per-replication scalar metric."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("values must be non-empty")
+    ci_low, ci_high = normal_confidence_interval(array, confidence=confidence)
+    return ReplicationSummary(
+        mean=float(array.mean()),
+        std=float(array.std(ddof=1)) if array.size > 1 else 0.0,
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+        ci_low=ci_low,
+        ci_high=ci_high,
+        replications=int(array.size),
+    )

@@ -1,0 +1,71 @@
+"""Aggregation across replicated trajectories."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.state import Trajectory
+from repro.utils.validation import check_in_range
+
+
+def stack_best_option_series(
+    trajectories: Sequence[Trajectory], best_option: int
+) -> np.ndarray:
+    """Stack the best option's pre-step popularity across replications.
+
+    Returns a ``(replications, T)`` matrix; all trajectories must have the
+    same horizon.
+    """
+    if not trajectories:
+        raise ValueError("need at least one trajectory")
+    horizons = {trajectory.horizon for trajectory in trajectories}
+    if len(horizons) != 1:
+        raise ValueError(f"trajectories have differing horizons: {sorted(horizons)}")
+    return np.stack(
+        [trajectory.best_option_popularity(best_option) for trajectory in trajectories]
+    )
+
+
+def aggregate_popularity(
+    trajectories: Sequence[Trajectory], best_option: int, quantile: float = 0.1
+) -> Dict[str, np.ndarray]:
+    """Mean and quantile bands of the best option's popularity over time.
+
+    Returns a dict with ``mean``, ``lower`` (the ``quantile`` quantile) and
+    ``upper`` (the ``1 - quantile`` quantile), each of length ``T``.
+    """
+    quantile = check_in_range(quantile, "quantile", 0.0, 0.5)
+    stacked = stack_best_option_series(trajectories, best_option)
+    return {
+        "mean": stacked.mean(axis=0),
+        "lower": np.quantile(stacked, quantile, axis=0),
+        "upper": np.quantile(stacked, 1.0 - quantile, axis=0),
+    }
+
+
+def aggregate_regret_series(
+    trajectories: Sequence[Trajectory], best_quality: float
+) -> np.ndarray:
+    """Mean running-average regret across replications (length ``T``).
+
+    For each trajectory the running average regret after ``t`` steps is
+    ``eta_1 - (1/t) sum_{s<=t} <Q^{s-1}, R^s>``; the mean over replications
+    estimates the expectation in the paper's regret definition as a function
+    of the horizon.
+    """
+    if not trajectories:
+        raise ValueError("need at least one trajectory")
+    best_quality = check_in_range(best_quality, "best_quality", 0.0, 1.0)
+    series = []
+    for trajectory in trajectories:
+        popularities = trajectory.popularity_matrix()
+        rewards = trajectory.reward_matrix()
+        per_step = np.einsum("tj,tj->t", popularities, rewards.astype(float))
+        running = np.cumsum(per_step) / np.arange(1, per_step.size + 1)
+        series.append(best_quality - running)
+    horizons = {len(s) for s in series}
+    if len(horizons) != 1:
+        raise ValueError("trajectories have differing horizons")
+    return np.stack(series).mean(axis=0)

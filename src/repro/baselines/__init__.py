@@ -1,0 +1,54 @@
+"""Baseline learners the paper's dynamics is compared against (experiment E7).
+
+The paper positions the social learning dynamics relative to two families of
+algorithms:
+
+* the **classic multiplicative weights update** (MWU) method and its
+  continuous-time limit, the replicator dynamics — full-information,
+  centralised algorithms in which a single entity maintains a weight per
+  option (:class:`ClassicMWU`, :class:`ReplicatorDynamics`); and
+* **per-individual bandit algorithms** — each group member independently runs
+  a stochastic bandit strategy using only its own observations
+  (:class:`IndividualUCB`, :class:`IndividualEpsilonGreedy`,
+  :class:`IndividualThompsonSampling`).
+
+Simple controls round out the comparison: :class:`FollowTheCrowd` (imitation
+with no quality signal), :class:`UniformRandomChoice` and
+:class:`BestFixedOptionOracle` (the hindsight benchmark regret is measured
+against).
+
+All baselines implement the :class:`GroupLearner` interface so they can be run
+on the *same recorded reward sequences* as the paper's dynamics and scored
+with the same regret functions.
+"""
+
+from repro.baselines.base import GroupLearner
+from repro.baselines.mwu import ClassicMWU, HedgeMWU
+from repro.baselines.exp3 import Exp3
+from repro.baselines.replicator import ReplicatorDynamics
+from repro.baselines.bandits import (
+    IndividualEpsilonGreedy,
+    IndividualThompsonSampling,
+    IndividualUCB,
+)
+from repro.baselines.simple import (
+    BestFixedOptionOracle,
+    FollowTheCrowd,
+    UniformRandomChoice,
+)
+from repro.baselines.social import SocialLearningBaseline
+
+__all__ = [
+    "GroupLearner",
+    "ClassicMWU",
+    "HedgeMWU",
+    "Exp3",
+    "ReplicatorDynamics",
+    "IndividualUCB",
+    "IndividualEpsilonGreedy",
+    "IndividualThompsonSampling",
+    "FollowTheCrowd",
+    "UniformRandomChoice",
+    "BestFixedOptionOracle",
+    "SocialLearningBaseline",
+]

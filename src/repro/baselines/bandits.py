@@ -1,0 +1,182 @@
+"""Per-individual stochastic bandit baselines.
+
+The paper contrasts its memoryless social dynamics with what an individual
+could achieve by running a full stochastic bandit algorithm on its own
+observations (Section 3 and the conclusion: "while an individual can be
+effectively solving a stochastic multi-armed bandit problem, the population as
+a whole is solving a full-information version").  These baselines simulate a
+group of ``N`` individuals each independently running a bandit strategy —
+UCB1, epsilon-greedy or Thompson sampling — observing only the reward of the
+single arm they pulled.  The group distribution reported to the regret
+machinery is the empirical fraction of individuals on each option, exactly as
+for the paper's dynamics, so comparisons are apples-to-apples.
+
+Each individual here stores per-arm counts and estimates — the memory the
+paper's protocol conspicuously does not need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import GroupLearner
+from repro.utils.rng import RngLike
+from repro.utils.validation import check_positive_int, check_probability
+
+
+class _PerAgentBandit(GroupLearner):
+    """Shared machinery: N agents, per-agent pull counts and success counts."""
+
+    def __init__(self, num_options: int, population_size: int, rng: RngLike = None) -> None:
+        super().__init__(num_options, rng=rng)
+        self._population_size = check_positive_int(population_size, "population_size")
+        # counts[i, j]: number of times agent i pulled arm j; successes likewise.
+        self._counts = np.zeros((population_size, num_options), dtype=np.int64)
+        self._successes = np.zeros((population_size, num_options), dtype=np.int64)
+        self._current_arms = self._rng.integers(
+            num_options, size=population_size
+        ).astype(np.int64)
+
+    @property
+    def population_size(self) -> int:
+        """Number of simulated individuals ``N``."""
+        return self._population_size
+
+    def distribution(self) -> np.ndarray:
+        counts = np.bincount(self._current_arms, minlength=self._num_options)
+        return counts / self._population_size
+
+    def _choose_arms(self) -> np.ndarray:
+        """Return the arm each agent pulls this step (length ``N``)."""
+        raise NotImplementedError
+
+    def _update(self, rewards: np.ndarray) -> None:
+        arms = self._choose_arms()
+        observed = rewards[arms]
+        agent_index = np.arange(self._population_size)
+        self._counts[agent_index, arms] += 1
+        self._successes[agent_index, arms] += observed
+        self._current_arms = arms
+
+    def _reset(self) -> None:
+        self._counts[:] = 0
+        self._successes[:] = 0
+        self._current_arms = self._rng.integers(
+            self._num_options, size=self._population_size
+        ).astype(np.int64)
+
+
+class IndividualUCB(_PerAgentBandit):
+    """Every individual runs UCB1 on its own observations.
+
+    Arms never pulled by an agent have an infinite index (forced exploration);
+    otherwise the index is ``mean + sqrt(2 ln(t) / pulls)``.
+
+    Parameters
+    ----------
+    num_options, population_size:
+        Problem size.
+    exploration_constant:
+        Multiplier on the confidence radius (``sqrt(2)`` in textbook UCB1).
+    """
+
+    def __init__(
+        self,
+        num_options: int,
+        population_size: int,
+        exploration_constant: float = np.sqrt(2.0),
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__(num_options, population_size, rng=rng)
+        if exploration_constant <= 0:
+            raise ValueError("exploration_constant must be positive")
+        self._exploration_constant = float(exploration_constant)
+
+    @property
+    def name(self) -> str:
+        return f"IndividualUCB(N={self._population_size})"
+
+    def _choose_arms(self) -> np.ndarray:
+        total_pulls = self._time + 1
+        with np.errstate(divide="ignore", invalid="ignore"):
+            means = np.where(
+                self._counts > 0, self._successes / np.maximum(self._counts, 1), 0.0
+            )
+            radius = self._exploration_constant * np.sqrt(
+                np.log(total_pulls + 1) / np.maximum(self._counts, 1)
+            )
+            index = means + radius
+        index = np.where(self._counts == 0, np.inf, index)
+        # Random tie-breaking: add tiny noise before argmax.
+        noise = self._rng.random(index.shape) * 1e-9
+        return np.argmax(index + noise, axis=1).astype(np.int64)
+
+
+class IndividualEpsilonGreedy(_PerAgentBandit):
+    """Every individual runs epsilon-greedy on its own observations.
+
+    Parameters
+    ----------
+    epsilon:
+        Per-step exploration probability.
+    """
+
+    def __init__(
+        self,
+        num_options: int,
+        population_size: int,
+        epsilon: float = 0.1,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__(num_options, population_size, rng=rng)
+        self._epsilon = check_probability(epsilon, "epsilon")
+
+    @property
+    def name(self) -> str:
+        return f"IndividualEpsGreedy(eps={self._epsilon:g}, N={self._population_size})"
+
+    def _choose_arms(self) -> np.ndarray:
+        means = np.where(
+            self._counts > 0, self._successes / np.maximum(self._counts, 1), 0.5
+        )
+        noise = self._rng.random(means.shape) * 1e-9
+        greedy = np.argmax(means + noise, axis=1)
+        explore = self._rng.random(self._population_size) < self._epsilon
+        random_arms = self._rng.integers(self._num_options, size=self._population_size)
+        return np.where(explore, random_arms, greedy).astype(np.int64)
+
+
+class IndividualThompsonSampling(_PerAgentBandit):
+    """Every individual runs Beta-Bernoulli Thompson sampling on its own observations.
+
+    Parameters
+    ----------
+    prior_successes, prior_failures:
+        Beta prior pseudo-counts (default uniform prior Beta(1, 1)).
+    """
+
+    def __init__(
+        self,
+        num_options: int,
+        population_size: int,
+        prior_successes: float = 1.0,
+        prior_failures: float = 1.0,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__(num_options, population_size, rng=rng)
+        if prior_successes <= 0 or prior_failures <= 0:
+            raise ValueError("prior pseudo-counts must be positive")
+        self._prior_successes = float(prior_successes)
+        self._prior_failures = float(prior_failures)
+
+    @property
+    def name(self) -> str:
+        return f"IndividualThompson(N={self._population_size})"
+
+    def _choose_arms(self) -> np.ndarray:
+        failures = self._counts - self._successes
+        samples = self._rng.beta(
+            self._successes + self._prior_successes,
+            failures + self._prior_failures,
+        )
+        return np.argmax(samples, axis=1).astype(np.int64)

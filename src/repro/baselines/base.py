@@ -1,0 +1,103 @@
+"""Common interface for all baseline learners."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.environments.base import RewardEnvironment
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+class GroupLearner(abc.ABC):
+    """A learner whose state at each step is a distribution over options.
+
+    The distribution is interpreted as "the fraction of the group currently
+    committed to each option" (for population-style learners) or "the mixed
+    strategy of the single decision maker" (for centralised learners such as
+    MWU).  Either way, the group's expected reward at step ``t`` is
+    ``<distribution^{t-1}, R^t>`` and the regret functions in
+    :mod:`repro.core.regret` apply unchanged, which is what makes the
+    comparison in experiment E7 like-for-like.
+
+    Subclasses implement :meth:`distribution` (the pre-step distribution) and
+    :meth:`update` (consume the step's reward vector).  ``update`` receives the
+    *full* reward vector; learners that model partial observability (the
+    bandit baselines) must only read the entries their agents actually pulled.
+    """
+
+    def __init__(self, num_options: int, rng: RngLike = None) -> None:
+        self._num_options = check_positive_int(num_options, "num_options")
+        self._rng = ensure_rng(rng)
+        self._time = 0
+
+    @property
+    def num_options(self) -> int:
+        """Number of options ``m``."""
+        return self._num_options
+
+    @property
+    def time(self) -> int:
+        """Number of updates consumed so far."""
+        return self._time
+
+    @property
+    def name(self) -> str:
+        """Human-readable name used in benchmark tables."""
+        return type(self).__name__
+
+    @abc.abstractmethod
+    def distribution(self) -> np.ndarray:
+        """Current distribution over options (probability vector of length ``m``)."""
+
+    @abc.abstractmethod
+    def _update(self, rewards: np.ndarray) -> None:
+        """Consume the reward vector for one step and update internal state."""
+
+    def update(self, rewards: np.ndarray) -> None:
+        """Validate the reward vector and advance the learner one step."""
+        rewards = np.asarray(rewards)
+        if rewards.shape != (self._num_options,):
+            raise ValueError(
+                f"rewards must have shape ({self._num_options},), got {rewards.shape}"
+            )
+        if np.any((rewards != 0) & (rewards != 1)):
+            raise ValueError("rewards must be binary")
+        self._update(rewards.astype(np.int8))
+        self._time += 1
+
+    def run_on_rewards(self, rewards: np.ndarray) -> np.ndarray:
+        """Run on a ``(T, m)`` reward matrix; return the ``(T, m)`` pre-step distributions."""
+        rewards = np.asarray(rewards)
+        if rewards.ndim != 2 or rewards.shape[1] != self._num_options:
+            raise ValueError(
+                f"rewards must have shape (T, {self._num_options}), got {rewards.shape}"
+            )
+        distributions = np.zeros(rewards.shape, dtype=float)
+        for step, reward_vector in enumerate(rewards):
+            distributions[step] = self.distribution()
+            self.update(reward_vector)
+        return distributions
+
+    def run(self, environment: RewardEnvironment, horizon: int) -> np.ndarray:
+        """Run against a live environment for ``horizon`` steps."""
+        horizon = check_positive_int(horizon, "horizon")
+        if environment.num_options != self._num_options:
+            raise ValueError("environment and learner disagree on the number of options")
+        return self.run_on_rewards(environment.sample_many(horizon))
+
+    def reset(self, rng: Optional[RngLike] = None) -> None:
+        """Restore the learner to its initial state (optionally reseeding)."""
+        if rng is not None:
+            self._rng = ensure_rng(rng)
+        self._time = 0
+        self._reset()
+
+    def _reset(self) -> None:
+        """Subclass hook for :meth:`reset`; default is a no-op."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}(m={self._num_options})"

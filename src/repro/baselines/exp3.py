@@ -1,0 +1,91 @@
+"""EXP3: the classic adversarial-bandit baseline.
+
+The paper's conclusion notes that an *individual* in the group is effectively
+facing a stochastic multi-armed bandit problem (it only ever observes the
+signal of the single option it considered), while the *population* enjoys
+full information.  EXP3 (Auer, Cesa-Bianchi, Freund, Schapire 2002) is the
+canonical algorithm for the bandit-feedback setting, so it provides the
+"what a single centralised learner could do with only bandit feedback"
+comparison point in experiment E7's extended table: the group dynamics should
+beat it, because the group implicitly aggregates m signals per step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import GroupLearner
+from repro.utils.rng import RngLike
+from repro.utils.validation import check_in_range
+
+
+class Exp3(GroupLearner):
+    """EXP3 with the standard uniform-mixing exploration term.
+
+    The learner samples one arm per step from its mixed strategy, observes the
+    reward of that arm only, forms the importance-weighted reward estimate and
+    updates exponential weights.  The ``distribution()`` reported for regret
+    accounting is the mixed strategy before the step, so comparisons against
+    the population dynamics (whose popularity vector plays the same role)
+    are like-for-like.
+
+    Parameters
+    ----------
+    num_options:
+        Number of arms ``m``.
+    gamma:
+        Exploration/mixing parameter in ``(0, 1]``.
+    rng:
+        Seed or generator (drives the arm draws).
+    """
+
+    def __init__(self, num_options: int, gamma: float = 0.1, rng: RngLike = None) -> None:
+        super().__init__(num_options, rng=rng)
+        self._gamma = check_in_range(gamma, "gamma", 0.0, 1.0, inclusive_low=False)
+        self._log_weights = np.zeros(num_options)
+        self._last_arm: int | None = None
+
+    @property
+    def gamma(self) -> float:
+        """The exploration parameter."""
+        return self._gamma
+
+    @property
+    def name(self) -> str:
+        return f"EXP3(gamma={self._gamma:g})"
+
+    @property
+    def last_arm(self) -> int | None:
+        """The arm pulled in the most recent update (None before any update)."""
+        return self._last_arm
+
+    def distribution(self) -> np.ndarray:
+        shifted = self._log_weights - self._log_weights.max()
+        weights = np.exp(shifted)
+        probabilities = weights / weights.sum()
+        return (1.0 - self._gamma) * probabilities + self._gamma / self._num_options
+
+    def _update(self, rewards: np.ndarray) -> None:
+        probabilities = self.distribution()
+        arm = int(self._rng.choice(self._num_options, p=probabilities))
+        self._last_arm = arm
+        observed = float(rewards[arm])  # bandit feedback: only the pulled arm
+        estimated_reward = observed / probabilities[arm]
+        self._log_weights[arm] += (
+            self._gamma * estimated_reward / self._num_options
+        )
+
+    def _reset(self) -> None:
+        self._log_weights = np.zeros(self._num_options)
+        self._last_arm = None
+
+    @classmethod
+    def tuned(cls, num_options: int, horizon: int, rng: RngLike = None) -> "Exp3":
+        """Instance with the horizon-optimal ``gamma = min(1, sqrt(m ln m / ((e-1) T)))``."""
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        m = max(num_options, 2)
+        gamma = float(
+            np.sqrt(m * np.log(m) / ((np.e - 1.0) * horizon))
+        )
+        return cls(num_options, gamma=min(max(gamma, 1e-3), 1.0), rng=rng)

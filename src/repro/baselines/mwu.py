@@ -1,0 +1,118 @@
+"""Classic (deterministic-update) multiplicative weights baselines.
+
+Two standard parameterisations are provided:
+
+* :class:`ClassicMWU` — the ``w_j <- w_j * (1 + eps)^{r_j}`` form of Arora,
+  Hazan, Kale (2012), which is the method the paper's infinite-population
+  dynamics is shown to be a stochastic variant of;
+* :class:`HedgeMWU` — the exponential-weights form ``w_j <- w_j * exp(eta r_j)``.
+
+Unlike the paper's dynamics these are full-information, centralised
+algorithms: a single entity stores the entire weight vector and observes the
+reward of *every* option each step.  They are the "what you could do with
+unlimited memory and communication" upper baseline of experiment E7.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import GroupLearner
+from repro.utils.rng import RngLike
+from repro.utils.validation import check_in_range
+
+
+class ClassicMWU(GroupLearner):
+    """Multiplicative weights with ``w_j <- w_j * (1 + eps)^{r_j}``.
+
+    Parameters
+    ----------
+    num_options:
+        Number of options ``m``.
+    epsilon:
+        Learning rate ``eps`` in ``(0, 1]``.  With rewards in ``[0, 1]`` the
+        standard bound gives average regret ``ln(m)/(eps T) + eps``.
+    rng:
+        Unused (the update is deterministic); accepted for interface symmetry.
+    """
+
+    def __init__(self, num_options: int, epsilon: float = 0.1, rng: RngLike = None) -> None:
+        super().__init__(num_options, rng=rng)
+        self._epsilon = check_in_range(
+            epsilon, "epsilon", 0.0, 1.0, inclusive_low=False
+        )
+        self._log_weights = np.zeros(num_options)
+
+    @property
+    def epsilon(self) -> float:
+        """The learning rate ``eps``."""
+        return self._epsilon
+
+    @property
+    def name(self) -> str:
+        return f"ClassicMWU(eps={self._epsilon:g})"
+
+    def distribution(self) -> np.ndarray:
+        shifted = self._log_weights - self._log_weights.max()
+        weights = np.exp(shifted)
+        return weights / weights.sum()
+
+    def _update(self, rewards: np.ndarray) -> None:
+        self._log_weights += rewards * np.log1p(self._epsilon)
+
+    def _reset(self) -> None:
+        self._log_weights = np.zeros(self._num_options)
+
+    @classmethod
+    def tuned(cls, num_options: int, horizon: int) -> "ClassicMWU":
+        """Instance with the horizon-optimal rate ``eps = sqrt(ln(m)/T)`` (clipped to (0, 1])."""
+        epsilon = float(np.sqrt(np.log(max(num_options, 2)) / max(horizon, 1)))
+        return cls(num_options, epsilon=min(max(epsilon, 1e-4), 1.0))
+
+
+class HedgeMWU(GroupLearner):
+    """Exponential weights (Hedge): ``w_j <- w_j * exp(eta * r_j)``.
+
+    Parameters
+    ----------
+    num_options:
+        Number of options ``m``.
+    eta:
+        Learning rate; defaults to the anytime-reasonable ``sqrt(ln m)``-free
+        value 0.2, and :meth:`tuned` gives the horizon-optimal rate.
+    """
+
+    def __init__(self, num_options: int, eta: float = 0.2, rng: RngLike = None) -> None:
+        super().__init__(num_options, rng=rng)
+        if eta <= 0:
+            raise ValueError(f"eta must be positive, got {eta}")
+        self._eta = float(eta)
+        self._log_weights = np.zeros(num_options)
+
+    @property
+    def eta(self) -> float:
+        """The learning rate ``eta``."""
+        return self._eta
+
+    @property
+    def name(self) -> str:
+        return f"HedgeMWU(eta={self._eta:g})"
+
+    def distribution(self) -> np.ndarray:
+        shifted = self._log_weights - self._log_weights.max()
+        weights = np.exp(shifted)
+        return weights / weights.sum()
+
+    def _update(self, rewards: np.ndarray) -> None:
+        self._log_weights += self._eta * rewards
+
+    def _reset(self) -> None:
+        self._log_weights = np.zeros(self._num_options)
+
+    @classmethod
+    def tuned(cls, num_options: int, horizon: int) -> "HedgeMWU":
+        """Instance with ``eta = sqrt(8 ln(m) / T)``, the classic Hedge tuning."""
+        eta = float(np.sqrt(8.0 * np.log(max(num_options, 2)) / max(horizon, 1)))
+        return cls(num_options, eta=max(eta, 1e-4))

@@ -1,0 +1,87 @@
+"""Discrete-time replicator dynamics baseline.
+
+The replicator dynamics is the continuous-time limit of MWU (Section 3 of the
+paper).  The discrete-time version used here updates the population share of
+option ``j`` proportionally to its fitness estimate:
+
+    ``x_j <- x_j * (baseline + payoff_j) / (baseline + <x, payoff>)``
+
+where ``payoff_j`` is either the realised binary reward (``smoothing = 0``) or
+an exponentially smoothed estimate of it.  An exploration floor ``mu`` mirrors
+the paper's regularisation and keeps every option's share positive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import GroupLearner
+from repro.utils.rng import RngLike
+from repro.utils.validation import check_probability
+
+
+class ReplicatorDynamics(GroupLearner):
+    """Deterministic replicator update on (optionally smoothed) realised rewards.
+
+    Parameters
+    ----------
+    num_options:
+        Number of options ``m``.
+    baseline_fitness:
+        Constant added to payoffs so fitness stays positive (selection
+        strength is ``1 / (1 + baseline_fitness)``).
+    smoothing:
+        Exponential smoothing coefficient for the payoff estimate in
+        ``[0, 1)``; ``0`` uses the raw rewards of the current step.
+    exploration_rate:
+        Mixing weight toward the uniform distribution applied after each
+        update (keeps shares bounded away from zero, as ``mu`` does in the
+        paper).
+    """
+
+    def __init__(
+        self,
+        num_options: int,
+        baseline_fitness: float = 1.0,
+        smoothing: float = 0.0,
+        exploration_rate: float = 0.01,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__(num_options, rng=rng)
+        if baseline_fitness < 0:
+            raise ValueError(f"baseline_fitness must be non-negative, got {baseline_fitness}")
+        self._baseline = float(baseline_fitness)
+        self._smoothing = check_probability(smoothing, "smoothing")
+        if self._smoothing >= 1.0:
+            raise ValueError("smoothing must be strictly less than 1")
+        self._mu = check_probability(exploration_rate, "exploration_rate")
+        self._shares = np.full(num_options, 1.0 / num_options)
+        self._payoff_estimate = np.zeros(num_options)
+
+    @property
+    def name(self) -> str:
+        return f"Replicator(mu={self._mu:g})"
+
+    def distribution(self) -> np.ndarray:
+        return self._shares.copy()
+
+    def _update(self, rewards: np.ndarray) -> None:
+        if self._smoothing > 0:
+            self._payoff_estimate = (
+                self._smoothing * self._payoff_estimate
+                + (1.0 - self._smoothing) * rewards
+            )
+            payoff = self._payoff_estimate
+        else:
+            payoff = rewards.astype(float)
+        fitness = self._baseline + payoff
+        mean_fitness = float(self._shares @ fitness)
+        if mean_fitness <= 0:
+            return
+        updated = self._shares * fitness / mean_fitness
+        updated = (1.0 - self._mu) * updated + self._mu / self._num_options
+        self._shares = updated / updated.sum()
+
+    def _reset(self) -> None:
+        self._shares = np.full(self._num_options, 1.0 / self._num_options)
+        self._payoff_estimate = np.zeros(self._num_options)

@@ -1,0 +1,130 @@
+"""Simple control baselines.
+
+* :class:`BestFixedOptionOracle` — always plays the true best option; its
+  average reward is (up to sampling noise) ``eta_1``, the benchmark in the
+  paper's regret definition.
+* :class:`UniformRandomChoice` — the zero-learning control.
+* :class:`FollowTheCrowd` — imitation with *no* quality signal: a finite
+  population where each individual copies a uniformly random group member
+  (plus a small exploration rate).  This is the "sampling-only" end of the
+  ablation spectrum and illustrates the herding failure mode the paper argues
+  the adoption stage prevents.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.base import GroupLearner
+from repro.utils.rng import RngLike
+from repro.utils.validation import check_positive_int, check_probability
+
+
+class BestFixedOptionOracle(GroupLearner):
+    """Plays the known best option every step (the hindsight comparator)."""
+
+    def __init__(self, num_options: int, best_option: int, rng: RngLike = None) -> None:
+        super().__init__(num_options, rng=rng)
+        if not 0 <= best_option < num_options:
+            raise ValueError(
+                f"best_option {best_option} out of range for m={num_options}"
+            )
+        self._best_option = int(best_option)
+
+    @property
+    def best_option(self) -> int:
+        """The option the oracle plays."""
+        return self._best_option
+
+    @property
+    def name(self) -> str:
+        return "BestFixedOption"
+
+    def distribution(self) -> np.ndarray:
+        distribution = np.zeros(self._num_options)
+        distribution[self._best_option] = 1.0
+        return distribution
+
+    def _update(self, rewards: np.ndarray) -> None:
+        # The oracle never changes its mind.
+        return None
+
+    @classmethod
+    def for_qualities(cls, qualities: Sequence[float], rng: RngLike = None) -> "BestFixedOptionOracle":
+        """Build the oracle for a known quality vector."""
+        qualities = np.asarray(qualities, dtype=float)
+        return cls(qualities.size, int(np.argmax(qualities)), rng=rng)
+
+
+class UniformRandomChoice(GroupLearner):
+    """Every individual picks an option uniformly at random each step."""
+
+    @property
+    def name(self) -> str:
+        return "UniformRandom"
+
+    def distribution(self) -> np.ndarray:
+        return np.full(self._num_options, 1.0 / self._num_options)
+
+    def _update(self, rewards: np.ndarray) -> None:
+        return None
+
+
+class FollowTheCrowd(GroupLearner):
+    """Pure imitation in a finite population: copy a random member, ignore signals.
+
+    Each step every one of the ``N`` individuals adopts the option of a
+    uniformly random individual from the previous step (with probability
+    ``exploration_rate`` it instead picks uniformly at random).  Because no
+    quality information enters, the process drifts toward consensus on an
+    arbitrary option — the herding behaviour the paper's two-stage dynamics is
+    designed to avoid.
+
+    Parameters
+    ----------
+    num_options, population_size:
+        Problem size.
+    exploration_rate:
+        Probability of picking a uniformly random option instead of copying.
+    """
+
+    def __init__(
+        self,
+        num_options: int,
+        population_size: int,
+        exploration_rate: float = 0.0,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__(num_options, rng=rng)
+        self._population_size = check_positive_int(population_size, "population_size")
+        self._mu = check_probability(exploration_rate, "exploration_rate")
+        base, remainder = divmod(self._population_size, num_options)
+        counts = np.full(num_options, base, dtype=np.int64)
+        counts[:remainder] += 1
+        self._counts = counts
+
+    @property
+    def population_size(self) -> int:
+        """Number of individuals ``N``."""
+        return self._population_size
+
+    @property
+    def name(self) -> str:
+        return f"FollowTheCrowd(N={self._population_size})"
+
+    def distribution(self) -> np.ndarray:
+        return self._counts / self._population_size
+
+    def _update(self, rewards: np.ndarray) -> None:
+        popularity = self.distribution()
+        probabilities = (1.0 - self._mu) * popularity + self._mu / self._num_options
+        probabilities = probabilities / probabilities.sum()
+        self._counts = self._rng.multinomial(self._population_size, probabilities)
+
+    def _reset(self) -> None:
+        base, remainder = divmod(self._population_size, self._num_options)
+        counts = np.full(self._num_options, base, dtype=np.int64)
+        counts[:remainder] += 1
+        self._counts = counts

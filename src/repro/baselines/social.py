@@ -1,0 +1,81 @@
+"""The paper's own dynamics wrapped in the :class:`GroupLearner` interface.
+
+:class:`SocialLearningBaseline` lets experiment code treat the paper's
+finite-population distributed learning dynamics as just another entry in a
+list of learners to compare on a shared reward sequence — which is exactly how
+experiment E7 (baseline comparison) and E6 (stage ablations) are written.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import GroupLearner
+from repro.core.adoption import AdoptionRule, SymmetricAdoptionRule
+from repro.core.dynamics import FinitePopulationDynamics
+from repro.core.sampling import MixtureSampling, SamplingRule
+from repro.utils.rng import RngLike
+
+
+class SocialLearningBaseline(GroupLearner):
+    """Adapter exposing :class:`FinitePopulationDynamics` as a :class:`GroupLearner`.
+
+    Parameters
+    ----------
+    num_options, population_size:
+        Problem size.
+    adoption_rule:
+        The adoption stage; defaults to the symmetric rule with ``beta = 0.6``.
+    sampling_rule:
+        The sampling stage; defaults to the theorem-maximal exploration rate
+        ``mu = delta^2 / 6``.
+    rng:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        num_options: int,
+        population_size: int,
+        adoption_rule: Optional[AdoptionRule] = None,
+        sampling_rule: Optional[SamplingRule] = None,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__(num_options, rng=rng)
+        adoption_rule = adoption_rule or SymmetricAdoptionRule(0.6)
+        if sampling_rule is None:
+            delta = adoption_rule.delta
+            mu = min(1.0, delta**2 / 6.0) if np.isfinite(delta) and delta > 0 else 0.01
+            sampling_rule = MixtureSampling(mu)
+        self._dynamics = FinitePopulationDynamics(
+            population_size=population_size,
+            num_options=num_options,
+            adoption_rule=adoption_rule,
+            sampling_rule=sampling_rule,
+            rng=self._rng,
+        )
+
+    @property
+    def dynamics(self) -> FinitePopulationDynamics:
+        """The wrapped finite-population dynamics."""
+        return self._dynamics
+
+    @property
+    def name(self) -> str:
+        beta = self._dynamics.adoption_rule.beta
+        mu = self._dynamics.sampling_rule.exploration_rate
+        return (
+            f"SocialLearning(N={self._dynamics.population_size}, "
+            f"beta={beta:g}, mu={mu:g})"
+        )
+
+    def distribution(self) -> np.ndarray:
+        return self._dynamics.popularity()
+
+    def _update(self, rewards: np.ndarray) -> None:
+        self._dynamics.step(rewards)
+
+    def _reset(self) -> None:
+        self._dynamics.reset(rng=self._rng)

@@ -1,0 +1,251 @@
+"""Command-line interface for quick simulations and bound calculations.
+
+Four subcommands cover the workflows a user reaches for most often without
+writing a script::
+
+    python -m repro simulate --options 0.8 0.5 0.5 --population 2000 --horizon 300
+    python -m repro bounds   --num-options 5 --beta 0.6 --population 5000
+    python -m repro coupling --population 10000 --horizon 8
+    python -m repro sweep    --populations 100 1000 10000 --horizon 300 --output sweep.csv
+
+Every command prints an aligned text table; ``--output`` additionally writes
+CSV via :func:`repro.experiments.io.write_csv`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro import __version__
+from repro.core.coupling import run_coupled_dynamics
+from repro.core.dynamics import simulate_finite_population
+from repro.core.infinite import simulate_infinite_population
+from repro.core.regret import best_option_share, expected_regret
+from repro.core.theory import TheoryBounds
+from repro.environments import BernoulliEnvironment
+from repro.experiments import ResultTable, write_csv
+from repro.utils.ascii_plot import ascii_line_plot
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Distributed Learning Dynamics in Social Groups' "
+            "(Celis, Krafft, Vishnoi; PODC 2017)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="run the finite-population dynamics on Bernoulli qualities"
+    )
+    simulate.add_argument(
+        "--options",
+        type=float,
+        nargs="+",
+        default=[0.8, 0.5, 0.5],
+        help="option qualities eta_j (each in [0, 1])",
+    )
+    simulate.add_argument("--population", type=int, default=2000, help="group size N")
+    simulate.add_argument("--horizon", type=int, default=300, help="number of steps T")
+    simulate.add_argument("--beta", type=float, default=0.6, help="adoption probability on a good signal")
+    simulate.add_argument("--mu", type=float, default=None, help="exploration rate (default: delta^2/6)")
+    simulate.add_argument("--seed", type=int, default=0, help="random seed")
+    simulate.add_argument("--replications", type=int, default=3, help="independent replications")
+    simulate.add_argument("--infinite", action="store_true", help="also run the infinite-population dynamics")
+    simulate.add_argument("--plot", action="store_true", help="print an ASCII plot of the best option's share")
+    simulate.add_argument("--output", type=str, default=None, help="write the result table to this CSV path")
+
+    bounds = subparsers.add_parser(
+        "bounds", help="print every paper bound for a parameterisation"
+    )
+    bounds.add_argument("--num-options", type=int, required=True, help="number of options m")
+    bounds.add_argument("--beta", type=float, required=True, help="adoption probability on a good signal")
+    bounds.add_argument("--mu", type=float, default=None, help="exploration rate (default: delta^2/6)")
+    bounds.add_argument("--population", type=int, default=None, help="group size N (optional)")
+    bounds.add_argument("--output", type=str, default=None, help="write the bounds table to this CSV path")
+
+    coupling = subparsers.add_parser(
+        "coupling", help="run the Lemma 4.5 coupling and report measured vs bound ratios"
+    )
+    coupling.add_argument("--options", type=float, nargs="+", default=[0.8, 0.5])
+    coupling.add_argument("--population", type=int, default=10_000, help="group size N")
+    coupling.add_argument("--horizon", type=int, default=8, help="coupled steps")
+    coupling.add_argument("--beta", type=float, default=0.6)
+    coupling.add_argument("--seed", type=int, default=0)
+    coupling.add_argument("--output", type=str, default=None)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="sweep the population size and report regret per N"
+    )
+    sweep.add_argument("--options", type=float, nargs="+", default=[0.8, 0.5, 0.5])
+    sweep.add_argument("--populations", type=int, nargs="+", default=[100, 1000, 10_000])
+    sweep.add_argument("--horizon", type=int, default=300)
+    sweep.add_argument("--beta", type=float, default=0.6)
+    sweep.add_argument("--replications", type=int, default=3)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--output", type=str, default=None)
+
+    return parser
+
+
+def _finish(table: ResultTable, output: Optional[str]) -> None:
+    # General float format: theorem thresholds can be astronomically large,
+    # so fixed-point rendering would produce unreadable columns.
+    print(table.to_text(float_format="{:.6g}"))
+    if output:
+        path = write_csv(table, output)
+        print(f"\nwrote {len(table)} rows to {path}")
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    qualities = list(args.options)
+    table = ResultTable()
+    best_series = None
+    for replication in range(args.replications):
+        env = BernoulliEnvironment(qualities, rng=args.seed + replication)
+        trajectory = simulate_finite_population(
+            env,
+            population_size=args.population,
+            horizon=args.horizon,
+            beta=args.beta,
+            mu=args.mu,
+            rng=args.seed + 1000 + replication,
+        )
+        matrix = trajectory.popularity_matrix()
+        table.add_row(
+            {
+                "process": "finite",
+                "replication": replication,
+                "regret": expected_regret(matrix, qualities),
+                "best_option_share": best_option_share(matrix, int(np.argmax(qualities))),
+            }
+        )
+        if best_series is None:
+            best_series = {"finite": matrix[:, int(np.argmax(qualities))]}
+        if args.infinite:
+            env_inf = BernoulliEnvironment(qualities, rng=args.seed + 2000 + replication)
+            inf_trajectory = simulate_infinite_population(
+                env_inf, args.horizon, beta=args.beta, mu=args.mu
+            )
+            inf_matrix = inf_trajectory.distribution_matrix()
+            table.add_row(
+                {
+                    "process": "infinite",
+                    "replication": replication,
+                    "regret": expected_regret(inf_matrix, qualities),
+                    "best_option_share": best_option_share(
+                        inf_matrix, int(np.argmax(qualities))
+                    ),
+                }
+            )
+            if replication == 0:
+                best_series["infinite"] = inf_matrix[:, int(np.argmax(qualities))]
+    _finish(table, args.output)
+    if args.plot and best_series:
+        print()
+        print(
+            ascii_line_plot(
+                best_series, title="Best option share (replication 0)", width=70, height=12
+            )
+        )
+    return 0
+
+
+def _command_bounds(args: argparse.Namespace) -> int:
+    delta = TheoryBounds(
+        num_options=args.num_options, beta=args.beta, mu=0.0, strict=False
+    ).delta
+    mu = args.mu if args.mu is not None else delta**2 / 6.0
+    bounds = TheoryBounds(
+        num_options=args.num_options,
+        beta=args.beta,
+        mu=mu,
+        population_size=args.population,
+        strict=False,
+    )
+    table = ResultTable(
+        [{"quantity": key, "value": value} for key, value in bounds.summary().items()]
+    )
+    if args.population is not None:
+        for key, value in bounds.population_size_condition().items():
+            table.add_row({"quantity": f"thm4.4:{key}", "value": value})
+    _finish(table, args.output)
+    return 0
+
+
+def _command_coupling(args: argparse.Namespace) -> int:
+    env = BernoulliEnvironment(list(args.options), rng=args.seed)
+    run = run_coupled_dynamics(
+        env,
+        population_size=args.population,
+        horizon=args.horizon,
+        beta=args.beta,
+        rng=args.seed + 1,
+    )
+    table = ResultTable()
+    for step in range(run.horizon):
+        row = {
+            "t": step + 1,
+            "measured_ratio": float(run.ratio_series[step]),
+        }
+        if run.bound_series is not None:
+            row["lemma_bound"] = float(run.bound_series[step])
+            row["within_bound"] = bool(run.ratio_series[step] <= run.bound_series[step])
+        table.add_row(row)
+    _finish(table, args.output)
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    qualities = list(args.options)
+    table = ResultTable()
+    for population in args.populations:
+        regrets, shares = [], []
+        for replication in range(args.replications):
+            env = BernoulliEnvironment(qualities, rng=args.seed + replication)
+            trajectory = simulate_finite_population(
+                env,
+                population_size=population,
+                horizon=args.horizon,
+                beta=args.beta,
+                rng=args.seed + 1000 + replication,
+            )
+            matrix = trajectory.popularity_matrix()
+            regrets.append(expected_regret(matrix, qualities))
+            shares.append(best_option_share(matrix, int(np.argmax(qualities))))
+        table.add_row(
+            {
+                "N": population,
+                "regret": float(np.mean(regrets)),
+                "best_option_share": float(np.mean(shares)),
+            }
+        )
+    _finish(table, args.output)
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _command_simulate,
+    "bounds": _command_bounds,
+    "coupling": _command_coupling,
+    "sweep": _command_sweep,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

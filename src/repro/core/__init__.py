@@ -1,0 +1,89 @@
+"""Core of the reproduction: the paper's learning dynamics and its analysis.
+
+Modules
+-------
+``adoption``
+    The adoption functions ``f_i`` of stage (2), including the paper's
+    symmetric ``alpha = 1 - beta`` convention and general ``(alpha, beta)``.
+``sampling``
+    The sampling stage (1): mixture of uniform exploration (weight ``mu``) and
+    copy-a-random-group-member (weight ``1 - mu``), plus the ablation variants.
+``state``
+    Population state (per-option counts / popularity) and trajectory recording.
+``dynamics``
+    The finite-population distributed learning dynamics — a fast vectorised
+    simulator and a faithful agent-based simulator.
+``infinite``
+    The infinite-population limit: the stochastic multiplicative-weights
+    process of Eq. (1).
+``coupling``
+    The shared-reward coupling between finite and infinite dynamics used in
+    Lemma 4.5.
+``regret``
+    Average-regret accounting (``Regret_N(T)``, ``Regret_inf(T)``) and
+    best-option share.
+``theory``
+    Every constant and bound appearing in Theorems 4.3/4.4/4.6, Lemma 4.5 and
+    Propositions 4.1–4.3, as executable functions.
+``epochs``
+    The epoch decomposition used in the large-``T`` part of Theorem 4.4.
+"""
+
+from repro.core.adoption import (
+    AdoptionRule,
+    AlwaysAdoptRule,
+    GeneralAdoptionRule,
+    SymmetricAdoptionRule,
+)
+from repro.core.sampling import (
+    MixtureSampling,
+    PopularityOnlySampling,
+    SamplingRule,
+    UniformSampling,
+)
+from repro.core.state import PopulationState, Trajectory
+from repro.core.dynamics import (
+    AgentBasedDynamics,
+    FinitePopulationDynamics,
+    simulate_finite_population,
+)
+from repro.core.infinite import InfinitePopulationDynamics, simulate_infinite_population
+from repro.core.coupling import CoupledRun, run_coupled_dynamics
+from repro.core.regret import (
+    RegretAccumulator,
+    average_regret,
+    best_option_share,
+    empirical_regret,
+)
+from repro.core.theory import TheoryBounds, optimal_beta
+from repro.core.epochs import EpochSchedule
+from repro.core.heterogeneous import AgentType, HeterogeneousPopulationDynamics
+
+__all__ = [
+    "AdoptionRule",
+    "AlwaysAdoptRule",
+    "GeneralAdoptionRule",
+    "SymmetricAdoptionRule",
+    "SamplingRule",
+    "MixtureSampling",
+    "PopularityOnlySampling",
+    "UniformSampling",
+    "PopulationState",
+    "Trajectory",
+    "FinitePopulationDynamics",
+    "AgentBasedDynamics",
+    "simulate_finite_population",
+    "InfinitePopulationDynamics",
+    "simulate_infinite_population",
+    "CoupledRun",
+    "run_coupled_dynamics",
+    "RegretAccumulator",
+    "average_regret",
+    "best_option_share",
+    "empirical_regret",
+    "TheoryBounds",
+    "optimal_beta",
+    "EpochSchedule",
+    "AgentType",
+    "HeterogeneousPopulationDynamics",
+]

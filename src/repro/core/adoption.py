@@ -1,0 +1,131 @@
+"""Adoption rules — the stochastic functions ``f_i`` of stage (2).
+
+In the paper an individual who considers option ``j`` observes the fresh
+signal ``R^{t+1}_j`` and commits with probability ``beta`` if the signal is
+good and ``alpha`` if it is bad (``alpha <= beta``), otherwise sitting out for
+that step.  The exposition sets ``alpha = 1 - beta`` — implemented by
+:class:`SymmetricAdoptionRule` — but the analysis only needs ``alpha < beta``
+(:class:`GeneralAdoptionRule`).  :class:`AlwaysAdoptRule` (``alpha = beta = 1``)
+is the "sampling-only" ablation the paper argues does not converge to the best
+option.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from repro.utils.validation import check_probability
+
+
+class AdoptionRule(abc.ABC):
+    """Maps the observed binary signal to a probability of committing."""
+
+    @abc.abstractmethod
+    def adopt_probability(self, signal: int) -> float:
+        """Probability of adopting the considered option given ``signal`` ∈ {0, 1}."""
+
+    @property
+    @abc.abstractmethod
+    def alpha(self) -> float:
+        """Adoption probability on a bad signal, ``E[f(0)]``."""
+
+    @property
+    @abc.abstractmethod
+    def beta(self) -> float:
+        """Adoption probability on a good signal, ``E[f(1)]``."""
+
+    def adopt_probabilities(self, signals: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`adopt_probability` over an array of binary signals."""
+        signals = np.asarray(signals)
+        return np.where(signals == 1, self.beta, self.alpha).astype(float)
+
+    @property
+    def delta(self) -> float:
+        """The paper's rate parameter ``delta = ln(beta / alpha)``.
+
+        With the symmetric convention ``alpha = 1 - beta`` this is
+        ``ln(beta / (1 - beta))``, the quantity every bound in the paper is
+        expressed in.  Infinite when ``alpha == 0``.
+        """
+        if self.alpha == 0.0:
+            return math.inf
+        return math.log(self.beta / self.alpha)
+
+    def is_informative(self) -> bool:
+        """Whether good signals are strictly more persuasive than bad ones (``beta > alpha``)."""
+        return self.beta > self.alpha
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(alpha={self.alpha:.4f}, beta={self.beta:.4f})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AdoptionRule):
+            return NotImplemented
+        return (
+            math.isclose(self.alpha, other.alpha) and math.isclose(self.beta, other.beta)
+        )
+
+    def __hash__(self) -> int:
+        return hash((round(self.alpha, 12), round(self.beta, 12)))
+
+
+class GeneralAdoptionRule(AdoptionRule):
+    """Adoption with independent parameters ``0 <= alpha <= beta <= 1``."""
+
+    def __init__(self, alpha: float, beta: float) -> None:
+        alpha = check_probability(alpha, "alpha")
+        beta = check_probability(beta, "beta")
+        if alpha > beta:
+            raise ValueError(
+                f"alpha ({alpha}) must not exceed beta ({beta}); the model requires "
+                "E[f(1)] >= E[f(0)]"
+            )
+        self._alpha = alpha
+        self._beta = beta
+
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    @property
+    def beta(self) -> float:
+        return self._beta
+
+    def adopt_probability(self, signal: int) -> float:
+        if signal not in (0, 1):
+            raise ValueError(f"signal must be 0 or 1, got {signal}")
+        return self._beta if signal == 1 else self._alpha
+
+
+class SymmetricAdoptionRule(GeneralAdoptionRule):
+    """The paper's exposition convention ``alpha = 1 - beta`` with ``beta >= 1/2``.
+
+    The theorems additionally require ``1/2 < beta <= e/(e+1)`` for their
+    constants; that range restriction lives in
+    :class:`repro.core.theory.TheoryBounds`, not here, so simulations can
+    explore the full ``beta`` range.
+    """
+
+    def __init__(self, beta: float) -> None:
+        beta = check_probability(beta, "beta")
+        if beta < 0.5:
+            raise ValueError(
+                f"SymmetricAdoptionRule requires beta >= 1/2 (got {beta}); use "
+                "GeneralAdoptionRule for arbitrary alpha/beta"
+            )
+        super().__init__(alpha=1.0 - beta, beta=beta)
+
+
+class AlwaysAdoptRule(GeneralAdoptionRule):
+    """Always adopt regardless of the signal (``alpha = beta = 1``).
+
+    This removes the adoption stage entirely, leaving only the sampling stage
+    — the ablation the paper (Section 3) argues does not always converge to
+    the best option.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(alpha=1.0, beta=1.0)

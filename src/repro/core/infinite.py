@@ -1,0 +1,245 @@
+"""The infinite-population limit: a stochastic multiplicative-weights process.
+
+Equation (1) of the paper defines weights
+
+    ``W^{t+1}_j = ((1 - mu) W^t_j + (mu/m) sum_k W^t_k) * beta^{R^{t+1}_j} (1-beta)^{1 - R^{t+1}_j}``
+
+with ``W^0_j = 1``.  The induced probability distribution
+``P^t_j = W^t_j / sum_k W^t_k`` is the fraction of an infinite population
+adopting option ``j`` at time ``t``, and is what Theorem 4.3 bounds.
+
+Because the raw weights shrink geometrically (every step multiplies by at most
+``beta < 1``), the implementation tracks the *normalised* weights together
+with the log of the total weight, which keeps the process numerically stable
+for arbitrarily long horizons while still exposing the potential
+``Phi^t = sum_j W^t_j`` (in log space) used in the proof of Theorem 4.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.adoption import AdoptionRule, SymmetricAdoptionRule
+from repro.core.sampling import MixtureSampling, SamplingRule
+from repro.environments.base import RewardEnvironment
+from repro.utils.rng import RngLike
+from repro.utils.validation import check_positive_int, check_probability_vector
+
+
+@dataclass
+class InfiniteTrajectory:
+    """Time series produced by the infinite-population dynamics.
+
+    ``pre_step_distributions[t]`` is ``P^t`` (the distribution *before*
+    observing ``rewards[t]``), matching the regret sum
+    ``E[P^{t-1}_j R^t_j]`` of Theorem 4.3.
+    """
+
+    initial_distribution: np.ndarray
+    pre_step_distributions: List[np.ndarray] = field(default_factory=list)
+    rewards: List[np.ndarray] = field(default_factory=list)
+    distributions: List[np.ndarray] = field(default_factory=list)
+    log_potentials: List[float] = field(default_factory=list)
+
+    @property
+    def horizon(self) -> int:
+        """Number of recorded steps ``T``."""
+        return len(self.distributions)
+
+    @property
+    def num_options(self) -> int:
+        """Number of options ``m``."""
+        return int(self.initial_distribution.size)
+
+    def distribution_matrix(self) -> np.ndarray:
+        """Matrix of pre-step distributions ``P^{t-1}``, shape ``(T, m)``."""
+        if not self.pre_step_distributions:
+            return np.zeros((0, self.num_options))
+        return np.stack(self.pre_step_distributions)
+
+    def reward_matrix(self) -> np.ndarray:
+        """Matrix of rewards ``R^t``, shape ``(T, m)``."""
+        if not self.rewards:
+            return np.zeros((0, self.num_options), dtype=np.int8)
+        return np.stack(self.rewards)
+
+    def final_distribution(self) -> np.ndarray:
+        """The last distribution ``P^T`` (initial distribution if no steps)."""
+        if self.distributions:
+            return self.distributions[-1]
+        return self.initial_distribution
+
+    def best_option_series(self, best_option: int) -> np.ndarray:
+        """Time series of the best option's pre-step probability ``P^{t-1}_1``."""
+        matrix = self.distribution_matrix()
+        if matrix.shape[0] == 0:
+            return np.zeros(0)
+        return matrix[:, best_option]
+
+
+class InfinitePopulationDynamics:
+    """The stochastic MWU process of Eq. (1), tracked in normalised form.
+
+    Parameters
+    ----------
+    num_options:
+        Number of options ``m``.
+    adoption_rule:
+        Supplies ``(alpha, beta)``; the weight multiplier on reward ``r`` is
+        ``beta`` if ``r = 1`` and ``alpha`` otherwise, so the general-``alpha``
+        variant discussed in Section 2.2 is supported.
+    sampling_rule:
+        Supplies the exploration rate ``mu`` of the regularising term.
+    initial_distribution:
+        Starting distribution ``P^0``; defaults to uniform (``W^0_j = 1``).
+    """
+
+    def __init__(
+        self,
+        num_options: int,
+        adoption_rule: Optional[AdoptionRule] = None,
+        sampling_rule: Optional[SamplingRule] = None,
+        initial_distribution: Optional[Sequence[float]] = None,
+    ) -> None:
+        self._num_options = check_positive_int(num_options, "num_options")
+        self._adoption_rule = adoption_rule or SymmetricAdoptionRule(0.6)
+        if sampling_rule is None:
+            delta = self._adoption_rule.delta
+            mu = min(1.0, delta**2 / 6.0) if np.isfinite(delta) and delta > 0 else 0.01
+            sampling_rule = MixtureSampling(mu)
+        self._sampling_rule = sampling_rule
+        if initial_distribution is None:
+            initial = np.full(num_options, 1.0 / num_options)
+        else:
+            initial = check_probability_vector(initial_distribution, "initial_distribution")
+            if initial.size != num_options:
+                raise ValueError("initial_distribution length must equal num_options")
+        self._initial_distribution = initial.copy()
+        self._distribution = initial.copy()
+        # W^0_j = 1 for all j gives Phi^0 = m.
+        self._log_potential = float(np.log(num_options))
+        self._time = 0
+
+    # ------------------------------------------------------------ properties
+    @property
+    def num_options(self) -> int:
+        """Number of options ``m``."""
+        return self._num_options
+
+    @property
+    def adoption_rule(self) -> AdoptionRule:
+        """The adoption rule supplying ``(alpha, beta)``."""
+        return self._adoption_rule
+
+    @property
+    def sampling_rule(self) -> SamplingRule:
+        """The sampling rule supplying ``mu``."""
+        return self._sampling_rule
+
+    @property
+    def distribution(self) -> np.ndarray:
+        """Current distribution ``P^t`` (copy)."""
+        return self._distribution.copy()
+
+    @property
+    def log_potential(self) -> float:
+        """``ln Phi^t`` where ``Phi^t = sum_j W^t_j`` is the proof's potential."""
+        return self._log_potential
+
+    @property
+    def time(self) -> int:
+        """Number of steps taken so far."""
+        return self._time
+
+    def reset(self, initial_distribution: Optional[Sequence[float]] = None) -> None:
+        """Return to the initial distribution (optionally a new one)."""
+        if initial_distribution is not None:
+            initial = check_probability_vector(initial_distribution, "initial_distribution")
+            if initial.size != self._num_options:
+                raise ValueError("initial_distribution length must equal num_options")
+            self._initial_distribution = initial.copy()
+        self._distribution = self._initial_distribution.copy()
+        self._log_potential = float(np.log(self._num_options))
+        self._time = 0
+
+    # ------------------------------------------------------------------ step
+    def step(self, rewards: Sequence[int]) -> np.ndarray:
+        """Apply one update of Eq. (1) for the reward vector ``R^{t+1}``.
+
+        Returns the new distribution ``P^{t+1}``.
+        """
+        rewards = np.asarray(rewards)
+        if rewards.shape != (self._num_options,):
+            raise ValueError(
+                f"rewards must have shape ({self._num_options},), got {rewards.shape}"
+            )
+        if np.any((rewards != 0) & (rewards != 1)):
+            raise ValueError("rewards must be binary")
+
+        mu = self._sampling_rule.exploration_rate
+        alpha = self._adoption_rule.alpha
+        beta = self._adoption_rule.beta
+        mixed = (1.0 - mu) * self._distribution + mu / self._num_options
+        multipliers = np.where(rewards == 1, beta, alpha)
+        unnormalised = mixed * multipliers
+        total = unnormalised.sum()
+        if total <= 0.0:
+            # Only possible when alpha == 0 and every option had a bad signal;
+            # the population effectively restarts from the mixed distribution.
+            self._distribution = mixed / mixed.sum()
+            self._log_potential = -np.inf
+        else:
+            self._distribution = unnormalised / total
+            self._log_potential += float(np.log(total))
+        self._time += 1
+        return self._distribution.copy()
+
+    def run(self, environment: RewardEnvironment, horizon: int) -> InfiniteTrajectory:
+        """Run against ``environment`` for ``horizon`` steps and record the trajectory."""
+        horizon = check_positive_int(horizon, "horizon")
+        if environment.num_options != self._num_options:
+            raise ValueError(
+                "environment and dynamics disagree on the number of options"
+            )
+        return self.run_on_rewards(environment.sample_many(horizon))
+
+    def run_on_rewards(self, rewards: np.ndarray) -> InfiniteTrajectory:
+        """Run on an explicit ``(T, m)`` reward matrix (used by the coupling)."""
+        rewards = np.asarray(rewards)
+        if rewards.ndim != 2 or rewards.shape[1] != self._num_options:
+            raise ValueError(
+                f"rewards must have shape (T, {self._num_options}), got {rewards.shape}"
+            )
+        trajectory = InfiniteTrajectory(initial_distribution=self._distribution.copy())
+        for reward_vector in rewards:
+            trajectory.pre_step_distributions.append(self._distribution.copy())
+            new_distribution = self.step(reward_vector)
+            trajectory.rewards.append(np.asarray(reward_vector, dtype=np.int8))
+            trajectory.distributions.append(new_distribution)
+            trajectory.log_potentials.append(self._log_potential)
+        return trajectory
+
+
+def simulate_infinite_population(
+    environment: RewardEnvironment,
+    horizon: int,
+    *,
+    beta: float = 0.6,
+    mu: Optional[float] = None,
+    initial_distribution: Optional[Sequence[float]] = None,
+) -> InfiniteTrajectory:
+    """One-call helper mirroring :func:`repro.core.dynamics.simulate_finite_population`."""
+    adoption_rule = SymmetricAdoptionRule(beta)
+    if mu is None:
+        delta = adoption_rule.delta
+        mu = min(1.0, delta**2 / 6.0) if np.isfinite(delta) and delta > 0 else 0.01
+    dynamics = InfinitePopulationDynamics(
+        num_options=environment.num_options,
+        adoption_rule=adoption_rule,
+        sampling_rule=MixtureSampling(mu),
+        initial_distribution=initial_distribution,
+    )
+    return dynamics.run(environment, horizon)

@@ -1,0 +1,101 @@
+"""Sampling rules — stage (1) of the distributed learning dynamics.
+
+At each step, an individual obtains an option to *consider*: with probability
+``mu`` it explores (picks an option uniformly at random) and with probability
+``1 - mu`` it copies the choice of a uniformly random member of the group from
+the previous step.  At the population level the probability that an individual
+considers option ``j`` is therefore
+
+    ``(1 - mu) * Q^t_j + mu / m``                                   (Eq. 2)
+
+where ``Q^t`` is the popularity distribution.  :class:`MixtureSampling`
+implements this rule; :class:`UniformSampling` (``mu = 1``) and
+:class:`PopularityOnlySampling` (``mu = 0``) are the two ablation endpoints
+discussed in Section 3.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.utils.validation import check_probability, check_probability_vector
+
+
+class SamplingRule(abc.ABC):
+    """Maps the current popularity distribution to consideration probabilities."""
+
+    @abc.abstractmethod
+    def consideration_probabilities(self, popularity: np.ndarray) -> np.ndarray:
+        """Per-option probability that a single individual considers each option.
+
+        Parameters
+        ----------
+        popularity:
+            The popularity distribution ``Q^t`` (a probability vector of
+            length ``m``).
+
+        Returns
+        -------
+        numpy.ndarray
+            A probability vector of length ``m``.
+        """
+
+    @property
+    @abc.abstractmethod
+    def exploration_rate(self) -> float:
+        """The uniform-exploration weight ``mu``."""
+
+    def minimum_consideration_probability(self, num_options: int) -> float:
+        """Lower bound ``mu / m`` on any option's consideration probability."""
+        return self.exploration_rate / num_options
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(mu={self.exploration_rate:.4f})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SamplingRule):
+            return NotImplemented
+        return np.isclose(self.exploration_rate, other.exploration_rate)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, round(self.exploration_rate, 12)))
+
+
+class MixtureSampling(SamplingRule):
+    """The paper's sampling rule: uniform with weight ``mu``, popularity otherwise."""
+
+    def __init__(self, mu: float) -> None:
+        self._mu = check_probability(mu, "mu")
+
+    @property
+    def exploration_rate(self) -> float:
+        return self._mu
+
+    def consideration_probabilities(self, popularity: np.ndarray) -> np.ndarray:
+        popularity = check_probability_vector(popularity, "popularity")
+        num_options = popularity.size
+        probabilities = (1.0 - self._mu) * popularity + self._mu / num_options
+        # Guard against floating-point drift so downstream multinomial draws
+        # always receive an exact probability vector.
+        return probabilities / probabilities.sum()
+
+
+class UniformSampling(MixtureSampling):
+    """Pure independent exploration (``mu = 1``): the adoption-only ablation."""
+
+    def __init__(self) -> None:
+        super().__init__(mu=1.0)
+
+
+class PopularityOnlySampling(MixtureSampling):
+    """Pure imitation (``mu = 0``).
+
+    Without the exploration floor the popularity of an option can hit zero and
+    never recover; the paper's analysis crucially relies on ``mu > 0`` and the
+    ablation benchmarks use this class to demonstrate why.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(mu=0.0)

@@ -1,0 +1,41 @@
+"""Message-passing simulation of the dynamics as a distributed protocol.
+
+The introduction of the paper observes that the learning dynamics "can inform
+novel, low-memory, low-communication, distributed implementations of the MWU
+algorithm in the stochastic setting; perhaps appropriate for low-power devices
+in distributed settings such as sensor networks or the internet-of-things."
+
+This subpackage makes that interpretation concrete.  Each group member is a
+:class:`ProtocolNode` holding O(1) state (its current option and its
+``(alpha, beta)`` parameters).  A round of the protocol exchanges two messages
+per node over a :class:`LossyTransport` (which can drop or delay messages) —
+a ``ChoiceQuery`` to one uniformly chosen peer and the corresponding
+``ChoiceReply`` — after which the node locally observes the fresh quality
+signal of the option it is considering and runs the adopt step.  A
+:class:`CrashFailureModel` can permanently crash a fraction of nodes at chosen
+rounds.
+
+:class:`DistributedLearningProtocol` drives the rounds, accounts for the group
+regret with the same definitions as the core library, and is the engine behind
+experiment E10 (robustness to message loss and crashes) and the
+``sensor_network.py`` example.
+"""
+
+from repro.distributed.messages import ChoiceQuery, ChoiceReply, Message
+from repro.distributed.transport import LossyTransport, TransportStats
+from repro.distributed.node import ProtocolNode
+from repro.distributed.failures import CrashFailureModel, NoFailures
+from repro.distributed.protocol import DistributedLearningProtocol, ProtocolResult
+
+__all__ = [
+    "Message",
+    "ChoiceQuery",
+    "ChoiceReply",
+    "LossyTransport",
+    "TransportStats",
+    "ProtocolNode",
+    "CrashFailureModel",
+    "NoFailures",
+    "DistributedLearningProtocol",
+    "ProtocolResult",
+]

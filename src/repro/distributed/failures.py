@@ -1,0 +1,86 @@
+"""Failure injection for the distributed protocol simulation."""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_non_negative_int, check_probability
+
+
+class FailureModel(abc.ABC):
+    """Decides which nodes crash at the start of each round."""
+
+    @abc.abstractmethod
+    def crashes_for_round(self, round_number: int, alive_nodes: Sequence[int]) -> List[int]:
+        """Node ids (subset of ``alive_nodes``) that crash at the start of this round."""
+
+
+class NoFailures(FailureModel):
+    """The default: nothing ever crashes."""
+
+    def crashes_for_round(self, round_number: int, alive_nodes: Sequence[int]) -> List[int]:
+        return []
+
+
+class CrashFailureModel(FailureModel):
+    """Crash-stop failures: each alive node crashes independently per round.
+
+    Optionally a one-off mass failure can be scheduled at a specific round
+    (e.g. "30% of the sensors die at round 200"), which experiment E10 uses to
+    show the surviving group recovers thanks to the exploration floor ``mu``.
+
+    Parameters
+    ----------
+    per_round_crash_probability:
+        Probability that each alive node crashes at the start of any round.
+    mass_failure_round:
+        Round at which a mass failure occurs (``None`` disables it).
+    mass_failure_fraction:
+        Fraction of currently-alive nodes killed by the mass failure.
+    rng:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        per_round_crash_probability: float = 0.0,
+        mass_failure_round: int | None = None,
+        mass_failure_fraction: float = 0.0,
+        rng: RngLike = None,
+    ) -> None:
+        self._per_round = check_probability(
+            per_round_crash_probability, "per_round_crash_probability"
+        )
+        if mass_failure_round is not None:
+            mass_failure_round = check_non_negative_int(
+                mass_failure_round, "mass_failure_round"
+            )
+        self._mass_failure_round = mass_failure_round
+        self._mass_failure_fraction = check_probability(
+            mass_failure_fraction, "mass_failure_fraction"
+        )
+        self._rng = ensure_rng(rng)
+
+    def crashes_for_round(self, round_number: int, alive_nodes: Sequence[int]) -> List[int]:
+        alive = list(alive_nodes)
+        if not alive:
+            return []
+        crashed: set[int] = set()
+        if self._per_round > 0:
+            coins = self._rng.random(len(alive)) < self._per_round
+            crashed.update(node for node, coin in zip(alive, coins) if coin)
+        if (
+            self._mass_failure_round is not None
+            and round_number == self._mass_failure_round
+            and self._mass_failure_fraction > 0
+        ):
+            count = int(round(self._mass_failure_fraction * len(alive)))
+            count = min(count, len(alive))
+            if count > 0:
+                victims = self._rng.choice(alive, size=count, replace=False)
+                crashed.update(int(victim) for victim in victims)
+        return sorted(crashed)

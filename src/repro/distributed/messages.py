@@ -1,0 +1,59 @@
+"""Message types exchanged by the distributed protocol.
+
+The protocol needs only two message types per round and per node — a request
+for a peer's current choice and the reply — underscoring the paper's point
+about how little communication the dynamics requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.utils.validation import check_non_negative_int
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for protocol messages.
+
+    Attributes
+    ----------
+    sender:
+        Node id of the sender.
+    recipient:
+        Node id of the recipient.
+    round_number:
+        Protocol round in which the message was sent.
+    """
+
+    sender: int
+    recipient: int
+    round_number: int
+
+    def __post_init__(self) -> None:
+        check_non_negative_int(self.sender, "sender")
+        check_non_negative_int(self.recipient, "recipient")
+        check_non_negative_int(self.round_number, "round_number")
+
+
+@dataclass(frozen=True)
+class ChoiceQuery(Message):
+    """"Which option did you hold last round?" — sent to one random peer."""
+
+
+@dataclass(frozen=True)
+class ChoiceReply(Message):
+    """Reply carrying the sender's option from the previous round.
+
+    ``option`` is ``None`` when the replying node was sitting out, in which
+    case the querying node falls back to uniform exploration (the same
+    convention the shared-memory simulators use).
+    """
+
+    option: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.option is not None:
+            check_non_negative_int(self.option, "option")

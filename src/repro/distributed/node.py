@@ -1,0 +1,120 @@
+"""A protocol node with O(1) memory."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.adoption import AdoptionRule
+from repro.distributed.messages import ChoiceQuery, ChoiceReply
+from repro.utils.validation import check_non_negative_int, check_positive_int
+
+
+class ProtocolNode:
+    """One low-power device running the distributed learning protocol.
+
+    The node's entire state is: its id, its adoption parameters, its current
+    option (or ``None``), the option it is considering this round, and a
+    crashed flag.  In particular it stores **no weight vector and no history**
+    — the point of the paper's "distributed MWU without memory" observation.
+
+    Parameters
+    ----------
+    node_id:
+        Identifier in ``0..N-1``.
+    num_options:
+        Number of options ``m``.
+    adoption_rule:
+        The node's ``f_i``.
+    initial_option:
+        Option held before the first round (``None`` = sitting out).
+    """
+
+    __slots__ = (
+        "node_id",
+        "num_options",
+        "adoption_rule",
+        "current_option",
+        "considered_option",
+        "crashed",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        num_options: int,
+        adoption_rule: AdoptionRule,
+        initial_option: Optional[int] = None,
+    ) -> None:
+        self.node_id = check_non_negative_int(node_id, "node_id")
+        self.num_options = check_positive_int(num_options, "num_options")
+        if not isinstance(adoption_rule, AdoptionRule):
+            raise TypeError("adoption_rule must be an AdoptionRule")
+        if initial_option is not None:
+            initial_option = check_non_negative_int(initial_option, "initial_option")
+            if initial_option >= num_options:
+                raise ValueError("initial_option out of range")
+        self.adoption_rule = adoption_rule
+        self.current_option: Optional[int] = initial_option
+        self.considered_option: Optional[int] = None
+        self.crashed = False
+
+    # -------------------------------------------------------------- handlers
+    def make_query(self, peer: int, round_number: int) -> ChoiceQuery:
+        """Build the round's query to a uniformly chosen peer."""
+        return ChoiceQuery(sender=self.node_id, recipient=peer, round_number=round_number)
+
+    def handle_query(self, query: ChoiceQuery) -> Optional[ChoiceReply]:
+        """Answer a peer's query with this node's current option (if alive)."""
+        if self.crashed:
+            return None
+        return ChoiceReply(
+            sender=self.node_id,
+            recipient=query.sender,
+            round_number=query.round_number,
+            option=self.current_option,
+        )
+
+    def handle_reply(self, reply: ChoiceReply, rng: np.random.Generator) -> bool:
+        """Record the considered option from a peer's reply.
+
+        Returns ``True`` when the reply carried an option.  A reply carrying
+        ``None`` (the peer was sitting out) leaves the node without a
+        considered option; the protocol driver then either retries with
+        another peer or falls back to uniform exploration.
+        """
+        if self.crashed:
+            return False
+        if reply.option is None:
+            return False
+        self.considered_option = int(reply.option)
+        return True
+
+    def explore(self, rng: np.random.Generator) -> None:
+        """Consider a uniformly random option (exploration, or missing reply)."""
+        if self.crashed:
+            return
+        self.considered_option = int(rng.integers(self.num_options))
+
+    def adopt_step(self, signal: int, rng: np.random.Generator) -> None:
+        """Run stage (2) on the considered option's fresh signal and clear it."""
+        if self.crashed or self.considered_option is None:
+            return
+        if signal not in (0, 1):
+            raise ValueError(f"signal must be 0 or 1, got {signal}")
+        probability = self.adoption_rule.adopt_probability(signal)
+        if rng.random() < probability:
+            self.current_option = self.considered_option
+        else:
+            self.current_option = None
+        self.considered_option = None
+
+    def crash(self) -> None:
+        """Permanently stop the node (it no longer answers queries or updates)."""
+        self.crashed = True
+        self.considered_option = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "crashed" if self.crashed else f"option={self.current_option}"
+        return f"ProtocolNode(id={self.node_id}, {status})"

@@ -1,0 +1,101 @@
+"""A lossy, delaying transport layer for the protocol simulation."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.distributed.messages import Message
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_non_negative_int, check_probability
+
+
+@dataclass
+class TransportStats:
+    """Counters describing what happened to messages in flight."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    delayed: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counters as a plain dict for reporting."""
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "delayed": self.delayed,
+        }
+
+
+class LossyTransport:
+    """Delivers messages with independent loss and (optional) one-round delay.
+
+    Each submitted message is dropped with probability ``loss_rate``;
+    surviving messages are delivered in the round they were sent with
+    probability ``1 - delay_rate`` and one round later otherwise.  This is a
+    deliberately simple model — enough to study how the protocol's regret
+    degrades with unreliable communication (experiment E10) without modelling
+    a full network stack.
+
+    Parameters
+    ----------
+    loss_rate:
+        Probability that a message is silently dropped.
+    delay_rate:
+        Probability that a non-dropped message arrives one round late.
+    rng:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        loss_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        rng: RngLike = None,
+    ) -> None:
+        self._loss_rate = check_probability(loss_rate, "loss_rate")
+        self._delay_rate = check_probability(delay_rate, "delay_rate")
+        self._rng = ensure_rng(rng)
+        self._mailboxes: Dict[int, List[Message]] = defaultdict(list)
+        self._stats = TransportStats()
+
+    @property
+    def loss_rate(self) -> float:
+        """Per-message drop probability."""
+        return self._loss_rate
+
+    @property
+    def delay_rate(self) -> float:
+        """Per-message probability of one-round delay."""
+        return self._delay_rate
+
+    @property
+    def stats(self) -> TransportStats:
+        """Delivery counters accumulated so far."""
+        return self._stats
+
+    def send(self, message: Message) -> None:
+        """Submit a message for delivery."""
+        self._stats.sent += 1
+        if self._rng.random() < self._loss_rate:
+            self._stats.dropped += 1
+            return
+        delivery_round = message.round_number
+        if self._rng.random() < self._delay_rate:
+            delivery_round += 1
+            self._stats.delayed += 1
+        self._mailboxes[delivery_round].append(message)
+
+    def deliver(self, round_number: int) -> List[Message]:
+        """Return (and clear) all messages due for delivery in ``round_number``."""
+        check_non_negative_int(round_number, "round_number")
+        messages = self._mailboxes.pop(round_number, [])
+        self._stats.delivered += len(messages)
+        return messages
+
+    def pending(self) -> int:
+        """Number of messages still queued for future rounds."""
+        return sum(len(messages) for messages in self._mailboxes.values())

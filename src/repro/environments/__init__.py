@@ -1,0 +1,51 @@
+"""Reward environments: the stochastic option-quality processes of the paper.
+
+The paper's model (Section 2.1) assumes each option ``j`` has an unknown
+quality ``eta_j`` and emits a fresh Bernoulli signal ``R^t_j ~ Bern(eta_j)``
+each step.  :class:`BernoulliEnvironment` implements exactly that model.
+
+The paper also shows (second worked example in Section 2.1, after Ellison &
+Fudenberg 1995) how richer reward models — continuous-valued rewards with
+player-specific shocks — reduce to the binary model.  Those richer models are
+implemented here as well (:class:`ContinuousRewardEnvironment`,
+:class:`EllisonFudenbergEnvironment`), together with the future-work
+extensions named in Section 6: drifting qualities
+(:class:`PiecewiseConstantDriftEnvironment`, :class:`RandomWalkDriftEnvironment`)
+and correlated options (:class:`CorrelatedOptionsEnvironment`,
+:class:`ExactlyOneGoodEnvironment`).
+
+All environments share the :class:`RewardEnvironment` interface: call
+:meth:`~RewardEnvironment.sample` once per time step to obtain the vector
+``(R^t_1, ..., R^t_m)``.  :class:`RecordedRewardSequence` replays a fixed
+reward stream, which is how the coupling of Lemma 4.5 and the like-for-like
+baseline comparisons are implemented.
+"""
+
+from repro.environments.base import RewardEnvironment
+from repro.environments.bernoulli import BernoulliEnvironment
+from repro.environments.continuous import (
+    ContinuousRewardEnvironment,
+    EllisonFudenbergEnvironment,
+)
+from repro.environments.drift import (
+    PiecewiseConstantDriftEnvironment,
+    RandomWalkDriftEnvironment,
+)
+from repro.environments.correlated import (
+    CorrelatedOptionsEnvironment,
+    ExactlyOneGoodEnvironment,
+)
+from repro.environments.replay import RecordedRewardSequence, record_rewards
+
+__all__ = [
+    "RewardEnvironment",
+    "BernoulliEnvironment",
+    "ContinuousRewardEnvironment",
+    "EllisonFudenbergEnvironment",
+    "PiecewiseConstantDriftEnvironment",
+    "RandomWalkDriftEnvironment",
+    "CorrelatedOptionsEnvironment",
+    "ExactlyOneGoodEnvironment",
+    "RecordedRewardSequence",
+    "record_rewards",
+]

@@ -1,0 +1,104 @@
+"""Abstract interface shared by all reward environments."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+class RewardEnvironment(abc.ABC):
+    """A stochastic process emitting one binary quality signal per option per step.
+
+    Subclasses implement :meth:`_draw` which returns the vector
+    ``(R^t_1, ..., R^t_m)`` of indicator signals for the current time step.
+    The public :meth:`sample` method advances the internal clock, so a single
+    environment instance produces one well-defined reward stream — share the
+    instance (or a :class:`~repro.environments.replay.RecordedRewardSequence`)
+    across learners to compare them on identical reward realisations.
+
+    Parameters
+    ----------
+    num_options:
+        Number of options ``m`` (positive).
+    rng:
+        Seed or generator driving the reward process.
+    """
+
+    def __init__(self, num_options: int, rng: RngLike = None) -> None:
+        self._num_options = check_positive_int(num_options, "num_options")
+        self._rng = ensure_rng(rng)
+        self._time = 0
+
+    @property
+    def num_options(self) -> int:
+        """Number of options ``m``."""
+        return self._num_options
+
+    @property
+    def time(self) -> int:
+        """Number of reward vectors sampled so far."""
+        return self._time
+
+    @property
+    @abc.abstractmethod
+    def qualities(self) -> np.ndarray:
+        """Current vector of success probabilities ``(eta_1, ..., eta_m)``.
+
+        For stationary environments this is constant; drifting environments
+        return the value that applies to the *next* sampled step.
+        """
+
+    @property
+    def best_option(self) -> int:
+        """Index of the currently-best option (ties broken toward lower index)."""
+        return int(np.argmax(self.qualities))
+
+    @property
+    def best_quality(self) -> float:
+        """Quality ``eta_1`` of the currently-best option."""
+        return float(np.max(self.qualities))
+
+    def quality_gap(self) -> float:
+        """Gap ``eta_(1) - eta_(2)`` between the two best options (0 if ``m == 1``)."""
+        qualities = np.sort(self.qualities)[::-1]
+        if qualities.size < 2:
+            return 0.0
+        return float(qualities[0] - qualities[1])
+
+    @abc.abstractmethod
+    def _draw(self) -> np.ndarray:
+        """Draw the reward vector for the current time step (shape ``(m,)``)."""
+
+    def sample(self) -> np.ndarray:
+        """Sample and return the next reward vector ``R^{t+1}`` as a 0/1 int array."""
+        rewards = np.asarray(self._draw())
+        if rewards.shape != (self._num_options,):
+            raise RuntimeError(
+                f"environment produced rewards of shape {rewards.shape}, "
+                f"expected ({self._num_options},)"
+            )
+        rewards = rewards.astype(np.int8)
+        if np.any((rewards != 0) & (rewards != 1)):
+            raise RuntimeError("environment produced non-binary rewards")
+        self._time += 1
+        return rewards
+
+    def sample_many(self, horizon: int) -> np.ndarray:
+        """Sample ``horizon`` consecutive reward vectors; shape ``(horizon, m)``."""
+        horizon = check_positive_int(horizon, "horizon")
+        return np.stack([self.sample() for _ in range(horizon)])
+
+    def reset(self, rng: Optional[RngLike] = None) -> None:
+        """Reset the time counter (and optionally reseed the generator)."""
+        self._time = 0
+        if rng is not None:
+            self._rng = ensure_rng(rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        qualities = np.array2string(np.asarray(self.qualities), precision=3)
+        return f"{type(self).__name__}(m={self._num_options}, qualities={qualities})"

@@ -1,0 +1,82 @@
+"""The paper's canonical environment: independent Bernoulli option qualities."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.environments.base import RewardEnvironment
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_in_range, check_positive_int, check_quality_vector
+
+
+class BernoulliEnvironment(RewardEnvironment):
+    """Options with fixed qualities ``eta_j``; ``R^t_j ~ Bernoulli(eta_j)`` i.i.d. over ``t``.
+
+    This is exactly the learning environment of Section 2.1: the quality of
+    each option is an independent random variable whose parameter is unknown
+    to the individuals and fixed over time.
+
+    Parameters
+    ----------
+    qualities:
+        The vector ``(eta_1, ..., eta_m)``; each entry in ``[0, 1]``.  The
+        paper's convention ``eta_1 >= eta_2 >= ... >= eta_m`` is *not*
+        required — the environment works with any ordering and reports
+        :attr:`~RewardEnvironment.best_option` accordingly.
+    rng:
+        Seed or generator.
+    """
+
+    def __init__(self, qualities: Sequence[float], rng: RngLike = None) -> None:
+        qualities = check_quality_vector(qualities, "qualities")
+        super().__init__(num_options=qualities.size, rng=rng)
+        self._qualities = qualities.copy()
+
+    @property
+    def qualities(self) -> np.ndarray:
+        return self._qualities.copy()
+
+    def _draw(self) -> np.ndarray:
+        return (self._rng.random(self._num_options) < self._qualities).astype(np.int8)
+
+    @classmethod
+    def with_gap(
+        cls,
+        num_options: int,
+        *,
+        best_quality: float = 0.7,
+        gap: float = 0.2,
+        rng: RngLike = None,
+    ) -> "BernoulliEnvironment":
+        """Convenience constructor: one option at ``best_quality``, rest at ``best_quality - gap``.
+
+        This is the structure used throughout the paper's discussion (a unique
+        best option separated from the field by a gap ``eta_1 - eta_2``) and in
+        the simplest worked example (Krafft et al.), where
+        ``eta_1 > 1/2 = eta_2 = ... = eta_m``.
+        """
+        num_options = check_positive_int(num_options, "num_options")
+        best_quality = check_in_range(best_quality, "best_quality", 0.0, 1.0)
+        gap = check_in_range(gap, "gap", 0.0, best_quality)
+        qualities = np.full(num_options, best_quality - gap)
+        qualities[0] = best_quality
+        return cls(qualities, rng=rng)
+
+    @classmethod
+    def random_instance(
+        cls,
+        num_options: int,
+        *,
+        min_gap: float = 0.05,
+        rng: RngLike = None,
+    ) -> "BernoulliEnvironment":
+        """Draw a random quality vector whose top-two gap is at least ``min_gap``."""
+        num_options = check_positive_int(num_options, "num_options")
+        min_gap = check_in_range(min_gap, "min_gap", 0.0, 1.0)
+        generator = ensure_rng(rng)
+        while True:
+            qualities = np.sort(generator.random(num_options))[::-1]
+            if num_options == 1 or qualities[0] - qualities[1] >= min_gap:
+                return cls(qualities, rng=generator)

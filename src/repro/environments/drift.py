@@ -1,0 +1,145 @@
+"""Non-stationary quality environments (Section 6 future work).
+
+The paper's conclusion asks what happens "when the parameters controlling the
+quality of the options are allowed to change".  Two standard non-stationary
+models are provided:
+
+* :class:`PiecewiseConstantDriftEnvironment` — qualities are constant within
+  phases and switch (e.g. the best option changes identity) at given change
+  points;
+* :class:`RandomWalkDriftEnvironment` — each quality performs an independent
+  reflected Gaussian random walk inside ``[low, high]``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.environments.base import RewardEnvironment
+from repro.utils.rng import RngLike
+from repro.utils.validation import (
+    check_in_range,
+    check_positive_int,
+    check_quality_vector,
+)
+
+
+class PiecewiseConstantDriftEnvironment(RewardEnvironment):
+    """Qualities that switch between fixed vectors at specified change points.
+
+    Parameters
+    ----------
+    phases:
+        Sequence of quality vectors, one per phase; all must have the same
+        length ``m``.
+    phase_length:
+        Number of steps each phase lasts.  After the final phase the last
+        quality vector persists forever.
+    rng:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        phases: Sequence[Sequence[float]],
+        phase_length: int,
+        rng: RngLike = None,
+    ) -> None:
+        if len(phases) == 0:
+            raise ValueError("phases must be non-empty")
+        parsed = [check_quality_vector(phase, f"phases[{i}]") for i, phase in enumerate(phases)]
+        sizes = {vec.size for vec in parsed}
+        if len(sizes) != 1:
+            raise ValueError("all phases must have the same number of options")
+        super().__init__(num_options=parsed[0].size, rng=rng)
+        self._phases = np.stack(parsed)
+        self._phase_length = check_positive_int(phase_length, "phase_length")
+
+    @property
+    def phase_length(self) -> int:
+        """Number of steps per phase."""
+        return self._phase_length
+
+    @property
+    def num_phases(self) -> int:
+        """Number of distinct phases."""
+        return int(self._phases.shape[0])
+
+    def _phase_index(self, time: int) -> int:
+        return min(time // self._phase_length, self.num_phases - 1)
+
+    @property
+    def qualities(self) -> np.ndarray:
+        return self._phases[self._phase_index(self._time)].copy()
+
+    def _draw(self) -> np.ndarray:
+        qualities = self._phases[self._phase_index(self._time)]
+        return (self._rng.random(self._num_options) < qualities).astype(np.int8)
+
+
+class RandomWalkDriftEnvironment(RewardEnvironment):
+    """Qualities performing independent reflected Gaussian random walks.
+
+    Each step, every quality moves by ``N(0, step_scale^2)`` and is reflected
+    back into ``[low, high]``.
+
+    Parameters
+    ----------
+    initial_qualities:
+        Starting quality vector.
+    step_scale:
+        Standard deviation of the per-step increment.
+    low, high:
+        Reflection bounds (``0 <= low < high <= 1``).
+    rng:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        initial_qualities: Sequence[float],
+        step_scale: float = 0.01,
+        low: float = 0.05,
+        high: float = 0.95,
+        rng: RngLike = None,
+    ) -> None:
+        initial = check_quality_vector(initial_qualities, "initial_qualities")
+        super().__init__(num_options=initial.size, rng=rng)
+        if step_scale <= 0:
+            raise ValueError(f"step_scale must be positive, got {step_scale}")
+        low = check_in_range(low, "low", 0.0, 1.0)
+        high = check_in_range(high, "high", 0.0, 1.0)
+        if low >= high:
+            raise ValueError(f"low ({low}) must be less than high ({high})")
+        if np.any(initial < low) or np.any(initial > high):
+            raise ValueError("initial_qualities must lie within [low, high]")
+        self._initial = initial.copy()
+        self._current = initial.copy()
+        self._step_scale = float(step_scale)
+        self._low = low
+        self._high = high
+
+    @property
+    def qualities(self) -> np.ndarray:
+        return self._current.copy()
+
+    @staticmethod
+    def _reflect(values: np.ndarray, low: float, high: float) -> np.ndarray:
+        """Reflect values back into ``[low, high]`` (handles single overshoot)."""
+        span = high - low
+        # map into [0, 2*span) then fold
+        folded = np.mod(values - low, 2 * span)
+        folded = np.where(folded > span, 2 * span - folded, folded)
+        return folded + low
+
+    def _draw(self) -> np.ndarray:
+        rewards = (self._rng.random(self._num_options) < self._current).astype(np.int8)
+        step = self._rng.normal(0.0, self._step_scale, size=self._num_options)
+        self._current = self._reflect(self._current + step, self._low, self._high)
+        return rewards
+
+    def reset(self, rng: RngLike = None) -> None:
+        super().reset(rng)
+        self._current = self._initial.copy()

@@ -1,0 +1,108 @@
+"""Recorded / replayable reward streams.
+
+Two core pieces of the reproduction need several learners to see the *same*
+realisation of the reward process:
+
+* the coupling of Lemma 4.5, which runs the finite-population dynamics and the
+  infinite-population stochastic MWU on identical ``R^t_j`` sequences, and
+* the baseline comparisons (E7), which are only fair if every algorithm faces
+  the same rewards.
+
+:func:`record_rewards` samples a full ``(horizon, m)`` reward matrix from any
+environment, and :class:`RecordedRewardSequence` replays such a matrix through
+the standard :class:`~repro.environments.base.RewardEnvironment` interface.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.environments.base import RewardEnvironment
+from repro.utils.rng import RngLike
+from repro.utils.validation import check_positive_int, check_quality_vector
+
+
+def record_rewards(environment: RewardEnvironment, horizon: int) -> np.ndarray:
+    """Sample ``horizon`` steps from ``environment`` and return the reward matrix.
+
+    The environment's clock advances; callers who need the environment again
+    from its initial state should construct a fresh one or call ``reset``.
+    """
+    horizon = check_positive_int(horizon, "horizon")
+    return environment.sample_many(horizon)
+
+
+class RecordedRewardSequence(RewardEnvironment):
+    """Replay a fixed ``(horizon, m)`` binary reward matrix step by step.
+
+    Parameters
+    ----------
+    rewards:
+        Binary matrix of shape ``(horizon, m)``; row ``t`` is ``R^{t+1}``.
+    qualities:
+        Optional true quality vector used for regret accounting.  If omitted,
+        the empirical column means of ``rewards`` are used — this makes regret
+        computed against a replayed sequence an *in-sample* quantity, which is
+        what the paper's regret definition (expectation over the same rewards
+        the group saw) calls for.
+    """
+
+    def __init__(
+        self,
+        rewards: np.ndarray,
+        qualities: Optional[Sequence[float]] = None,
+        rng: RngLike = None,
+    ) -> None:
+        rewards = np.asarray(rewards)
+        if rewards.ndim != 2 or rewards.shape[0] == 0 or rewards.shape[1] == 0:
+            raise ValueError(
+                f"rewards must be a non-empty 2-D matrix, got shape {rewards.shape}"
+            )
+        if np.any((rewards != 0) & (rewards != 1)):
+            raise ValueError("rewards must be binary (0/1)")
+        super().__init__(num_options=rewards.shape[1], rng=rng)
+        self._rewards = rewards.astype(np.int8)
+        if qualities is None:
+            self._qualities = self._rewards.mean(axis=0)
+        else:
+            self._qualities = check_quality_vector(qualities, "qualities")
+            if self._qualities.size != self._num_options:
+                raise ValueError(
+                    "qualities length must match the number of reward columns"
+                )
+
+    @classmethod
+    def from_environment(
+        cls, environment: RewardEnvironment, horizon: int
+    ) -> "RecordedRewardSequence":
+        """Record ``horizon`` steps of ``environment`` into a replayable sequence."""
+        rewards = record_rewards(environment, horizon)
+        return cls(rewards, qualities=environment.qualities)
+
+    @property
+    def horizon(self) -> int:
+        """Number of recorded steps available for replay."""
+        return int(self._rewards.shape[0])
+
+    @property
+    def rewards(self) -> np.ndarray:
+        """The full recorded reward matrix (copy)."""
+        return self._rewards.copy()
+
+    @property
+    def qualities(self) -> np.ndarray:
+        return np.asarray(self._qualities, dtype=float).copy()
+
+    def _draw(self) -> np.ndarray:
+        if self._time >= self.horizon:
+            raise RuntimeError(
+                f"recorded sequence exhausted after {self.horizon} steps; "
+                "record a longer horizon or reset the sequence"
+            )
+        return self._rewards[self._time]
+
+    def remaining(self) -> int:
+        """Number of steps left before the recording is exhausted."""
+        return self.horizon - self._time

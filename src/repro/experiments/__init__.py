@@ -1,0 +1,28 @@
+"""Experiment harness: configs, replicated runs, parameter sweeps and result tables.
+
+Benchmarks and examples are written against this small harness rather than
+ad-hoc loops so that every experiment (E1–E12 in DESIGN.md) shares the same
+seeding discipline, replication statistics, and output formats (text tables
+via :func:`repro.utils.format_table` and CSV files via
+:func:`repro.experiments.io.write_csv`).
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ReplicatedResult, run_replications
+from repro.experiments.sweep import ParameterGrid, run_sweep
+from repro.experiments.results import ResultTable
+from repro.experiments.io import read_csv, write_csv
+from repro.experiments.report import generate_report, table_to_markdown
+
+__all__ = [
+    "ExperimentConfig",
+    "ReplicatedResult",
+    "run_replications",
+    "ParameterGrid",
+    "run_sweep",
+    "ResultTable",
+    "read_csv",
+    "write_csv",
+    "generate_report",
+    "table_to_markdown",
+]

@@ -1,0 +1,54 @@
+"""Experiment configuration objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.utils.validation import check_non_negative_int, check_positive_int
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Declarative description of one experiment run.
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier (e.g. ``"E1-infinite-regret"``).
+    parameters:
+        Free-form parameter mapping recorded alongside results.
+    replications:
+        Number of independent replications.
+    seed:
+        Master seed from which per-replication seeds are derived.
+    """
+
+    name: str
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    replications: int = 5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("name must be non-empty")
+        check_positive_int(self.replications, "replications")
+        check_non_negative_int(self.seed, "seed")
+
+    def with_parameters(self, **overrides: Any) -> "ExperimentConfig":
+        """Copy of this config with some parameters overridden."""
+        merged = dict(self.parameters)
+        merged.update(overrides)
+        return ExperimentConfig(
+            name=self.name,
+            parameters=merged,
+            replications=self.replications,
+            seed=self.seed,
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable description used in benchmark output."""
+        parameter_string = ", ".join(
+            f"{key}={value}" for key, value in sorted(self.parameters.items())
+        )
+        return f"{self.name} [{parameter_string}] x{self.replications} (seed={self.seed})"

@@ -1,0 +1,73 @@
+"""CSV input/output for result tables.
+
+The environment has no plotting stack, so persistent results are written as
+CSV for plotting elsewhere.  Only the standard library ``csv`` module is used.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from repro.experiments.results import ResultTable
+
+PathLike = Union[str, Path]
+
+
+def write_csv(table: ResultTable, path: PathLike) -> Path:
+    """Write a result table to ``path`` (parent directories are created).
+
+    Returns the resolved path.  Missing cells are written as empty strings.
+    """
+    if len(table) == 0:
+        raise ValueError("refusing to write an empty result table")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=table.columns, restval="")
+        writer.writeheader()
+        for row in table.rows:
+            writer.writerow(row)
+    return path
+
+
+def read_csv(path: PathLike) -> ResultTable:
+    """Read a result table previously written by :func:`write_csv`.
+
+    Numeric-looking cells are converted back to ``int``/``float``; empty cells
+    are dropped from their row.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no such results file: {path}")
+    table = ResultTable()
+    with path.open("r", newline="") as handle:
+        reader = csv.DictReader(handle)
+        for raw_row in reader:
+            row = {}
+            for key, value in raw_row.items():
+                if value is None or value == "":
+                    continue
+                row[key] = _parse_cell(value)
+            if row:
+                table.add_row(row)
+    return table
+
+
+def _parse_cell(value: str):
+    """Best-effort conversion of a CSV cell back to int/float/bool/str."""
+    lowered = value.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    return value

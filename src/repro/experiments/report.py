@@ -1,0 +1,112 @@
+"""Markdown report generation from benchmark result tables.
+
+``pytest benchmarks/ --benchmark-only`` leaves one CSV per experiment in
+``benchmarks/results/``.  :func:`generate_report` collates those CSVs into a
+single Markdown document (one section per experiment, rendered as a Markdown
+table), which is how the numbers quoted in ``EXPERIMENTS.md`` can be refreshed
+after a new benchmark run::
+
+    python -c "from repro.experiments.report import generate_report; \
+               print(generate_report('benchmarks/results'))" > report.md
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.experiments.io import read_csv
+from repro.experiments.results import ResultTable
+
+PathLike = Union[str, Path]
+
+#: Human-readable titles for the standard experiment ids.
+EXPERIMENT_TITLES: Dict[str, str] = {
+    "E1_infinite_regret": "E1 — Theorem 4.3: infinite-population regret vs 3*delta",
+    "E2_best_option_share": "E2 — Theorem 4.3 part 2: best-option share lower bound",
+    "E3_finite_regret": "E3 — Theorem 4.4: finite-population regret vs 6*delta",
+    "E4_coupling": "E4 — Lemma 4.5: finite/infinite coupling closeness",
+    "E5_concentration": "E5 — Propositions 4.1-4.3: per-step concentration and occupancy floor",
+    "E6_stage_ablation": "E6 — both stages are necessary",
+    "E7_baselines": "E7 — comparison against classical algorithms",
+    "E8_worked_examples": "E8 — worked examples (Krafft investors, Ellison-Fudenberg)",
+    "E9_network_topology": "E9 — network-restricted sampling across topologies",
+    "E10_distributed_protocol": "E10 — message-passing protocol under failures",
+    "E11_drifting_qualities": "E11 — drifting option qualities",
+    "E12_beta_tuning": "E12 — tuning beta toward the classic MWU rate",
+    "E13_mu_sensitivity": "E13 — ablation: exploration rate mu",
+    "E14_heterogeneity": "E14 — ablation: heterogeneous adoption rules",
+}
+
+
+def table_to_markdown(table: ResultTable, *, float_format: str = "{:.4g}") -> str:
+    """Render a :class:`ResultTable` as a GitHub-flavoured Markdown table."""
+    if len(table) == 0:
+        return "*(empty table)*"
+    columns = table.columns
+
+    def render(value: object) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return float_format.format(value)
+        if value is None:
+            return ""
+        return str(value)
+
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
+    ]
+    for row in table.rows:
+        lines.append("| " + " | ".join(render(row.get(col)) for col in columns) + " |")
+    return "\n".join(lines)
+
+
+def collect_result_tables(results_dir: PathLike) -> Dict[str, ResultTable]:
+    """Load every ``*.csv`` in ``results_dir`` keyed by its stem, sorted by name."""
+    results_dir = Path(results_dir)
+    if not results_dir.is_dir():
+        raise FileNotFoundError(f"no such results directory: {results_dir}")
+    tables: Dict[str, ResultTable] = {}
+    for path in sorted(results_dir.glob("*.csv")):
+        tables[path.stem] = read_csv(path)
+    return tables
+
+
+def _sort_key(name: str) -> tuple:
+    """Order E1..E14 numerically, unknown names after them alphabetically."""
+    if name.startswith("E") and "_" in name:
+        prefix = name.split("_", 1)[0][1:]
+        if prefix.isdigit():
+            return (0, int(prefix), name)
+    return (1, 0, name)
+
+
+def generate_report(
+    results_dir: PathLike,
+    *,
+    title: str = "Benchmark report — A Distributed Learning Dynamics in Social Groups",
+    output_path: Optional[PathLike] = None,
+) -> str:
+    """Build the Markdown report and optionally write it to ``output_path``."""
+    tables = collect_result_tables(results_dir)
+    if not tables:
+        raise ValueError(f"no result CSVs found in {results_dir}")
+    lines: List[str] = [f"# {title}", ""]
+    lines.append(
+        "Generated from the CSVs produced by `pytest benchmarks/ --benchmark-only`."
+    )
+    lines.append("")
+    for name in sorted(tables, key=_sort_key):
+        heading = EXPERIMENT_TITLES.get(name, name)
+        lines.append(f"## {heading}")
+        lines.append("")
+        lines.append(table_to_markdown(tables[name]))
+        lines.append("")
+    report = "\n".join(lines)
+    if output_path is not None:
+        output_path = Path(output_path)
+        output_path.parent.mkdir(parents=True, exist_ok=True)
+        output_path.write_text(report)
+    return report

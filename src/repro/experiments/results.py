@@ -1,0 +1,81 @@
+"""Flat result tables shared by benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.utils.ascii_plot import format_table
+
+
+class ResultTable:
+    """An ordered collection of flat result rows (dicts of scalars/strings).
+
+    A thin wrapper over a list of dicts that keeps column order stable,
+    renders aligned text (what the benchmarks print, mirroring the paper's
+    tables) and exports CSV via :func:`repro.experiments.io.write_csv`.
+    """
+
+    def __init__(self, rows: Optional[Sequence[Dict[str, Any]]] = None) -> None:
+        self._rows: List[Dict[str, Any]] = []
+        self._columns: List[str] = []
+        for row in rows or []:
+            self.add_row(row)
+
+    def add_row(self, row: Dict[str, Any]) -> None:
+        """Append a row, extending the column set with any new keys."""
+        if not isinstance(row, dict) or not row:
+            raise ValueError("rows must be non-empty dicts")
+        for key in row:
+            if key not in self._columns:
+                self._columns.append(key)
+        self._rows.append(dict(row))
+
+    @property
+    def columns(self) -> List[str]:
+        """Column names in first-seen order."""
+        return list(self._columns)
+
+    @property
+    def rows(self) -> List[Dict[str, Any]]:
+        """All rows (copies)."""
+        return [dict(row) for row in self._rows]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column (``None`` where a row lacks the key)."""
+        if name not in self._columns:
+            raise KeyError(f"unknown column '{name}'")
+        return [row.get(name) for row in self._rows]
+
+    def filter(self, **criteria: Any) -> "ResultTable":
+        """Rows matching all equality criteria, as a new table."""
+        matching = [
+            row
+            for row in self._rows
+            if all(row.get(key) == value for key, value in criteria.items())
+        ]
+        return ResultTable(matching)
+
+    def sort_by(self, *columns: str, reverse: bool = False) -> "ResultTable":
+        """New table with rows sorted by the given columns."""
+        for column in columns:
+            if column not in self._columns:
+                raise KeyError(f"unknown column '{column}'")
+        ordered = sorted(
+            self._rows,
+            key=lambda row: tuple(row.get(column) for column in columns),
+            reverse=reverse,
+        )
+        return ResultTable(ordered)
+
+    def to_text(self, float_format: str = "{:.4f}") -> str:
+        """Aligned text rendering of the table."""
+        return format_table(self._rows, self._columns, float_format=float_format)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_text()

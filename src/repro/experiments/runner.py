@@ -1,0 +1,75 @@
+"""Replicated experiment execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.statistics import ReplicationSummary, summarize_replications
+from repro.experiments.config import ExperimentConfig
+from repro.utils.rng import seeds_for_replications
+
+ReplicationFunction = Callable[[int, Dict[str, Any]], Dict[str, float]]
+"""A replication takes (seed, parameters) and returns a dict of scalar metrics."""
+
+
+@dataclass
+class ReplicatedResult:
+    """Metrics from all replications of one experiment configuration."""
+
+    config: ExperimentConfig
+    seeds: List[int]
+    metrics: List[Dict[str, float]] = field(default_factory=list)
+
+    def metric_values(self, name: str) -> np.ndarray:
+        """All replications' values of metric ``name``."""
+        missing = [index for index, row in enumerate(self.metrics) if name not in row]
+        if missing:
+            raise KeyError(
+                f"metric '{name}' missing from replications {missing} of "
+                f"{self.config.name}"
+            )
+        return np.array([row[name] for row in self.metrics], dtype=float)
+
+    def metric_names(self) -> List[str]:
+        """Names of all metrics present in every replication."""
+        if not self.metrics:
+            return []
+        names = set(self.metrics[0])
+        for row in self.metrics[1:]:
+            names &= set(row)
+        return sorted(names)
+
+    def summarize(self, name: str) -> ReplicationSummary:
+        """Replication summary (mean, CI, ...) of metric ``name``."""
+        return summarize_replications(self.metric_values(name))
+
+    def summary_row(self) -> Dict[str, Any]:
+        """One flat dict: config parameters plus the mean of every metric."""
+        row: Dict[str, Any] = dict(self.config.parameters)
+        for name in self.metric_names():
+            row[name] = float(self.metric_values(name).mean())
+        return row
+
+
+def run_replications(
+    config: ExperimentConfig, replication: ReplicationFunction
+) -> ReplicatedResult:
+    """Run ``config.replications`` independent replications of an experiment.
+
+    Each replication receives its own integer seed derived from
+    ``config.seed``, so the whole experiment is reproducible from the config
+    alone and individual replications can be re-run in isolation.
+    """
+    seeds = seeds_for_replications(config.seed, config.replications)
+    result = ReplicatedResult(config=config, seeds=seeds)
+    for seed in seeds:
+        metrics = replication(seed, dict(config.parameters))
+        if not isinstance(metrics, dict) or not metrics:
+            raise ValueError(
+                "replication functions must return a non-empty dict of scalar metrics"
+            )
+        result.metrics.append({key: float(value) for key, value in metrics.items()})
+    return result

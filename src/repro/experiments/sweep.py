@@ -1,0 +1,76 @@
+"""Parameter sweeps: cartesian grids of experiment configurations."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Mapping, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.results import ResultTable
+from repro.experiments.runner import ReplicatedResult, ReplicationFunction, run_replications
+
+
+@dataclass(frozen=True)
+class ParameterGrid:
+    """A cartesian product of named parameter values.
+
+    Parameters
+    ----------
+    axes:
+        Mapping from parameter name to the sequence of values to sweep.
+        Iteration order follows the insertion order of the mapping, with the
+        last axis varying fastest (like nested for-loops).
+    """
+
+    axes: Mapping[str, Sequence[Any]]
+
+    def __post_init__(self) -> None:
+        if not self.axes:
+            raise ValueError("a parameter grid needs at least one axis")
+        for name, values in self.axes.items():
+            if len(list(values)) == 0:
+                raise ValueError(f"axis '{name}' has no values")
+
+    def __len__(self) -> int:
+        size = 1
+        for values in self.axes.values():
+            size *= len(list(values))
+        return size
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        names = list(self.axes)
+        for combination in itertools.product(*(self.axes[name] for name in names)):
+            yield dict(zip(names, combination))
+
+
+def run_sweep(
+    name: str,
+    grid: ParameterGrid,
+    replication: ReplicationFunction,
+    *,
+    replications: int = 5,
+    seed: int = 0,
+    base_parameters: Mapping[str, Any] | None = None,
+) -> tuple[List[ReplicatedResult], ResultTable]:
+    """Run ``replication`` over every point of ``grid``.
+
+    Returns the raw per-point :class:`ReplicatedResult` objects together with
+    a flat :class:`ResultTable` whose rows are the grid parameters plus the
+    replication-mean of every metric (the form benchmark tables print).
+    """
+    results: List[ReplicatedResult] = []
+    table = ResultTable()
+    for index, point in enumerate(grid):
+        parameters = dict(base_parameters or {})
+        parameters.update(point)
+        config = ExperimentConfig(
+            name=f"{name}[{index}]",
+            parameters=parameters,
+            replications=replications,
+            seed=seed + index,
+        )
+        result = run_replications(config, replication)
+        results.append(result)
+        table.add_row(result.summary_row())
+    return results, table

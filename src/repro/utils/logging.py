@@ -1,0 +1,54 @@
+"""Lightweight structured logging for experiments.
+
+The library does not configure the root logger; it only creates namespaced
+loggers under ``repro.*`` so applications embedding the library keep control
+of handlers and levels.  :func:`get_logger` adds a ``NullHandler`` the first
+time a name is requested to avoid "no handler" warnings when used as a
+library.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+_CONFIGURED: set[str] = set()
+
+
+def get_logger(name: str, *, level: Optional[int] = None) -> logging.Logger:
+    """Return a namespaced logger under the ``repro`` hierarchy.
+
+    Parameters
+    ----------
+    name:
+        Dotted suffix, e.g. ``"core.dynamics"``; prefixed with ``repro.`` if
+        not already.
+    level:
+        Optional explicit level to set on the logger (does not touch handlers).
+    """
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    logger = logging.getLogger(name)
+    if name not in _CONFIGURED:
+        logger.addHandler(logging.NullHandler())
+        _CONFIGURED.add(name)
+    if level is not None:
+        logger.setLevel(level)
+    return logger
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a simple console handler to the ``repro`` logger (for scripts)."""
+    root = logging.getLogger("repro")
+    for handler in root.handlers:
+        if isinstance(handler, logging.StreamHandler) and not isinstance(
+            handler, logging.NullHandler
+        ):
+            root.setLevel(level)
+            return
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+    )
+    root.addHandler(handler)
+    root.setLevel(level)

@@ -1,0 +1,81 @@
+"""Tests for the Agent class."""
+
+import numpy as np
+import pytest
+
+from repro.agents import Agent
+from repro.core.adoption import AlwaysAdoptRule, GeneralAdoptionRule, SymmetricAdoptionRule
+
+
+class TestConstruction:
+    def test_initial_state(self):
+        agent = Agent(0, SymmetricAdoptionRule(0.6))
+        assert agent.agent_id == 0
+        assert agent.current_option is None
+        assert not agent.is_committed()
+
+    def test_initial_option(self):
+        agent = Agent(1, SymmetricAdoptionRule(0.6), initial_option=2)
+        assert agent.current_option == 2
+        assert agent.is_committed()
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(ValueError):
+            Agent(-1, SymmetricAdoptionRule(0.6))
+
+    def test_rejects_non_rule(self):
+        with pytest.raises(TypeError):
+            Agent(0, "not a rule")
+
+    def test_rejects_negative_initial_option(self):
+        with pytest.raises(ValueError):
+            Agent(0, SymmetricAdoptionRule(0.6), initial_option=-3)
+
+
+class TestDecide:
+    def test_always_adopt_on_good_signal_with_beta_one(self):
+        agent = Agent(0, GeneralAdoptionRule(alpha=0.0, beta=1.0))
+        rng = np.random.default_rng(0)
+        assert agent.decide(1, 1, rng) == 1
+        assert agent.is_committed()
+
+    def test_never_adopt_on_bad_signal_with_alpha_zero(self):
+        agent = Agent(0, GeneralAdoptionRule(alpha=0.0, beta=1.0), initial_option=0)
+        rng = np.random.default_rng(0)
+        assert agent.decide(2, 0, rng) is None
+        assert not agent.is_committed()
+
+    def test_always_adopt_rule_ignores_signal(self):
+        agent = Agent(0, AlwaysAdoptRule())
+        rng = np.random.default_rng(0)
+        assert agent.decide(3, 0, rng) == 3
+
+    def test_adoption_rate_matches_beta(self):
+        rng = np.random.default_rng(1)
+        adoptions = 0
+        trials = 3000
+        for _ in range(trials):
+            agent = Agent(0, SymmetricAdoptionRule(0.7))
+            if agent.decide(0, 1, rng) is not None:
+                adoptions += 1
+        assert adoptions / trials == pytest.approx(0.7, abs=0.03)
+
+    def test_adoption_rate_on_bad_signal_matches_alpha(self):
+        rng = np.random.default_rng(2)
+        adoptions = 0
+        trials = 3000
+        for _ in range(trials):
+            agent = Agent(0, SymmetricAdoptionRule(0.7))
+            if agent.decide(0, 0, rng) is not None:
+                adoptions += 1
+        assert adoptions / trials == pytest.approx(0.3, abs=0.03)
+
+    def test_rejects_invalid_signal(self):
+        agent = Agent(0, SymmetricAdoptionRule(0.6))
+        with pytest.raises(ValueError):
+            agent.decide(0, 2, np.random.default_rng(0))
+
+    def test_rejects_negative_option(self):
+        agent = Agent(0, SymmetricAdoptionRule(0.6))
+        with pytest.raises(ValueError):
+            agent.decide(-1, 1, np.random.default_rng(0))

@@ -1,0 +1,94 @@
+"""Tests for Population construction and aggregate views."""
+
+import numpy as np
+import pytest
+
+from repro.agents import Agent, Population
+from repro.core.adoption import GeneralAdoptionRule, SymmetricAdoptionRule
+
+
+class TestConstruction:
+    def test_homogeneous_size_and_options(self):
+        population = Population.homogeneous(20, 3, beta=0.6, rng=0)
+        assert population.size == 20
+        assert population.num_options == 3
+        assert len(population) == 20
+
+    def test_homogeneous_seeds_options(self):
+        population = Population.homogeneous(50, 4, rng=0)
+        assert population.committed_count() == 50
+
+    def test_homogeneous_without_seeding(self):
+        population = Population.homogeneous(10, 2, seed_options=False)
+        assert population.committed_count() == 0
+
+    def test_homogeneous_with_explicit_alpha(self):
+        population = Population.homogeneous(5, 2, beta=0.8, alpha=0.1)
+        rule = population[0].adoption_rule
+        assert rule.alpha == pytest.approx(0.1)
+        assert rule.beta == pytest.approx(0.8)
+
+    def test_heterogeneous_rules_assigned_in_order(self):
+        rules = [SymmetricAdoptionRule(0.55), SymmetricAdoptionRule(0.7)]
+        population = Population.heterogeneous(rules, 2, rng=0)
+        assert population[0].adoption_rule.beta == pytest.approx(0.55)
+        assert population[1].adoption_rule.beta == pytest.approx(0.7)
+
+    def test_heterogeneous_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Population.heterogeneous([], 2)
+
+    def test_beta_distribution_in_range(self):
+        population = Population.with_beta_distribution(
+            30, 2, beta_low=0.55, beta_high=0.7, rng=0
+        )
+        betas = [agent.adoption_rule.beta for agent in population]
+        assert all(0.55 <= beta <= 0.7 for beta in betas)
+
+    def test_beta_distribution_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            Population.with_beta_distribution(10, 2, beta_low=0.8, beta_high=0.6)
+
+    def test_rejects_out_of_order_ids(self):
+        agents = [Agent(1, SymmetricAdoptionRule(0.6)), Agent(0, SymmetricAdoptionRule(0.6))]
+        with pytest.raises(ValueError):
+            Population(agents, 2)
+
+    def test_rejects_option_out_of_range(self):
+        agents = [Agent(0, SymmetricAdoptionRule(0.6), initial_option=5)]
+        with pytest.raises(ValueError):
+            Population(agents, 2)
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ValueError):
+            Population([], 2)
+
+    def test_rejects_non_agent_members(self):
+        with pytest.raises(TypeError):
+            Population(["agent"], 2)
+
+
+class TestAggregates:
+    def test_option_counts_sum_to_committed(self):
+        population = Population.homogeneous(40, 3, rng=0)
+        assert population.option_counts().sum() == population.committed_count()
+
+    def test_popularity_sums_to_one(self):
+        population = Population.homogeneous(40, 3, rng=0)
+        assert population.popularity().sum() == pytest.approx(1.0)
+
+    def test_popularity_uniform_when_nobody_committed(self):
+        population = Population.homogeneous(10, 4, seed_options=False)
+        np.testing.assert_allclose(population.popularity(), 0.25)
+
+    def test_counts_reflect_agent_choices(self):
+        rule = GeneralAdoptionRule(0.0, 1.0)
+        agents = [Agent(i, rule, initial_option=0) for i in range(3)]
+        agents.append(Agent(3, rule, initial_option=1))
+        population = Population(agents, 2)
+        np.testing.assert_array_equal(population.option_counts(), [3, 1])
+
+    def test_indexing_and_iteration(self):
+        population = Population.homogeneous(5, 2, rng=0)
+        assert population[2].agent_id == 2
+        assert [agent.agent_id for agent in population] == list(range(5))

@@ -1,0 +1,92 @@
+"""Tests for the executable Theorem 4.3 proof trace."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ProofTrace, trace_theorem_43
+from repro.core.adoption import SymmetricAdoptionRule
+from repro.core.infinite import InfinitePopulationDynamics
+from repro.core.sampling import MixtureSampling
+from repro.environments import BernoulliEnvironment
+
+
+def run_trajectory(beta=0.6, mu=0.02, horizon=300, qualities=(0.8, 0.5, 0.5), seed=0):
+    env = BernoulliEnvironment(list(qualities), rng=seed)
+    dynamics = InfinitePopulationDynamics(
+        len(qualities),
+        adoption_rule=SymmetricAdoptionRule(beta),
+        sampling_rule=MixtureSampling(mu),
+    )
+    return dynamics.run(env, horizon)
+
+
+class TestTraceTheorem43:
+    def test_all_inequalities_hold_on_typical_run(self):
+        trajectory = run_trajectory()
+        trace = trace_theorem_43(trajectory, beta=0.6, mu=0.02)
+        assert trace.upper_bound_holds()
+        assert trace.lower_bound_holds()
+        assert trace.regret_bound_holds()
+        assert trace.all_hold()
+
+    @pytest.mark.parametrize("beta", [0.55, 0.6, 0.7])
+    @pytest.mark.parametrize("mu", [0.005, 0.02, 0.05])
+    def test_holds_across_parameter_grid(self, beta, mu):
+        trajectory = run_trajectory(beta=beta, mu=mu, horizon=150, seed=7)
+        trace = trace_theorem_43(trajectory, beta=beta, mu=mu)
+        assert trace.all_hold()
+
+    def test_holds_on_adversarially_bad_reward_sequence(self):
+        """The potential argument is pathwise: check it on a nasty sequence."""
+        dynamics = InfinitePopulationDynamics(
+            3,
+            adoption_rule=SymmetricAdoptionRule(0.6),
+            sampling_rule=MixtureSampling(0.02),
+        )
+        rng = np.random.default_rng(0)
+        rewards = np.zeros((200, 3), dtype=int)
+        # Best option only pays off in the second half; others pay off early.
+        rewards[:100, 1] = rng.integers(0, 2, size=100)
+        rewards[:100, 2] = 1
+        rewards[100:, 0] = 1
+        trajectory = dynamics.run_on_rewards(rewards)
+        trace = trace_theorem_43(trajectory, beta=0.6, mu=0.02, best_option=0)
+        assert trace.upper_bound_holds()
+        assert trace.lower_bound_holds()
+        assert trace.regret_bound_holds()
+
+    def test_potential_between_bounds(self):
+        trajectory = run_trajectory(horizon=100)
+        trace = trace_theorem_43(trajectory, beta=0.6, mu=0.02)
+        assert trace.log_lower_bound <= trace.log_potential <= trace.log_upper_bound
+
+    def test_regret_bound_tighter_for_longer_horizons(self):
+        short = trace_theorem_43(run_trajectory(horizon=30), beta=0.6, mu=0.02)
+        long = trace_theorem_43(run_trajectory(horizon=1000), beta=0.6, mu=0.02)
+        assert long.regret_bound_rhs < short.regret_bound_rhs
+
+    def test_best_option_argument_respected(self):
+        trajectory = run_trajectory(qualities=(0.5, 0.9), seed=3)
+        trace = trace_theorem_43(trajectory, beta=0.6, mu=0.02, best_option=1)
+        assert trace.all_hold()
+
+    def test_validation_errors(self):
+        trajectory = run_trajectory(horizon=10)
+        with pytest.raises(ValueError):
+            trace_theorem_43(trajectory, beta=0.4, mu=0.02)
+        with pytest.raises(ValueError):
+            trace_theorem_43(trajectory, beta=0.6, mu=1.5)
+        with pytest.raises(ValueError):
+            trace_theorem_43(trajectory, beta=0.6, mu=0.02, best_option=9)
+        from repro.core.infinite import InfiniteTrajectory
+
+        empty = InfiniteTrajectory(initial_distribution=np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            trace_theorem_43(empty, beta=0.6, mu=0.02)
+
+    def test_dataclass_is_frozen(self):
+        trajectory = run_trajectory(horizon=20)
+        trace = trace_theorem_43(trajectory, beta=0.6, mu=0.02)
+        assert isinstance(trace, ProofTrace)
+        with pytest.raises(AttributeError):
+            trace.log_potential = 0.0

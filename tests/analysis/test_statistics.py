@@ -1,0 +1,92 @@
+"""Tests for replication statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bootstrap_confidence_interval,
+    normal_confidence_interval,
+    summarize_replications,
+)
+
+
+class TestNormalConfidenceInterval:
+    def test_contains_mean(self):
+        low, high = normal_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert low <= 2.5 <= high
+
+    def test_single_value_degenerate(self):
+        assert normal_confidence_interval([5.0]) == (5.0, 5.0)
+
+    def test_constant_values_zero_width(self):
+        low, high = normal_confidence_interval([2.0, 2.0, 2.0])
+        assert low == high == pytest.approx(2.0)
+
+    def test_wider_at_higher_confidence(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        low95, high95 = normal_confidence_interval(values, confidence=0.95)
+        low99, high99 = normal_confidence_interval(values, confidence=0.99)
+        assert (high99 - low99) > (high95 - low95)
+
+    def test_coverage_simulation(self):
+        """~95% of intervals should cover the true mean."""
+        rng = np.random.default_rng(0)
+        covered = 0
+        trials = 300
+        for _ in range(trials):
+            sample = rng.normal(0.0, 1.0, size=20)
+            low, high = normal_confidence_interval(sample, confidence=0.95)
+            covered += low <= 0.0 <= high
+        assert covered / trials > 0.9
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            normal_confidence_interval([])
+        with pytest.raises(ValueError):
+            normal_confidence_interval([1.0, 2.0], confidence=1.0)
+
+
+class TestBootstrapConfidenceInterval:
+    def test_contains_mean_for_symmetric_data(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(3.0, 1.0, size=50)
+        low, high = bootstrap_confidence_interval(values, rng=2)
+        assert low <= values.mean() <= high
+
+    def test_single_value_degenerate(self):
+        assert bootstrap_confidence_interval([4.0]) == (4.0, 4.0)
+
+    def test_deterministic_given_rng(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert bootstrap_confidence_interval(values, rng=0) == bootstrap_confidence_interval(values, rng=0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval([])
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval([1.0], resamples=0)
+
+
+class TestSummarizeReplications:
+    def test_fields(self):
+        summary = summarize_replications([1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.replications == 3
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+
+    def test_single_replication(self):
+        summary = summarize_replications([7.0])
+        assert summary.std == 0.0
+        assert summary.ci_low == summary.ci_high == 7.0
+
+    def test_as_dict_keys(self):
+        summary = summarize_replications([1.0, 2.0])
+        assert {"mean", "std", "min", "max", "ci_low", "ci_high", "replications"} == set(
+            summary.as_dict()
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_replications([])

@@ -1,0 +1,73 @@
+"""Tests for trajectory aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    aggregate_popularity,
+    aggregate_regret_series,
+    stack_best_option_series,
+)
+from repro.environments import BernoulliEnvironment
+from repro import simulate_finite_population
+
+
+def make_trajectories(count=3, horizon=40, seed=0):
+    trajectories = []
+    for index in range(count):
+        env = BernoulliEnvironment([0.8, 0.4], rng=seed + index)
+        trajectories.append(
+            simulate_finite_population(env, 300, horizon, beta=0.6, rng=seed + 100 + index)
+        )
+    return trajectories
+
+
+class TestStackBestOptionSeries:
+    def test_shape(self):
+        trajectories = make_trajectories(count=4, horizon=25)
+        stacked = stack_best_option_series(trajectories, best_option=0)
+        assert stacked.shape == (4, 25)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            stack_best_option_series([], best_option=0)
+
+    def test_rejects_mismatched_horizons(self):
+        trajectories = make_trajectories(count=1, horizon=10) + make_trajectories(count=1, horizon=20)
+        with pytest.raises(ValueError):
+            stack_best_option_series(trajectories, best_option=0)
+
+
+class TestAggregatePopularity:
+    def test_bands_ordered(self):
+        trajectories = make_trajectories(count=5, horizon=30)
+        bands = aggregate_popularity(trajectories, best_option=0, quantile=0.1)
+        assert np.all(bands["lower"] <= bands["mean"] + 1e-12)
+        assert np.all(bands["mean"] <= bands["upper"] + 1e-12)
+        assert bands["mean"].shape == (30,)
+
+    def test_invalid_quantile(self):
+        trajectories = make_trajectories(count=2, horizon=5)
+        with pytest.raises(ValueError):
+            aggregate_popularity(trajectories, best_option=0, quantile=0.9)
+
+
+class TestAggregateRegretSeries:
+    def test_length_matches_horizon(self):
+        trajectories = make_trajectories(count=3, horizon=30)
+        series = aggregate_regret_series(trajectories, best_quality=0.8)
+        assert series.shape == (30,)
+
+    def test_regret_decreases_on_average(self):
+        trajectories = make_trajectories(count=5, horizon=200, seed=3)
+        series = aggregate_regret_series(trajectories, best_quality=0.8)
+        assert series[-1] < series[:10].mean()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            aggregate_regret_series([], best_quality=0.5)
+
+    def test_rejects_invalid_quality(self):
+        trajectories = make_trajectories(count=1, horizon=5)
+        with pytest.raises(ValueError):
+            aggregate_regret_series(trajectories, best_quality=1.5)

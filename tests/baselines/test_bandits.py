@@ -1,0 +1,86 @@
+"""Tests for the per-individual bandit baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    IndividualEpsilonGreedy,
+    IndividualThompsonSampling,
+    IndividualUCB,
+)
+from repro.environments import BernoulliEnvironment
+
+
+ALL_BANDITS = [IndividualUCB, IndividualEpsilonGreedy, IndividualThompsonSampling]
+
+
+@pytest.mark.parametrize("bandit_class", ALL_BANDITS)
+class TestCommonBanditBehaviour:
+    def test_distribution_is_probability_vector(self, bandit_class):
+        learner = bandit_class(3, population_size=50, rng=0)
+        distribution = learner.distribution()
+        assert distribution.shape == (3,)
+        assert distribution.sum() == pytest.approx(1.0)
+
+    def test_population_converges_to_best_arm(self, bandit_class):
+        env = BernoulliEnvironment([0.9, 0.2], rng=1)
+        learner = bandit_class(2, population_size=100, rng=2)
+        distributions = learner.run(env, 400)
+        # Average over a window: UCB's synchronized forced exploration can put
+        # the whole population on the bad arm for isolated single steps.
+        assert distributions[-50:, 0].mean() > 0.7
+
+    def test_reset_clears_state(self, bandit_class):
+        learner = bandit_class(2, population_size=20, rng=3)
+        learner.run_on_rewards(np.array([[1, 0]] * 10))
+        learner.reset(rng=3)
+        assert learner.time == 0
+
+    def test_run_on_rewards_shape(self, bandit_class):
+        learner = bandit_class(4, population_size=30, rng=4)
+        rewards = np.zeros((12, 4), dtype=int)
+        assert learner.run_on_rewards(rewards).shape == (12, 4)
+
+    def test_population_size_property(self, bandit_class):
+        assert bandit_class(2, population_size=17, rng=0).population_size == 17
+
+
+class TestUCBSpecifics:
+    def test_unpulled_arms_forced_first(self):
+        learner = IndividualUCB(3, population_size=10, rng=0)
+        # After 3 updates every agent must have pulled every arm at least once.
+        for _ in range(3):
+            learner.update(np.array([1, 1, 1]))
+        assert np.all(learner._counts >= 1)
+
+    def test_rejects_non_positive_exploration_constant(self):
+        with pytest.raises(ValueError):
+            IndividualUCB(2, population_size=10, exploration_constant=0.0)
+
+
+class TestEpsilonGreedySpecifics:
+    def test_zero_epsilon_is_purely_greedy_after_learning(self):
+        learner = IndividualEpsilonGreedy(2, population_size=50, epsilon=0.0, rng=0)
+        learner.run_on_rewards(np.array([[1, 0]] * 200))
+        assert learner.distribution()[0] > 0.95
+
+    def test_full_epsilon_stays_near_uniform(self):
+        learner = IndividualEpsilonGreedy(2, population_size=500, epsilon=1.0, rng=0)
+        distributions = learner.run_on_rewards(np.array([[1, 0]] * 100))
+        assert abs(distributions[-20:, 0].mean() - 0.5) < 0.1
+
+    def test_rejects_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            IndividualEpsilonGreedy(2, population_size=10, epsilon=1.5)
+
+
+class TestThompsonSpecifics:
+    def test_prior_validation(self):
+        with pytest.raises(ValueError):
+            IndividualThompsonSampling(2, population_size=10, prior_successes=0.0)
+
+    def test_learns_faster_than_uniform_guessing(self):
+        env = BernoulliEnvironment([0.8, 0.2], rng=5)
+        learner = IndividualThompsonSampling(2, population_size=200, rng=6)
+        distributions = learner.run(env, 200)
+        assert distributions[-1, 0] > 0.8

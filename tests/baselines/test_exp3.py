@@ -1,0 +1,72 @@
+"""Tests for the EXP3 bandit baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Exp3
+from repro.core.regret import expected_regret
+from repro.environments import BernoulliEnvironment
+
+
+class TestExp3:
+    def test_initial_distribution_uniform(self):
+        learner = Exp3(4, gamma=0.1, rng=0)
+        np.testing.assert_allclose(learner.distribution(), 0.25)
+
+    def test_distribution_respects_exploration_floor(self):
+        learner = Exp3(4, gamma=0.2, rng=0)
+        for _ in range(200):
+            learner.update(np.array([1, 0, 0, 0]))
+        assert np.all(learner.distribution() >= 0.2 / 4 - 1e-12)
+
+    def test_shifts_toward_rewarding_arm(self):
+        learner = Exp3(2, gamma=0.1, rng=0)
+        for _ in range(300):
+            learner.update(np.array([1, 0]))
+        assert learner.distribution()[0] > 0.8
+
+    def test_only_bandit_feedback_is_used(self):
+        """Rewards of unpulled arms must not influence the update."""
+        rng_rewards = np.random.default_rng(0)
+        learner_a = Exp3(3, gamma=0.2, rng=1)
+        learner_b = Exp3(3, gamma=0.2, rng=1)
+        for _ in range(50):
+            rewards = rng_rewards.integers(0, 2, size=3)
+            learner_a.update(rewards)
+            arm = learner_a.last_arm
+            # Same pulled-arm reward, scrambled other arms.
+            scrambled = 1 - rewards
+            scrambled[arm] = rewards[arm]
+            learner_b.update(scrambled)
+        np.testing.assert_allclose(learner_a.distribution(), learner_b.distribution())
+
+    def test_learns_on_stochastic_environment(self):
+        env = BernoulliEnvironment([0.9, 0.2], rng=2)
+        learner = Exp3.tuned(2, 1000, rng=3)
+        distributions = learner.run(env, 1000)
+        assert expected_regret(distributions, env.qualities) < 0.25
+        assert distributions[-1, 0] > 0.6
+
+    def test_tuned_gamma_in_range(self):
+        learner = Exp3.tuned(10, 500)
+        assert 0 < learner.gamma <= 1
+
+    def test_tuned_rejects_bad_horizon(self):
+        with pytest.raises(ValueError):
+            Exp3.tuned(5, 0)
+
+    def test_reset(self):
+        learner = Exp3(3, gamma=0.1, rng=0)
+        learner.update(np.array([1, 0, 0]))
+        learner.reset(rng=0)
+        np.testing.assert_allclose(learner.distribution(), 1.0 / 3)
+        assert learner.last_arm is None
+
+    def test_invalid_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            Exp3(3, gamma=0.0)
+        with pytest.raises(ValueError):
+            Exp3(3, gamma=1.5)
+
+    def test_name_contains_gamma(self):
+        assert "gamma" in Exp3(3, gamma=0.3).name

@@ -1,0 +1,87 @@
+"""Tests for the classic MWU baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ClassicMWU, HedgeMWU
+from repro.core.regret import expected_regret
+from repro.environments import BernoulliEnvironment
+
+
+class TestClassicMWU:
+    def test_initial_distribution_uniform(self):
+        learner = ClassicMWU(4, epsilon=0.1)
+        np.testing.assert_allclose(learner.distribution(), 0.25)
+
+    def test_weights_shift_toward_rewarded_option(self):
+        learner = ClassicMWU(2, epsilon=0.5)
+        for _ in range(10):
+            learner.update(np.array([1, 0]))
+        distribution = learner.distribution()
+        assert distribution[0] > 0.9
+
+    def test_update_matches_closed_form(self):
+        learner = ClassicMWU(2, epsilon=0.5)
+        learner.update(np.array([1, 0]))
+        expected = np.array([1.5, 1.0])
+        np.testing.assert_allclose(learner.distribution(), expected / expected.sum())
+
+    def test_reset_restores_uniform(self):
+        learner = ClassicMWU(3, epsilon=0.2)
+        learner.update(np.array([1, 0, 0]))
+        learner.reset()
+        np.testing.assert_allclose(learner.distribution(), 1.0 / 3)
+        assert learner.time == 0
+
+    def test_tuned_epsilon_in_range(self):
+        learner = ClassicMWU.tuned(10, horizon=1000)
+        assert 0 < learner.epsilon <= 1
+
+    def test_rejects_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            ClassicMWU(3, epsilon=0.0)
+        with pytest.raises(ValueError):
+            ClassicMWU(3, epsilon=1.5)
+
+    def test_low_regret_on_stochastic_rewards(self):
+        env = BernoulliEnvironment([0.8, 0.4, 0.3], rng=0)
+        learner = ClassicMWU.tuned(3, horizon=500)
+        distributions = learner.run(env, 500)
+        assert expected_regret(distributions, env.qualities) < 0.1
+
+    def test_run_on_rewards_shapes(self):
+        learner = ClassicMWU(2, epsilon=0.1)
+        rewards = np.array([[1, 0], [0, 1], [1, 1]])
+        distributions = learner.run_on_rewards(rewards)
+        assert distributions.shape == (3, 2)
+
+    def test_update_validation(self):
+        learner = ClassicMWU(2, epsilon=0.1)
+        with pytest.raises(ValueError):
+            learner.update(np.array([1, 0, 1]))
+        with pytest.raises(ValueError):
+            learner.update(np.array([0.3, 0.7]))
+
+
+class TestHedgeMWU:
+    def test_update_matches_exponential_weights(self):
+        learner = HedgeMWU(2, eta=1.0)
+        learner.update(np.array([1, 0]))
+        expected = np.array([np.e, 1.0])
+        np.testing.assert_allclose(learner.distribution(), expected / expected.sum())
+
+    def test_tuned_eta_positive(self):
+        assert HedgeMWU.tuned(5, horizon=100).eta > 0
+
+    def test_rejects_non_positive_eta(self):
+        with pytest.raises(ValueError):
+            HedgeMWU(3, eta=0.0)
+
+    def test_converges_to_best_option(self):
+        env = BernoulliEnvironment([0.9, 0.2], rng=1)
+        learner = HedgeMWU(2, eta=0.3)
+        distributions = learner.run(env, 300)
+        assert distributions[-1, 0] > 0.9
+
+    def test_name_contains_parameters(self):
+        assert "eta" in HedgeMWU(2, eta=0.3).name

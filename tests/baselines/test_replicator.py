@@ -1,0 +1,61 @@
+"""Tests for the replicator dynamics baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ReplicatorDynamics
+from repro.environments import BernoulliEnvironment
+
+
+class TestReplicatorDynamics:
+    def test_initial_distribution_uniform(self):
+        learner = ReplicatorDynamics(3)
+        np.testing.assert_allclose(learner.distribution(), 1.0 / 3)
+
+    def test_shares_stay_normalised(self):
+        learner = ReplicatorDynamics(4, exploration_rate=0.01)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            learner.update(rng.integers(0, 2, size=4))
+            assert learner.distribution().sum() == pytest.approx(1.0)
+
+    def test_moves_toward_rewarded_option(self):
+        learner = ReplicatorDynamics(2, exploration_rate=0.0)
+        for _ in range(30):
+            learner.update(np.array([1, 0]))
+        assert learner.distribution()[0] > 0.9
+
+    def test_exploration_floor_keeps_options_alive(self):
+        learner = ReplicatorDynamics(2, exploration_rate=0.1)
+        for _ in range(200):
+            learner.update(np.array([1, 0]))
+        assert learner.distribution()[1] >= 0.04
+
+    def test_smoothing_reduces_step_to_step_variance(self):
+        rng = np.random.default_rng(1)
+        rewards = rng.integers(0, 2, size=(200, 2))
+        raw = ReplicatorDynamics(2, smoothing=0.0, exploration_rate=0.01)
+        smooth = ReplicatorDynamics(2, smoothing=0.9, exploration_rate=0.01)
+        raw_path = raw.run_on_rewards(rewards)[:, 0]
+        smooth_path = smooth.run_on_rewards(rewards)[:, 0]
+        assert np.std(np.diff(smooth_path)) < np.std(np.diff(raw_path))
+
+    def test_converges_on_stochastic_environment(self):
+        env = BernoulliEnvironment([0.9, 0.3], rng=2)
+        learner = ReplicatorDynamics(2, smoothing=0.8, exploration_rate=0.02)
+        distributions = learner.run(env, 400)
+        assert distributions[-1, 0] > 0.8
+
+    def test_reset(self):
+        learner = ReplicatorDynamics(3)
+        learner.update(np.array([1, 0, 0]))
+        learner.reset()
+        np.testing.assert_allclose(learner.distribution(), 1.0 / 3)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicatorDynamics(3, baseline_fitness=-1.0)
+        with pytest.raises(ValueError):
+            ReplicatorDynamics(3, smoothing=1.0)
+        with pytest.raises(ValueError):
+            ReplicatorDynamics(3, exploration_rate=2.0)

@@ -1,0 +1,79 @@
+"""Tests for the simple control baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BestFixedOptionOracle, FollowTheCrowd, UniformRandomChoice
+from repro.core.regret import empirical_regret, expected_regret
+from repro.environments import BernoulliEnvironment
+
+
+class TestBestFixedOptionOracle:
+    def test_distribution_is_point_mass(self):
+        oracle = BestFixedOptionOracle(3, best_option=1)
+        np.testing.assert_allclose(oracle.distribution(), [0.0, 1.0, 0.0])
+
+    def test_for_qualities_picks_argmax(self):
+        oracle = BestFixedOptionOracle.for_qualities([0.2, 0.9, 0.5])
+        assert oracle.best_option == 1
+
+    def test_zero_expected_regret(self):
+        env = BernoulliEnvironment([0.7, 0.3], rng=0)
+        oracle = BestFixedOptionOracle.for_qualities(env.qualities)
+        distributions = oracle.run(env, 100)
+        assert expected_regret(distributions, env.qualities) == pytest.approx(0.0)
+
+    def test_out_of_range_option_rejected(self):
+        with pytest.raises(ValueError):
+            BestFixedOptionOracle(2, best_option=5)
+
+
+class TestUniformRandomChoice:
+    def test_distribution_always_uniform(self):
+        learner = UniformRandomChoice(4)
+        learner.update(np.array([1, 1, 0, 0]))
+        np.testing.assert_allclose(learner.distribution(), 0.25)
+
+    def test_regret_equals_quality_spread(self):
+        env = BernoulliEnvironment([0.8, 0.4], rng=0)
+        learner = UniformRandomChoice(2)
+        distributions = learner.run(env, 50)
+        assert expected_regret(distributions, env.qualities) == pytest.approx(0.2)
+
+
+class TestFollowTheCrowd:
+    def test_initial_distribution_near_uniform(self):
+        learner = FollowTheCrowd(4, population_size=100, rng=0)
+        np.testing.assert_allclose(learner.distribution(), 0.25)
+
+    def test_counts_always_sum_to_population(self):
+        learner = FollowTheCrowd(3, population_size=60, rng=0)
+        for _ in range(50):
+            learner.update(np.array([1, 0, 1]))
+            assert learner.distribution().sum() == pytest.approx(1.0)
+
+    def test_herds_to_consensus_without_exploration(self):
+        learner = FollowTheCrowd(3, population_size=100, exploration_rate=0.0, rng=0)
+        for _ in range(2000):
+            learner.update(np.array([0, 0, 0]))
+        assert learner.distribution().max() == pytest.approx(1.0)
+
+    def test_ignores_quality_signals(self):
+        """Rewards do not influence the update at all: the regret stays large."""
+        env = BernoulliEnvironment([0.95, 0.05], rng=1)
+        learner = FollowTheCrowd(2, population_size=500, exploration_rate=0.01, rng=2)
+        distributions = learner.run(env, 300)
+        regret = empirical_regret(distributions, env.sample_many(300), best_quality=0.95)
+        assert regret > 0.2
+
+    def test_reset_restores_uniform_counts(self):
+        learner = FollowTheCrowd(4, population_size=40, rng=0)
+        learner.update(np.array([1, 0, 0, 0]))
+        learner.reset()
+        np.testing.assert_allclose(learner.distribution(), 0.25)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            FollowTheCrowd(2, population_size=0)
+        with pytest.raises(ValueError):
+            FollowTheCrowd(2, population_size=10, exploration_rate=-0.1)

@@ -1,0 +1,47 @@
+"""Tests for the SocialLearningBaseline adapter."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SocialLearningBaseline
+from repro.core.adoption import SymmetricAdoptionRule
+from repro.core.regret import expected_regret
+from repro.core.sampling import MixtureSampling
+from repro.environments import BernoulliEnvironment
+
+
+class TestSocialLearningBaseline:
+    def test_distribution_matches_wrapped_dynamics(self):
+        learner = SocialLearningBaseline(3, population_size=300, rng=0)
+        np.testing.assert_allclose(learner.distribution(), learner.dynamics.popularity())
+
+    def test_update_advances_dynamics(self):
+        learner = SocialLearningBaseline(2, population_size=100, rng=0)
+        learner.update(np.array([1, 0]))
+        assert learner.dynamics.state.time == 1
+        assert learner.time == 1
+
+    def test_custom_rules_propagated(self):
+        adoption = SymmetricAdoptionRule(0.7)
+        sampling = MixtureSampling(0.05)
+        learner = SocialLearningBaseline(
+            2, population_size=50, adoption_rule=adoption, sampling_rule=sampling, rng=0
+        )
+        assert learner.dynamics.adoption_rule.beta == pytest.approx(0.7)
+        assert learner.dynamics.sampling_rule.exploration_rate == pytest.approx(0.05)
+
+    def test_name_mentions_parameters(self):
+        learner = SocialLearningBaseline(2, population_size=50, rng=0)
+        assert "beta" in learner.name and "N=50" in learner.name
+
+    def test_achieves_low_regret(self):
+        env = BernoulliEnvironment([0.85, 0.45], rng=1)
+        learner = SocialLearningBaseline(2, population_size=2000, rng=2)
+        distributions = learner.run(env, 400)
+        assert expected_regret(distributions, env.qualities) < 0.15
+
+    def test_reset_restores_uniform_popularity(self):
+        learner = SocialLearningBaseline(4, population_size=80, rng=0)
+        learner.run_on_rewards(np.ones((10, 4), dtype=int))
+        learner.reset()
+        np.testing.assert_allclose(learner.distribution(), 0.25)

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adoption import SymmetricAdoptionRule
+from repro.core.sampling import MixtureSampling
+from repro.environments import BernoulliEnvironment
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_environment() -> BernoulliEnvironment:
+    """Three options with a clear best (gap 0.3), deterministic seed."""
+    return BernoulliEnvironment([0.8, 0.5, 0.5], rng=7)
+
+
+@pytest.fixture
+def two_option_environment() -> BernoulliEnvironment:
+    """Two options with a large gap, deterministic seed."""
+    return BernoulliEnvironment([0.9, 0.4], rng=11)
+
+
+@pytest.fixture
+def adoption_rule() -> SymmetricAdoptionRule:
+    """The paper's default symmetric adoption rule with beta = 0.6."""
+    return SymmetricAdoptionRule(0.6)
+
+
+@pytest.fixture
+def sampling_rule() -> MixtureSampling:
+    """Mixture sampling with a small exploration rate."""
+    return MixtureSampling(0.02)

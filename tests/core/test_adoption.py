@@ -1,0 +1,91 @@
+"""Tests for adoption rules."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.adoption import (
+    AlwaysAdoptRule,
+    GeneralAdoptionRule,
+    SymmetricAdoptionRule,
+)
+
+
+class TestGeneralAdoptionRule:
+    def test_probabilities_by_signal(self):
+        rule = GeneralAdoptionRule(alpha=0.2, beta=0.9)
+        assert rule.adopt_probability(1) == pytest.approx(0.9)
+        assert rule.adopt_probability(0) == pytest.approx(0.2)
+
+    def test_vectorised_probabilities(self):
+        rule = GeneralAdoptionRule(alpha=0.1, beta=0.8)
+        signals = np.array([1, 0, 1, 0])
+        np.testing.assert_allclose(
+            rule.adopt_probabilities(signals), [0.8, 0.1, 0.8, 0.1]
+        )
+
+    def test_rejects_alpha_above_beta(self):
+        with pytest.raises(ValueError):
+            GeneralAdoptionRule(alpha=0.9, beta=0.5)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            GeneralAdoptionRule(alpha=-0.1, beta=0.5)
+        with pytest.raises(ValueError):
+            GeneralAdoptionRule(alpha=0.1, beta=1.5)
+
+    def test_rejects_invalid_signal(self):
+        rule = GeneralAdoptionRule(alpha=0.1, beta=0.8)
+        with pytest.raises(ValueError):
+            rule.adopt_probability(2)
+
+    def test_delta_formula(self):
+        rule = GeneralAdoptionRule(alpha=0.25, beta=0.75)
+        assert rule.delta == pytest.approx(math.log(3.0))
+
+    def test_delta_infinite_when_alpha_zero(self):
+        assert GeneralAdoptionRule(alpha=0.0, beta=0.5).delta == math.inf
+
+    def test_is_informative(self):
+        assert GeneralAdoptionRule(0.2, 0.8).is_informative()
+        assert not GeneralAdoptionRule(0.5, 0.5).is_informative()
+
+    def test_equality_and_hash(self):
+        a = GeneralAdoptionRule(0.3, 0.7)
+        b = SymmetricAdoptionRule(0.7)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_with_non_rule(self):
+        assert GeneralAdoptionRule(0.3, 0.7) != "rule"
+
+
+class TestSymmetricAdoptionRule:
+    def test_alpha_is_one_minus_beta(self):
+        rule = SymmetricAdoptionRule(0.65)
+        assert rule.alpha == pytest.approx(0.35)
+        assert rule.beta == pytest.approx(0.65)
+
+    def test_delta_matches_paper_formula(self):
+        rule = SymmetricAdoptionRule(0.6)
+        assert rule.delta == pytest.approx(math.log(0.6 / 0.4))
+
+    def test_rejects_beta_below_half(self):
+        with pytest.raises(ValueError):
+            SymmetricAdoptionRule(0.4)
+
+    def test_beta_exactly_half_is_uninformative(self):
+        rule = SymmetricAdoptionRule(0.5)
+        assert not rule.is_informative()
+        assert rule.delta == pytest.approx(0.0)
+
+
+class TestAlwaysAdoptRule:
+    def test_always_one(self):
+        rule = AlwaysAdoptRule()
+        assert rule.adopt_probability(0) == 1.0
+        assert rule.adopt_probability(1) == 1.0
+
+    def test_not_informative(self):
+        assert not AlwaysAdoptRule().is_informative()

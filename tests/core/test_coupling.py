@@ -1,0 +1,89 @@
+"""Tests for the finite/infinite coupling (Lemma 4.5 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.coupling import run_coupled_dynamics, worst_case_ratio
+from repro.environments import BernoulliEnvironment
+
+
+class TestWorstCaseRatio:
+    def test_identical_distributions_give_one(self):
+        p = np.array([0.3, 0.7])
+        assert worst_case_ratio(p, p) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        p = np.array([0.4, 0.6])
+        q = np.array([0.5, 0.5])
+        assert worst_case_ratio(p, q) == pytest.approx(worst_case_ratio(q, p))
+
+    def test_known_value(self):
+        p = np.array([0.5, 0.5])
+        q = np.array([0.25, 0.75])
+        assert worst_case_ratio(p, q) == pytest.approx(2.0)
+
+    def test_one_sided_zero_gives_infinity(self):
+        assert np.isinf(worst_case_ratio(np.array([0.0, 1.0]), np.array([0.5, 0.5])))
+
+    def test_both_zero_ignored(self):
+        assert worst_case_ratio(np.array([0.0, 1.0]), np.array([0.0, 1.0])) == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            worst_case_ratio(np.array([0.5, 0.5]), np.array([0.3, 0.3, 0.4]))
+
+
+class TestRunCoupledDynamics:
+    def test_result_shapes(self):
+        env = BernoulliEnvironment([0.8, 0.5], rng=0)
+        run = run_coupled_dynamics(env, population_size=2000, horizon=15, beta=0.6, rng=1)
+        assert run.horizon == 15
+        assert run.ratio_series.shape == (15,)
+        assert run.finite_trajectory.horizon == 15
+        assert run.infinite_trajectory.horizon == 15
+
+    def test_same_rewards_in_both_processes(self):
+        env = BernoulliEnvironment([0.8, 0.5], rng=2)
+        run = run_coupled_dynamics(env, population_size=1000, horizon=10, beta=0.6, rng=3)
+        np.testing.assert_array_equal(
+            run.finite_trajectory.reward_matrix(),
+            run.infinite_trajectory.reward_matrix(),
+        )
+
+    def test_ratio_shrinks_with_population(self):
+        env_small = BernoulliEnvironment([0.8, 0.5], rng=4)
+        env_large = BernoulliEnvironment([0.8, 0.5], rng=4)
+        small = run_coupled_dynamics(env_small, population_size=200, horizon=8, beta=0.6, rng=5)
+        large = run_coupled_dynamics(env_large, population_size=200_000, horizon=8, beta=0.6, rng=5)
+        assert large.max_ratio() < small.max_ratio()
+
+    def test_bound_series_when_included(self):
+        env = BernoulliEnvironment([0.8, 0.5], rng=6)
+        run = run_coupled_dynamics(env, population_size=5000, horizon=5, beta=0.6, rng=7)
+        assert run.bound_series is not None
+        assert run.bound_series.shape == (5,)
+        # Lemma bound is increasing in t (factor 5^t).
+        assert np.all(np.diff(run.bound_series) > 0)
+
+    def test_within_bound_reporting(self):
+        env = BernoulliEnvironment([0.8, 0.5], rng=8)
+        run = run_coupled_dynamics(env, population_size=100_000, horizon=4, beta=0.6, rng=9)
+        flags = run.within_bound()
+        assert flags is not None
+        assert flags.shape == (4,)
+        assert flags.all()  # generous bound, large N, short horizon
+
+    def test_bounds_can_be_disabled(self):
+        env = BernoulliEnvironment([0.8, 0.5], rng=10)
+        run = run_coupled_dynamics(
+            env, population_size=500, horizon=3, beta=0.6, rng=11, include_bounds=False
+        )
+        assert run.bound_series is None
+        assert run.within_bound() is None
+
+    def test_invalid_arguments_rejected(self):
+        env = BernoulliEnvironment([0.8, 0.5], rng=12)
+        with pytest.raises(ValueError):
+            run_coupled_dynamics(env, population_size=0, horizon=5)
+        with pytest.raises(ValueError):
+            run_coupled_dynamics(env, population_size=100, horizon=0)

@@ -1,0 +1,66 @@
+"""Tests for the epoch decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core.epochs import EpochSchedule
+from repro.core.theory import TheoryBounds
+
+
+class TestEpochSchedule:
+    def test_boundaries_cover_horizon(self):
+        schedule = EpochSchedule(horizon=25, epoch_length=10)
+        assert schedule.boundaries() == [(0, 10), (10, 20), (20, 25)]
+        assert schedule.num_epochs == 3
+
+    def test_exact_multiple(self):
+        schedule = EpochSchedule(horizon=20, epoch_length=10)
+        assert schedule.num_epochs == 2
+        assert schedule.boundaries()[-1] == (10, 20)
+
+    def test_epoch_of(self):
+        schedule = EpochSchedule(horizon=25, epoch_length=10)
+        assert schedule.epoch_of(0) == 0
+        assert schedule.epoch_of(9) == 0
+        assert schedule.epoch_of(10) == 1
+        assert schedule.epoch_of(24) == 2
+
+    def test_epoch_of_out_of_range(self):
+        schedule = EpochSchedule(horizon=10, epoch_length=5)
+        with pytest.raises(ValueError):
+            schedule.epoch_of(10)
+        with pytest.raises(ValueError):
+            schedule.epoch_of(-1)
+
+    def test_split_series_lengths(self):
+        schedule = EpochSchedule(horizon=25, epoch_length=10)
+        chunks = schedule.split_series(np.arange(25))
+        assert [len(chunk) for chunk in chunks] == [10, 10, 5]
+
+    def test_split_series_wrong_length_rejected(self):
+        schedule = EpochSchedule(horizon=10, epoch_length=5)
+        with pytest.raises(ValueError):
+            schedule.split_series(np.arange(7))
+
+    def test_from_bounds_uses_paper_epoch_length(self):
+        bounds = TheoryBounds(num_options=5, beta=0.6, mu=0.02)
+        schedule = EpochSchedule.from_bounds(bounds, horizon=10_000)
+        assert schedule.epoch_length == int(np.ceil(bounds.epoch_length()))
+
+    def test_per_epoch_regret(self):
+        schedule = EpochSchedule(horizon=4, epoch_length=2)
+        popularities = np.array([[1.0, 0.0]] * 2 + [[0.0, 1.0]] * 2)
+        rewards = np.array([[1, 0]] * 4)
+        per_epoch = schedule.per_epoch_regret(popularities, rewards, best_quality=1.0)
+        np.testing.assert_allclose(per_epoch, [0.0, 1.0])
+
+    def test_per_epoch_regret_shape_validation(self):
+        schedule = EpochSchedule(horizon=4, epoch_length=2)
+        with pytest.raises(ValueError):
+            schedule.per_epoch_regret(np.zeros((3, 2)), np.zeros((3, 2)), 1.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            EpochSchedule(horizon=0, epoch_length=5)
+        with pytest.raises(ValueError):
+            EpochSchedule(horizon=5, epoch_length=0)

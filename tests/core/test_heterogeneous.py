@@ -1,0 +1,157 @@
+"""Tests for the typed heterogeneous-population dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.core.adoption import AlwaysAdoptRule, GeneralAdoptionRule, SymmetricAdoptionRule
+from repro.core.heterogeneous import AgentType, HeterogeneousPopulationDynamics
+from repro.core.regret import expected_regret
+from repro.environments import BernoulliEnvironment
+from repro import simulate_finite_population
+
+
+class TestAgentType:
+    def test_fields(self):
+        agent_type = AgentType(10, SymmetricAdoptionRule(0.6), exploration_rate=0.05)
+        assert agent_type.count == 10
+        assert agent_type.exploration_rate == pytest.approx(0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AgentType(0, SymmetricAdoptionRule(0.6))
+        with pytest.raises(TypeError):
+            AgentType(5, "rule")
+        with pytest.raises(ValueError):
+            AgentType(5, SymmetricAdoptionRule(0.6), exploration_rate=1.5)
+
+
+class TestConstruction:
+    def test_population_size_is_sum_of_counts(self):
+        dynamics = HeterogeneousPopulationDynamics(
+            [AgentType(30, SymmetricAdoptionRule(0.6)), AgentType(20, SymmetricAdoptionRule(0.7))],
+            3,
+            rng=0,
+        )
+        assert dynamics.population_size == 50
+        assert dynamics.counts_by_type().shape == (2, 3)
+
+    def test_initial_popularity_near_uniform(self):
+        dynamics = HeterogeneousPopulationDynamics(
+            [AgentType(100, SymmetricAdoptionRule(0.6))], 4, rng=0
+        )
+        np.testing.assert_allclose(dynamics.popularity(), 0.25)
+
+    def test_rejects_empty_types(self):
+        with pytest.raises(ValueError):
+            HeterogeneousPopulationDynamics([], 2)
+
+    def test_two_group_constructor(self):
+        dynamics = HeterogeneousPopulationDynamics.two_group(
+            100, 2, responsive_fraction=0.3, rng=0
+        )
+        counts = [agent_type.count for agent_type in dynamics.agent_types]
+        assert sum(counts) == 100
+        assert counts[0] == 30
+
+    def test_from_beta_values(self):
+        dynamics = HeterogeneousPopulationDynamics.from_beta_values(
+            [0.55, 0.65, 0.72], [10, 20, 30], 2, rng=0
+        )
+        assert dynamics.population_size == 60
+        betas = [t.adoption_rule.beta for t in dynamics.agent_types]
+        assert betas == pytest.approx([0.55, 0.65, 0.72])
+
+    def test_from_beta_values_validation(self):
+        with pytest.raises(ValueError):
+            HeterogeneousPopulationDynamics.from_beta_values([0.6], [1, 2], 2)
+
+
+class TestStep:
+    def test_counts_bounded_by_type_counts(self):
+        dynamics = HeterogeneousPopulationDynamics(
+            [AgentType(40, SymmetricAdoptionRule(0.6)), AgentType(60, SymmetricAdoptionRule(0.7))],
+            3,
+            rng=0,
+        )
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            dynamics.step(rng.integers(0, 2, size=3))
+            per_type = dynamics.counts_by_type().sum(axis=1)
+            assert per_type[0] <= 40 and per_type[1] <= 60
+
+    def test_always_adopt_type_keeps_everyone_committed(self):
+        dynamics = HeterogeneousPopulationDynamics(
+            [AgentType(50, AlwaysAdoptRule())], 2, rng=0
+        )
+        state = dynamics.step(np.array([0, 0]))
+        assert state.committed == 50
+
+    def test_rejects_bad_rewards(self):
+        dynamics = HeterogeneousPopulationDynamics(
+            [AgentType(10, SymmetricAdoptionRule(0.6))], 2, rng=0
+        )
+        with pytest.raises(ValueError):
+            dynamics.step(np.array([2, 0]))
+        with pytest.raises(ValueError):
+            dynamics.step(np.array([1]))
+
+    def test_popularity_by_type_rows_are_distributions(self):
+        dynamics = HeterogeneousPopulationDynamics.two_group(200, 3, rng=0)
+        dynamics.step(np.array([1, 0, 1]))
+        per_type = dynamics.popularity_by_type()
+        np.testing.assert_allclose(per_type.sum(axis=1), 1.0)
+
+    def test_time_advances(self):
+        dynamics = HeterogeneousPopulationDynamics.two_group(50, 2, rng=0)
+        dynamics.step(np.array([1, 0]))
+        assert dynamics.time == 1
+
+
+class TestBehaviour:
+    def test_homogeneous_types_match_core_dynamics(self):
+        """A single-type heterogeneous population is the core dynamics."""
+        qualities = [0.85, 0.45]
+        het_regrets, core_regrets = [], []
+        for seed in range(4):
+            env = BernoulliEnvironment(qualities, rng=seed)
+            het = HeterogeneousPopulationDynamics(
+                [AgentType(1000, SymmetricAdoptionRule(0.65), exploration_rate=0.03)],
+                2,
+                rng=seed + 10,
+            )
+            het_regrets.append(
+                expected_regret(het.run(env, 200).popularity_matrix(), qualities)
+            )
+            env2 = BernoulliEnvironment(qualities, rng=seed)
+            core = simulate_finite_population(env2, 1000, 200, beta=0.65, mu=0.03, rng=seed + 10)
+            core_regrets.append(expected_regret(core.popularity_matrix(), qualities))
+        assert np.mean(het_regrets) == pytest.approx(np.mean(core_regrets), abs=0.05)
+
+    def test_mixed_population_still_learns(self):
+        env = BernoulliEnvironment([0.85, 0.45, 0.45], rng=0)
+        dynamics = HeterogeneousPopulationDynamics.from_beta_values(
+            [0.55, 0.62, 0.72], [300, 400, 300], 3, rng=1
+        )
+        trajectory = dynamics.run(env, 300)
+        assert expected_regret(trajectory.popularity_matrix(), env.qualities) < 0.15
+
+    def test_responsive_types_commit_more(self):
+        """Types with larger beta hold options more often on good signals."""
+        dynamics = HeterogeneousPopulationDynamics(
+            [
+                AgentType(500, GeneralAdoptionRule(alpha=0.0, beta=0.95)),
+                AgentType(500, GeneralAdoptionRule(alpha=0.0, beta=0.55)),
+            ],
+            2,
+            rng=0,
+        )
+        for _ in range(20):
+            dynamics.step(np.array([1, 1]))
+        per_type = dynamics.counts_by_type().sum(axis=1)
+        assert per_type[0] > per_type[1]
+
+    def test_run_rejects_mismatched_environment(self):
+        env = BernoulliEnvironment([0.8, 0.5, 0.3], rng=0)
+        dynamics = HeterogeneousPopulationDynamics.two_group(50, 2, rng=1)
+        with pytest.raises(ValueError):
+            dynamics.run(env, 10)

@@ -1,0 +1,160 @@
+"""Tests for the infinite-population stochastic MWU dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.core.adoption import GeneralAdoptionRule, SymmetricAdoptionRule
+from repro.core.infinite import InfinitePopulationDynamics, simulate_infinite_population
+from repro.core.sampling import MixtureSampling
+from repro.environments import BernoulliEnvironment
+
+
+def reference_weight_update(weights, rewards, mu, beta, alpha):
+    """Direct transcription of Eq. (1) on raw (unnormalised) weights."""
+    weights = np.asarray(weights, dtype=float)
+    mixed = (1 - mu) * weights + (mu / weights.size) * weights.sum()
+    multipliers = np.where(np.asarray(rewards) == 1, beta, alpha)
+    return mixed * multipliers
+
+
+class TestStep:
+    def test_matches_raw_equation_one(self):
+        """The normalised implementation tracks Eq. (1) exactly."""
+        mu, beta = 0.1, 0.65
+        dynamics = InfinitePopulationDynamics(
+            3,
+            adoption_rule=SymmetricAdoptionRule(beta),
+            sampling_rule=MixtureSampling(mu),
+        )
+        raw_weights = np.ones(3)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            rewards = rng.integers(0, 2, size=3)
+            raw_weights = reference_weight_update(raw_weights, rewards, mu, beta, 1 - beta)
+            distribution = dynamics.step(rewards)
+            np.testing.assert_allclose(
+                distribution, raw_weights / raw_weights.sum(), rtol=1e-10
+            )
+
+    def test_log_potential_matches_raw_weights(self):
+        mu, beta = 0.05, 0.6
+        dynamics = InfinitePopulationDynamics(
+            2,
+            adoption_rule=SymmetricAdoptionRule(beta),
+            sampling_rule=MixtureSampling(mu),
+        )
+        raw_weights = np.ones(2)
+        rng = np.random.default_rng(1)
+        for _ in range(15):
+            rewards = rng.integers(0, 2, size=2)
+            raw_weights = reference_weight_update(raw_weights, rewards, mu, beta, 1 - beta)
+            dynamics.step(rewards)
+        assert dynamics.log_potential == pytest.approx(np.log(raw_weights.sum()))
+
+    def test_distribution_stays_normalised(self):
+        dynamics = InfinitePopulationDynamics(5)
+        rng = np.random.default_rng(2)
+        for _ in range(100):
+            dynamics.step(rng.integers(0, 2, size=5))
+            assert dynamics.distribution.sum() == pytest.approx(1.0)
+            assert np.all(dynamics.distribution >= 0)
+
+    def test_numerically_stable_over_long_horizon(self):
+        """Raw weights would underflow after ~1500 steps; normalised form must not."""
+        dynamics = InfinitePopulationDynamics(3)
+        rng = np.random.default_rng(3)
+        for _ in range(5000):
+            dynamics.step(rng.integers(0, 2, size=3))
+        assert np.all(np.isfinite(dynamics.distribution))
+        assert dynamics.distribution.sum() == pytest.approx(1.0)
+
+    def test_exploration_floor_keeps_all_options_alive(self):
+        mu = 0.1
+        dynamics = InfinitePopulationDynamics(
+            4, sampling_rule=MixtureSampling(mu), adoption_rule=SymmetricAdoptionRule(0.6)
+        )
+        # Option 0 always good, the rest always bad: worst case for options 1-3.
+        for _ in range(200):
+            dynamics.step(np.array([1, 0, 0, 0]))
+        floor = mu * (1 - 0.6) / (4 * 4)  # occupancy floor zeta from the paper
+        assert np.all(dynamics.distribution[1:] >= floor * 0.9)
+
+    def test_alpha_zero_all_bad_signals_restarts_from_mixture(self):
+        dynamics = InfinitePopulationDynamics(
+            2,
+            adoption_rule=GeneralAdoptionRule(alpha=0.0, beta=1.0),
+            sampling_rule=MixtureSampling(0.2),
+        )
+        distribution = dynamics.step(np.array([0, 0]))
+        assert distribution.sum() == pytest.approx(1.0)
+
+    def test_rejects_bad_rewards(self):
+        dynamics = InfinitePopulationDynamics(2)
+        with pytest.raises(ValueError):
+            dynamics.step(np.array([1, 2]))
+        with pytest.raises(ValueError):
+            dynamics.step(np.array([1, 0, 1]))
+
+    def test_reset(self):
+        dynamics = InfinitePopulationDynamics(3)
+        dynamics.step(np.array([1, 0, 0]))
+        dynamics.reset()
+        np.testing.assert_allclose(dynamics.distribution, 1.0 / 3)
+        assert dynamics.time == 0
+
+    def test_reset_with_new_distribution(self):
+        dynamics = InfinitePopulationDynamics(2)
+        dynamics.reset([0.9, 0.1])
+        np.testing.assert_allclose(dynamics.distribution, [0.9, 0.1])
+
+    def test_custom_initial_distribution(self):
+        dynamics = InfinitePopulationDynamics(2, initial_distribution=[0.3, 0.7])
+        np.testing.assert_allclose(dynamics.distribution, [0.3, 0.7])
+
+    def test_rejects_wrong_length_initial_distribution(self):
+        with pytest.raises(ValueError):
+            InfinitePopulationDynamics(3, initial_distribution=[0.5, 0.5])
+
+
+class TestRun:
+    def test_run_shapes(self):
+        env = BernoulliEnvironment([0.8, 0.4], rng=0)
+        trajectory = simulate_infinite_population(env, 60, beta=0.6)
+        assert trajectory.horizon == 60
+        assert trajectory.distribution_matrix().shape == (60, 2)
+        assert trajectory.reward_matrix().shape == (60, 2)
+        assert len(trajectory.log_potentials) == 60
+
+    def test_best_option_probability_grows(self):
+        env = BernoulliEnvironment([0.9, 0.3], rng=1)
+        trajectory = simulate_infinite_population(env, 300, beta=0.65)
+        series = trajectory.best_option_series(0)
+        assert series[-1] > 0.8
+        assert series[-1] > series[0]
+
+    def test_final_distribution_matches_last_entry(self):
+        env = BernoulliEnvironment([0.7, 0.5], rng=2)
+        trajectory = simulate_infinite_population(env, 10, beta=0.6)
+        np.testing.assert_allclose(
+            trajectory.final_distribution(), trajectory.distributions[-1]
+        )
+
+    def test_run_on_rewards_validates_shape(self):
+        dynamics = InfinitePopulationDynamics(2)
+        with pytest.raises(ValueError):
+            dynamics.run_on_rewards(np.zeros((5, 3), dtype=int))
+
+    def test_run_rejects_mismatched_environment(self):
+        env = BernoulliEnvironment([0.7, 0.5, 0.2], rng=2)
+        dynamics = InfinitePopulationDynamics(2)
+        with pytest.raises(ValueError):
+            dynamics.run(env, 5)
+
+    def test_empty_trajectory_matrices(self):
+        from repro.core.infinite import InfiniteTrajectory
+
+        trajectory = InfiniteTrajectory(initial_distribution=np.array([0.5, 0.5]))
+        assert trajectory.distribution_matrix().shape == (0, 2)
+        assert trajectory.reward_matrix().shape == (0, 2)
+        assert trajectory.best_option_series(0).shape == (0,)
+        np.testing.assert_allclose(trajectory.final_distribution(), [0.5, 0.5])

@@ -1,0 +1,64 @@
+"""Tests for sampling rules."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import MixtureSampling, PopularityOnlySampling, UniformSampling
+
+
+class TestMixtureSampling:
+    def test_formula_matches_equation_two(self):
+        rule = MixtureSampling(0.1)
+        popularity = np.array([0.5, 0.3, 0.2])
+        expected = 0.9 * popularity + 0.1 / 3
+        np.testing.assert_allclose(
+            rule.consideration_probabilities(popularity), expected
+        )
+
+    def test_output_is_probability_vector(self):
+        rule = MixtureSampling(0.25)
+        probabilities = rule.consideration_probabilities(np.array([0.7, 0.2, 0.1]))
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert np.all(probabilities >= 0)
+
+    def test_floor_is_mu_over_m(self):
+        rule = MixtureSampling(0.2)
+        probabilities = rule.consideration_probabilities(np.array([1.0, 0.0, 0.0, 0.0]))
+        assert probabilities.min() == pytest.approx(0.05)
+        assert rule.minimum_consideration_probability(4) == pytest.approx(0.05)
+
+    def test_exploration_rate_property(self):
+        assert MixtureSampling(0.07).exploration_rate == pytest.approx(0.07)
+
+    def test_rejects_invalid_mu(self):
+        with pytest.raises(ValueError):
+            MixtureSampling(1.5)
+
+    def test_rejects_non_probability_popularity(self):
+        rule = MixtureSampling(0.1)
+        with pytest.raises(ValueError):
+            rule.consideration_probabilities(np.array([0.7, 0.7]))
+
+    def test_equality_and_hash(self):
+        assert MixtureSampling(0.1) == MixtureSampling(0.1)
+        assert MixtureSampling(0.1) != MixtureSampling(0.2)
+        assert hash(MixtureSampling(0.1)) == hash(MixtureSampling(0.1))
+
+
+class TestEndpoints:
+    def test_uniform_sampling_ignores_popularity(self):
+        rule = UniformSampling()
+        probabilities = rule.consideration_probabilities(np.array([0.9, 0.1]))
+        np.testing.assert_allclose(probabilities, [0.5, 0.5])
+
+    def test_popularity_only_reproduces_popularity(self):
+        rule = PopularityOnlySampling()
+        popularity = np.array([0.6, 0.4])
+        np.testing.assert_allclose(
+            rule.consideration_probabilities(popularity), popularity
+        )
+
+    def test_popularity_only_keeps_zero_mass_at_zero(self):
+        rule = PopularityOnlySampling()
+        probabilities = rule.consideration_probabilities(np.array([1.0, 0.0]))
+        assert probabilities[1] == 0.0

@@ -1,0 +1,100 @@
+"""Tests for PopulationState and Trajectory."""
+
+import numpy as np
+import pytest
+
+from repro.core.state import PopulationState, Trajectory
+
+
+class TestPopulationState:
+    def test_uniform_initialisation_matches_paper(self):
+        state = PopulationState.uniform(100, 4)
+        np.testing.assert_array_equal(state.counts, [25, 25, 25, 25])
+        np.testing.assert_allclose(state.popularity(), 0.25)
+
+    def test_uniform_handles_remainder(self):
+        state = PopulationState.uniform(10, 3)
+        assert state.counts.sum() == 10
+        assert state.counts.max() - state.counts.min() <= 1
+
+    def test_popularity_normalises_counts(self):
+        state = PopulationState.from_counts([30, 10])
+        np.testing.assert_allclose(state.popularity(), [0.75, 0.25])
+
+    def test_popularity_uniform_when_empty(self):
+        state = PopulationState(counts=np.zeros(4, dtype=int), population_size=10)
+        np.testing.assert_allclose(state.popularity(), 0.25)
+
+    def test_committed_and_sitting_out(self):
+        state = PopulationState(counts=np.array([3, 4]), population_size=10)
+        assert state.committed == 7
+        assert state.sitting_out == 3
+
+    def test_min_popularity_and_leader(self):
+        state = PopulationState.from_counts([5, 15, 10])
+        assert state.min_popularity() == pytest.approx(5 / 30)
+        assert state.leader() == 1
+
+    def test_entropy_maximal_for_uniform(self):
+        uniform = PopulationState.uniform(100, 4)
+        skewed = PopulationState.from_counts([97, 1, 1, 1])
+        assert uniform.entropy() > skewed.entropy()
+        assert uniform.entropy() == pytest.approx(np.log(4))
+
+    def test_entropy_zero_for_consensus(self):
+        state = PopulationState.from_counts([10, 0, 0])
+        assert state.entropy() == pytest.approx(0.0)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            PopulationState(counts=np.array([-1, 2]), population_size=5)
+
+    def test_rejects_committed_exceeding_population(self):
+        with pytest.raises(ValueError):
+            PopulationState(counts=np.array([5, 6]), population_size=10)
+
+    def test_immutable(self):
+        state = PopulationState.from_counts([1, 2])
+        with pytest.raises(AttributeError):
+            state.population_size = 5
+
+
+class TestTrajectory:
+    def _make_trajectory(self, steps: int = 5, options: int = 3) -> Trajectory:
+        initial = PopulationState.uniform(30, options)
+        trajectory = Trajectory(initial_state=initial)
+        rng = np.random.default_rng(0)
+        for step in range(steps):
+            counts = rng.multinomial(30, np.full(options, 1.0 / options))
+            state = PopulationState(counts=counts, population_size=30, time=step + 1)
+            trajectory.record(
+                pre_step_popularity=np.full(options, 1.0 / options),
+                rewards=rng.integers(0, 2, size=options),
+                new_state=state,
+            )
+        return trajectory
+
+    def test_horizon_and_matrices(self):
+        trajectory = self._make_trajectory(steps=7, options=4)
+        assert trajectory.horizon == 7
+        assert trajectory.popularity_matrix().shape == (7, 4)
+        assert trajectory.reward_matrix().shape == (7, 4)
+
+    def test_empty_trajectory_matrices(self):
+        trajectory = Trajectory(initial_state=PopulationState.uniform(10, 2))
+        assert trajectory.popularity_matrix().shape == (0, 2)
+        assert trajectory.reward_matrix().shape == (0, 2)
+        assert trajectory.final_state().num_options == 2
+
+    def test_final_state_is_last_recorded(self):
+        trajectory = self._make_trajectory(steps=3)
+        assert trajectory.final_state() is trajectory.states[-1]
+
+    def test_best_option_popularity_series_length(self):
+        trajectory = self._make_trajectory(steps=5)
+        assert trajectory.best_option_popularity(0).shape == (5,)
+
+    def test_min_popularity_and_leader_series(self):
+        trajectory = self._make_trajectory(steps=5)
+        assert trajectory.min_popularity_series().shape == (5,)
+        assert trajectory.leader_series().shape == (5,)

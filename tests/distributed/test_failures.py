@@ -1,0 +1,54 @@
+"""Tests for failure models."""
+
+import pytest
+
+from repro.distributed import CrashFailureModel, NoFailures
+
+
+class TestNoFailures:
+    def test_never_crashes(self):
+        model = NoFailures()
+        assert model.crashes_for_round(0, list(range(10))) == []
+        assert model.crashes_for_round(100, list(range(10))) == []
+
+
+class TestCrashFailureModel:
+    def test_zero_probability_never_crashes(self):
+        model = CrashFailureModel(per_round_crash_probability=0.0, rng=0)
+        assert model.crashes_for_round(0, list(range(50))) == []
+
+    def test_certain_probability_crashes_everyone(self):
+        model = CrashFailureModel(per_round_crash_probability=1.0, rng=0)
+        assert model.crashes_for_round(0, list(range(10))) == list(range(10))
+
+    def test_mass_failure_only_at_scheduled_round(self):
+        model = CrashFailureModel(
+            mass_failure_round=5, mass_failure_fraction=0.5, rng=0
+        )
+        assert model.crashes_for_round(4, list(range(100))) == []
+        crashed = model.crashes_for_round(5, list(range(100)))
+        assert len(crashed) == 50
+        assert model.crashes_for_round(6, list(range(100))) == []
+
+    def test_mass_failure_fraction_respected(self):
+        model = CrashFailureModel(mass_failure_round=0, mass_failure_fraction=0.3, rng=1)
+        crashed = model.crashes_for_round(0, list(range(200)))
+        assert len(crashed) == 60
+
+    def test_crashed_nodes_are_subset_of_alive(self):
+        model = CrashFailureModel(per_round_crash_probability=0.5, rng=2)
+        alive = [3, 7, 11, 19]
+        crashed = model.crashes_for_round(0, alive)
+        assert set(crashed) <= set(alive)
+
+    def test_empty_alive_list(self):
+        model = CrashFailureModel(per_round_crash_probability=1.0, rng=0)
+        assert model.crashes_for_round(0, []) == []
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CrashFailureModel(per_round_crash_probability=1.5)
+        with pytest.raises(ValueError):
+            CrashFailureModel(mass_failure_round=-1)
+        with pytest.raises(ValueError):
+            CrashFailureModel(mass_failure_fraction=2.0)

@@ -1,0 +1,45 @@
+"""Tests for protocol message types."""
+
+import pytest
+
+from repro.distributed import ChoiceQuery, ChoiceReply
+
+
+class TestChoiceQuery:
+    def test_fields(self):
+        query = ChoiceQuery(sender=1, recipient=2, round_number=3)
+        assert query.sender == 1
+        assert query.recipient == 2
+        assert query.round_number == 3
+
+    def test_immutable(self):
+        query = ChoiceQuery(sender=1, recipient=2, round_number=3)
+        with pytest.raises(AttributeError):
+            query.sender = 5
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(ValueError):
+            ChoiceQuery(sender=-1, recipient=0, round_number=0)
+        with pytest.raises(ValueError):
+            ChoiceQuery(sender=0, recipient=-1, round_number=0)
+        with pytest.raises(ValueError):
+            ChoiceQuery(sender=0, recipient=0, round_number=-1)
+
+
+class TestChoiceReply:
+    def test_with_option(self):
+        reply = ChoiceReply(sender=0, recipient=1, round_number=2, option=3)
+        assert reply.option == 3
+
+    def test_sitting_out_reply(self):
+        reply = ChoiceReply(sender=0, recipient=1, round_number=2, option=None)
+        assert reply.option is None
+
+    def test_rejects_negative_option(self):
+        with pytest.raises(ValueError):
+            ChoiceReply(sender=0, recipient=1, round_number=2, option=-1)
+
+    def test_equality(self):
+        a = ChoiceReply(sender=0, recipient=1, round_number=2, option=1)
+        b = ChoiceReply(sender=0, recipient=1, round_number=2, option=1)
+        assert a == b

@@ -1,0 +1,114 @@
+"""Tests for protocol nodes."""
+
+import numpy as np
+import pytest
+
+from repro.core.adoption import GeneralAdoptionRule, SymmetricAdoptionRule
+from repro.distributed import ChoiceQuery, ProtocolNode
+
+
+def make_node(node_id=0, beta=0.6, initial_option=1):
+    return ProtocolNode(
+        node_id=node_id,
+        num_options=3,
+        adoption_rule=SymmetricAdoptionRule(beta),
+        initial_option=initial_option,
+    )
+
+
+class TestConstruction:
+    def test_initial_state(self):
+        node = make_node()
+        assert node.current_option == 1
+        assert node.considered_option is None
+        assert not node.crashed
+
+    def test_rejects_option_out_of_range(self):
+        with pytest.raises(ValueError):
+            ProtocolNode(0, 2, SymmetricAdoptionRule(0.6), initial_option=5)
+
+    def test_rejects_non_rule(self):
+        with pytest.raises(TypeError):
+            ProtocolNode(0, 2, "rule")
+
+
+class TestMessaging:
+    def test_query_round_trip(self):
+        alice, bob = make_node(0, initial_option=2), make_node(1, initial_option=0)
+        query = alice.make_query(peer=1, round_number=7)
+        reply = bob.handle_query(query)
+        assert reply is not None
+        assert reply.recipient == 0 and reply.option == 0 and reply.round_number == 7
+
+    def test_crashed_node_does_not_reply(self):
+        node = make_node()
+        node.crash()
+        assert node.handle_query(ChoiceQuery(1, 0, 0)) is None
+
+    def test_handle_reply_sets_considered_option(self):
+        node = make_node()
+        reply = make_node(1, initial_option=2).handle_query(node.make_query(1, 0))
+        assert node.handle_reply(reply, np.random.default_rng(0)) is True
+        assert node.considered_option == 2
+
+    def test_reply_from_sitting_out_peer_leaves_node_unsatisfied(self):
+        node = make_node()
+        peer = make_node(1, initial_option=None)
+        reply = peer.handle_query(node.make_query(1, 0))
+        assert node.handle_reply(reply, np.random.default_rng(0)) is False
+        assert node.considered_option is None
+
+    def test_crashed_node_ignores_reply(self):
+        node = make_node()
+        reply = make_node(1, initial_option=2).handle_query(node.make_query(1, 0))
+        node.crash()
+        assert node.handle_reply(reply, np.random.default_rng(0)) is False
+
+    def test_explore_sets_considered_option(self):
+        node = make_node()
+        node.explore(np.random.default_rng(0))
+        assert node.considered_option in (0, 1, 2)
+
+
+class TestAdoptStep:
+    def test_adopt_with_certainty(self):
+        node = ProtocolNode(0, 2, GeneralAdoptionRule(alpha=0.0, beta=1.0))
+        node.considered_option = 1
+        node.adopt_step(1, np.random.default_rng(0))
+        assert node.current_option == 1
+        assert node.considered_option is None
+
+    def test_reject_with_certainty(self):
+        node = ProtocolNode(0, 2, GeneralAdoptionRule(alpha=0.0, beta=1.0), initial_option=0)
+        node.considered_option = 1
+        node.adopt_step(0, np.random.default_rng(0))
+        assert node.current_option is None
+
+    def test_adopt_rate_matches_beta(self):
+        rng = np.random.default_rng(1)
+        adoptions = 0
+        for _ in range(2000):
+            node = make_node(beta=0.7)
+            node.considered_option = 0
+            node.adopt_step(1, rng)
+            adoptions += node.current_option is not None
+        assert adoptions / 2000 == pytest.approx(0.7, abs=0.03)
+
+    def test_no_considered_option_is_noop(self):
+        node = make_node()
+        node.adopt_step(1, np.random.default_rng(0))
+        assert node.current_option == 1
+
+    def test_crashed_node_ignores_adopt(self):
+        node = make_node()
+        node.considered_option = 0
+        node.crash()
+        node.adopt_step(1, np.random.default_rng(0))
+        assert node.considered_option is None
+        assert node.crashed
+
+    def test_invalid_signal_rejected(self):
+        node = make_node()
+        node.considered_option = 0
+        with pytest.raises(ValueError):
+            node.adopt_step(2, np.random.default_rng(0))

@@ -1,0 +1,122 @@
+"""Tests for the distributed learning protocol."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    CrashFailureModel,
+    DistributedLearningProtocol,
+    LossyTransport,
+)
+from repro.environments import BernoulliEnvironment
+
+
+class TestProtocolBasics:
+    def test_initialisation(self):
+        protocol = DistributedLearningProtocol(50, 3, rng=0)
+        assert len(protocol.nodes) == 50
+        assert len(protocol.alive_nodes()) == 50
+        assert protocol.popularity().sum() == pytest.approx(1.0)
+
+    def test_round_counter_advances(self):
+        protocol = DistributedLearningProtocol(20, 2, rng=0)
+        protocol.run_round(np.array([1, 0]))
+        protocol.run_round(np.array([0, 1]))
+        assert protocol.round_number == 2
+
+    def test_rewards_validated(self):
+        protocol = DistributedLearningProtocol(20, 2, rng=0)
+        with pytest.raises(ValueError):
+            protocol.run_round(np.array([1, 0, 1]))
+
+    def test_run_result_shapes(self):
+        env = BernoulliEnvironment([0.8, 0.4], rng=1)
+        protocol = DistributedLearningProtocol(100, 2, rng=2)
+        result = protocol.run(env, 40)
+        assert result.rounds == 40
+        assert result.popularity_matrix.shape == (40, 2)
+        assert result.reward_matrix.shape == (40, 2)
+        assert result.alive_series.shape == (40,)
+
+    def test_run_rejects_mismatched_environment(self):
+        env = BernoulliEnvironment([0.8, 0.4, 0.2], rng=1)
+        protocol = DistributedLearningProtocol(50, 2, rng=2)
+        with pytest.raises(ValueError):
+            protocol.run(env, 5)
+
+    def test_messages_are_exchanged(self):
+        env = BernoulliEnvironment([0.8, 0.4], rng=3)
+        protocol = DistributedLearningProtocol(100, 2, exploration_rate=0.05, rng=4)
+        result = protocol.run(env, 20)
+        assert result.transport_stats["sent"] > 0
+        assert result.transport_stats["delivered"] > 0
+
+    def test_protocol_learns_best_option(self):
+        env = BernoulliEnvironment([0.9, 0.2], rng=5)
+        protocol = DistributedLearningProtocol(400, 2, exploration_rate=0.03, rng=6)
+        result = protocol.run(env, 300)
+        assert result.best_option_share > 0.6
+        assert result.regret < 0.35
+
+
+class TestUnreliableCommunication:
+    def test_message_loss_triggers_fallback_exploration(self):
+        env = BernoulliEnvironment([0.8, 0.4], rng=0)
+        protocol = DistributedLearningProtocol(
+            100, 2, transport=LossyTransport(loss_rate=0.5, rng=1), rng=2
+        )
+        result = protocol.run(env, 30)
+        assert result.fallback_explorations > 0
+        assert result.transport_stats["dropped"] > 0
+
+    def test_protocol_still_learns_with_moderate_loss(self):
+        env = BernoulliEnvironment([0.9, 0.2], rng=3)
+        protocol = DistributedLearningProtocol(
+            300, 2, exploration_rate=0.03,
+            transport=LossyTransport(loss_rate=0.2, rng=4), rng=5,
+        )
+        result = protocol.run(env, 300)
+        assert result.best_option_share > 0.5
+
+    def test_full_loss_degrades_to_signal_only_learning(self):
+        env = BernoulliEnvironment([0.9, 0.2], rng=6)
+        protocol = DistributedLearningProtocol(
+            200, 2, transport=LossyTransport(loss_rate=1.0, rng=7), rng=8
+        )
+        result = protocol.run(env, 100)
+        # No imitation possible, but local signals still give better-than-random play.
+        assert result.best_option_share > 0.5
+
+
+class TestCrashes:
+    def test_mass_failure_reduces_alive_count(self):
+        env = BernoulliEnvironment([0.8, 0.4], rng=0)
+        protocol = DistributedLearningProtocol(
+            100, 2,
+            failure_model=CrashFailureModel(mass_failure_round=10, mass_failure_fraction=0.4, rng=1),
+            rng=2,
+        )
+        result = protocol.run(env, 30)
+        assert result.alive_series[0] == 100
+        assert result.alive_series[-1] == pytest.approx(60, abs=1)
+
+    def test_survivors_keep_learning_after_mass_failure(self):
+        env = BernoulliEnvironment([0.9, 0.2], rng=3)
+        protocol = DistributedLearningProtocol(
+            400, 2, exploration_rate=0.03,
+            failure_model=CrashFailureModel(mass_failure_round=50, mass_failure_fraction=0.5, rng=4),
+            rng=5,
+        )
+        result = protocol.run(env, 300)
+        assert result.popularity_matrix[-30:, 0].mean() > 0.6
+
+    def test_all_nodes_crashed_is_handled(self):
+        env = BernoulliEnvironment([0.8, 0.4], rng=6)
+        protocol = DistributedLearningProtocol(
+            20, 2,
+            failure_model=CrashFailureModel(per_round_crash_probability=1.0, rng=7),
+            rng=8,
+        )
+        result = protocol.run(env, 5)
+        assert len(protocol.alive_nodes()) == 0
+        assert result.rounds == 5

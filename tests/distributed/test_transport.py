@@ -1,0 +1,70 @@
+"""Tests for the lossy transport layer."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import ChoiceQuery, LossyTransport
+
+
+def make_message(round_number=0):
+    return ChoiceQuery(sender=0, recipient=1, round_number=round_number)
+
+
+class TestPerfectTransport:
+    def test_delivers_in_same_round(self):
+        transport = LossyTransport(rng=0)
+        transport.send(make_message(round_number=5))
+        delivered = transport.deliver(5)
+        assert len(delivered) == 1
+        assert transport.stats.delivered == 1
+
+    def test_nothing_for_other_rounds(self):
+        transport = LossyTransport(rng=0)
+        transport.send(make_message(round_number=5))
+        assert transport.deliver(4) == []
+        assert transport.pending() == 1
+
+    def test_deliver_clears_mailbox(self):
+        transport = LossyTransport(rng=0)
+        transport.send(make_message(round_number=2))
+        transport.deliver(2)
+        assert transport.deliver(2) == []
+
+
+class TestLossAndDelay:
+    def test_full_loss_drops_everything(self):
+        transport = LossyTransport(loss_rate=1.0, rng=0)
+        for _ in range(20):
+            transport.send(make_message())
+        assert transport.deliver(0) == []
+        assert transport.stats.dropped == 20
+
+    def test_full_delay_shifts_by_one_round(self):
+        transport = LossyTransport(delay_rate=1.0, rng=0)
+        transport.send(make_message(round_number=3))
+        assert transport.deliver(3) == []
+        assert len(transport.deliver(4)) == 1
+        assert transport.stats.delayed == 1
+
+    def test_loss_rate_statistics(self):
+        transport = LossyTransport(loss_rate=0.3, rng=1)
+        for _ in range(3000):
+            transport.send(make_message())
+        assert transport.stats.dropped / transport.stats.sent == pytest.approx(0.3, abs=0.03)
+
+    def test_stats_as_dict(self):
+        transport = LossyTransport(rng=0)
+        transport.send(make_message())
+        transport.deliver(0)
+        stats = transport.stats.as_dict()
+        assert stats["sent"] == 1 and stats["delivered"] == 1
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            LossyTransport(loss_rate=1.5)
+        with pytest.raises(ValueError):
+            LossyTransport(delay_rate=-0.1)
+
+    def test_deliver_rejects_negative_round(self):
+        with pytest.raises(ValueError):
+            LossyTransport().deliver(-1)

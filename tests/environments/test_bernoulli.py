@@ -1,0 +1,107 @@
+"""Tests for the Bernoulli environment and the RewardEnvironment base behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.environments import BernoulliEnvironment
+
+
+class TestConstruction:
+    def test_qualities_preserved(self):
+        env = BernoulliEnvironment([0.7, 0.3])
+        np.testing.assert_allclose(env.qualities, [0.7, 0.3])
+
+    def test_num_options(self):
+        env = BernoulliEnvironment([0.5, 0.5, 0.5])
+        assert env.num_options == 3
+
+    def test_best_option_and_quality(self):
+        env = BernoulliEnvironment([0.2, 0.9, 0.5])
+        assert env.best_option == 1
+        assert env.best_quality == pytest.approx(0.9)
+
+    def test_quality_gap(self):
+        env = BernoulliEnvironment([0.8, 0.5, 0.3])
+        assert env.quality_gap() == pytest.approx(0.3)
+
+    def test_single_option_gap_is_zero(self):
+        assert BernoulliEnvironment([0.5]).quality_gap() == 0.0
+
+    def test_rejects_out_of_range_quality(self):
+        with pytest.raises(ValueError):
+            BernoulliEnvironment([0.5, 1.5])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BernoulliEnvironment([])
+
+    def test_qualities_returns_copy(self):
+        env = BernoulliEnvironment([0.5, 0.5])
+        env.qualities[0] = 0.0
+        assert env.qualities[0] == 0.5
+
+
+class TestSampling:
+    def test_sample_shape_and_binary(self):
+        env = BernoulliEnvironment([0.5, 0.5], rng=0)
+        rewards = env.sample()
+        assert rewards.shape == (2,)
+        assert set(np.unique(rewards)).issubset({0, 1})
+
+    def test_sample_many_shape(self):
+        env = BernoulliEnvironment([0.5, 0.5, 0.5], rng=0)
+        rewards = env.sample_many(50)
+        assert rewards.shape == (50, 3)
+
+    def test_time_advances(self):
+        env = BernoulliEnvironment([0.5], rng=0)
+        env.sample_many(5)
+        assert env.time == 5
+
+    def test_reset_clears_time(self):
+        env = BernoulliEnvironment([0.5], rng=0)
+        env.sample_many(5)
+        env.reset()
+        assert env.time == 0
+
+    def test_deterministic_given_seed(self):
+        a = BernoulliEnvironment([0.5, 0.5], rng=3).sample_many(20)
+        b = BernoulliEnvironment([0.5, 0.5], rng=3).sample_many(20)
+        np.testing.assert_array_equal(a, b)
+
+    def test_extreme_qualities(self):
+        env = BernoulliEnvironment([1.0, 0.0], rng=0)
+        rewards = env.sample_many(30)
+        assert np.all(rewards[:, 0] == 1)
+        assert np.all(rewards[:, 1] == 0)
+
+    def test_empirical_mean_close_to_quality(self):
+        env = BernoulliEnvironment([0.7, 0.2], rng=0)
+        rewards = env.sample_many(5000)
+        np.testing.assert_allclose(rewards.mean(axis=0), [0.7, 0.2], atol=0.03)
+
+    def test_sample_many_rejects_non_positive(self):
+        env = BernoulliEnvironment([0.5])
+        with pytest.raises(ValueError):
+            env.sample_many(0)
+
+
+class TestConvenienceConstructors:
+    def test_with_gap_structure(self):
+        env = BernoulliEnvironment.with_gap(5, best_quality=0.8, gap=0.3)
+        qualities = env.qualities
+        assert qualities[0] == pytest.approx(0.8)
+        np.testing.assert_allclose(qualities[1:], 0.5)
+
+    def test_with_gap_rejects_gap_above_best(self):
+        with pytest.raises(ValueError):
+            BernoulliEnvironment.with_gap(3, best_quality=0.4, gap=0.5)
+
+    def test_random_instance_respects_min_gap(self):
+        env = BernoulliEnvironment.random_instance(4, min_gap=0.2, rng=0)
+        qualities = np.sort(env.qualities)[::-1]
+        assert qualities[0] - qualities[1] >= 0.2
+
+    def test_random_instance_single_option(self):
+        env = BernoulliEnvironment.random_instance(1, rng=0)
+        assert env.num_options == 1

@@ -1,0 +1,59 @@
+"""Tests for correlated-option environments."""
+
+import numpy as np
+import pytest
+
+from repro.environments import CorrelatedOptionsEnvironment, ExactlyOneGoodEnvironment
+
+
+class TestExactlyOneGood:
+    def test_rewards_are_one_hot(self):
+        env = ExactlyOneGoodEnvironment([0.5, 0.3, 0.2], rng=0)
+        rewards = env.sample_many(100)
+        np.testing.assert_array_equal(rewards.sum(axis=1), np.ones(100))
+
+    def test_marginals_match_win_probabilities(self):
+        env = ExactlyOneGoodEnvironment([0.6, 0.4], rng=0)
+        rewards = env.sample_many(5000)
+        np.testing.assert_allclose(rewards.mean(axis=0), [0.6, 0.4], atol=0.03)
+
+    def test_qualities_equal_win_probabilities(self):
+        env = ExactlyOneGoodEnvironment([0.7, 0.2, 0.1])
+        np.testing.assert_allclose(env.qualities, [0.7, 0.2, 0.1])
+
+    def test_rejects_non_distribution(self):
+        with pytest.raises(ValueError):
+            ExactlyOneGoodEnvironment([0.5, 0.3])
+
+
+class TestCorrelatedOptions:
+    def test_marginals_preserved(self):
+        env = CorrelatedOptionsEnvironment([0.7, 0.3], correlation=0.6, rng=0)
+        rewards = env.sample_many(6000)
+        np.testing.assert_allclose(rewards.mean(axis=0), [0.7, 0.3], atol=0.03)
+
+    def test_positive_correlation_induced(self):
+        env = CorrelatedOptionsEnvironment([0.5, 0.5], correlation=0.9, rng=0)
+        rewards = env.sample_many(4000).astype(float)
+        correlation = np.corrcoef(rewards[:, 0], rewards[:, 1])[0, 1]
+        assert correlation > 0.4
+
+    def test_zero_correlation_close_to_independent(self):
+        env = CorrelatedOptionsEnvironment([0.5, 0.5], correlation=0.0, rng=0)
+        rewards = env.sample_many(4000).astype(float)
+        correlation = np.corrcoef(rewards[:, 0], rewards[:, 1])[0, 1]
+        assert abs(correlation) < 0.1
+
+    def test_degenerate_qualities_honoured(self):
+        env = CorrelatedOptionsEnvironment([1.0, 0.0, 0.5], correlation=0.5, rng=0)
+        rewards = env.sample_many(50)
+        assert np.all(rewards[:, 0] == 1)
+        assert np.all(rewards[:, 1] == 0)
+
+    def test_rejects_correlation_of_one(self):
+        with pytest.raises(ValueError):
+            CorrelatedOptionsEnvironment([0.5, 0.5], correlation=1.0)
+
+    def test_correlation_property(self):
+        env = CorrelatedOptionsEnvironment([0.5, 0.5], correlation=0.25)
+        assert env.correlation == pytest.approx(0.25)

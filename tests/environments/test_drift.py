@@ -1,0 +1,88 @@
+"""Tests for the non-stationary (drifting) environments."""
+
+import numpy as np
+import pytest
+
+from repro.environments import PiecewiseConstantDriftEnvironment, RandomWalkDriftEnvironment
+
+
+class TestPiecewiseConstantDrift:
+    def test_phase_switching(self):
+        env = PiecewiseConstantDriftEnvironment(
+            phases=[[0.9, 0.1], [0.1, 0.9]], phase_length=10, rng=0
+        )
+        assert env.best_option == 0
+        env.sample_many(10)
+        assert env.best_option == 1
+
+    def test_last_phase_persists(self):
+        env = PiecewiseConstantDriftEnvironment(
+            phases=[[0.9, 0.1], [0.1, 0.9]], phase_length=5, rng=0
+        )
+        env.sample_many(50)
+        np.testing.assert_allclose(env.qualities, [0.1, 0.9])
+
+    def test_num_phases(self):
+        env = PiecewiseConstantDriftEnvironment(
+            phases=[[0.5], [0.6], [0.7]], phase_length=2
+        )
+        assert env.num_phases == 3
+
+    def test_rewards_track_current_phase(self):
+        env = PiecewiseConstantDriftEnvironment(
+            phases=[[1.0, 0.0], [0.0, 1.0]], phase_length=20, rng=0
+        )
+        first_phase = env.sample_many(20)
+        second_phase = env.sample_many(20)
+        assert np.all(first_phase[:, 0] == 1) and np.all(first_phase[:, 1] == 0)
+        assert np.all(second_phase[:, 0] == 0) and np.all(second_phase[:, 1] == 1)
+
+    def test_rejects_mismatched_phase_sizes(self):
+        with pytest.raises(ValueError):
+            PiecewiseConstantDriftEnvironment(phases=[[0.5, 0.5], [0.5]], phase_length=5)
+
+    def test_rejects_empty_phases(self):
+        with pytest.raises(ValueError):
+            PiecewiseConstantDriftEnvironment(phases=[], phase_length=5)
+
+
+class TestRandomWalkDrift:
+    def test_qualities_stay_in_bounds(self):
+        env = RandomWalkDriftEnvironment(
+            [0.5, 0.5], step_scale=0.1, low=0.2, high=0.8, rng=0
+        )
+        for _ in range(200):
+            env.sample()
+            qualities = env.qualities
+            assert np.all(qualities >= 0.2 - 1e-12)
+            assert np.all(qualities <= 0.8 + 1e-12)
+
+    def test_qualities_actually_move(self):
+        env = RandomWalkDriftEnvironment([0.5], step_scale=0.05, rng=0)
+        initial = env.qualities.copy()
+        env.sample_many(50)
+        assert not np.allclose(env.qualities, initial)
+
+    def test_reset_restores_initial(self):
+        env = RandomWalkDriftEnvironment([0.4, 0.6], step_scale=0.05, rng=0)
+        env.sample_many(30)
+        env.reset()
+        np.testing.assert_allclose(env.qualities, [0.4, 0.6])
+        assert env.time == 0
+
+    def test_rejects_initial_outside_bounds(self):
+        with pytest.raises(ValueError):
+            RandomWalkDriftEnvironment([0.01], low=0.1, high=0.9)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            RandomWalkDriftEnvironment([0.5], low=0.8, high=0.2)
+
+    def test_rejects_non_positive_step(self):
+        with pytest.raises(ValueError):
+            RandomWalkDriftEnvironment([0.5], step_scale=0.0)
+
+    def test_reflect_keeps_values_inside(self):
+        values = np.array([0.05, 0.95, 0.5])
+        reflected = RandomWalkDriftEnvironment._reflect(values, 0.1, 0.9)
+        assert np.all(reflected >= 0.1) and np.all(reflected <= 0.9)

@@ -1,0 +1,70 @@
+"""Tests for recorded/replayable reward sequences."""
+
+import numpy as np
+import pytest
+
+from repro.environments import BernoulliEnvironment, RecordedRewardSequence, record_rewards
+
+
+class TestRecordRewards:
+    def test_shape(self):
+        env = BernoulliEnvironment([0.5, 0.5], rng=0)
+        rewards = record_rewards(env, 25)
+        assert rewards.shape == (25, 2)
+
+    def test_advances_environment_clock(self):
+        env = BernoulliEnvironment([0.5], rng=0)
+        record_rewards(env, 10)
+        assert env.time == 10
+
+
+class TestRecordedRewardSequence:
+    def test_replays_exact_matrix(self):
+        matrix = np.array([[1, 0], [0, 1], [1, 1]])
+        sequence = RecordedRewardSequence(matrix)
+        replayed = sequence.sample_many(3)
+        np.testing.assert_array_equal(replayed, matrix)
+
+    def test_from_environment_keeps_true_qualities(self):
+        env = BernoulliEnvironment([0.8, 0.2], rng=0)
+        sequence = RecordedRewardSequence.from_environment(env, 30)
+        np.testing.assert_allclose(sequence.qualities, [0.8, 0.2])
+        assert sequence.horizon == 30
+
+    def test_default_qualities_are_empirical_means(self):
+        matrix = np.array([[1, 0], [1, 0], [1, 1], [1, 0]])
+        sequence = RecordedRewardSequence(matrix)
+        np.testing.assert_allclose(sequence.qualities, [1.0, 0.25])
+
+    def test_exhaustion_raises(self):
+        sequence = RecordedRewardSequence(np.array([[1], [0]]))
+        sequence.sample_many(2)
+        with pytest.raises(RuntimeError):
+            sequence.sample()
+
+    def test_remaining(self):
+        sequence = RecordedRewardSequence(np.array([[1], [0], [1]]))
+        sequence.sample()
+        assert sequence.remaining() == 2
+
+    def test_reset_allows_replay_again(self):
+        matrix = np.array([[1, 0], [0, 1]])
+        sequence = RecordedRewardSequence(matrix)
+        first = sequence.sample_many(2)
+        sequence.reset()
+        second = sequence.sample_many(2)
+        np.testing.assert_array_equal(first, second)
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            RecordedRewardSequence(np.array([[0.5, 0.5]]))
+
+    def test_rejects_wrong_quality_length(self):
+        with pytest.raises(ValueError):
+            RecordedRewardSequence(np.array([[1, 0]]), qualities=[0.5])
+
+    def test_rewards_property_returns_copy(self):
+        matrix = np.array([[1, 0]])
+        sequence = RecordedRewardSequence(matrix)
+        sequence.rewards[0, 0] = 0
+        assert sequence.rewards[0, 0] == 1

@@ -1,0 +1,42 @@
+"""Tests for ExperimentConfig."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+
+class TestExperimentConfig:
+    def test_defaults(self):
+        config = ExperimentConfig(name="demo")
+        assert config.replications == 5
+        assert config.seed == 0
+        assert config.parameters == {}
+
+    def test_with_parameters_merges(self):
+        config = ExperimentConfig(name="demo", parameters={"a": 1, "b": 2})
+        updated = config.with_parameters(b=3, c=4)
+        assert updated.parameters == {"a": 1, "b": 3, "c": 4}
+        # original untouched
+        assert config.parameters == {"a": 1, "b": 2}
+
+    def test_describe_mentions_name_and_parameters(self):
+        config = ExperimentConfig(name="E1", parameters={"beta": 0.6}, replications=3)
+        description = config.describe()
+        assert "E1" in description and "beta=0.6" in description and "x3" in description
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(name="")
+
+    def test_rejects_bad_replications(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(name="x", replications=0)
+
+    def test_rejects_negative_seed(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(name="x", seed=-1)
+
+    def test_frozen(self):
+        config = ExperimentConfig(name="x")
+        with pytest.raises(AttributeError):
+            config.name = "y"

@@ -1,0 +1,42 @@
+"""Tests for CSV result IO."""
+
+import pytest
+
+from repro.experiments import ResultTable, read_csv, write_csv
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_preserves_values(self, tmp_path):
+        table = ResultTable(
+            [
+                {"name": "a", "regret": 0.125, "count": 3, "ok": True},
+                {"name": "b", "regret": 0.5, "count": 7, "ok": False},
+            ]
+        )
+        path = write_csv(table, tmp_path / "results.csv")
+        loaded = read_csv(path)
+        assert len(loaded) == 2
+        assert loaded.column("regret") == [0.125, 0.5]
+        assert loaded.column("count") == [3, 7]
+        assert loaded.column("ok") == [True, False]
+        assert loaded.column("name") == ["a", "b"]
+
+    def test_missing_cells_dropped_on_read(self, tmp_path):
+        table = ResultTable([{"a": 1}, {"a": 2, "b": 3}])
+        path = write_csv(table, tmp_path / "sparse.csv")
+        loaded = read_csv(path)
+        assert "b" not in loaded.rows[0]
+        assert loaded.rows[1]["b"] == 3
+
+    def test_creates_parent_directories(self, tmp_path):
+        table = ResultTable([{"a": 1}])
+        path = write_csv(table, tmp_path / "nested" / "dir" / "out.csv")
+        assert path.exists()
+
+    def test_write_empty_table_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(ResultTable(), tmp_path / "empty.csv")
+
+    def test_read_missing_file_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_csv(tmp_path / "absent.csv")

@@ -1,0 +1,88 @@
+"""Tests for the Markdown report generator."""
+
+import pytest
+
+from repro.experiments import ResultTable, write_csv
+from repro.experiments.report import (
+    collect_result_tables,
+    generate_report,
+    table_to_markdown,
+)
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    write_csv(
+        ResultTable([{"beta": 0.6, "measured_regret": 0.1, "within_bound": True}]),
+        tmp_path / "E1_infinite_regret.csv",
+    )
+    write_csv(
+        ResultTable([{"scenario": "perfect", "regret": 0.05}]),
+        tmp_path / "E10_distributed_protocol.csv",
+    )
+    write_csv(
+        ResultTable([{"custom": 1}]),
+        tmp_path / "extra_results.csv",
+    )
+    return tmp_path
+
+
+class TestTableToMarkdown:
+    def test_renders_header_and_rows(self):
+        table = ResultTable([{"a": 1, "b": 0.5}, {"a": 2, "b": 0.25}])
+        markdown = table_to_markdown(table)
+        lines = markdown.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert len(lines) == 4
+
+    def test_booleans_rendered_as_yes_no(self):
+        table = ResultTable([{"ok": True}, {"ok": False}])
+        markdown = table_to_markdown(table)
+        assert "yes" in markdown and "no" in markdown
+
+    def test_empty_table(self):
+        assert "empty" in table_to_markdown(ResultTable())
+
+    def test_missing_cells_rendered_empty(self):
+        table = ResultTable([{"a": 1}, {"a": 2, "b": 3}])
+        markdown = table_to_markdown(table)
+        first_data_row = markdown.splitlines()[2]
+        # The missing "b" cell of the first row renders as an empty cell.
+        assert first_data_row == "| 1 |  |"
+
+
+class TestCollectResultTables:
+    def test_loads_all_csvs(self, results_dir):
+        tables = collect_result_tables(results_dir)
+        assert set(tables) == {"E1_infinite_regret", "E10_distributed_protocol", "extra_results"}
+        assert len(tables["E1_infinite_regret"]) == 1
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            collect_result_tables(tmp_path / "absent")
+
+
+class TestGenerateReport:
+    def test_contains_titles_in_numeric_order(self, results_dir):
+        report = generate_report(results_dir)
+        e1 = report.index("E1 — Theorem 4.3")
+        e10 = report.index("E10 — message-passing protocol")
+        extra = report.index("extra_results")
+        assert e1 < e10 < extra
+
+    def test_writes_output_file(self, results_dir, tmp_path):
+        target = tmp_path / "out" / "report.md"
+        report = generate_report(results_dir, output_path=target)
+        assert target.exists()
+        assert target.read_text() == report
+
+    def test_empty_directory_rejected(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(ValueError):
+            generate_report(empty)
+
+    def test_custom_title(self, results_dir):
+        report = generate_report(results_dir, title="My custom run")
+        assert report.startswith("# My custom run")

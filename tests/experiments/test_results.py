@@ -1,0 +1,60 @@
+"""Tests for ResultTable."""
+
+import pytest
+
+from repro.experiments import ResultTable
+
+
+class TestResultTable:
+    def test_add_row_and_columns(self):
+        table = ResultTable()
+        table.add_row({"a": 1, "b": 2})
+        table.add_row({"a": 3, "c": 4})
+        assert table.columns == ["a", "b", "c"]
+        assert len(table) == 2
+
+    def test_construct_from_rows(self):
+        table = ResultTable([{"x": 1}, {"x": 2}])
+        assert table.column("x") == [1, 2]
+
+    def test_column_missing_values_are_none(self):
+        table = ResultTable([{"a": 1}, {"a": 2, "b": 3}])
+        assert table.column("b") == [None, 3]
+
+    def test_column_unknown_raises(self):
+        table = ResultTable([{"a": 1}])
+        with pytest.raises(KeyError):
+            table.column("zzz")
+
+    def test_filter(self):
+        table = ResultTable([{"kind": "x", "v": 1}, {"kind": "y", "v": 2}])
+        filtered = table.filter(kind="x")
+        assert len(filtered) == 1
+        assert filtered.column("v") == [1]
+
+    def test_sort_by(self):
+        table = ResultTable([{"v": 3}, {"v": 1}, {"v": 2}])
+        assert table.sort_by("v").column("v") == [1, 2, 3]
+        assert table.sort_by("v", reverse=True).column("v") == [3, 2, 1]
+
+    def test_sort_by_unknown_column(self):
+        with pytest.raises(KeyError):
+            ResultTable([{"v": 1}]).sort_by("w")
+
+    def test_to_text_contains_values(self):
+        table = ResultTable([{"name": "run", "regret": 0.1234}])
+        text = table.to_text()
+        assert "regret" in text and "0.1234" in text
+
+    def test_rows_are_copies(self):
+        table = ResultTable([{"a": 1}])
+        table.rows[0]["a"] = 99
+        assert table.column("a") == [1]
+
+    def test_rejects_empty_row(self):
+        with pytest.raises(ValueError):
+            ResultTable().add_row({})
+
+    def test_iteration(self):
+        table = ResultTable([{"a": 1}, {"a": 2}])
+        assert [row["a"] for row in table] == [1, 2]

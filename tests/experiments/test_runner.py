@@ -1,0 +1,69 @@
+"""Tests for the replication runner."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_replications
+
+
+def simple_replication(seed, parameters):
+    return {"value": float(seed % 10), "doubled": 2.0 * (seed % 10)}
+
+
+class TestRunReplications:
+    def test_number_of_replications(self):
+        config = ExperimentConfig(name="demo", replications=4, seed=1)
+        result = run_replications(config, simple_replication)
+        assert len(result.metrics) == 4
+        assert len(result.seeds) == 4
+
+    def test_deterministic_given_seed(self):
+        config = ExperimentConfig(name="demo", replications=3, seed=5)
+        first = run_replications(config, simple_replication)
+        second = run_replications(config, simple_replication)
+        assert first.seeds == second.seeds
+        assert first.metrics == second.metrics
+
+    def test_metric_values_and_names(self):
+        config = ExperimentConfig(name="demo", replications=3, seed=2)
+        result = run_replications(config, simple_replication)
+        assert result.metric_names() == ["doubled", "value"]
+        assert result.metric_values("value").shape == (3,)
+
+    def test_missing_metric_raises(self):
+        config = ExperimentConfig(name="demo", replications=2, seed=0)
+        result = run_replications(config, simple_replication)
+        with pytest.raises(KeyError):
+            result.metric_values("absent")
+
+    def test_summarize(self):
+        config = ExperimentConfig(name="demo", replications=3, seed=0)
+        result = run_replications(config, simple_replication)
+        summary = result.summarize("value")
+        assert summary.replications == 3
+
+    def test_summary_row_includes_parameters(self):
+        config = ExperimentConfig(
+            name="demo", parameters={"beta": 0.6}, replications=2, seed=0
+        )
+        result = run_replications(config, simple_replication)
+        row = result.summary_row()
+        assert row["beta"] == 0.6
+        assert "value" in row
+
+    def test_parameters_passed_to_replication(self):
+        seen = []
+
+        def replication(seed, parameters):
+            seen.append(parameters)
+            return {"ok": 1.0}
+
+        config = ExperimentConfig(name="demo", parameters={"x": 3}, replications=2, seed=0)
+        run_replications(config, replication)
+        assert all(parameters == {"x": 3} for parameters in seen)
+
+    def test_rejects_bad_replication_output(self):
+        config = ExperimentConfig(name="demo", replications=1, seed=0)
+        with pytest.raises(ValueError):
+            run_replications(config, lambda seed, parameters: {})
+        with pytest.raises(ValueError):
+            run_replications(config, lambda seed, parameters: 3.0)

@@ -1,0 +1,70 @@
+"""Tests for parameter sweeps."""
+
+import pytest
+
+from repro.experiments import ParameterGrid, run_sweep
+
+
+class TestParameterGrid:
+    def test_length_is_product(self):
+        grid = ParameterGrid({"a": [1, 2], "b": [10, 20, 30]})
+        assert len(grid) == 6
+
+    def test_iteration_covers_all_combinations(self):
+        grid = ParameterGrid({"a": [1, 2], "b": ["x", "y"]})
+        points = list(grid)
+        assert {"a": 1, "b": "x"} in points
+        assert {"a": 2, "b": "y"} in points
+        assert len(points) == 4
+
+    def test_iteration_order_last_axis_fastest(self):
+        grid = ParameterGrid({"a": [1, 2], "b": [10, 20]})
+        points = list(grid)
+        assert points[0] == {"a": 1, "b": 10}
+        assert points[1] == {"a": 1, "b": 20}
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            ParameterGrid({})
+
+    def test_rejects_empty_axis(self):
+        with pytest.raises(ValueError):
+            ParameterGrid({"a": []})
+
+
+class TestRunSweep:
+    def test_table_has_one_row_per_point(self):
+        grid = ParameterGrid({"x": [1, 2, 3]})
+        results, table = run_sweep(
+            "demo",
+            grid,
+            lambda seed, parameters: {"metric": float(parameters["x"])},
+            replications=2,
+            seed=0,
+        )
+        assert len(results) == 3
+        assert len(table) == 3
+        assert table.column("metric") == [1.0, 2.0, 3.0]
+
+    def test_base_parameters_merged(self):
+        grid = ParameterGrid({"x": [1]})
+        _, table = run_sweep(
+            "demo",
+            grid,
+            lambda seed, parameters: {"sum": float(parameters["x"] + parameters["offset"])},
+            replications=1,
+            seed=0,
+            base_parameters={"offset": 10},
+        )
+        assert table.column("sum") == [11.0]
+
+    def test_distinct_seeds_per_point(self):
+        grid = ParameterGrid({"x": [1, 2]})
+        results, _ = run_sweep(
+            "demo",
+            grid,
+            lambda seed, parameters: {"seed": float(seed)},
+            replications=1,
+            seed=0,
+        )
+        assert results[0].seeds != results[1].seeds

@@ -1,0 +1,100 @@
+"""Cross-validation between the independent implementations of the dynamics.
+
+The vectorised count-based simulator, the agent-based simulator, the
+network-restricted simulator on the complete graph, and the message-passing
+protocol with perfect communication are four implementations of the same
+process.  These tests check they agree statistically on aggregate behaviour
+(regret and best-option share) when run with the same parameters.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AgentBasedDynamics,
+    BernoulliEnvironment,
+    Population,
+    best_option_share,
+    expected_regret,
+    simulate_finite_population,
+)
+from repro.distributed import DistributedLearningProtocol
+from repro.network import SocialNetwork, simulate_network_dynamics
+
+QUALITIES = [0.85, 0.45]
+BETA = 0.65
+MU = 0.05
+POPULATION = 400
+HORIZON = 250
+
+
+def vectorised_metrics(seed: int) -> tuple[float, float]:
+    env = BernoulliEnvironment(QUALITIES, rng=seed)
+    trajectory = simulate_finite_population(
+        env, POPULATION, HORIZON, beta=BETA, mu=MU, rng=seed + 1000
+    )
+    matrix = trajectory.popularity_matrix()
+    return expected_regret(matrix, QUALITIES), best_option_share(matrix, 0)
+
+
+def agent_based_metrics(seed: int) -> tuple[float, float]:
+    env = BernoulliEnvironment(QUALITIES, rng=seed)
+    population = Population.homogeneous(POPULATION, 2, beta=BETA, rng=seed + 2000)
+    dynamics = AgentBasedDynamics(population, exploration_rate=MU, rng=seed + 3000)
+    trajectory = dynamics.run(env, HORIZON)
+    matrix = trajectory.popularity_matrix()
+    return expected_regret(matrix, QUALITIES), best_option_share(matrix, 0)
+
+
+def network_metrics(seed: int) -> tuple[float, float]:
+    env = BernoulliEnvironment(QUALITIES, rng=seed)
+    network = SocialNetwork.complete(POPULATION)
+    trajectory = simulate_network_dynamics(env, network, HORIZON, beta=BETA, mu=MU, rng=seed + 4000)
+    matrix = trajectory.popularity_matrix()
+    return expected_regret(matrix, QUALITIES), best_option_share(matrix, 0)
+
+
+def protocol_metrics(seed: int) -> tuple[float, float]:
+    env = BernoulliEnvironment(QUALITIES, rng=seed)
+    from repro.core.adoption import SymmetricAdoptionRule
+
+    protocol = DistributedLearningProtocol(
+        POPULATION, 2, adoption_rule=SymmetricAdoptionRule(BETA), exploration_rate=MU, rng=seed + 5000
+    )
+    result = protocol.run(env, HORIZON)
+    return result.regret, result.best_option_share
+
+
+def average(metric_function, replications=4):
+    values = np.array([metric_function(seed) for seed in range(replications)])
+    return values.mean(axis=0)
+
+
+class TestImplementationsAgree:
+    def test_agent_based_matches_vectorised(self):
+        vec_regret, vec_share = average(vectorised_metrics)
+        agent_regret, agent_share = average(agent_based_metrics)
+        assert agent_regret == pytest.approx(vec_regret, abs=0.06)
+        assert agent_share == pytest.approx(vec_share, abs=0.12)
+
+    def test_complete_graph_network_matches_vectorised(self):
+        vec_regret, vec_share = average(vectorised_metrics)
+        net_regret, net_share = average(network_metrics)
+        assert net_regret == pytest.approx(vec_regret, abs=0.06)
+        assert net_share == pytest.approx(vec_share, abs=0.12)
+
+    def test_perfect_protocol_matches_vectorised(self):
+        vec_regret, vec_share = average(vectorised_metrics)
+        proto_regret, proto_share = average(protocol_metrics)
+        assert proto_regret == pytest.approx(vec_regret, abs=0.06)
+        assert proto_share == pytest.approx(vec_share, abs=0.12)
+
+    def test_all_implementations_prefer_best_option(self):
+        for metric_function in (
+            vectorised_metrics,
+            agent_based_metrics,
+            network_metrics,
+            protocol_metrics,
+        ):
+            _, share = average(metric_function, replications=3)
+            assert share > 0.5

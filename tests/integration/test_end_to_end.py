@@ -1,0 +1,138 @@
+"""End-to-end integration tests crossing module boundaries.
+
+These exercise the workflows the examples and benchmarks rely on: shared
+reward sequences feeding several learners, the worked-example reductions of
+Section 2.1, non-stationary environments, heterogeneous populations, and the
+experiment harness driving real simulations.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BernoulliEnvironment,
+    EllisonFudenbergEnvironment,
+    PiecewiseConstantDriftEnvironment,
+    Population,
+    AgentBasedDynamics,
+    RecordedRewardSequence,
+    expected_regret,
+    empirical_regret,
+    best_option_share,
+    simulate_finite_population,
+)
+from repro.baselines import (
+    BestFixedOptionOracle,
+    ClassicMWU,
+    FollowTheCrowd,
+    SocialLearningBaseline,
+    UniformRandomChoice,
+)
+from repro.core.adoption import GeneralAdoptionRule
+from repro.core.dynamics import FinitePopulationDynamics
+from repro.core.sampling import MixtureSampling
+from repro.experiments import ExperimentConfig, ParameterGrid, run_replications, run_sweep
+
+
+class TestSharedRewardComparison:
+    def test_learners_compared_on_identical_rewards(self):
+        env = BernoulliEnvironment([0.8, 0.5, 0.3], rng=0)
+        recorded = RecordedRewardSequence.from_environment(env, 300)
+        rewards = recorded.rewards
+
+        learners = {
+            "social": SocialLearningBaseline(3, population_size=2000, rng=1),
+            "mwu": ClassicMWU.tuned(3, horizon=300),
+            "crowd": FollowTheCrowd(3, population_size=2000, exploration_rate=0.01, rng=2),
+            "uniform": UniformRandomChoice(3),
+            "oracle": BestFixedOptionOracle.for_qualities(recorded.qualities),
+        }
+        regrets = {
+            name: empirical_regret(
+                learner.run_on_rewards(rewards.copy()), rewards, best_quality=0.8
+            )
+            for name, learner in learners.items()
+        }
+        # Qualitative ordering the paper implies: the social dynamics is far
+        # better than no-signal imitation and random choice, and the oracle
+        # and full-information MWU are at least as good as the social dynamics.
+        assert regrets["social"] < regrets["crowd"]
+        assert regrets["social"] < regrets["uniform"]
+        assert regrets["oracle"] <= regrets["social"] + 0.05
+        assert regrets["mwu"] <= regrets["social"] + 0.05
+
+
+class TestWorkedExamples:
+    def test_krafft_investor_model(self):
+        """alpha = 1 - beta, eta_1 > 1/2 = eta_2 = ... = eta_m (Krafft et al. 2016)."""
+        qualities = [0.7] + [0.5] * 4
+        env = BernoulliEnvironment(qualities, rng=0)
+        trajectory = simulate_finite_population(env, 3000, 600, beta=0.6, rng=1)
+        assert best_option_share(trajectory.popularity_matrix()[-200:], 0) > 0.5
+
+    def test_ellison_fudenberg_reduction_learns_better_option(self):
+        environment = EllisonFudenbergEnvironment.gaussian(mean_gap=0.8, shock_scale=1.0, rng=0)
+        alpha, beta = environment.implied_adoption_parameters()
+        dynamics = FinitePopulationDynamics(
+            population_size=2000,
+            num_options=2,
+            adoption_rule=GeneralAdoptionRule(alpha=alpha, beta=beta),
+            sampling_rule=MixtureSampling(0.02),
+            rng=1,
+        )
+        trajectory = dynamics.run(environment, 400)
+        assert best_option_share(trajectory.popularity_matrix()[-100:], 0) > 0.6
+
+
+class TestNonStationaryTracking:
+    def test_population_tracks_quality_switch(self):
+        env = PiecewiseConstantDriftEnvironment(
+            phases=[[0.85, 0.3], [0.3, 0.85]], phase_length=400, rng=0
+        )
+        trajectory = simulate_finite_population(env, 3000, 800, beta=0.65, rng=1)
+        matrix = trajectory.popularity_matrix()
+        # Dominant before the switch, and re-learned after it.
+        assert matrix[300:400, 0].mean() > 0.6
+        assert matrix[700:, 1].mean() > 0.6
+
+
+class TestHeterogeneousPopulation:
+    def test_mixed_betas_still_learn(self):
+        population = Population.with_beta_distribution(500, 2, beta_low=0.55, beta_high=0.72, rng=0)
+        dynamics = AgentBasedDynamics(population, exploration_rate=0.03, rng=1)
+        env = BernoulliEnvironment([0.85, 0.4], rng=2)
+        trajectory = dynamics.run(env, 250)
+        assert expected_regret(trajectory.popularity_matrix(), [0.85, 0.4]) < 0.2
+
+
+class TestHarnessIntegration:
+    def test_replicated_experiment_on_real_dynamics(self):
+        def replication(seed, parameters):
+            env = BernoulliEnvironment([0.8, 0.4], rng=seed)
+            trajectory = simulate_finite_population(
+                env, parameters["N"], 150, beta=parameters["beta"], rng=seed + 1
+            )
+            return {
+                "regret": expected_regret(trajectory.popularity_matrix(), env.qualities),
+                "share": best_option_share(trajectory.popularity_matrix(), 0),
+            }
+
+        config = ExperimentConfig(
+            name="integration", parameters={"N": 500, "beta": 0.6}, replications=3, seed=0
+        )
+        result = run_replications(config, replication)
+        assert result.summarize("regret").mean < 0.25
+        assert result.summarize("share").mean > 0.5
+
+    def test_sweep_produces_monotone_story_in_population(self):
+        def replication(seed, parameters):
+            env = BernoulliEnvironment([0.8, 0.4], rng=seed)
+            trajectory = simulate_finite_population(
+                env, parameters["N"], 200, beta=0.6, rng=seed + 1
+            )
+            return {"regret": expected_regret(trajectory.popularity_matrix(), env.qualities)}
+
+        grid = ParameterGrid({"N": [50, 2000]})
+        _, table = run_sweep("sweep", grid, replication, replications=3, seed=0)
+        regrets = table.column("regret")
+        assert regrets[1] <= regrets[0] + 0.03

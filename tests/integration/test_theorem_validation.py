@@ -1,0 +1,155 @@
+"""Integration tests validating the paper's main quantitative claims in simulation.
+
+These tests are the reproduction's core assertions:
+
+* Theorem 4.3 — the infinite-population dynamics achieves regret below
+  ``3*delta`` once ``T >= ln(m)/delta^2`` (and below the sharper
+  ``ln(m)/(delta*T) + 2*delta`` for the horizons we run), and the best
+  option's average share is at least ``1 - 3*delta/(eta_1 - eta_2)``.
+* Theorem 4.4 — the finite-population dynamics achieves regret below
+  ``6*delta`` at moderate population sizes (far smaller than the
+  conservative thresholds in the theorem statement), including over horizons
+  spanning many epochs.
+* Lemma 4.5 — under the shared-reward coupling the finite and infinite
+  trajectories stay within the lemma's multiplicative factor for the horizon
+  over which the factor is meaningful.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BernoulliEnvironment,
+    TheoryBounds,
+    best_option_share,
+    expected_regret,
+    run_coupled_dynamics,
+    simulate_finite_population,
+    simulate_infinite_population,
+)
+from repro.analysis import summarize_replications
+from repro.core.epochs import EpochSchedule
+
+
+BETA = 0.6
+DELTA = TheoryBounds(num_options=2, beta=BETA, mu=0.01).delta
+
+
+class TestTheorem43InfinitePopulation:
+    def test_regret_below_three_delta(self):
+        """Regret_inf(T) <= 3*delta for T >= ln(m)/delta^2 (m = 5)."""
+        bounds = TheoryBounds(num_options=5, beta=BETA, mu=0.025)
+        horizon = int(np.ceil(bounds.minimum_horizon())) * 2
+        regrets = []
+        for seed in range(8):
+            env = BernoulliEnvironment.with_gap(5, best_quality=0.8, gap=0.3, rng=seed)
+            trajectory = simulate_infinite_population(env, horizon, beta=BETA, mu=bounds.mu)
+            regrets.append(expected_regret(trajectory.distribution_matrix(), env.qualities))
+        mean_regret = summarize_replications(regrets).mean
+        assert mean_regret <= bounds.infinite_regret_bound()
+        # The sharper intermediate bound should hold as well.
+        assert mean_regret <= bounds.infinite_regret_bound(horizon)
+
+    def test_best_option_share_bound(self):
+        """avg_t E[P^{t-1}_1] >= 1 - 3*delta/(eta1 - eta2) when the bound is non-vacuous."""
+        gap = 0.6  # large gap so the bound is informative even with delta ~ 0.4
+        bounds = TheoryBounds(num_options=3, beta=0.55, mu=0.006)
+        horizon = int(np.ceil(bounds.minimum_horizon())) * 2
+        shares = []
+        for seed in range(8):
+            env = BernoulliEnvironment.with_gap(3, best_quality=0.85, gap=gap, rng=seed)
+            trajectory = simulate_infinite_population(env, horizon, beta=0.55, mu=bounds.mu)
+            shares.append(best_option_share(trajectory.distribution_matrix(), 0))
+        assert summarize_replications(shares).mean >= bounds.best_option_share_bound(gap)
+
+    def test_regret_shrinks_with_smaller_beta(self):
+        """The closer beta is to 1/2 the better the regret bound — and the regret."""
+        results = {}
+        for beta in (0.55, 0.72):
+            regrets = []
+            for seed in range(6):
+                env = BernoulliEnvironment.with_gap(5, best_quality=0.8, gap=0.3, rng=seed)
+                trajectory = simulate_infinite_population(env, 3000, beta=beta)
+                regrets.append(expected_regret(trajectory.distribution_matrix(), env.qualities))
+            results[beta] = np.mean(regrets)
+        assert results[0.55] <= results[0.72] + 0.02
+
+
+class TestTheorem44FinitePopulation:
+    def test_regret_below_six_delta(self):
+        """Regret_N(T) <= 6*delta for a moderate N and T >= ln(m)/delta^2."""
+        bounds = TheoryBounds(num_options=5, beta=BETA, mu=0.025, population_size=5000)
+        horizon = int(np.ceil(bounds.minimum_horizon())) * 2
+        regrets = []
+        for seed in range(6):
+            env = BernoulliEnvironment.with_gap(5, best_quality=0.8, gap=0.3, rng=seed)
+            trajectory = simulate_finite_population(
+                env, population_size=5000, horizon=horizon, beta=BETA, mu=bounds.mu, rng=seed + 100
+            )
+            regrets.append(expected_regret(trajectory.popularity_matrix(), env.qualities))
+        assert summarize_replications(regrets).mean <= bounds.finite_regret_bound()
+
+    def test_regret_controlled_over_many_epochs(self):
+        """Long horizons (several epochs) do not blow up the regret."""
+        bounds = TheoryBounds(num_options=3, beta=BETA, mu=0.025, population_size=3000)
+        schedule_horizon = int(np.ceil(bounds.epoch_length())) * 4
+        env = BernoulliEnvironment.with_gap(3, best_quality=0.8, gap=0.3, rng=0)
+        trajectory = simulate_finite_population(
+            env, population_size=3000, horizon=schedule_horizon, beta=BETA, mu=bounds.mu, rng=1
+        )
+        schedule = EpochSchedule.from_bounds(bounds, schedule_horizon)
+        per_epoch = schedule.per_epoch_regret(
+            trajectory.popularity_matrix(),
+            trajectory.reward_matrix().astype(float),
+            best_quality=env.best_quality,
+        )
+        # Every epoch's regret is within the theorem bound (not just the average).
+        assert np.all(per_epoch <= bounds.finite_regret_bound())
+
+    def test_regret_improves_with_population_size(self):
+        """Larger groups track the infinite-population benchmark more closely."""
+        def mean_regret(population_size: int) -> float:
+            regrets = []
+            for seed in range(5):
+                env = BernoulliEnvironment.with_gap(4, best_quality=0.8, gap=0.3, rng=seed)
+                trajectory = simulate_finite_population(
+                    env, population_size=population_size, horizon=400, beta=BETA, rng=seed + 50
+                )
+                regrets.append(expected_regret(trajectory.popularity_matrix(), env.qualities))
+            return float(np.mean(regrets))
+
+        assert mean_regret(5000) <= mean_regret(50) + 0.02
+
+    def test_occupancy_floor_respected_on_average(self):
+        """Proposition 4.3's floor: every option keeps ~mu(1-beta)/(4m) popularity."""
+        bounds = TheoryBounds(num_options=4, beta=BETA, mu=0.025, population_size=20000)
+        env = BernoulliEnvironment.with_gap(4, best_quality=0.9, gap=0.5, rng=3)
+        trajectory = simulate_finite_population(
+            env, population_size=20000, horizon=500, beta=BETA, mu=bounds.mu, rng=4
+        )
+        min_popularity = trajectory.popularity_matrix()[100:].min()
+        assert min_popularity >= bounds.occupancy_floor() * 0.5
+
+
+class TestLemma45Coupling:
+    def test_coupled_trajectories_within_lemma_bound(self):
+        env = BernoulliEnvironment([0.8, 0.5], rng=0)
+        run = run_coupled_dynamics(env, population_size=100_000, horizon=6, beta=BETA, rng=1)
+        flags = run.within_bound()
+        assert flags is not None and flags.all()
+
+    def test_measured_ratio_much_tighter_than_bound(self):
+        """The lemma's 5^t growth is very loose; measured ratios stay near 1."""
+        env = BernoulliEnvironment([0.8, 0.5], rng=2)
+        run = run_coupled_dynamics(env, population_size=50_000, horizon=10, beta=BETA, rng=3)
+        assert run.max_ratio() < 1.2
+
+    def test_closeness_improves_with_population(self):
+        ratios = {}
+        for population_size in (500, 50_000):
+            env = BernoulliEnvironment([0.8, 0.5], rng=4)
+            run = run_coupled_dynamics(
+                env, population_size=population_size, horizon=8, beta=BETA, rng=5
+            )
+            ratios[population_size] = run.max_ratio()
+        assert ratios[50_000] < ratios[500]

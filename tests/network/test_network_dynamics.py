@@ -1,0 +1,92 @@
+"""Tests for the network-restricted dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.core.adoption import SymmetricAdoptionRule
+from repro.core.regret import expected_regret
+from repro.environments import BernoulliEnvironment
+from repro.network import NetworkDynamics, SocialNetwork, simulate_network_dynamics
+
+
+class TestNetworkDynamics:
+    def test_state_counts_bounded_by_population(self):
+        network = SocialNetwork.ring(50)
+        dynamics = NetworkDynamics(network, 3, rng=0)
+        state = dynamics.step(np.array([1, 0, 1]))
+        assert state.counts.sum() <= 50
+        assert state.population_size == 50
+
+    def test_time_advances(self):
+        network = SocialNetwork.complete(20)
+        dynamics = NetworkDynamics(network, 2, rng=0)
+        dynamics.step(np.array([1, 0]))
+        dynamics.step(np.array([0, 1]))
+        assert dynamics.time == 2
+
+    def test_choices_reflect_state(self):
+        network = SocialNetwork.complete(30)
+        dynamics = NetworkDynamics(network, 2, rng=0)
+        dynamics.step(np.array([1, 1]))
+        choices = dynamics.choices()
+        committed = (choices >= 0).sum()
+        assert committed == dynamics.state().committed
+
+    def test_rejects_bad_rewards(self):
+        dynamics = NetworkDynamics(SocialNetwork.complete(10), 2, rng=0)
+        with pytest.raises(ValueError):
+            dynamics.step(np.array([2, 0]))
+        with pytest.raises(ValueError):
+            dynamics.step(np.array([1]))
+
+    def test_rejects_non_network(self):
+        with pytest.raises(TypeError):
+            NetworkDynamics("graph", 2)
+
+    def test_isolated_nodes_learn_through_exploration(self):
+        import networkx as nx
+
+        graph = nx.empty_graph(40)
+        network = SocialNetwork(graph, name="isolated")
+        env = BernoulliEnvironment([0.9, 0.1], rng=1)
+        dynamics = NetworkDynamics(network, 2, exploration_rate=0.2, rng=2)
+        trajectory = dynamics.run(env, 150)
+        # Individuals cannot imitate, but signals still bias them to option 0.
+        assert trajectory.popularity_matrix()[-30:, 0].mean() > 0.55
+
+    def test_complete_graph_behaves_like_core_dynamics(self):
+        """On the complete graph the restricted dynamics achieves comparable regret."""
+        env_a = BernoulliEnvironment([0.85, 0.45], rng=3)
+        env_b = BernoulliEnvironment([0.85, 0.45], rng=3)
+        network = SocialNetwork.complete(400)
+        network_traj = simulate_network_dynamics(env_a, network, 250, beta=0.65, rng=4)
+        from repro import simulate_finite_population
+
+        core_traj = simulate_finite_population(env_b, 400, 250, beta=0.65, rng=4)
+        network_regret = expected_regret(network_traj.popularity_matrix(), [0.85, 0.45])
+        core_regret = expected_regret(core_traj.popularity_matrix(), [0.85, 0.45])
+        assert abs(network_regret - core_regret) < 0.08
+
+    def test_well_connected_beats_poorly_connected(self):
+        """Denser topologies should spread the best option at least as well."""
+        results = {}
+        for name, network in {
+            "complete": SocialNetwork.complete(200),
+            "ring": SocialNetwork.ring(200, neighbors_each_side=1),
+        }.items():
+            env = BernoulliEnvironment([0.9, 0.3], rng=5)
+            trajectory = simulate_network_dynamics(env, network, 300, beta=0.65, rng=6)
+            results[name] = trajectory.popularity_matrix()[-50:, 0].mean()
+        assert results["complete"] >= results["ring"] - 0.05
+
+    def test_run_rejects_mismatched_environment(self):
+        env = BernoulliEnvironment([0.9, 0.3, 0.1], rng=0)
+        dynamics = NetworkDynamics(SocialNetwork.complete(10), 2, rng=0)
+        with pytest.raises(ValueError):
+            dynamics.run(env, 5)
+
+    def test_adoption_rule_exposed(self):
+        rule = SymmetricAdoptionRule(0.7)
+        dynamics = NetworkDynamics(SocialNetwork.complete(10), 2, adoption_rule=rule, rng=0)
+        assert dynamics.adoption_rule.beta == pytest.approx(0.7)
+        assert dynamics.exploration_rate == pytest.approx(0.05)

@@ -1,0 +1,101 @@
+"""Tests for SocialNetwork topologies and metrics."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.network import SocialNetwork
+
+
+class TestConstructors:
+    def test_complete_graph_degrees(self):
+        network = SocialNetwork.complete(10)
+        assert network.size == 10
+        assert all(network.degree(node) == 9 for node in range(10))
+
+    def test_ring_degrees(self):
+        network = SocialNetwork.ring(12, neighbors_each_side=2)
+        assert all(network.degree(node) == 4 for node in range(12))
+
+    def test_grid_size(self):
+        network = SocialNetwork.grid(4, 5)
+        assert network.size == 20
+        assert network.is_connected()
+
+    def test_star_hub_degree(self):
+        network = SocialNetwork.star(8)
+        assert network.degree(0) == 7
+        assert all(network.degree(node) == 1 for node in range(1, 8))
+
+    def test_star_single_node(self):
+        assert SocialNetwork.star(1).size == 1
+
+    def test_erdos_renyi_reproducible(self):
+        a = SocialNetwork.erdos_renyi(30, 0.2, rng=0)
+        b = SocialNetwork.erdos_renyi(30, 0.2, rng=0)
+        assert nx.utils.graphs_equal(a.graph, b.graph)
+
+    def test_barabasi_albert_connected(self):
+        network = SocialNetwork.barabasi_albert(50, attachments=2, rng=0)
+        assert network.is_connected()
+
+    def test_barabasi_albert_rejects_too_many_attachments(self):
+        with pytest.raises(ValueError):
+            SocialNetwork.barabasi_albert(5, attachments=5)
+
+    def test_watts_strogatz_average_degree(self):
+        network = SocialNetwork.watts_strogatz(40, nearest_neighbors=6, rewiring_probability=0.1, rng=0)
+        assert network.average_degree() == pytest.approx(6.0)
+
+    def test_standard_suite_same_size_except_grid(self):
+        suite = SocialNetwork.standard_suite(25, rng=0)
+        names = {network.name.split("(")[0] for network in suite}
+        assert "complete" in names and "star" in names
+        assert all(network.size >= 25 for network in suite)
+
+    def test_rejects_non_consecutive_labels(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b")
+        with pytest.raises(ValueError):
+            SocialNetwork(graph)
+
+    def test_rejects_empty_graph(self):
+        with pytest.raises(ValueError):
+            SocialNetwork(nx.Graph())
+
+
+class TestMetrics:
+    def test_complete_graph_diameter_one(self):
+        assert SocialNetwork.complete(6).diameter() == 1
+
+    def test_disconnected_graph_diameter_none(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(4))
+        graph.add_edge(0, 1)
+        network = SocialNetwork(graph)
+        assert not network.is_connected()
+        assert network.diameter() is None
+
+    def test_clustering_of_complete_graph(self):
+        assert SocialNetwork.complete(5).average_clustering() == pytest.approx(1.0)
+
+    def test_spectral_gap_ordering(self):
+        """Well-connected graphs mix faster than rings."""
+        complete = SocialNetwork.complete(30).spectral_gap()
+        ring = SocialNetwork.ring(30).spectral_gap()
+        assert complete > ring
+
+    def test_spectral_gap_single_node(self):
+        assert SocialNetwork.star(1).spectral_gap() == pytest.approx(1.0)
+
+    def test_metrics_dict_keys(self):
+        metrics = SocialNetwork.ring(10).metrics()
+        assert {"name", "size", "average_degree", "connected", "diameter", "clustering", "spectral_gap"} <= set(metrics)
+
+    def test_neighbors_unknown_node(self):
+        with pytest.raises(KeyError):
+            SocialNetwork.complete(3).neighbors(10)
+
+    def test_neighbors_contents(self):
+        network = SocialNetwork.ring(5)
+        assert set(network.neighbors(0).tolist()) == {1, 4}

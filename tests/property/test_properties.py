@@ -1,0 +1,233 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.analysis.concentration import multiplicative_deviation
+from repro.core.adoption import GeneralAdoptionRule, SymmetricAdoptionRule
+from repro.core.dynamics import FinitePopulationDynamics
+from repro.core.infinite import InfinitePopulationDynamics
+from repro.core.regret import empirical_regret, expected_regret
+from repro.core.sampling import MixtureSampling
+from repro.core.state import PopulationState
+from repro.core.theory import beta_from_delta, delta_from_beta
+from repro.utils.ascii_plot import format_table
+
+
+# ----------------------------------------------------------------- strategies
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+betas = st.floats(min_value=0.5, max_value=0.99, allow_nan=False)
+strict_betas = st.floats(min_value=0.501, max_value=0.99, allow_nan=False)
+small_ints = st.integers(min_value=1, max_value=8)
+
+
+def popularity_vectors(max_options=6):
+    return (
+        st.integers(min_value=2, max_value=max_options)
+        .flatmap(
+            lambda m: npst.arrays(
+                dtype=float,
+                shape=m,
+                elements=st.floats(min_value=0.01, max_value=1.0),
+            )
+        )
+        .map(lambda array: array / array.sum())
+    )
+
+
+def reward_vectors(num_options):
+    return npst.arrays(dtype=np.int8, shape=num_options, elements=st.integers(0, 1))
+
+
+# ------------------------------------------------------------------ adoption
+class TestAdoptionProperties:
+    @given(beta=betas)
+    def test_symmetric_rule_alpha_complements_beta(self, beta):
+        rule = SymmetricAdoptionRule(beta)
+        assert abs(rule.alpha + rule.beta - 1.0) < 1e-12
+
+    @given(alpha=probabilities, beta=probabilities)
+    def test_general_rule_probabilities_bounded(self, alpha, beta):
+        low, high = sorted((alpha, beta))
+        rule = GeneralAdoptionRule(alpha=low, beta=high)
+        for signal in (0, 1):
+            assert 0.0 <= rule.adopt_probability(signal) <= 1.0
+
+    @given(beta=strict_betas)
+    def test_delta_round_trip(self, beta):
+        assert abs(beta_from_delta(delta_from_beta(beta)) - beta) < 1e-9
+
+
+# ------------------------------------------------------------------ sampling
+class TestSamplingProperties:
+    @given(mu=probabilities, popularity=popularity_vectors())
+    def test_consideration_probabilities_form_distribution(self, mu, popularity):
+        rule = MixtureSampling(mu)
+        probabilities_out = rule.consideration_probabilities(popularity)
+        assert abs(probabilities_out.sum() - 1.0) < 1e-9
+        assert np.all(probabilities_out >= 0.0)
+
+    @given(mu=st.floats(min_value=0.01, max_value=1.0), popularity=popularity_vectors())
+    def test_exploration_floor_holds(self, mu, popularity):
+        rule = MixtureSampling(mu)
+        probabilities_out = rule.consideration_probabilities(popularity)
+        floor = mu / popularity.size
+        assert np.all(probabilities_out >= floor * (1.0 - 1e-9))
+
+
+# --------------------------------------------------------------------- state
+class TestStateProperties:
+    @given(
+        population=st.integers(min_value=1, max_value=10_000),
+        options=st.integers(min_value=1, max_value=20),
+    )
+    def test_uniform_state_counts_sum_to_population(self, population, options):
+        state = PopulationState.uniform(population, options)
+        assert state.counts.sum() == population
+        assert state.counts.max() - state.counts.min() <= 1
+
+    @given(
+        counts=npst.arrays(
+            dtype=np.int64, shape=st.integers(1, 10), elements=st.integers(0, 1000)
+        )
+    )
+    def test_popularity_is_distribution(self, counts):
+        state = PopulationState.from_counts(counts, population_size=int(counts.sum()) + 1)
+        popularity = state.popularity()
+        assert abs(popularity.sum() - 1.0) < 1e-9
+        assert np.all(popularity >= 0.0)
+
+
+# ------------------------------------------------------------------ dynamics
+class TestDynamicsProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        population=st.integers(min_value=1, max_value=500),
+        options=st.integers(min_value=1, max_value=6),
+        beta=betas,
+        mu=probabilities,
+        seed=st.integers(min_value=0, max_value=10_000),
+        steps=st.integers(min_value=1, max_value=10),
+    )
+    def test_counts_never_exceed_population(self, population, options, beta, mu, seed, steps):
+        dynamics = FinitePopulationDynamics(
+            population,
+            options,
+            adoption_rule=SymmetricAdoptionRule(beta),
+            sampling_rule=MixtureSampling(mu),
+            rng=seed,
+        )
+        rng = np.random.default_rng(seed + 1)
+        for _ in range(steps):
+            state = dynamics.step(rng.integers(0, 2, size=options))
+            assert 0 <= state.counts.sum() <= population
+            assert np.all(state.counts >= 0)
+            assert abs(state.popularity().sum() - 1.0) < 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        options=st.integers(min_value=1, max_value=6),
+        beta=strict_betas,
+        mu=probabilities,
+        seed=st.integers(min_value=0, max_value=10_000),
+        steps=st.integers(min_value=1, max_value=30),
+    )
+    def test_infinite_distribution_stays_normalised(self, options, beta, mu, seed, steps):
+        dynamics = InfinitePopulationDynamics(
+            options,
+            adoption_rule=SymmetricAdoptionRule(beta),
+            sampling_rule=MixtureSampling(mu),
+        )
+        rng = np.random.default_rng(seed)
+        for _ in range(steps):
+            distribution = dynamics.step(rng.integers(0, 2, size=options))
+            assert abs(distribution.sum() - 1.0) < 1e-9
+            assert np.all(distribution >= 0.0)
+            assert np.all(np.isfinite(distribution))
+
+
+# -------------------------------------------------------------------- regret
+class TestRegretProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        data=st.data(),
+        steps=st.integers(min_value=1, max_value=20),
+        options=st.integers(min_value=2, max_value=5),
+    )
+    def test_empirical_regret_bounded_by_one(self, data, steps, options):
+        # Build matrices explicitly: each row a popularity vector over `options`.
+        rows = []
+        for _ in range(steps):
+            raw = data.draw(
+                npst.arrays(
+                    dtype=float,
+                    shape=options,
+                    elements=st.floats(min_value=0.01, max_value=1.0),
+                )
+            )
+            rows.append(raw / raw.sum())
+        popularities = np.stack(rows)
+        rewards = data.draw(
+            npst.arrays(dtype=np.int8, shape=(steps, options), elements=st.integers(0, 1))
+        )
+        best_quality = data.draw(probabilities)
+        regret = empirical_regret(popularities, rewards, best_quality)
+        assert -1.0 <= regret <= 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data(), steps=st.integers(min_value=1, max_value=20), options=st.integers(2, 5))
+    def test_expected_regret_non_negative(self, data, steps, options):
+        rows = []
+        for _ in range(steps):
+            raw = data.draw(
+                npst.arrays(
+                    dtype=float,
+                    shape=options,
+                    elements=st.floats(min_value=0.01, max_value=1.0),
+                )
+            )
+            rows.append(raw / raw.sum())
+        popularities = np.stack(rows)
+        qualities = data.draw(
+            npst.arrays(dtype=float, shape=options, elements=probabilities)
+        )
+        regret = expected_regret(popularities, qualities)
+        assert regret >= -1e-9
+
+
+# --------------------------------------------------------------- concentration
+class TestClosenessProperties:
+    @given(
+        a=st.floats(min_value=1e-6, max_value=1.0),
+        b=st.floats(min_value=1e-6, max_value=1.0),
+    )
+    def test_deviation_symmetric_and_at_least_one(self, a, b):
+        deviation = multiplicative_deviation(a, b)
+        assert deviation >= 1.0
+        assert abs(deviation - multiplicative_deviation(b, a)) < 1e-9
+
+    @given(
+        a=st.floats(min_value=1e-6, max_value=1.0),
+        b=st.floats(min_value=1e-6, max_value=1.0),
+        c=st.floats(min_value=1e-6, max_value=1.0),
+    )
+    def test_deviation_multiplicative_triangle_inequality(self, a, b, c):
+        """dev(a, c) <= dev(a, b) * dev(b, c) — closeness composes multiplicatively."""
+        assert multiplicative_deviation(a, c) <= (
+            multiplicative_deviation(a, b) * multiplicative_deviation(b, c) + 1e-9
+        )
+
+
+# ------------------------------------------------------------------ formatting
+class TestFormattingProperties:
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=10
+        )
+    )
+    def test_format_table_always_renders_all_rows(self, values):
+        rows = [{"index": index, "value": value} for index, value in enumerate(values)]
+        text = format_table(rows)
+        assert len(text.splitlines()) == len(values) + 2

@@ -1,0 +1,135 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.command == "simulate"
+        assert args.population == 2000
+        assert args.beta == pytest.approx(0.6)
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+
+class TestSimulateCommand:
+    def test_runs_and_prints_table(self, capsys):
+        exit_code = main(
+            [
+                "simulate",
+                "--options", "0.9", "0.3",
+                "--population", "300",
+                "--horizon", "60",
+                "--replications", "1",
+                "--seed", "0",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "regret" in output and "finite" in output
+
+    def test_infinite_flag_adds_rows(self, capsys):
+        main(
+            [
+                "simulate",
+                "--options", "0.9", "0.3",
+                "--population", "200",
+                "--horizon", "40",
+                "--replications", "1",
+                "--infinite",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert "infinite" in output
+
+    def test_plot_flag_draws_chart(self, capsys):
+        main(
+            [
+                "simulate",
+                "--options", "0.9", "0.3",
+                "--population", "200",
+                "--horizon", "40",
+                "--replications", "1",
+                "--plot",
+            ]
+        )
+        assert "Best option share" in capsys.readouterr().out
+
+    def test_output_writes_csv(self, tmp_path, capsys):
+        target = tmp_path / "out.csv"
+        main(
+            [
+                "simulate",
+                "--options", "0.8", "0.4",
+                "--population", "200",
+                "--horizon", "30",
+                "--replications", "2",
+                "--output", str(target),
+            ]
+        )
+        assert target.exists()
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestBoundsCommand:
+    def test_prints_paper_quantities(self, capsys):
+        exit_code = main(["bounds", "--num-options", "5", "--beta", "0.6"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "delta" in output
+        assert "finite_regret_bound" in output
+
+    def test_population_adds_theorem_conditions(self, capsys):
+        main(["bounds", "--num-options", "5", "--beta", "0.6", "--population", "1000"])
+        output = capsys.readouterr().out
+        assert "thm4.4:condition1_holds" in output
+
+
+class TestCouplingCommand:
+    def test_reports_ratio_per_step(self, capsys):
+        exit_code = main(
+            ["coupling", "--population", "2000", "--horizon", "4", "--seed", "1"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "measured_ratio" in output
+        assert "lemma_bound" in output
+
+
+class TestSweepCommand:
+    def test_one_row_per_population(self, capsys, tmp_path):
+        target = tmp_path / "sweep.csv"
+        exit_code = main(
+            [
+                "sweep",
+                "--options", "0.85", "0.45",
+                "--populations", "100", "500",
+                "--horizon", "60",
+                "--replications", "1",
+                "--output", str(target),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert output.count("\n") >= 4
+        assert target.exists()
+        from repro.experiments import read_csv
+
+        table = read_csv(target)
+        assert table.column("N") == [100, 500]

@@ -1,0 +1,85 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, interleave_choice, seeds_for_replications, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).random(5)
+        b = ensure_rng(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(3)
+        assert ensure_rng(generator) is generator
+
+    def test_seed_sequence_accepted(self):
+        sequence = np.random.SeedSequence(5)
+        assert isinstance(ensure_rng(sequence), np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_rng(-1)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not a seed")
+
+    def test_numpy_integer_seed_accepted(self):
+        assert isinstance(ensure_rng(np.int64(9)), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count_respected(self):
+        children = spawn_rngs(0, 4)
+        assert len(children) == 4
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(0, 2)
+        a = children[0].random(10)
+        b = children[1].random(10)
+        assert not np.array_equal(a, b)
+
+    def test_reproducible_from_same_parent_seed(self):
+        first = [child.random(3).tolist() for child in spawn_rngs(7, 3)]
+        second = [child.random(3).tolist() for child in spawn_rngs(7, 3)]
+        assert first == second
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, 0)
+
+
+class TestSeedsForReplications:
+    def test_length_and_type(self):
+        seeds = seeds_for_replications(1, 5)
+        assert len(seeds) == 5
+        assert all(isinstance(seed, int) for seed in seeds)
+
+    def test_deterministic(self):
+        assert seeds_for_replications(3, 4) == seeds_for_replications(3, 4)
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            seeds_for_replications(3, 0)
+
+
+class TestInterleaveChoice:
+    def test_choice_from_options(self):
+        value = interleave_choice(0, [1, 2, 3])
+        assert value in (1, 2, 3)
+
+    def test_empty_options_rejected(self):
+        with pytest.raises(ValueError):
+            interleave_choice(0, [])

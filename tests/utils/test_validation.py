@@ -1,0 +1,110 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative_int,
+    check_positive_int,
+    check_probability,
+    check_probability_vector,
+    check_quality_vector,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(5), "x") == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(-2, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.5, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+
+class TestCheckNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative_int(-1, "x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, float("nan"), float("inf")])
+    def test_rejects_invalid(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value, "p")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(0.5, "x", 0.5, 1.0) == 0.5
+
+    def test_exclusive_low(self):
+        with pytest.raises(ValueError):
+            check_in_range(0.5, "x", 0.5, 1.0, inclusive_low=False)
+
+    def test_exclusive_high(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.0, "x", 0.5, 1.0, inclusive_high=False)
+
+    def test_error_message_mentions_name(self):
+        with pytest.raises(ValueError, match="myparam"):
+            check_in_range(2.0, "myparam", 0.0, 1.0)
+
+
+class TestCheckProbabilityVector:
+    def test_accepts_valid(self):
+        result = check_probability_vector([0.2, 0.3, 0.5], "p")
+        np.testing.assert_allclose(result.sum(), 1.0)
+
+    def test_rejects_not_summing_to_one(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([0.2, 0.3], "p")
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([1.2, -0.2], "p")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([], "p")
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([[0.5, 0.5]], "p")
+
+
+class TestCheckQualityVector:
+    def test_accepts_valid(self):
+        result = check_quality_vector([0.9, 0.1], "q")
+        assert result.shape == (2,)
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_quality_vector([1.5], "q")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_quality_vector([float("nan")], "q")
