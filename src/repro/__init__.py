@@ -27,6 +27,9 @@ from repro.core import (
     AgentBasedDynamics,
     AgentType,
     AlwaysAdoptRule,
+    BatchedDynamics,
+    BatchedPopulationState,
+    BatchedTrajectory,
     CoupledRun,
     EpochSchedule,
     HeterogeneousPopulationDynamics,
@@ -47,6 +50,7 @@ from repro.core import (
     empirical_regret,
     optimal_beta,
     run_coupled_dynamics,
+    simulate_batched_population,
     simulate_finite_population,
     simulate_infinite_population,
 )
@@ -71,6 +75,10 @@ __all__ = [
     # core dynamics
     "FinitePopulationDynamics",
     "AgentBasedDynamics",
+    "BatchedDynamics",
+    "BatchedPopulationState",
+    "BatchedTrajectory",
+    "simulate_batched_population",
     "AgentType",
     "HeterogeneousPopulationDynamics",
     "InfinitePopulationDynamics",

@@ -1,12 +1,17 @@
 """Command-line interface for quick simulations and bound calculations.
 
-Four subcommands cover the workflows a user reaches for most often without
+Five subcommands cover the workflows a user reaches for most often without
 writing a script::
 
     python -m repro simulate --options 0.8 0.5 0.5 --population 2000 --horizon 300
+    python -m repro run      --options 0.8 0.5 0.5 --population 100000 --replications 100
     python -m repro bounds   --num-options 5 --beta 0.6 --population 5000
     python -m repro coupling --population 10000 --horizon 8
     python -m repro sweep    --populations 100 1000 10000 --horizon 300 --output sweep.csv
+
+``run`` executes many independent replications at once on the batched
+replicate-axis engine (:class:`repro.core.batched.BatchedDynamics`); pass
+``--engine loop`` to fall back to the sequential per-seed loop.
 
 Every command prints an aligned text table; ``--output`` additionally writes
 CSV via :func:`repro.experiments.io.write_csv`.
@@ -21,13 +26,20 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro import __version__
+from repro.core.batched import simulate_batched_population
 from repro.core.coupling import run_coupled_dynamics
 from repro.core.dynamics import simulate_finite_population
 from repro.core.infinite import simulate_infinite_population
 from repro.core.regret import best_option_share, expected_regret
 from repro.core.theory import TheoryBounds
 from repro.environments import BernoulliEnvironment
-from repro.experiments import ResultTable, write_csv
+from repro.experiments import (
+    ExperimentConfig,
+    ResultTable,
+    batched_replication,
+    run_replications,
+    write_csv,
+)
 from repro.utils.ascii_plot import ascii_line_plot
 
 
@@ -62,6 +74,33 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--infinite", action="store_true", help="also run the infinite-population dynamics")
     simulate.add_argument("--plot", action="store_true", help="print an ASCII plot of the best option's share")
     simulate.add_argument("--output", type=str, default=None, help="write the result table to this CSV path")
+
+    run = subparsers.add_parser(
+        "run",
+        help="run many replications at once on the batched replicate-axis engine",
+    )
+    run.add_argument(
+        "--options",
+        type=float,
+        nargs="+",
+        default=[0.8, 0.5, 0.5],
+        help="option qualities eta_j (each in [0, 1])",
+    )
+    run.add_argument("--population", type=int, default=2000, help="group size N")
+    run.add_argument("--horizon", type=int, default=300, help="number of steps T")
+    run.add_argument("--beta", type=float, default=0.6, help="adoption probability on a good signal")
+    run.add_argument("--mu", type=float, default=None, help="exploration rate (default: delta^2/6)")
+    run.add_argument("--seed", type=int, default=0, help="master seed")
+    run.add_argument(
+        "--replications", type=int, default=100, help="independent replications R"
+    )
+    run.add_argument(
+        "--engine",
+        choices=("batched", "loop"),
+        default="batched",
+        help="batched replicate-axis engine (default) or the sequential per-seed loop",
+    )
+    run.add_argument("--output", type=str, default=None, help="write the summary table to this CSV path")
 
     bounds = subparsers.add_parser(
         "bounds", help="print every paper bound for a parameterisation"
@@ -159,6 +198,77 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_run(args: argparse.Namespace) -> int:
+    qualities = list(args.options)
+    best = int(np.argmax(qualities))
+
+    if args.engine == "batched":
+
+        @batched_replication
+        def replication(seeds, parameters):
+            # One generator, seeded by the full seed list, drives both the
+            # reward draws and the batched dynamics — reproducible from the
+            # config, vectorised across all replicates.
+            generator = np.random.default_rng(seeds)
+            env = BernoulliEnvironment(qualities, rng=generator)
+            trajectory = simulate_batched_population(
+                env,
+                population_size=args.population,
+                horizon=args.horizon,
+                num_replicates=len(seeds),
+                beta=args.beta,
+                mu=args.mu,
+                rng=generator,
+            )
+            regrets = trajectory.expected_regret(qualities)
+            shares = trajectory.best_option_share(best)
+            return [
+                {"regret": float(regret), "best_option_share": float(share)}
+                for regret, share in zip(regrets, shares)
+            ]
+
+    else:
+
+        def replication(seed, parameters):
+            env = BernoulliEnvironment(qualities, rng=seed)
+            trajectory = simulate_finite_population(
+                env,
+                population_size=args.population,
+                horizon=args.horizon,
+                beta=args.beta,
+                mu=args.mu,
+                rng=seed + 1,
+            )
+            matrix = trajectory.popularity_matrix()
+            return {
+                "regret": expected_regret(matrix, qualities),
+                "best_option_share": best_option_share(matrix, best),
+            }
+
+    config = ExperimentConfig(
+        name=f"run-{args.engine}",
+        parameters={
+            "options": " ".join(str(quality) for quality in qualities),
+            "N": args.population,
+            "horizon": args.horizon,
+            "beta": args.beta,
+            "mu": args.mu if args.mu is not None else "default",
+            "engine": args.engine,
+        },
+        replications=args.replications,
+        seed=args.seed,
+    )
+    result = run_replications(config, replication)
+    table = ResultTable()
+    for name in result.metric_names():
+        row = {"metric": name}
+        row.update(result.summarize(name).as_dict())
+        table.add_row(row)
+    print(config.describe())
+    _finish(table, args.output)
+    return 0
+
+
 def _command_bounds(args: argparse.Namespace) -> int:
     delta = TheoryBounds(
         num_options=args.num_options, beta=args.beta, mu=0.0, strict=False
@@ -234,6 +344,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "simulate": _command_simulate,
+    "run": _command_run,
     "bounds": _command_bounds,
     "coupling": _command_coupling,
     "sweep": _command_sweep,

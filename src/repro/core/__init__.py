@@ -13,6 +13,10 @@ Modules
 ``dynamics``
     The finite-population distributed learning dynamics — a fast vectorised
     simulator and a faithful agent-based simulator.
+``batched``
+    The replicate-axis batched engine: ``R`` independent replicates advanced
+    as one ``(R, m)`` count matrix per step, with per-replicate trajectory
+    views and batched metric accessors.
 ``infinite``
     The infinite-population limit: the stochastic multiplicative-weights
     process of Eq. (1).
@@ -47,6 +51,12 @@ from repro.core.dynamics import (
     FinitePopulationDynamics,
     simulate_finite_population,
 )
+from repro.core.batched import (
+    BatchedDynamics,
+    BatchedPopulationState,
+    BatchedTrajectory,
+    simulate_batched_population,
+)
 from repro.core.infinite import InfinitePopulationDynamics, simulate_infinite_population
 from repro.core.coupling import CoupledRun, run_coupled_dynamics
 from repro.core.regret import (
@@ -73,6 +83,10 @@ __all__ = [
     "FinitePopulationDynamics",
     "AgentBasedDynamics",
     "simulate_finite_population",
+    "BatchedDynamics",
+    "BatchedPopulationState",
+    "BatchedTrajectory",
+    "simulate_batched_population",
     "InfinitePopulationDynamics",
     "simulate_infinite_population",
     "CoupledRun",

@@ -1,0 +1,465 @@
+"""Replicate-axis batched simulation of the finite-population dynamics.
+
+The CelisKV17 dynamics are exchangeable: the whole population evolves as one
+multinomial draw (stage 1, Eq. 2) followed by per-option binomial thinning
+(stage 2, Eq. 3).  Independent replicates of the same experiment are therefore
+just one more array axis — :class:`BatchedDynamics` advances an ``(R, m)``
+count matrix for ``R`` replicates in a single NumPy pass per step instead of
+looping a :class:`~repro.core.dynamics.FinitePopulationDynamics` instance per
+seed.  At ``N = 10^5`` and ``R = 100`` this is more than an order of magnitude
+faster than the sequential loop (see ``benchmarks/test_bench_batched.py``).
+
+Equivalence guarantees (enforced by the test suite):
+
+* **exact-seed**: with ``R = 1`` and the same seed, :class:`BatchedDynamics`
+  consumes the random stream identically to
+  :class:`~repro.core.dynamics.FinitePopulationDynamics`, producing
+  bit-identical trajectories;
+* **statistical**: for any ``R`` the per-replicate marginals match the
+  sequential engine's distribution (KS / chi-squared cross-validation in
+  ``tests/integration/test_cross_validation.py``).
+
+:class:`BatchedTrajectory` records the whole batch and exposes per-replicate
+:class:`~repro.core.state.Trajectory` views, so downstream consumers (regret
+accounting, convergence analysis, plotting) work unchanged on any single
+replicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.adoption import AdoptionRule, SymmetricAdoptionRule
+from repro.core.sampling import MixtureSampling, SamplingRule, default_exploration_rate
+from repro.core.state import PopulationState, Trajectory
+from repro.environments.base import RewardEnvironment
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int, check_quality_vector
+
+
+@dataclass(frozen=True)
+class BatchedPopulationState:
+    """Snapshot of ``R`` independent replicate populations at one time step.
+
+    Attributes
+    ----------
+    counts:
+        Per-replicate, per-option adoption counts, shape ``(R, m)``.
+    population_size:
+        Number of individuals ``N`` in every replicate.
+    time:
+        The time step index this snapshot corresponds to.
+    """
+
+    counts: np.ndarray
+    population_size: int
+    time: int = 0
+
+    def __post_init__(self) -> None:
+        counts = np.asarray(self.counts, dtype=np.int64)
+        if counts.ndim != 2 or counts.shape[0] == 0 or counts.shape[1] == 0:
+            raise ValueError("counts must be a non-empty 2-D (R, m) array")
+        if np.any(counts < 0):
+            raise ValueError("counts must be non-negative")
+        object.__setattr__(self, "counts", counts)
+        check_positive_int(self.population_size, "population_size")
+        row_totals = counts.sum(axis=1)
+        if np.any(row_totals > self.population_size):
+            worst = int(row_totals.argmax())
+            raise ValueError(
+                f"replicate {worst} has committed count {int(row_totals[worst])} "
+                f"exceeding population size {self.population_size}"
+            )
+
+    @property
+    def num_replicates(self) -> int:
+        """Number of replicates ``R``."""
+        return int(self.counts.shape[0])
+
+    @property
+    def num_options(self) -> int:
+        """Number of options ``m``."""
+        return int(self.counts.shape[1])
+
+    @property
+    def committed(self) -> np.ndarray:
+        """Per-replicate number of committed individuals, shape ``(R,)``."""
+        return self.counts.sum(axis=1)
+
+    def popularity(self) -> np.ndarray:
+        """Per-replicate popularity ``Q^t``, shape ``(R, m)``; uniform rows where nobody is committed."""
+        totals = self.counts.sum(axis=1, keepdims=True)
+        uniform = 1.0 / self.num_options
+        with np.errstate(divide="ignore", invalid="ignore"):
+            popularity = self.counts / totals
+        return np.where(totals == 0, uniform, popularity)
+
+    def min_popularity(self) -> np.ndarray:
+        """Per-replicate occupancy floor ``min_j Q^t_j``, shape ``(R,)``."""
+        return self.popularity().min(axis=1)
+
+    def entropy(self) -> np.ndarray:
+        """Per-replicate Shannon entropy (nats) of the popularity, shape ``(R,)``."""
+        popularity = self.popularity()
+        contributions = np.where(
+            popularity > 0, popularity * np.log(np.where(popularity > 0, popularity, 1.0)), 0.0
+        )
+        return -contributions.sum(axis=1)
+
+    def leader(self) -> np.ndarray:
+        """Per-replicate most popular option (ties toward lower index), shape ``(R,)``."""
+        return self.counts.argmax(axis=1)
+
+    def replicate(self, index: int) -> PopulationState:
+        """The single-replicate :class:`PopulationState` view of row ``index``."""
+        if not 0 <= index < self.num_replicates:
+            raise IndexError(
+                f"replicate index {index} out of range for R={self.num_replicates}"
+            )
+        return PopulationState(
+            counts=self.counts[index].copy(),
+            population_size=self.population_size,
+            time=self.time,
+        )
+
+    @classmethod
+    def uniform(
+        cls,
+        num_replicates: int,
+        population_size: int,
+        num_options: int,
+        time: int = 0,
+    ) -> "BatchedPopulationState":
+        """Every replicate starts from the near-uniform split of :meth:`PopulationState.uniform`."""
+        num_replicates = check_positive_int(num_replicates, "num_replicates")
+        template = PopulationState.uniform(population_size, num_options, time=time)
+        return cls.from_state(template, num_replicates)
+
+    @classmethod
+    def from_state(
+        cls, state: PopulationState, num_replicates: int
+    ) -> "BatchedPopulationState":
+        """Tile one :class:`PopulationState` across ``num_replicates`` replicates."""
+        num_replicates = check_positive_int(num_replicates, "num_replicates")
+        return cls(
+            counts=np.tile(state.counts, (num_replicates, 1)),
+            population_size=state.population_size,
+            time=state.time,
+        )
+
+
+@dataclass
+class BatchedTrajectory:
+    """Time series of batched states, rewards and pre-step popularities.
+
+    The layout mirrors :class:`~repro.core.state.Trajectory` with one extra
+    leading replicate axis on every recorded array: for each step ``t``,
+    ``pre_step_popularities[t]`` and ``rewards[t]`` have shape ``(R, m)``.
+    :meth:`replicate` slices out one replicate as a plain
+    :class:`~repro.core.state.Trajectory`, so existing consumers (regret,
+    convergence detection, plotting) need no changes.
+    """
+
+    initial_state: BatchedPopulationState
+    states: List[BatchedPopulationState] = field(default_factory=list)
+    rewards: List[np.ndarray] = field(default_factory=list)
+    pre_step_popularities: List[np.ndarray] = field(default_factory=list)
+
+    def record(
+        self,
+        pre_step_popularity: np.ndarray,
+        rewards: np.ndarray,
+        new_state: BatchedPopulationState,
+    ) -> None:
+        """Append one batched step's observations to the trajectory."""
+        self.pre_step_popularities.append(np.asarray(pre_step_popularity, dtype=float))
+        self.rewards.append(np.asarray(rewards, dtype=np.int8))
+        self.states.append(new_state)
+
+    @property
+    def horizon(self) -> int:
+        """Number of recorded steps ``T``."""
+        return len(self.states)
+
+    @property
+    def num_replicates(self) -> int:
+        """Number of replicates ``R``."""
+        return self.initial_state.num_replicates
+
+    @property
+    def num_options(self) -> int:
+        """Number of options ``m``."""
+        return self.initial_state.num_options
+
+    def popularity_tensor(self) -> np.ndarray:
+        """Pre-step popularities ``Q^{t-1}``, shape ``(T, R, m)``."""
+        if not self.pre_step_popularities:
+            return np.zeros((0, self.num_replicates, self.num_options))
+        return np.stack(self.pre_step_popularities)
+
+    def reward_tensor(self) -> np.ndarray:
+        """Observed rewards ``R^t``, shape ``(T, R, m)``."""
+        if not self.rewards:
+            return np.zeros((0, self.num_replicates, self.num_options), dtype=np.int8)
+        return np.stack(self.rewards)
+
+    def final_state(self) -> BatchedPopulationState:
+        """The last recorded batched state (the initial state if no steps recorded)."""
+        return self.states[-1] if self.states else self.initial_state
+
+    def replicate(self, index: int) -> Trajectory:
+        """Per-replicate :class:`Trajectory` view of replicate ``index``."""
+        trajectory = Trajectory(initial_state=self.initial_state.replicate(index))
+        for popularity, rewards, state in zip(
+            self.pre_step_popularities, self.rewards, self.states
+        ):
+            trajectory.record(popularity[index], rewards[index], state.replicate(index))
+        return trajectory
+
+    # -------------------------------------------------- per-replicate metrics
+    def expected_regret(self, qualities: Sequence[float]) -> np.ndarray:
+        """Per-replicate average regret with rewards replaced by expectations, shape ``(R,)``.
+
+        The batched analogue of :func:`repro.core.regret.expected_regret`:
+        ``eta_1 - (1/T) sum_t <Q^{t-1}_r, eta>`` for each replicate ``r``.
+        """
+        qualities = check_quality_vector(qualities, "qualities")
+        popularity = self.popularity_tensor()
+        if popularity.shape[0] == 0:
+            raise ValueError("need at least one recorded step")
+        per_step = popularity @ qualities  # (T, R)
+        return float(qualities.max()) - per_step.mean(axis=0)
+
+    def empirical_regret(self, best_quality: float) -> np.ndarray:
+        """Per-replicate realised regret ``eta_1 - (1/T) sum_t <Q^{t-1}_r, R^t_r>``, shape ``(R,)``."""
+        popularity = self.popularity_tensor()
+        if popularity.shape[0] == 0:
+            raise ValueError("need at least one recorded step")
+        per_step = np.einsum("trj,trj->tr", popularity, self.reward_tensor().astype(float))
+        return float(best_quality) - per_step.mean(axis=0)
+
+    def best_option_share(self, best_option: int) -> np.ndarray:
+        """Per-replicate average pre-step popularity of ``best_option``, shape ``(R,)``."""
+        popularity = self.popularity_tensor()
+        if popularity.shape[0] == 0:
+            raise ValueError("need at least one recorded step")
+        if not 0 <= best_option < self.num_options:
+            raise ValueError(
+                f"best_option {best_option} out of range for m={self.num_options}"
+            )
+        return popularity[:, :, best_option].mean(axis=0)
+
+    def entropy_series(self) -> np.ndarray:
+        """Post-step popularity entropy per replicate, shape ``(T, R)``."""
+        if not self.states:
+            return np.zeros((0, self.num_replicates))
+        return np.stack([state.entropy() for state in self.states])
+
+
+class BatchedDynamics:
+    """Replicate-axis vectorised simulator of the two-stage dynamics.
+
+    Advances ``R`` statistically independent copies of the finite-population
+    dynamics in lock-step: stage 1 is one row-wise multinomial draw over the
+    ``(R, m)`` consideration matrix, stage 2 one broadcast binomial thinning.
+    All replicates share one generator, so a batch is reproducible from a
+    single seed; per-replicate streams are *not* individually re-runnable (use
+    :class:`~repro.core.dynamics.FinitePopulationDynamics` with per-seed loops
+    when that is required).
+
+    Parameters
+    ----------
+    num_replicates:
+        Number of independent replicates ``R``.
+    population_size:
+        Number of individuals ``N`` (identical across replicates).
+    num_options:
+        Number of options ``m``.
+    adoption_rule:
+        The shared adoption function ``f``; defaults to the paper's symmetric
+        rule with ``beta = 0.6``.
+    sampling_rule:
+        The sampling stage; same default policy as
+        :class:`~repro.core.dynamics.FinitePopulationDynamics`.
+    initial_state:
+        Starting counts — a single :class:`PopulationState` tiled across the
+        batch, or a full :class:`BatchedPopulationState`.  Defaults to the
+        near-uniform split in every replicate.
+    rng:
+        Seed or generator.  With ``num_replicates == 1`` the stream is
+        consumed exactly as the sequential engine consumes it.
+    """
+
+    def __init__(
+        self,
+        num_replicates: int,
+        population_size: int,
+        num_options: int,
+        adoption_rule: Optional[AdoptionRule] = None,
+        sampling_rule: Optional[SamplingRule] = None,
+        initial_state: Optional[Union[PopulationState, BatchedPopulationState]] = None,
+        rng: RngLike = None,
+    ) -> None:
+        self._num_replicates = check_positive_int(num_replicates, "num_replicates")
+        self._population_size = check_positive_int(population_size, "population_size")
+        self._num_options = check_positive_int(num_options, "num_options")
+        self._adoption_rule = adoption_rule or SymmetricAdoptionRule(0.6)
+        if sampling_rule is None:
+            sampling_rule = MixtureSampling(default_exploration_rate(self._adoption_rule))
+        self._sampling_rule = sampling_rule
+        if initial_state is None:
+            initial_state = BatchedPopulationState.uniform(
+                num_replicates, population_size, num_options
+            )
+        elif isinstance(initial_state, PopulationState):
+            initial_state = BatchedPopulationState.from_state(
+                initial_state, num_replicates
+            )
+        if initial_state.num_replicates != num_replicates:
+            raise ValueError("initial_state has the wrong number of replicates")
+        if initial_state.num_options != num_options:
+            raise ValueError("initial_state has the wrong number of options")
+        if initial_state.population_size != population_size:
+            raise ValueError("initial_state has the wrong population size")
+        self._initial_state = initial_state
+        self._state = initial_state
+        self._rng = ensure_rng(rng)
+
+    # ------------------------------------------------------------ properties
+    @property
+    def num_replicates(self) -> int:
+        """Number of independent replicates ``R``."""
+        return self._num_replicates
+
+    @property
+    def population_size(self) -> int:
+        """Number of individuals ``N`` per replicate."""
+        return self._population_size
+
+    @property
+    def num_options(self) -> int:
+        """Number of options ``m``."""
+        return self._num_options
+
+    @property
+    def adoption_rule(self) -> AdoptionRule:
+        """The shared adoption function ``f``."""
+        return self._adoption_rule
+
+    @property
+    def sampling_rule(self) -> SamplingRule:
+        """The sampling stage rule."""
+        return self._sampling_rule
+
+    @property
+    def state(self) -> BatchedPopulationState:
+        """Current batched population state."""
+        return self._state
+
+    def popularity(self) -> np.ndarray:
+        """Current per-replicate popularity ``Q^t``, shape ``(R, m)``."""
+        return self._state.popularity()
+
+    def reset(self, rng: RngLike = None) -> None:
+        """Return every replicate to the initial state.
+
+        Same contract as :meth:`FinitePopulationDynamics.reset
+        <repro.core.dynamics.FinitePopulationDynamics.reset>`: with
+        ``rng=None`` the (already advanced) generator is kept, so a
+        subsequent run draws fresh randomness; pass the original seed to
+        reproduce the first run exactly.
+        """
+        self._state = self._initial_state
+        if rng is not None:
+            self._rng = ensure_rng(rng)
+
+    # ------------------------------------------------------------------ step
+    def step(self, rewards: np.ndarray) -> BatchedPopulationState:
+        """Advance every replicate one step given the rewards ``R^{t+1}``.
+
+        Parameters
+        ----------
+        rewards:
+            Either an ``(R, m)`` matrix of per-replicate binary reward
+            realisations (the usual case — each replicate observes its own
+            draw of the environment) or a single ``(m,)`` vector shared by
+            all replicates (the coupled / common-rewards regime).
+        """
+        rewards = np.asarray(rewards)
+        if rewards.shape == (self._num_options,):
+            rewards = np.broadcast_to(rewards, (self._num_replicates, self._num_options))
+        elif rewards.shape != (self._num_replicates, self._num_options):
+            raise ValueError(
+                f"rewards must have shape ({self._num_replicates}, "
+                f"{self._num_options}) or ({self._num_options},), got {rewards.shape}"
+            )
+        if np.any((rewards != 0) & (rewards != 1)):
+            raise ValueError("rewards must be binary")
+
+        popularity = self._state.popularity()
+        consideration = self._sampling_rule.consideration_probabilities_batch(popularity)
+        selected = self._rng.multinomial(self._population_size, consideration)
+        adopt_probabilities = self._adoption_rule.adopt_probabilities(rewards)
+        new_counts = self._rng.binomial(selected, adopt_probabilities)
+        self._state = BatchedPopulationState(
+            counts=new_counts.astype(np.int64),
+            population_size=self._population_size,
+            time=self._state.time + 1,
+        )
+        return self._state
+
+    def run(
+        self,
+        environment: RewardEnvironment,
+        horizon: int,
+    ) -> BatchedTrajectory:
+        """Simulate ``horizon`` steps of every replicate against ``environment``.
+
+        Each step draws one ``(R, m)`` reward batch via
+        :meth:`~repro.environments.base.RewardEnvironment.sample_batch`, so
+        replicates observe independent reward realisations from the same
+        environment instance (sharing its quality path, if it drifts).
+        """
+        horizon = check_positive_int(horizon, "horizon")
+        if environment.num_options != self._num_options:
+            raise ValueError(
+                "environment and dynamics disagree on the number of options"
+            )
+        trajectory = BatchedTrajectory(initial_state=self._state)
+        for _ in range(horizon):
+            pre_step_popularity = self._state.popularity()
+            rewards = environment.sample_batch(self._num_replicates)
+            new_state = self.step(rewards)
+            trajectory.record(pre_step_popularity, rewards, new_state)
+        return trajectory
+
+
+def simulate_batched_population(
+    environment: RewardEnvironment,
+    population_size: int,
+    horizon: int,
+    num_replicates: int,
+    *,
+    beta: float = 0.6,
+    mu: Optional[float] = None,
+    rng: RngLike = None,
+) -> BatchedTrajectory:
+    """One-call helper: run ``num_replicates`` replicates with paper defaults.
+
+    The batched counterpart of
+    :func:`~repro.core.dynamics.simulate_finite_population`; with
+    ``num_replicates=1`` and matching seeds the two produce bit-identical
+    trajectories.
+    """
+    dynamics = BatchedDynamics(
+        num_replicates=num_replicates,
+        population_size=population_size,
+        num_options=environment.num_options,
+        adoption_rule=SymmetricAdoptionRule(beta),
+        sampling_rule=MixtureSampling(mu) if mu is not None else None,
+        rng=rng,
+    )
+    return dynamics.run(environment, horizon)

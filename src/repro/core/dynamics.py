@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.agents.population import Population
 from repro.core.adoption import AdoptionRule, SymmetricAdoptionRule
-from repro.core.sampling import MixtureSampling, SamplingRule
+from repro.core.sampling import MixtureSampling, SamplingRule, default_exploration_rate
 from repro.core.state import PopulationState, Trajectory
 from repro.environments.base import RewardEnvironment
 from repro.utils.rng import RngLike, ensure_rng
@@ -76,12 +76,7 @@ class FinitePopulationDynamics:
         self._num_options = check_positive_int(num_options, "num_options")
         self._adoption_rule = adoption_rule or SymmetricAdoptionRule(0.6)
         if sampling_rule is None:
-            delta = self._adoption_rule.delta
-            if np.isfinite(delta) and delta > 0:
-                mu = min(1.0, delta**2 / 6.0)
-            else:
-                mu = 0.01
-            sampling_rule = MixtureSampling(mu)
+            sampling_rule = MixtureSampling(default_exploration_rate(self._adoption_rule))
         self._sampling_rule = sampling_rule
         if initial_state is None:
             initial_state = PopulationState.uniform(population_size, num_options)
@@ -124,7 +119,14 @@ class FinitePopulationDynamics:
         return self._state.popularity()
 
     def reset(self, rng: RngLike = None) -> None:
-        """Return to the initial state (optionally reseeding the generator)."""
+        """Return to the initial state (optionally reseeding the generator).
+
+        Generator contract: with ``rng=None`` only the *state* rewinds — the
+        generator keeps its advanced position, so a run after ``reset()``
+        draws fresh randomness and will **not** reproduce the previous run.
+        To replay a run exactly from the original seed, pass that seed (or a
+        freshly seeded generator) explicitly: ``reset(rng=original_seed)``.
+        """
         self._state = self._initial_state
         if rng is not None:
             self._rng = ensure_rng(rng)
@@ -329,15 +331,11 @@ def simulate_finite_population(
     rng:
         Seed or generator.
     """
-    adoption_rule = SymmetricAdoptionRule(beta)
-    if mu is None:
-        delta = adoption_rule.delta
-        mu = min(1.0, delta**2 / 6.0) if np.isfinite(delta) and delta > 0 else 0.01
     dynamics = FinitePopulationDynamics(
         population_size=population_size,
         num_options=environment.num_options,
-        adoption_rule=adoption_rule,
-        sampling_rule=MixtureSampling(mu),
+        adoption_rule=SymmetricAdoptionRule(beta),
+        sampling_rule=MixtureSampling(mu) if mu is not None else None,
         rng=rng,
     )
     return dynamics.run(environment, horizon)

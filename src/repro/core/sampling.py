@@ -23,6 +23,30 @@ import numpy as np
 from repro.utils.validation import check_probability, check_probability_vector
 
 
+def default_exploration_rate(adoption_rule) -> float:
+    """The default ``mu`` for a given adoption rule: the theorem maximum.
+
+    Returns ``min(1, delta^2 / 6)`` — the largest exploration rate the
+    paper's theorems allow — or ``0.01`` when ``delta`` is degenerate
+    (zero or infinite).  Every engine derives its default sampling rule
+    from this one function so they stay exact-seed equivalent.
+    """
+    delta = adoption_rule.delta
+    if np.isfinite(delta) and delta > 0:
+        return min(1.0, delta**2 / 6.0)
+    return 0.01
+
+
+def _as_popularity_matrix(popularities: np.ndarray) -> np.ndarray:
+    popularities = np.asarray(popularities, dtype=float)
+    if popularities.ndim != 2:
+        raise ValueError(
+            f"popularities must be a 2-D (R, m) matrix, got shape "
+            f"{popularities.shape}"
+        )
+    return popularities
+
+
 class SamplingRule(abc.ABC):
     """Maps the current popularity distribution to consideration probabilities."""
 
@@ -41,6 +65,22 @@ class SamplingRule(abc.ABC):
         numpy.ndarray
             A probability vector of length ``m``.
         """
+
+    def consideration_probabilities_batch(self, popularities: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`consideration_probabilities` over an ``(R, m)`` matrix.
+
+        Each row of ``popularities`` is the popularity distribution of one
+        independent replicate.  The default implementation applies the scalar
+        rule row by row; subclasses with a closed-form rule (notably
+        :class:`MixtureSampling`) override it with a single vectorised pass
+        whose per-row arithmetic is bit-identical to the scalar path, which is
+        what makes exact-seed equivalence between the batched and sequential
+        engines possible.
+        """
+        popularities = _as_popularity_matrix(popularities)
+        return np.stack(
+            [self.consideration_probabilities(row) for row in popularities]
+        )
 
     @property
     @abc.abstractmethod
@@ -80,6 +120,16 @@ class MixtureSampling(SamplingRule):
         # Guard against floating-point drift so downstream multinomial draws
         # always receive an exact probability vector.
         return probabilities / probabilities.sum()
+
+    def consideration_probabilities_batch(self, popularities: np.ndarray) -> np.ndarray:
+        popularities = _as_popularity_matrix(popularities)
+        if np.any(popularities < 0) or not np.allclose(
+            popularities.sum(axis=1), 1.0, atol=1e-8
+        ):
+            raise ValueError("every row of popularities must be a probability vector")
+        num_options = popularities.shape[1]
+        probabilities = (1.0 - self._mu) * popularities + self._mu / num_options
+        return probabilities / probabilities.sum(axis=1, keepdims=True)
 
 
 class UniformSampling(MixtureSampling):

@@ -82,16 +82,55 @@ class RewardEnvironment(abc.ABC):
                 f"environment produced rewards of shape {rewards.shape}, "
                 f"expected ({self._num_options},)"
             )
-        rewards = rewards.astype(np.int8)
+        # Validate before the int8 cast so non-binary values (0.7, 256, ...)
+        # raise instead of being silently truncated to something that passes.
         if np.any((rewards != 0) & (rewards != 1)):
             raise RuntimeError("environment produced non-binary rewards")
         self._time += 1
-        return rewards
+        return rewards.astype(np.int8)
 
     def sample_many(self, horizon: int) -> np.ndarray:
         """Sample ``horizon`` consecutive reward vectors; shape ``(horizon, m)``."""
         horizon = check_positive_int(horizon, "horizon")
         return np.stack([self.sample() for _ in range(horizon)])
+
+    def _draw_batch(self, num_replicates: int) -> np.ndarray:
+        """Draw ``num_replicates`` independent reward vectors for the current step.
+
+        The default stacks repeated :meth:`_draw` calls, which is correct for
+        environments whose ``_draw`` does not mutate internal state (the signal
+        at a fixed time step is then i.i.d. across replicates).  Environments
+        with per-step state evolution (e.g. random-walk drift) or vectorisable
+        draws override this.
+        """
+        return np.stack([self._draw() for _ in range(num_replicates)])
+
+    def sample_batch(self, num_replicates: int) -> np.ndarray:
+        """Sample the next step's rewards for ``num_replicates`` independent replicates.
+
+        Returns an ``(R, m)`` 0/1 matrix: row ``r`` is the reward realisation
+        replicate ``r`` observes at time ``t+1``.  Replicate draws are
+        conditionally independent given the environment's current quality
+        state; for drifting environments the quality *path* is shared across
+        replicates (each replicate sees its own rewards along one common
+        quality trajectory).  The internal clock advances by one step, exactly
+        as a single :meth:`sample` call would.
+
+        With ``num_replicates == 1`` this consumes the generator identically
+        to :meth:`sample`, which the exact-seed equivalence tests between the
+        batched and sequential engines rely on.
+        """
+        num_replicates = check_positive_int(num_replicates, "num_replicates")
+        rewards = np.asarray(self._draw_batch(num_replicates))
+        if rewards.shape != (num_replicates, self._num_options):
+            raise RuntimeError(
+                f"environment produced batch rewards of shape {rewards.shape}, "
+                f"expected ({num_replicates}, {self._num_options})"
+            )
+        if np.any((rewards != 0) & (rewards != 1)):
+            raise RuntimeError("environment produced non-binary rewards")
+        self._time += 1
+        return rewards.astype(np.int8)
 
     def reset(self, rng: Optional[RngLike] = None) -> None:
         """Reset the time counter (and optionally reseed the generator)."""

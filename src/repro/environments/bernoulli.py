@@ -41,6 +41,10 @@ class BernoulliEnvironment(RewardEnvironment):
     def _draw(self) -> np.ndarray:
         return (self._rng.random(self._num_options) < self._qualities).astype(np.int8)
 
+    def _draw_batch(self, num_replicates: int) -> np.ndarray:
+        uniforms = self._rng.random((num_replicates, self._num_options))
+        return (uniforms < self._qualities).astype(np.int8)
+
     @classmethod
     def with_gap(
         cls,

@@ -84,7 +84,11 @@ class ContinuousRewardEnvironment(RewardEnvironment):
 
     @property
     def last_raw_rewards(self) -> Optional[np.ndarray]:
-        """Raw continuous rewards from the most recent :meth:`sample` call."""
+        """Raw continuous rewards from the most recent sampling call.
+
+        Shape ``(m,)`` after :meth:`sample`, ``(R, m)`` after
+        :meth:`sample_batch` (one row of raw rewards per replicate).
+        """
         if self._last_raw_rewards is None:
             return None
         return self._last_raw_rewards.copy()
@@ -92,6 +96,18 @@ class ContinuousRewardEnvironment(RewardEnvironment):
     def _draw(self) -> np.ndarray:
         raw = np.array(
             [float(dist.rvs(random_state=self._rng)) for dist in self._distributions]
+        )
+        self._last_raw_rewards = raw
+        return (raw > self._threshold).astype(np.int8)
+
+    def _draw_batch(self, num_replicates: int) -> np.ndarray:
+        raw = np.column_stack(
+            [
+                np.asarray(
+                    dist.rvs(size=num_replicates, random_state=self._rng), dtype=float
+                )
+                for dist in self._distributions
+            ]
         )
         self._last_raw_rewards = raw
         return (raw > self._threshold).astype(np.int8)

@@ -59,6 +59,14 @@ class ExactlyOneGoodEnvironment(RewardEnvironment):
         rewards[winner] = 1
         return rewards
 
+    def _draw_batch(self, num_replicates: int) -> np.ndarray:
+        winners = self._rng.choice(
+            self._num_options, size=num_replicates, p=self._win_probabilities
+        )
+        rewards = np.zeros((num_replicates, self._num_options), dtype=np.int8)
+        rewards[np.arange(num_replicates), winners] = 1
+        return rewards
+
 
 class CorrelatedOptionsEnvironment(RewardEnvironment):
     """Gaussian-copula correlated binary signals with exact marginals ``eta_j``.
@@ -113,6 +121,20 @@ class CorrelatedOptionsEnvironment(RewardEnvironment):
         )
         rewards = (latent > self._thresholds).astype(np.int8)
         # Degenerate qualities (0 or 1) must be honoured exactly.
+        rewards = np.where(self._qualities >= 1.0, 1, rewards)
+        rewards = np.where(self._qualities <= 0.0, 0, rewards)
+        return rewards.astype(np.int8)
+
+    def _draw_batch(self, num_replicates: int) -> np.ndarray:
+        # One common factor per replicate: correlation acts within a step,
+        # while distinct replicates stay independent of each other.
+        common = self._rng.normal(size=(num_replicates, 1))
+        idiosyncratic = self._rng.normal(size=(num_replicates, self._num_options))
+        latent = (
+            np.sqrt(self._correlation) * common
+            + np.sqrt(1.0 - self._correlation) * idiosyncratic
+        )
+        rewards = (latent > self._thresholds).astype(np.int8)
         rewards = np.where(self._qualities >= 1.0, 1, rewards)
         rewards = np.where(self._qualities <= 0.0, 0, rewards)
         return rewards.astype(np.int8)

@@ -78,6 +78,11 @@ class PiecewiseConstantDriftEnvironment(RewardEnvironment):
         qualities = self._phases[self._phase_index(self._time)]
         return (self._rng.random(self._num_options) < qualities).astype(np.int8)
 
+    def _draw_batch(self, num_replicates: int) -> np.ndarray:
+        qualities = self._phases[self._phase_index(self._time)]
+        uniforms = self._rng.random((num_replicates, self._num_options))
+        return (uniforms < qualities).astype(np.int8)
+
 
 class RandomWalkDriftEnvironment(RewardEnvironment):
     """Qualities performing independent reflected Gaussian random walks.
@@ -136,6 +141,16 @@ class RandomWalkDriftEnvironment(RewardEnvironment):
 
     def _draw(self) -> np.ndarray:
         rewards = (self._rng.random(self._num_options) < self._current).astype(np.int8)
+        step = self._rng.normal(0.0, self._step_scale, size=self._num_options)
+        self._current = self._reflect(self._current + step, self._low, self._high)
+        return rewards
+
+    def _draw_batch(self, num_replicates: int) -> np.ndarray:
+        # All replicates observe rewards from the same point of one shared
+        # quality walk; the walk advances once per batched step (not once per
+        # replicate, which the stacking default would do).
+        uniforms = self._rng.random((num_replicates, self._num_options))
+        rewards = (uniforms < self._current).astype(np.int8)
         step = self._rng.normal(0.0, self._step_scale, size=self._num_options)
         self._current = self._reflect(self._current + step, self._low, self._high)
         return rewards

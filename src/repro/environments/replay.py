@@ -103,6 +103,13 @@ class RecordedRewardSequence(RewardEnvironment):
             )
         return self._rewards[self._time]
 
+    def _draw_batch(self, num_replicates: int) -> np.ndarray:
+        # A recording holds exactly one realisation, so every replicate
+        # observes the same recorded row — the coupling use-case.
+        return np.broadcast_to(
+            self._draw(), (num_replicates, self._num_options)
+        ).copy()
+
     def remaining(self) -> int:
         """Number of steps left before the recording is exhausted."""
         return self.horizon - self._time

@@ -8,7 +8,11 @@ via :func:`repro.utils.format_table` and CSV files via
 """
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import ReplicatedResult, run_replications
+from repro.experiments.runner import (
+    ReplicatedResult,
+    batched_replication,
+    run_replications,
+)
 from repro.experiments.sweep import ParameterGrid, run_sweep
 from repro.experiments.results import ResultTable
 from repro.experiments.io import read_csv, write_csv
@@ -17,6 +21,7 @@ from repro.experiments.report import generate_report, table_to_markdown
 __all__ = [
     "ExperimentConfig",
     "ReplicatedResult",
+    "batched_replication",
     "run_replications",
     "ParameterGrid",
     "run_sweep",

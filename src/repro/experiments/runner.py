@@ -1,4 +1,19 @@
-"""Replicated experiment execution."""
+"""Replicated experiment execution.
+
+Two execution paths share one entry point (:func:`run_replications`):
+
+* the **per-seed loop** — the replication function is called once per seed,
+  each call simulating one replicate; and
+* the **batched fast path** — a function decorated with
+  :func:`batched_replication` receives the *whole* seed list at once and
+  returns one metrics dict per replicate.  Such functions typically drive
+  :class:`repro.core.batched.BatchedDynamics`, which advances all replicates
+  as one ``(R, m)`` count matrix per step and is more than an order of
+  magnitude faster at large ``N`` (see ``benchmarks/test_bench_batched.py``).
+
+Both paths derive the seed list identically from ``config.seed``, so results
+stay reproducible from the config alone either way.
+"""
 
 from __future__ import annotations
 
@@ -13,6 +28,33 @@ from repro.utils.rng import seeds_for_replications
 
 ReplicationFunction = Callable[[int, Dict[str, Any]], Dict[str, float]]
 """A replication takes (seed, parameters) and returns a dict of scalar metrics."""
+
+BatchedReplicationFunction = Callable[
+    [Sequence[int], Dict[str, Any]], Sequence[Dict[str, float]]
+]
+"""A batched replication takes (seeds, parameters) and returns one metrics dict per seed."""
+
+
+def batched_replication(function: BatchedReplicationFunction) -> BatchedReplicationFunction:
+    """Mark ``function`` as a batched replication for :func:`run_replications`.
+
+    A batched replication is called once with ``(seeds, parameters)`` — the
+    full list of per-replicate seeds — and must return a sequence of exactly
+    ``len(seeds)`` metric dicts, one per replicate, in seed order.  The seeds
+    identify the batch deterministically (e.g. via
+    ``np.random.default_rng(seeds)``); individual replicates inside a batch
+    share one generator and are not independently re-runnable.
+
+    Usage::
+
+        @batched_replication
+        def replication(seeds, parameters):
+            rng = np.random.default_rng(seeds)
+            trajectory = simulate_batched_population(..., num_replicates=len(seeds), rng=rng)
+            return [{"regret": r} for r in trajectory.expected_regret(qualities)]
+    """
+    function.batched_replications = True  # type: ignore[attr-defined]
+    return function
 
 
 @dataclass
@@ -54,6 +96,14 @@ class ReplicatedResult:
         return row
 
 
+def _validated_metrics(metrics: Any) -> Dict[str, float]:
+    if not isinstance(metrics, dict) or not metrics:
+        raise ValueError(
+            "replication functions must return a non-empty dict of scalar metrics"
+        )
+    return {key: float(value) for key, value in metrics.items()}
+
+
 def run_replications(
     config: ExperimentConfig, replication: ReplicationFunction
 ) -> ReplicatedResult:
@@ -62,14 +112,23 @@ def run_replications(
     Each replication receives its own integer seed derived from
     ``config.seed``, so the whole experiment is reproducible from the config
     alone and individual replications can be re-run in isolation.
+
+    If ``replication`` opted in via :func:`batched_replication`, it is called
+    once with the full seed list (the batched fast path) instead of once per
+    seed; the derived seeds, and therefore the result's provenance record,
+    are identical in both modes.
     """
     seeds = seeds_for_replications(config.seed, config.replications)
     result = ReplicatedResult(config=config, seeds=seeds)
-    for seed in seeds:
-        metrics = replication(seed, dict(config.parameters))
-        if not isinstance(metrics, dict) or not metrics:
+    if getattr(replication, "batched_replications", False):
+        rows = list(replication(list(seeds), dict(config.parameters)))
+        if len(rows) != len(seeds):
             raise ValueError(
-                "replication functions must return a non-empty dict of scalar metrics"
+                f"batched replication returned {len(rows)} metric rows for "
+                f"{len(seeds)} seeds"
             )
-        result.metrics.append({key: float(value) for key, value in metrics.items()})
+        result.metrics.extend(_validated_metrics(row) for row in rows)
+        return result
+    for seed in seeds:
+        result.metrics.append(_validated_metrics(replication(seed, dict(config.parameters))))
     return result

@@ -28,14 +28,19 @@ class ParameterGrid:
     def __post_init__(self) -> None:
         if not self.axes:
             raise ValueError("a parameter grid needs at least one axis")
-        for name, values in self.axes.items():
-            if len(list(values)) == 0:
+        # Materialise every axis exactly once.  Generators and other one-shot
+        # iterables would otherwise be consumed here during validation and
+        # silently yield nothing when the grid is iterated.
+        normalized = {name: tuple(values) for name, values in self.axes.items()}
+        for name, values in normalized.items():
+            if len(values) == 0:
                 raise ValueError(f"axis '{name}' has no values")
+        object.__setattr__(self, "axes", normalized)
 
     def __len__(self) -> int:
         size = 1
         for values in self.axes.values():
-            size *= len(list(values))
+            size *= len(values)
         return size
 
     def __iter__(self) -> Iterator[Dict[str, Any]]:
@@ -58,6 +63,11 @@ def run_sweep(
     Returns the raw per-point :class:`ReplicatedResult` objects together with
     a flat :class:`ResultTable` whose rows are the grid parameters plus the
     replication-mean of every metric (the form benchmark tables print).
+
+    Replication functions marked with
+    :func:`~repro.experiments.runner.batched_replication` take the batched
+    fast path at every grid point: all ``replications`` replicates of a point
+    run as one vectorised batch instead of a per-seed loop.
     """
     results: List[ReplicatedResult] = []
     table = ResultTable()

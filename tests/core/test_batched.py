@@ -1,0 +1,418 @@
+"""Tests for the replicate-axis batched simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.adoption import AlwaysAdoptRule, GeneralAdoptionRule, SymmetricAdoptionRule
+from repro.core.batched import (
+    BatchedDynamics,
+    BatchedPopulationState,
+    BatchedTrajectory,
+    simulate_batched_population,
+)
+from repro.core.dynamics import FinitePopulationDynamics, simulate_finite_population
+from repro.core.sampling import MixtureSampling, UniformSampling
+from repro.core.state import PopulationState
+from repro.environments import (
+    BernoulliEnvironment,
+    CorrelatedOptionsEnvironment,
+    ExactlyOneGoodEnvironment,
+    PiecewiseConstantDriftEnvironment,
+    RandomWalkDriftEnvironment,
+    RecordedRewardSequence,
+)
+
+
+class TestBatchedPopulationState:
+    def test_uniform_rows_match_scalar_uniform(self):
+        batched = BatchedPopulationState.uniform(4, 103, 5)
+        scalar = PopulationState.uniform(103, 5)
+        assert batched.num_replicates == 4
+        for index in range(4):
+            np.testing.assert_array_equal(batched.counts[index], scalar.counts)
+
+    def test_rejects_1d_counts(self):
+        with pytest.raises(ValueError):
+            BatchedPopulationState(counts=np.array([1, 2, 3]), population_size=6)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            BatchedPopulationState(counts=np.array([[1, -1]]), population_size=10)
+
+    def test_rejects_overfull_replicate(self):
+        counts = np.array([[5, 5], [8, 5]])
+        with pytest.raises(ValueError, match="replicate 1"):
+            BatchedPopulationState(counts=counts, population_size=10)
+
+    def test_popularity_uniform_fallback_per_row(self):
+        counts = np.array([[0, 0, 0], [3, 0, 0]])
+        state = BatchedPopulationState(counts=counts, population_size=10)
+        popularity = state.popularity()
+        np.testing.assert_allclose(popularity[0], 1.0 / 3)
+        np.testing.assert_allclose(popularity[1], [1.0, 0.0, 0.0])
+
+    def test_batched_accessors_match_scalar_views(self):
+        counts = np.array([[4, 6, 0], [2, 2, 2], [0, 0, 9]])
+        state = BatchedPopulationState(counts=counts, population_size=12, time=3)
+        for index in range(3):
+            view = state.replicate(index)
+            assert isinstance(view, PopulationState)
+            assert view.time == 3
+            np.testing.assert_allclose(
+                state.popularity()[index], view.popularity()
+            )
+            assert state.entropy()[index] == pytest.approx(view.entropy())
+            assert state.min_popularity()[index] == pytest.approx(view.min_popularity())
+            assert state.leader()[index] == view.leader()
+            assert state.committed[index] == view.committed
+
+    def test_replicate_index_out_of_range(self):
+        state = BatchedPopulationState.uniform(2, 10, 2)
+        with pytest.raises(IndexError):
+            state.replicate(2)
+
+
+class TestBatchedDynamics:
+    def test_initial_popularity_uniform(self):
+        dynamics = BatchedDynamics(8, 100, 4, rng=0)
+        np.testing.assert_allclose(dynamics.popularity(), 0.25)
+
+    def test_step_preserves_population_size_per_replicate(self):
+        dynamics = BatchedDynamics(16, 200, 3, rng=0)
+        state = dynamics.step(np.array([1, 0, 1]))
+        assert state.counts.shape == (16, 3)
+        assert np.all(state.counts.sum(axis=1) <= 200)
+        assert state.population_size == 200
+
+    def test_step_accepts_per_replicate_rewards(self):
+        dynamics = BatchedDynamics(4, 100, 2, rng=0)
+        rewards = np.array([[1, 0], [0, 1], [1, 1], [0, 0]])
+        state = dynamics.step(rewards)
+        assert state.time == 1
+
+    def test_step_rejects_bad_shapes_and_values(self):
+        dynamics = BatchedDynamics(4, 100, 2, rng=0)
+        with pytest.raises(ValueError):
+            dynamics.step(np.array([1, 0, 1]))
+        with pytest.raises(ValueError):
+            dynamics.step(np.ones((3, 2), dtype=int))
+        with pytest.raises(ValueError):
+            dynamics.step(np.array([0.5, 0.5]))
+
+    def test_always_adopt_commits_everyone_in_every_replicate(self):
+        dynamics = BatchedDynamics(6, 100, 3, adoption_rule=AlwaysAdoptRule(), rng=0)
+        state = dynamics.step(np.zeros(3, dtype=int))
+        np.testing.assert_array_equal(state.counts.sum(axis=1), 100)
+
+    def test_never_adopt_on_bad_signals_empties_every_replicate(self):
+        dynamics = BatchedDynamics(
+            6, 100, 3, adoption_rule=GeneralAdoptionRule(alpha=0.0, beta=1.0), rng=0
+        )
+        state = dynamics.step(np.zeros(3, dtype=int))
+        assert state.counts.sum() == 0
+        np.testing.assert_allclose(state.popularity(), 1.0 / 3)
+
+    def test_initial_state_tiled_from_population_state(self):
+        initial = PopulationState.from_counts([70, 30], population_size=100)
+        dynamics = BatchedDynamics(5, 100, 2, initial_state=initial, rng=0)
+        np.testing.assert_allclose(dynamics.popularity(), [[0.7, 0.3]] * 5)
+
+    def test_initial_state_validation(self):
+        wrong_replicates = BatchedPopulationState.uniform(3, 100, 2)
+        with pytest.raises(ValueError):
+            BatchedDynamics(4, 100, 2, initial_state=wrong_replicates)
+        wrong_options = BatchedPopulationState.uniform(4, 100, 3)
+        with pytest.raises(ValueError):
+            BatchedDynamics(4, 100, 2, initial_state=wrong_options)
+        wrong_population = BatchedPopulationState.uniform(4, 50, 2)
+        with pytest.raises(ValueError):
+            BatchedDynamics(4, 100, 2, initial_state=wrong_population)
+
+    def test_default_mu_matches_sequential_engine(self):
+        batched = BatchedDynamics(2, 100, 2, adoption_rule=SymmetricAdoptionRule(0.6))
+        sequential = FinitePopulationDynamics(100, 2, adoption_rule=SymmetricAdoptionRule(0.6))
+        assert batched.sampling_rule == sequential.sampling_rule
+
+    def test_run_records_batched_trajectory(self):
+        env = BernoulliEnvironment([0.8, 0.4], rng=1)
+        dynamics = BatchedDynamics(10, 500, 2, rng=2)
+        trajectory = dynamics.run(env, 50)
+        assert trajectory.horizon == 50
+        assert trajectory.popularity_tensor().shape == (50, 10, 2)
+        assert trajectory.reward_tensor().shape == (50, 10, 2)
+        assert trajectory.final_state().num_replicates == 10
+
+    def test_run_rejects_mismatched_environment(self):
+        env = BernoulliEnvironment([0.8, 0.4, 0.3], rng=1)
+        dynamics = BatchedDynamics(4, 100, 2, rng=2)
+        with pytest.raises(ValueError):
+            dynamics.run(env, 10)
+
+    def test_reset_without_rng_keeps_advanced_generator(self):
+        dynamics = BatchedDynamics(8, 300, 2, rng=9)
+        rewards = np.ones(2, dtype=int)
+        first = np.stack([dynamics.step(rewards).counts for _ in range(5)])
+        dynamics.reset()
+        assert dynamics.state.time == 0
+        second = np.stack([dynamics.step(rewards).counts for _ in range(5)])
+        assert not np.array_equal(first, second)
+
+    def test_reset_with_original_seed_reproduces_run(self):
+        dynamics = BatchedDynamics(8, 300, 2, rng=9)
+        rewards = np.ones(2, dtype=int)
+        first = np.stack([dynamics.step(rewards).counts for _ in range(5)])
+        dynamics.reset(rng=9)
+        second = np.stack([dynamics.step(rewards).counts for _ in range(5)])
+        np.testing.assert_array_equal(first, second)
+
+    def test_replicates_diverge(self):
+        """Replicates share a generator but evolve independently."""
+        env = BernoulliEnvironment([0.7, 0.5], rng=0)
+        trajectory = simulate_batched_population(env, 1000, 20, 20, rng=1)
+        final_counts = trajectory.final_state().counts
+        assert len({tuple(row) for row in final_counts}) > 1
+
+
+class TestExactSeedEquivalence:
+    """With R=1 and identical seeds the batched engine is bit-identical."""
+
+    def test_single_replicate_matches_sequential_run(self):
+        env_sequential = BernoulliEnvironment([0.8, 0.5, 0.4], rng=7)
+        env_batched = BernoulliEnvironment([0.8, 0.5, 0.4], rng=7)
+        sequential = simulate_finite_population(
+            env_sequential, 500, 60, beta=0.65, mu=0.05, rng=11
+        )
+        batched = simulate_batched_population(
+            env_batched, 500, 60, 1, beta=0.65, mu=0.05, rng=11
+        )
+        np.testing.assert_array_equal(
+            sequential.reward_matrix(), batched.reward_tensor()[:, 0, :]
+        )
+        np.testing.assert_array_equal(
+            sequential.popularity_matrix(), batched.popularity_tensor()[:, 0, :]
+        )
+        for state_seq, state_batched in zip(sequential.states, batched.states):
+            np.testing.assert_array_equal(state_seq.counts, state_batched.counts[0])
+
+    def test_single_replicate_step_stream_matches(self):
+        sequential = FinitePopulationDynamics(
+            300,
+            4,
+            adoption_rule=SymmetricAdoptionRule(0.7),
+            sampling_rule=MixtureSampling(0.1),
+            rng=123,
+        )
+        batched = BatchedDynamics(
+            1,
+            300,
+            4,
+            adoption_rule=SymmetricAdoptionRule(0.7),
+            sampling_rule=MixtureSampling(0.1),
+            rng=123,
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            rewards = rng.integers(0, 2, size=4)
+            state_seq = sequential.step(rewards)
+            state_batched = batched.step(rewards[None, :])
+            np.testing.assert_array_equal(state_seq.counts, state_batched.counts[0])
+
+    def test_replicate_view_equals_sequential_trajectory(self):
+        env_sequential = BernoulliEnvironment([0.9, 0.3], rng=5)
+        env_batched = BernoulliEnvironment([0.9, 0.3], rng=5)
+        sequential = simulate_finite_population(env_sequential, 200, 30, rng=6)
+        batched = simulate_batched_population(env_batched, 200, 30, 1, rng=6)
+        view = batched.replicate(0)
+        assert view.horizon == sequential.horizon
+        np.testing.assert_array_equal(
+            view.popularity_matrix(), sequential.popularity_matrix()
+        )
+        np.testing.assert_array_equal(view.reward_matrix(), sequential.reward_matrix())
+
+
+class TestBatchedTrajectoryMetrics:
+    def _trajectory(self):
+        env = BernoulliEnvironment([0.85, 0.45], rng=0)
+        return simulate_batched_population(env, 800, 80, 12, beta=0.65, mu=0.05, rng=1)
+
+    def test_expected_regret_matches_per_replicate_computation(self):
+        from repro.core.regret import expected_regret
+
+        trajectory = self._trajectory()
+        batched_regret = trajectory.expected_regret([0.85, 0.45])
+        assert batched_regret.shape == (12,)
+        for index in range(12):
+            view = trajectory.replicate(index)
+            assert batched_regret[index] == pytest.approx(
+                expected_regret(view.popularity_matrix(), [0.85, 0.45])
+            )
+
+    def test_empirical_regret_matches_per_replicate_computation(self):
+        from repro.core.regret import empirical_regret
+
+        trajectory = self._trajectory()
+        batched_regret = trajectory.empirical_regret(0.85)
+        for index in range(12):
+            view = trajectory.replicate(index)
+            assert batched_regret[index] == pytest.approx(
+                empirical_regret(view.popularity_matrix(), view.reward_matrix(), 0.85)
+            )
+
+    def test_best_option_share_matches_per_replicate_computation(self):
+        from repro.core.regret import best_option_share
+
+        trajectory = self._trajectory()
+        shares = trajectory.best_option_share(0)
+        for index in range(12):
+            view = trajectory.replicate(index)
+            assert shares[index] == pytest.approx(
+                best_option_share(view.popularity_matrix(), 0)
+            )
+
+    def test_entropy_series_shape(self):
+        trajectory = self._trajectory()
+        assert trajectory.entropy_series().shape == (80, 12)
+
+    def test_metrics_require_recorded_steps(self):
+        empty = BatchedTrajectory(initial_state=BatchedPopulationState.uniform(3, 10, 2))
+        with pytest.raises(ValueError):
+            empty.expected_regret([0.5, 0.5])
+        with pytest.raises(ValueError):
+            empty.empirical_regret(0.5)
+        with pytest.raises(ValueError):
+            empty.best_option_share(0)
+        assert empty.popularity_tensor().shape == (0, 3, 2)
+        assert empty.entropy_series().shape == (0, 3)
+
+    def test_best_option_share_validates_index(self):
+        trajectory = self._trajectory()
+        with pytest.raises(ValueError):
+            trajectory.best_option_share(5)
+
+    def test_expected_regret_validates_qualities(self):
+        """Same input guard as the scalar expected_regret."""
+        trajectory = self._trajectory()
+        with pytest.raises(ValueError):
+            trajectory.expected_regret([1.5, 0.4])
+
+
+class TestEnvironmentSampleBatch:
+    def test_bernoulli_batch_shape_and_frequencies(self):
+        env = BernoulliEnvironment([0.9, 0.1], rng=0)
+        rewards = env.sample_batch(4000)
+        assert rewards.shape == (4000, 2)
+        assert env.time == 1
+        assert rewards[:, 0].mean() == pytest.approx(0.9, abs=0.03)
+        assert rewards[:, 1].mean() == pytest.approx(0.1, abs=0.03)
+
+    def test_bernoulli_batch_of_one_matches_sample_stream(self):
+        env_scalar = BernoulliEnvironment([0.6, 0.4, 0.7], rng=13)
+        env_batch = BernoulliEnvironment([0.6, 0.4, 0.7], rng=13)
+        for _ in range(20):
+            np.testing.assert_array_equal(
+                env_scalar.sample(), env_batch.sample_batch(1)[0]
+            )
+
+    def test_piecewise_drift_batch_uses_current_phase(self):
+        env = PiecewiseConstantDriftEnvironment(
+            phases=[[1.0, 0.0], [0.0, 1.0]], phase_length=2, rng=0
+        )
+        first = env.sample_batch(50)
+        np.testing.assert_array_equal(first, np.tile([1, 0], (50, 1)))
+        env.sample_batch(50)
+        third = env.sample_batch(50)
+        np.testing.assert_array_equal(third, np.tile([0, 1], (50, 1)))
+
+    def test_random_walk_batch_advances_walk_once(self):
+        env = RandomWalkDriftEnvironment([0.5, 0.5], step_scale=0.05, rng=0)
+        before = env.qualities
+        env.sample_batch(100)
+        after = env.qualities
+        assert not np.allclose(before, after)
+        assert env.time == 1
+
+    def test_exactly_one_good_batch_rows_one_hot(self):
+        env = ExactlyOneGoodEnvironment([0.5, 0.3, 0.2], rng=0)
+        rewards = env.sample_batch(500)
+        np.testing.assert_array_equal(rewards.sum(axis=1), 1)
+        assert rewards[:, 0].mean() == pytest.approx(0.5, abs=0.08)
+
+    def test_correlated_batch_respects_marginals(self):
+        env = CorrelatedOptionsEnvironment([0.7, 0.3], correlation=0.6, rng=0)
+        rewards = env.sample_batch(4000)
+        assert rewards[:, 0].mean() == pytest.approx(0.7, abs=0.04)
+        assert rewards[:, 1].mean() == pytest.approx(0.3, abs=0.04)
+
+    def test_continuous_batch_records_per_replicate_raw_rewards(self):
+        from repro.environments import ContinuousRewardEnvironment
+
+        env = ContinuousRewardEnvironment.gaussian([1.0, -1.0], rng=0)
+        rewards = env.sample_batch(30)
+        assert rewards.shape == (30, 2)
+        assert env.last_raw_rewards.shape == (30, 2)
+        np.testing.assert_array_equal(
+            rewards, (env.last_raw_rewards > env.threshold).astype(np.int8)
+        )
+
+    def test_recorded_sequence_batch_broadcasts_row(self):
+        matrix = np.array([[1, 0], [0, 1], [1, 1]], dtype=np.int8)
+        env = RecordedRewardSequence(matrix)
+        first = env.sample_batch(7)
+        np.testing.assert_array_equal(first, np.tile([1, 0], (7, 1)))
+        second = env.sample_batch(7)
+        np.testing.assert_array_equal(second, np.tile([0, 1], (7, 1)))
+
+    def test_sample_batch_rejects_bad_count(self):
+        env = BernoulliEnvironment([0.5], rng=0)
+        with pytest.raises(ValueError):
+            env.sample_batch(0)
+
+
+class TestSamplingBatch:
+    def test_mixture_batch_matches_rowwise_scalar(self):
+        rule = MixtureSampling(0.2)
+        rng = np.random.default_rng(0)
+        raw = rng.random((6, 4))
+        popularities = raw / raw.sum(axis=1, keepdims=True)
+        batch = rule.consideration_probabilities_batch(popularities)
+        for index in range(6):
+            np.testing.assert_array_equal(
+                batch[index], rule.consideration_probabilities(popularities[index])
+            )
+
+    def test_uniform_sampling_batch_is_uniform(self):
+        rule = UniformSampling()
+        popularities = np.array([[0.9, 0.1], [0.2, 0.8]])
+        np.testing.assert_allclose(
+            rule.consideration_probabilities_batch(popularities), 0.5
+        )
+
+    def test_batch_rejects_1d_input(self):
+        rule = MixtureSampling(0.2)
+        with pytest.raises(ValueError):
+            rule.consideration_probabilities_batch(np.array([0.5, 0.5]))
+
+    def test_batch_rejects_non_distribution_rows(self):
+        rule = MixtureSampling(0.2)
+        with pytest.raises(ValueError):
+            rule.consideration_probabilities_batch(np.array([[0.9, 0.5]]))
+
+    def test_base_class_default_applies_scalar_rule_rowwise(self):
+        from repro.core.sampling import SamplingRule
+
+        class ReverseSampling(SamplingRule):
+            """Toy rule: consider options with reversed popularity."""
+
+            @property
+            def exploration_rate(self):
+                return 0.0
+
+            def consideration_probabilities(self, popularity):
+                return np.asarray(popularity)[::-1].copy()
+
+        rule = ReverseSampling()
+        popularities = np.array([[0.7, 0.3], [0.1, 0.9]])
+        batch = rule.consideration_probabilities_batch(popularities)
+        np.testing.assert_allclose(batch, [[0.3, 0.7], [0.9, 0.1]])
+        with pytest.raises(ValueError):
+            rule.consideration_probabilities_batch(np.array([0.5, 0.5]))

@@ -89,6 +89,25 @@ class TestFinitePopulationDynamics:
         assert dynamics.state.time == 0
         np.testing.assert_allclose(dynamics.popularity(), 1.0 / 3)
 
+    def test_reset_without_rng_keeps_advanced_generator(self):
+        """reset() rewinds only the state: the next run draws fresh randomness."""
+        env_rewards = np.ones(3, dtype=np.int8)
+        dynamics = FinitePopulationDynamics(500, 3, rng=42)
+        first = np.stack([dynamics.step(env_rewards).counts for _ in range(5)])
+        dynamics.reset()
+        second = np.stack([dynamics.step(env_rewards).counts for _ in range(5)])
+        assert dynamics.state.time == 5
+        assert not np.array_equal(first, second)
+
+    def test_reset_with_original_seed_reproduces_run(self):
+        """reset(rng=seed) replays the run bit-for-bit from the original seed."""
+        env_rewards = np.ones(3, dtype=np.int8)
+        dynamics = FinitePopulationDynamics(500, 3, rng=42)
+        first = np.stack([dynamics.step(env_rewards).counts for _ in range(5)])
+        dynamics.reset(rng=42)
+        second = np.stack([dynamics.step(env_rewards).counts for _ in range(5)])
+        np.testing.assert_array_equal(first, second)
+
     def test_run_records_trajectory(self):
         env = BernoulliEnvironment([0.8, 0.4], rng=1)
         dynamics = FinitePopulationDynamics(500, 2, rng=2)

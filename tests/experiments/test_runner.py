@@ -1,12 +1,17 @@
-"""Tests for the replication runner."""
+"""Tests for the replication runner (per-seed loop and batched fast path)."""
 
 import pytest
 
-from repro.experiments import ExperimentConfig, run_replications
+from repro.experiments import ExperimentConfig, batched_replication, run_replications
 
 
 def simple_replication(seed, parameters):
     return {"value": float(seed % 10), "doubled": 2.0 * (seed % 10)}
+
+
+@batched_replication
+def simple_batched_replication(seeds, parameters):
+    return [{"value": float(seed % 10), "doubled": 2.0 * (seed % 10)} for seed in seeds]
 
 
 class TestRunReplications:
@@ -67,3 +72,57 @@ class TestRunReplications:
             run_replications(config, lambda seed, parameters: {})
         with pytest.raises(ValueError):
             run_replications(config, lambda seed, parameters: 3.0)
+
+
+class TestBatchedFastPath:
+    def test_batched_function_called_once_with_all_seeds(self):
+        calls = []
+
+        @batched_replication
+        def replication(seeds, parameters):
+            calls.append(list(seeds))
+            return [{"ok": 1.0} for _ in seeds]
+
+        config = ExperimentConfig(name="demo", replications=5, seed=3)
+        result = run_replications(config, replication)
+        assert len(calls) == 1
+        assert calls[0] == result.seeds
+        assert len(result.metrics) == 5
+
+    def test_batched_matches_loop_for_seed_pure_functions(self):
+        """A metrics function of the seed alone gives identical results either way."""
+        config = ExperimentConfig(name="demo", replications=6, seed=11)
+        loop = run_replications(config, simple_replication)
+        batched = run_replications(config, simple_batched_replication)
+        assert loop.seeds == batched.seeds
+        assert loop.metrics == batched.metrics
+
+    def test_batched_row_count_mismatch_rejected(self):
+        @batched_replication
+        def replication(seeds, parameters):
+            return [{"ok": 1.0}]
+
+        config = ExperimentConfig(name="demo", replications=3, seed=0)
+        with pytest.raises(ValueError, match="metric rows"):
+            run_replications(config, replication)
+
+    def test_batched_rows_validated(self):
+        @batched_replication
+        def replication(seeds, parameters):
+            return [{} for _ in seeds]
+
+        config = ExperimentConfig(name="demo", replications=2, seed=0)
+        with pytest.raises(ValueError):
+            run_replications(config, replication)
+
+    def test_batched_receives_parameters(self):
+        seen = []
+
+        @batched_replication
+        def replication(seeds, parameters):
+            seen.append(parameters)
+            return [{"ok": 1.0} for _ in seeds]
+
+        config = ExperimentConfig(name="demo", parameters={"x": 3}, replications=2, seed=0)
+        run_replications(config, replication)
+        assert seen == [{"x": 3}]

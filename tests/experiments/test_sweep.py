@@ -31,6 +31,24 @@ class TestParameterGrid:
         with pytest.raises(ValueError):
             ParameterGrid({"a": []})
 
+    def test_generator_axis_materialised_once(self):
+        """Regression: a generator axis used to pass validation then yield nothing."""
+        grid = ParameterGrid({"a": (value for value in [1, 2, 3]), "b": [10]})
+        assert len(grid) == 3
+        first_pass = list(grid)
+        second_pass = list(grid)
+        assert first_pass == second_pass
+        assert {"a": 3, "b": 10} in first_pass
+
+    def test_empty_generator_axis_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterGrid({"a": (value for value in [])})
+
+    def test_iterator_axis_materialised_once(self):
+        grid = ParameterGrid({"a": iter([1, 2])})
+        assert len(grid) == 2
+        assert list(grid) == [{"a": 1}, {"a": 2}]
+
 
 class TestRunSweep:
     def test_table_has_one_row_per_point(self):

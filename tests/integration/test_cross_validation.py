@@ -1,14 +1,17 @@
 """Cross-validation between the independent implementations of the dynamics.
 
 The vectorised count-based simulator, the agent-based simulator, the
-network-restricted simulator on the complete graph, and the message-passing
-protocol with perfect communication are four implementations of the same
-process.  These tests check they agree statistically on aggregate behaviour
-(regret and best-option share) when run with the same parameters.
+network-restricted simulator on the complete graph, the message-passing
+protocol with perfect communication, and the replicate-axis batched engine
+are five implementations of the same process.  These tests check they agree
+statistically on aggregate behaviour (regret, best-option share, terminal
+popularity) when run with the same parameters — and that the batched engine
+with ``R = 1`` agrees with the sequential engine *bit-for-bit* at equal seeds.
 """
 
 import numpy as np
 import pytest
+from scipy import stats
 
 from repro import (
     AgentBasedDynamics,
@@ -16,6 +19,7 @@ from repro import (
     Population,
     best_option_share,
     expected_regret,
+    simulate_batched_population,
     simulate_finite_population,
 )
 from repro.distributed import DistributedLearningProtocol
@@ -95,6 +99,100 @@ class TestImplementationsAgree:
             agent_based_metrics,
             network_metrics,
             protocol_metrics,
+            batched_metrics,
         ):
             _, share = average(metric_function, replications=3)
             assert share > 0.5
+
+
+def batched_metrics(seed: int) -> tuple[float, float]:
+    env = BernoulliEnvironment(QUALITIES, rng=seed)
+    trajectory = simulate_batched_population(
+        env, POPULATION, HORIZON, 1, beta=BETA, mu=MU, rng=seed + 1000
+    )
+    return (
+        float(trajectory.expected_regret(QUALITIES)[0]),
+        float(trajectory.best_option_share(0)[0]),
+    )
+
+
+class TestBatchedEngineEquivalence:
+    """The replicate-axis batched engine against the reference paths."""
+
+    def test_exact_seed_identity_with_sequential_engine(self):
+        """R=1 at equal seeds: identical rewards, popularities and counts."""
+        env_sequential = BernoulliEnvironment(QUALITIES, rng=3)
+        env_batched = BernoulliEnvironment(QUALITIES, rng=3)
+        sequential = simulate_finite_population(
+            env_sequential, POPULATION, 120, beta=BETA, mu=MU, rng=1003
+        )
+        batched = simulate_batched_population(
+            env_batched, POPULATION, 120, 1, beta=BETA, mu=MU, rng=1003
+        )
+        np.testing.assert_array_equal(
+            sequential.reward_matrix(), batched.reward_tensor()[:, 0, :]
+        )
+        np.testing.assert_array_equal(
+            sequential.popularity_matrix(), batched.popularity_tensor()[:, 0, :]
+        )
+        for state_seq, state_batched in zip(sequential.states, batched.states):
+            np.testing.assert_array_equal(state_seq.counts, state_batched.counts[0])
+
+    @staticmethod
+    def _sequential_terminal_popularities(replications, population, horizon):
+        terminal = []
+        for seed in range(replications):
+            env = BernoulliEnvironment(QUALITIES, rng=seed)
+            trajectory = simulate_finite_population(
+                env, population, horizon, beta=BETA, mu=MU, rng=seed + 1000
+            )
+            terminal.append(trajectory.final_state().popularity()[0])
+        return np.asarray(terminal)
+
+    @staticmethod
+    def _batched_terminal_popularities(replications, population, horizon):
+        env = BernoulliEnvironment(QUALITIES, rng=777)
+        trajectory = simulate_batched_population(
+            env, population, horizon, replications, beta=BETA, mu=MU, rng=778
+        )
+        return trajectory.final_state().popularity()[:, 0]
+
+    @staticmethod
+    def _agent_based_terminal_popularities(replications, population, horizon):
+        terminal = []
+        for seed in range(replications):
+            env = BernoulliEnvironment(QUALITIES, rng=seed)
+            group = Population.homogeneous(population, 2, beta=BETA, rng=seed + 2000)
+            dynamics = AgentBasedDynamics(group, exploration_rate=MU, rng=seed + 3000)
+            trajectory = dynamics.run(env, horizon)
+            terminal.append(trajectory.final_state().popularity()[0])
+        return np.asarray(terminal)
+
+    def test_terminal_popularity_ks_batched_vs_sequential(self):
+        """KS two-sample test on the terminal best-option popularity."""
+        sequential = self._sequential_terminal_popularities(80, POPULATION, 150)
+        batched = self._batched_terminal_popularities(80, POPULATION, 150)
+        result = stats.ks_2samp(sequential, batched)
+        assert result.pvalue > 0.01
+
+    def test_terminal_popularity_ks_batched_vs_agent_based(self):
+        """KS two-sample test against the faithful agent-by-agent simulator."""
+        agent_based = self._agent_based_terminal_popularities(25, 150, 60)
+        batched = self._batched_terminal_popularities(25, 150, 60)
+        result = stats.ks_2samp(agent_based, batched)
+        assert result.pvalue > 0.005
+
+    def test_terminal_popularity_chi_squared_batched_vs_sequential(self):
+        """Chi-squared homogeneity test on quartile-binned terminal popularity."""
+        sequential = self._sequential_terminal_popularities(80, POPULATION, 150)
+        batched = self._batched_terminal_popularities(80, POPULATION, 150)
+        edges = np.quantile(np.concatenate([sequential, batched]), [0.25, 0.5, 0.75])
+        bins = np.concatenate([[-np.inf], edges, [np.inf]])
+        table = np.array(
+            [
+                np.histogram(sequential, bins=bins)[0],
+                np.histogram(batched, bins=bins)[0],
+            ]
+        )
+        result = stats.chi2_contingency(table)
+        assert result.pvalue > 0.01

@@ -1,0 +1,187 @@
+"""Property tests shared by all three simulation engines.
+
+Every engine — the sequential vectorised :class:`FinitePopulationDynamics`,
+the faithful :class:`AgentBasedDynamics`, and the replicate-axis
+:class:`BatchedDynamics` — simulates the same two-stage process, so the same
+invariants must hold for each:
+
+* per-(replicate-)step counts are non-negative and sum to at most ``N``;
+* the popularity distribution always lies on the probability simplex;
+* :func:`run_replications` / :func:`run_sweep` outputs are a pure function of
+  the config seed, on both the per-seed loop and the batched fast path.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agents import Population
+from repro.core.adoption import SymmetricAdoptionRule
+from repro.core.batched import BatchedDynamics, simulate_batched_population
+from repro.core.dynamics import (
+    AgentBasedDynamics,
+    FinitePopulationDynamics,
+    simulate_finite_population,
+)
+from repro.core.regret import expected_regret
+from repro.core.sampling import MixtureSampling
+from repro.environments import BernoulliEnvironment
+from repro.experiments import (
+    ExperimentConfig,
+    ParameterGrid,
+    batched_replication,
+    run_replications,
+    run_sweep,
+)
+
+ENGINES = ("finite", "agent", "batched")
+
+BATCH_REPLICATES = 3
+
+
+def _run_engine(engine, population, options, beta, mu, seed, steps):
+    """Run ``steps`` steps of ``engine`` and return the visited (counts, popularity) rows.
+
+    For the batched engine every replicate contributes one row per step, so
+    the invariant assertions below cover the whole batch.
+    """
+    reward_rng = np.random.default_rng(seed + 1)
+    rewards = [reward_rng.integers(0, 2, size=options) for _ in range(steps)]
+    rows = []
+    if engine == "finite":
+        dynamics = FinitePopulationDynamics(
+            population,
+            options,
+            adoption_rule=SymmetricAdoptionRule(beta),
+            sampling_rule=MixtureSampling(mu),
+            rng=seed,
+        )
+        for reward in rewards:
+            state = dynamics.step(reward)
+            rows.append((state.counts, state.popularity()))
+    elif engine == "agent":
+        group = Population.homogeneous(population, options, beta=beta, rng=seed)
+        dynamics = AgentBasedDynamics(group, exploration_rate=mu, rng=seed + 2)
+        for reward in rewards:
+            state = dynamics.step(reward)
+            rows.append((state.counts, state.popularity()))
+    elif engine == "batched":
+        dynamics = BatchedDynamics(
+            BATCH_REPLICATES,
+            population,
+            options,
+            adoption_rule=SymmetricAdoptionRule(beta),
+            sampling_rule=MixtureSampling(mu),
+            rng=seed,
+        )
+        for reward in rewards:
+            state = dynamics.step(reward)
+            popularity = state.popularity()
+            for replicate in range(BATCH_REPLICATES):
+                rows.append((state.counts[replicate], popularity[replicate]))
+    else:  # pragma: no cover - parametrization guard
+        raise ValueError(engine)
+    return rows
+
+
+class TestEngineInvariants:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @settings(max_examples=15, deadline=None)
+    @given(
+        population=st.integers(min_value=1, max_value=80),
+        options=st.integers(min_value=1, max_value=5),
+        beta=st.floats(min_value=0.5, max_value=0.95, allow_nan=False),
+        mu=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=10_000),
+        steps=st.integers(min_value=1, max_value=5),
+    )
+    def test_counts_bounded_and_popularity_on_simplex(
+        self, engine, population, options, beta, mu, seed, steps
+    ):
+        for counts, popularity in _run_engine(
+            engine, population, options, beta, mu, seed, steps
+        ):
+            assert np.all(counts >= 0)
+            assert 0 <= counts.sum() <= population
+            assert np.all(popularity >= 0.0)
+            assert abs(popularity.sum() - 1.0) < 1e-9
+
+
+QUALITIES = [0.85, 0.45]
+
+
+def _loop_replication(seed, parameters):
+    env = BernoulliEnvironment(QUALITIES, rng=seed)
+    trajectory = simulate_finite_population(
+        env, parameters["N"], parameters["T"], beta=0.65, mu=0.05, rng=seed + 1
+    )
+    return {"regret": expected_regret(trajectory.popularity_matrix(), QUALITIES)}
+
+
+@batched_replication
+def _batched_replication_fn(seeds, parameters):
+    generator = np.random.default_rng(seeds)
+    env = BernoulliEnvironment(QUALITIES, rng=generator)
+    trajectory = simulate_batched_population(
+        env,
+        parameters["N"],
+        parameters["T"],
+        len(seeds),
+        beta=0.65,
+        mu=0.05,
+        rng=generator,
+    )
+    return [{"regret": float(value)} for value in trajectory.expected_regret(QUALITIES)]
+
+
+class TestSeededDeterminism:
+    @pytest.mark.parametrize(
+        "replication", [_loop_replication, _batched_replication_fn], ids=["loop", "batched"]
+    )
+    def test_run_replications_deterministic(self, replication):
+        config = ExperimentConfig(
+            name="determinism", parameters={"N": 120, "T": 12}, replications=6, seed=9
+        )
+        first = run_replications(config, replication)
+        second = run_replications(config, replication)
+        assert first.seeds == second.seeds
+        assert first.metrics == second.metrics
+
+    @pytest.mark.parametrize(
+        "replication", [_loop_replication, _batched_replication_fn], ids=["loop", "batched"]
+    )
+    def test_run_sweep_deterministic(self, replication):
+        grid = ParameterGrid({"N": [60, 120]})
+        first_results, first_table = run_sweep(
+            "determinism",
+            grid,
+            replication,
+            replications=4,
+            seed=5,
+            base_parameters={"T": 10},
+        )
+        second_results, second_table = run_sweep(
+            "determinism",
+            grid,
+            replication,
+            replications=4,
+            seed=5,
+            base_parameters={"T": 10},
+        )
+        assert [result.metrics for result in first_results] == [
+            result.metrics for result in second_results
+        ]
+        assert first_table.rows == second_table.rows
+
+    def test_different_seeds_change_metrics(self):
+        base = ExperimentConfig(
+            name="determinism", parameters={"N": 120, "T": 12}, replications=4, seed=1
+        )
+        other = ExperimentConfig(
+            name="determinism", parameters={"N": 120, "T": 12}, replications=4, seed=2
+        )
+        assert (
+            run_replications(base, _batched_replication_fn).metrics
+            != run_replications(other, _batched_replication_fn).metrics
+        )

@@ -87,6 +87,59 @@ class TestSimulateCommand:
         assert "wrote" in capsys.readouterr().out
 
 
+class TestRunCommand:
+    def test_batched_engine_prints_summary(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--options", "0.85", "0.45",
+                "--population", "400",
+                "--horizon", "40",
+                "--replications", "20",
+                "--seed", "1",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "engine=batched" in output
+        assert "regret" in output and "best_option_share" in output
+        assert "20" in output  # replication count column
+
+    def test_loop_engine_fallback(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--options", "0.85", "0.45",
+                "--population", "200",
+                "--horizon", "20",
+                "--replications", "3",
+                "--engine", "loop",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "engine=loop" in output
+
+    def test_output_writes_csv(self, tmp_path):
+        target = tmp_path / "run.csv"
+        main(
+            [
+                "run",
+                "--options", "0.8", "0.4",
+                "--population", "200",
+                "--horizon", "20",
+                "--replications", "5",
+                "--output", str(target),
+            ]
+        )
+        assert target.exists()
+
+    def test_default_engine_is_batched(self):
+        args = build_parser().parse_args(["run"])
+        assert args.engine == "batched"
+        assert args.replications == 100
+
+
 class TestBoundsCommand:
     def test_prints_paper_quantities(self, capsys):
         exit_code = main(["bounds", "--num-options", "5", "--beta", "0.6"])
