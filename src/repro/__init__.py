@@ -40,6 +40,7 @@ from repro.core import (
     PopularityOnlySampling,
     PopulationState,
     RegretAccumulator,
+    RowwiseAdoptionRule,
     SamplingRule,
     SymmetricAdoptionRule,
     TheoryBounds,
@@ -90,6 +91,7 @@ __all__ = [
     "AdoptionRule",
     "SymmetricAdoptionRule",
     "GeneralAdoptionRule",
+    "RowwiseAdoptionRule",
     "AlwaysAdoptRule",
     "SamplingRule",
     "MixtureSampling",

@@ -11,7 +11,10 @@ writing a script::
 
 ``run`` executes many independent replications at once on the batched
 replicate-axis engine (:class:`repro.core.batched.BatchedDynamics`); pass
-``--engine loop`` to fall back to the sequential per-seed loop.
+``--engine loop`` to fall back to the sequential per-seed loop.  ``sweep``
+goes further: the whole ``(N x beta x mu)`` parameter grid times its
+replications runs as a *single* batched launch with per-row parameters
+(``--engine loop`` falls back to the per-point per-seed loop).
 
 Every command prints an aligned text table; ``--output`` additionally writes
 CSV via :func:`repro.experiments.io.write_csv`.
@@ -35,9 +38,13 @@ from repro.core.theory import TheoryBounds
 from repro.environments import BernoulliEnvironment
 from repro.experiments import (
     ExperimentConfig,
+    ParameterGrid,
     ResultTable,
     batched_replication,
+    dynamics_grid_replication,
+    dynamics_point_replication,
     run_replications,
+    run_sweep,
     write_csv,
 )
 from repro.utils.ascii_plot import ascii_line_plot
@@ -122,14 +129,43 @@ def build_parser() -> argparse.ArgumentParser:
     coupling.add_argument("--output", type=str, default=None)
 
     sweep = subparsers.add_parser(
-        "sweep", help="sweep the population size and report regret per N"
+        "sweep",
+        help=(
+            "sweep a (N x beta x mu) parameter grid on the fully batched "
+            "engine and report regret per point"
+        ),
     )
     sweep.add_argument("--options", type=float, nargs="+", default=[0.8, 0.5, 0.5])
     sweep.add_argument("--populations", type=int, nargs="+", default=[100, 1000, 10_000])
     sweep.add_argument("--horizon", type=int, default=300)
-    sweep.add_argument("--beta", type=float, default=0.6)
+    sweep.add_argument(
+        "--beta", type=float, default=0.6, help="adoption probability when --betas is not given"
+    )
+    sweep.add_argument(
+        "--betas",
+        type=float,
+        nargs="+",
+        default=None,
+        help="sweep axis of adoption probabilities (overrides --beta)",
+    )
+    sweep.add_argument(
+        "--mus",
+        type=float,
+        nargs="+",
+        default=None,
+        help="sweep axis of exploration rates (default: the theorem maximum per point)",
+    )
     sweep.add_argument("--replications", type=int, default=3)
     sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--engine",
+        choices=("batched", "loop"),
+        default="batched",
+        help=(
+            "run the whole grid as one (G*R, m) batched launch (default) or "
+            "fall back to the per-point per-seed loop"
+        ),
+    )
     sweep.add_argument("--output", type=str, default=None)
 
     return parser
@@ -315,29 +351,30 @@ def _command_coupling(args: argparse.Namespace) -> int:
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
-    qualities = list(args.options)
-    table = ResultTable()
-    for population in args.populations:
-        regrets, shares = [], []
-        for replication in range(args.replications):
-            env = BernoulliEnvironment(qualities, rng=args.seed + replication)
-            trajectory = simulate_finite_population(
-                env,
-                population_size=population,
-                horizon=args.horizon,
-                beta=args.beta,
-                rng=args.seed + 1000 + replication,
-            )
-            matrix = trajectory.popularity_matrix()
-            regrets.append(expected_regret(matrix, qualities))
-            shares.append(best_option_share(matrix, int(np.argmax(qualities))))
-        table.add_row(
-            {
-                "N": population,
-                "regret": float(np.mean(regrets)),
-                "best_option_share": float(np.mean(shares)),
-            }
-        )
+    axes = {"N": list(args.populations)}
+    if args.betas:
+        axes["beta"] = list(args.betas)
+    if args.mus:
+        axes["mu"] = list(args.mus)
+    grid = ParameterGrid(axes)
+    base_parameters = {"qualities": tuple(args.options), "T": args.horizon}
+    if not args.betas:
+        base_parameters["beta"] = args.beta
+    replication = (
+        dynamics_grid_replication if args.engine == "batched" else dynamics_point_replication
+    )
+    _, table = run_sweep(
+        f"sweep-{args.engine}",
+        grid,
+        replication,
+        replications=args.replications,
+        seed=args.seed,
+        base_parameters=base_parameters,
+    )
+    print(
+        f"sweep engine={args.engine}: {len(grid)} grid points x "
+        f"{args.replications} replications"
+    )
     _finish(table, args.output)
     return 0
 

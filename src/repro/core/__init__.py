@@ -37,6 +37,7 @@ from repro.core.adoption import (
     AdoptionRule,
     AlwaysAdoptRule,
     GeneralAdoptionRule,
+    RowwiseAdoptionRule,
     SymmetricAdoptionRule,
 )
 from repro.core.sampling import (
@@ -73,6 +74,7 @@ __all__ = [
     "AdoptionRule",
     "AlwaysAdoptRule",
     "GeneralAdoptionRule",
+    "RowwiseAdoptionRule",
     "SymmetricAdoptionRule",
     "SamplingRule",
     "MixtureSampling",

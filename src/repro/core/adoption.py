@@ -64,6 +64,10 @@ class AdoptionRule(abc.ABC):
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, AdoptionRule):
             return NotImplemented
+        if np.ndim(self.alpha) != 0 or np.ndim(other.alpha) != 0:
+            # Scalar and per-row rules never compare equal; RowwiseAdoptionRule
+            # overrides equality for the array/array case.
+            return NotImplemented
         return (
             math.isclose(self.alpha, other.alpha) and math.isclose(self.beta, other.beta)
         )
@@ -129,3 +133,139 @@ class AlwaysAdoptRule(GeneralAdoptionRule):
 
     def __init__(self) -> None:
         super().__init__(alpha=1.0, beta=1.0)
+
+
+class RowwiseAdoptionRule(AdoptionRule):
+    """Per-replicate adoption parameters for the batched engine.
+
+    Each row ``r`` of an ``(R, m)`` batch adopts with its own probabilities
+    ``alpha_r`` / ``beta_r``, which lets one
+    :class:`~repro.core.batched.BatchedDynamics` launch advance replicates of
+    *different* experiment configurations (the sweep-axis batching of
+    ``run_sweep``).  Scalars broadcast against arrays, so
+    ``RowwiseAdoptionRule(0.35, beta_array)`` gives every row the same
+    ``alpha``.
+
+    Parameters
+    ----------
+    alpha:
+        Adoption probability on a bad signal — a scalar or a shape-``(R,)``
+        array.
+    beta:
+        Adoption probability on a good signal — a scalar or a shape-``(R,)``
+        array.  Elementwise ``0 <= alpha_r <= beta_r <= 1`` is required.
+    """
+
+    def __init__(self, alpha, beta) -> None:
+        alpha = np.atleast_1d(np.asarray(alpha, dtype=float))
+        beta = np.atleast_1d(np.asarray(beta, dtype=float))
+        if alpha.ndim != 1 or beta.ndim != 1:
+            raise ValueError("alpha and beta must be scalars or 1-D (R,) arrays")
+        try:
+            alpha, beta = np.broadcast_arrays(alpha, beta)
+        except ValueError as error:
+            raise ValueError(
+                f"alpha (shape {alpha.shape}) and beta (shape {beta.shape}) "
+                "do not broadcast to a common (R,) shape"
+            ) from error
+        if not (np.all(np.isfinite(alpha)) and np.all(np.isfinite(beta))):
+            raise ValueError("alpha and beta must be finite elementwise")
+        if np.any(alpha < 0) or np.any(beta > 1):
+            raise ValueError("alpha and beta must lie in [0, 1] elementwise")
+        if np.any(alpha > beta):
+            worst = int(np.argmax(alpha - beta))
+            raise ValueError(
+                f"alpha must not exceed beta elementwise; row {worst} has "
+                f"alpha={alpha[worst]} > beta={beta[worst]}"
+            )
+        self._alpha = alpha.copy()
+        self._beta = beta.copy()
+        self._alpha.setflags(write=False)
+        self._beta.setflags(write=False)
+
+    @classmethod
+    def symmetric(cls, beta) -> "RowwiseAdoptionRule":
+        """Per-row analogue of :class:`SymmetricAdoptionRule`: ``alpha_r = 1 - beta_r``."""
+        beta = np.atleast_1d(np.asarray(beta, dtype=float))
+        if np.any(beta < 0.5) or np.any(beta > 1.0):
+            raise ValueError(
+                "symmetric rule requires 1/2 <= beta <= 1 elementwise; use "
+                "RowwiseAdoptionRule(alpha, beta) for arbitrary parameters"
+            )
+        return cls(1.0 - beta, beta)
+
+    @property
+    def num_rows(self) -> int:
+        """Number of parameter rows ``R``."""
+        return int(self._beta.size)
+
+    @property
+    def alpha(self) -> np.ndarray:
+        """Per-row bad-signal adoption probabilities, shape ``(R,)``."""
+        return self._alpha
+
+    @property
+    def beta(self) -> np.ndarray:
+        """Per-row good-signal adoption probabilities, shape ``(R,)``."""
+        return self._beta
+
+    @property
+    def delta(self) -> np.ndarray:
+        """Per-row rate parameters ``delta_r = ln(beta_r / alpha_r)`` (inf where ``alpha_r = 0``)."""
+        ratio = np.divide(
+            self._beta,
+            self._alpha,
+            out=np.full(self._beta.shape, math.inf),
+            where=self._alpha > 0,
+        )
+        return np.log(ratio)
+
+    def is_informative(self) -> bool:
+        """Whether every row has ``beta_r > alpha_r``."""
+        return bool(np.all(self._beta > self._alpha))
+
+    def adopt_probability(self, signal: int):
+        """Per-row adoption probabilities for one shared signal, shape ``(R,)``."""
+        if signal not in (0, 1):
+            raise ValueError(f"signal must be 0 or 1, got {signal}")
+        return (self._beta if signal == 1 else self._alpha).copy()
+
+    def adopt_probabilities(self, signals: np.ndarray) -> np.ndarray:
+        """Per-row probabilities for an ``(R, m)`` signal matrix.
+
+        Row ``r`` of the result uses ``(alpha_r, beta_r)``; a 1-D signal
+        vector is treated as shared by all rows.
+        """
+        signals = np.asarray(signals)
+        if signals.ndim == 1:
+            signals = np.broadcast_to(signals, (self.num_rows, signals.size))
+        if signals.ndim != 2 or signals.shape[0] != self.num_rows:
+            raise ValueError(
+                f"signals must have shape ({self.num_rows}, m), got {signals.shape}"
+            )
+        return np.where(
+            signals == 1, self._beta[:, None], self._alpha[:, None]
+        ).astype(float)
+
+    def row(self, index: int) -> GeneralAdoptionRule:
+        """The scalar :class:`GeneralAdoptionRule` governing row ``index``."""
+        if not 0 <= index < self.num_rows:
+            raise IndexError(f"row {index} out of range for R={self.num_rows}")
+        return GeneralAdoptionRule(float(self._alpha[index]), float(self._beta[index]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(R={self.num_rows}, "
+            f"alpha∈[{self._alpha.min():.3f}, {self._alpha.max():.3f}], "
+            f"beta∈[{self._beta.min():.3f}, {self._beta.max():.3f}])"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RowwiseAdoptionRule):
+            return NotImplemented
+        return np.array_equal(self._alpha, other._alpha) and np.array_equal(
+            self._beta, other._beta
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._alpha.tobytes(), self._beta.tobytes()))

@@ -32,7 +32,12 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.adoption import AdoptionRule, SymmetricAdoptionRule
+from repro.core.adoption import (
+    AdoptionRule,
+    GeneralAdoptionRule,
+    RowwiseAdoptionRule,
+    SymmetricAdoptionRule,
+)
 from repro.core.sampling import MixtureSampling, SamplingRule, default_exploration_rate
 from repro.core.state import PopulationState, Trajectory
 from repro.environments.base import RewardEnvironment
@@ -49,13 +54,15 @@ class BatchedPopulationState:
     counts:
         Per-replicate, per-option adoption counts, shape ``(R, m)``.
     population_size:
-        Number of individuals ``N`` in every replicate.
+        Number of individuals ``N`` — a single int shared by every replicate,
+        or a shape-``(R,)`` array of per-replicate sizes (the sweep-axis mode,
+        where rows belong to different grid points).
     time:
         The time step index this snapshot corresponds to.
     """
 
     counts: np.ndarray
-    population_size: int
+    population_size: Union[int, np.ndarray]
     time: int = 0
 
     def __post_init__(self) -> None:
@@ -65,14 +72,37 @@ class BatchedPopulationState:
         if np.any(counts < 0):
             raise ValueError("counts must be non-negative")
         object.__setattr__(self, "counts", counts)
-        check_positive_int(self.population_size, "population_size")
+        if np.ndim(self.population_size) == 0:
+            check_positive_int(
+                self.population_size, "population_size"
+            )
+            object.__setattr__(self, "population_size", int(self.population_size))
+        else:
+            sizes = np.asarray(self.population_size, dtype=np.int64)
+            if sizes.ndim != 1 or sizes.shape[0] != counts.shape[0]:
+                raise ValueError(
+                    f"per-replicate population_size must have shape "
+                    f"({counts.shape[0]},), got {sizes.shape}"
+                )
+            if np.any(sizes <= 0):
+                raise ValueError("every population size must be positive")
+            sizes = sizes.copy()
+            sizes.setflags(write=False)
+            object.__setattr__(self, "population_size", sizes)
         row_totals = counts.sum(axis=1)
         if np.any(row_totals > self.population_size):
-            worst = int(row_totals.argmax())
+            worst = int((row_totals - self.population_sizes).argmax())
             raise ValueError(
                 f"replicate {worst} has committed count {int(row_totals[worst])} "
-                f"exceeding population size {self.population_size}"
+                f"exceeding population size {int(self.population_sizes[worst])}"
             )
+
+    @property
+    def population_sizes(self) -> np.ndarray:
+        """Per-replicate population sizes, shape ``(R,)`` (scalar broadcast)."""
+        if np.ndim(self.population_size) == 0:
+            return np.full(self.num_replicates, self.population_size, dtype=np.int64)
+        return self.population_size
 
     @property
     def num_replicates(self) -> int:
@@ -121,7 +151,7 @@ class BatchedPopulationState:
             )
         return PopulationState(
             counts=self.counts[index].copy(),
-            population_size=self.population_size,
+            population_size=int(self.population_sizes[index]),
             time=self.time,
         )
 
@@ -148,6 +178,34 @@ class BatchedPopulationState:
             counts=np.tile(state.counts, (num_replicates, 1)),
             population_size=state.population_size,
             time=state.time,
+        )
+
+    @classmethod
+    def stack(cls, states: Sequence[PopulationState]) -> "BatchedPopulationState":
+        """Stack heterogeneous single-replicate states into one batch.
+
+        All states must share the number of options and the time index; the
+        population sizes may differ per row (they collapse to a single int
+        when they all agree, preserving the homogeneous fast path).
+        """
+        if len(states) == 0:
+            raise ValueError("need at least one state to stack")
+        options = {state.num_options for state in states}
+        if len(options) != 1:
+            raise ValueError("all stacked states must share the number of options")
+        times = {state.time for state in states}
+        if len(times) != 1:
+            raise ValueError("all stacked states must share the time index")
+        sizes = np.array([state.population_size for state in states], dtype=np.int64)
+        population_size: Union[int, np.ndarray]
+        if np.all(sizes == sizes[0]):
+            population_size = int(sizes[0])
+        else:
+            population_size = sizes
+        return cls(
+            counts=np.stack([state.counts for state in states]),
+            population_size=population_size,
+            time=states[0].time,
         )
 
 
@@ -220,37 +278,81 @@ class BatchedTrajectory:
         return trajectory
 
     # -------------------------------------------------- per-replicate metrics
-    def expected_regret(self, qualities: Sequence[float]) -> np.ndarray:
+    def expected_regret(self, qualities) -> np.ndarray:
         """Per-replicate average regret with rewards replaced by expectations, shape ``(R,)``.
 
         The batched analogue of :func:`repro.core.regret.expected_regret`:
         ``eta_1 - (1/T) sum_t <Q^{t-1}_r, eta>`` for each replicate ``r``.
+        ``qualities`` is either one shared ``(m,)`` vector or an ``(R, m)``
+        matrix giving each row its own quality vector (the sweep-axis mode).
         """
-        qualities = check_quality_vector(qualities, "qualities")
         popularity = self.popularity_tensor()
         if popularity.shape[0] == 0:
             raise ValueError("need at least one recorded step")
-        per_step = popularity @ qualities  # (T, R)
-        return float(qualities.max()) - per_step.mean(axis=0)
+        qualities = np.asarray(qualities, dtype=float)
+        if qualities.ndim == 1:
+            qualities = check_quality_vector(qualities, "qualities")
+            per_step = popularity @ qualities  # (T, R)
+            return float(qualities.max()) - per_step.mean(axis=0)
+        if qualities.shape != (self.num_replicates, self.num_options):
+            raise ValueError(
+                f"qualities must have shape ({self.num_options},) or "
+                f"({self.num_replicates}, {self.num_options}), got {qualities.shape}"
+            )
+        if not np.all(np.isfinite(qualities)):
+            raise ValueError("every quality must be finite")
+        if np.any(qualities < 0) or np.any(qualities > 1):
+            raise ValueError("every quality must lie in [0, 1]")
+        per_step = np.einsum("trj,rj->tr", popularity, qualities)
+        return qualities.max(axis=1) - per_step.mean(axis=0)
 
-    def empirical_regret(self, best_quality: float) -> np.ndarray:
-        """Per-replicate realised regret ``eta_1 - (1/T) sum_t <Q^{t-1}_r, R^t_r>``, shape ``(R,)``."""
+    def empirical_regret(self, best_quality) -> np.ndarray:
+        """Per-replicate realised regret ``eta_1 - (1/T) sum_t <Q^{t-1}_r, R^t_r>``, shape ``(R,)``.
+
+        ``best_quality`` is a scalar or a shape-``(R,)`` array of per-row best
+        qualities.
+        """
         popularity = self.popularity_tensor()
         if popularity.shape[0] == 0:
             raise ValueError("need at least one recorded step")
+        best_quality = np.asarray(best_quality, dtype=float)
+        if best_quality.ndim not in (0, 1) or (
+            best_quality.ndim == 1 and best_quality.shape != (self.num_replicates,)
+        ):
+            raise ValueError(
+                f"best_quality must be a scalar or shape ({self.num_replicates},), "
+                f"got shape {best_quality.shape}"
+            )
         per_step = np.einsum("trj,trj->tr", popularity, self.reward_tensor().astype(float))
-        return float(best_quality) - per_step.mean(axis=0)
+        return best_quality - per_step.mean(axis=0)
 
-    def best_option_share(self, best_option: int) -> np.ndarray:
-        """Per-replicate average pre-step popularity of ``best_option``, shape ``(R,)``."""
+    def best_option_share(self, best_option) -> np.ndarray:
+        """Per-replicate average pre-step popularity of ``best_option``, shape ``(R,)``.
+
+        ``best_option`` is one shared option index or a shape-``(R,)`` array
+        of per-row indices (each row tracks its own best option).
+        """
         popularity = self.popularity_tensor()
         if popularity.shape[0] == 0:
             raise ValueError("need at least one recorded step")
-        if not 0 <= best_option < self.num_options:
+        best_option = np.asarray(best_option)
+        if not np.issubdtype(best_option.dtype, np.integer):
+            raise ValueError("best_option must be an integer or integer array")
+        if np.any(best_option < 0) or np.any(best_option >= self.num_options):
             raise ValueError(
                 f"best_option {best_option} out of range for m={self.num_options}"
             )
-        return popularity[:, :, best_option].mean(axis=0)
+        if best_option.ndim == 0:
+            return popularity[:, :, int(best_option)].mean(axis=0)
+        if best_option.shape != (self.num_replicates,):
+            raise ValueError(
+                f"per-row best_option must have shape ({self.num_replicates},), "
+                f"got {best_option.shape}"
+            )
+        per_row = np.take_along_axis(
+            popularity, best_option[None, :, None], axis=2
+        )[:, :, 0]
+        return per_row.mean(axis=0)
 
     def entropy_series(self) -> np.ndarray:
         """Post-step popularity entropy per replicate, shape ``(T, R)``."""
@@ -270,20 +372,31 @@ class BatchedDynamics:
     :class:`~repro.core.dynamics.FinitePopulationDynamics` with per-seed loops
     when that is required).
 
+    The rows of a batch need not share one experiment configuration: the
+    adoption parameters (via :class:`~repro.core.adoption.RowwiseAdoptionRule`),
+    the exploration rate (a shape-``(R,)`` ``mu`` in
+    :class:`~repro.core.sampling.MixtureSampling`) and the population size (a
+    shape-``(R,)`` int array) may all vary per row, which is how ``run_sweep``
+    flattens an entire parameter grid times its replicates into one launch.
+    Scalars everywhere reproduce the original homogeneous behaviour exactly.
+
     Parameters
     ----------
     num_replicates:
         Number of independent replicates ``R``.
     population_size:
-        Number of individuals ``N`` (identical across replicates).
+        Number of individuals ``N`` — one int shared by all replicates, or a
+        shape-``(R,)`` array of per-row sizes.
     num_options:
         Number of options ``m``.
     adoption_rule:
-        The shared adoption function ``f``; defaults to the paper's symmetric
-        rule with ``beta = 0.6``.
+        The shared adoption function ``f`` (or a per-row
+        :class:`~repro.core.adoption.RowwiseAdoptionRule`); defaults to the
+        paper's symmetric rule with ``beta = 0.6``.
     sampling_rule:
         The sampling stage; same default policy as
-        :class:`~repro.core.dynamics.FinitePopulationDynamics`.
+        :class:`~repro.core.dynamics.FinitePopulationDynamics` (applied
+        per-row when the adoption rule is per-row).
     initial_state:
         Starting counts — a single :class:`PopulationState` tiled across the
         batch, or a full :class:`BatchedPopulationState`.  Defaults to the
@@ -296,7 +409,7 @@ class BatchedDynamics:
     def __init__(
         self,
         num_replicates: int,
-        population_size: int,
+        population_size: Union[int, np.ndarray],
         num_options: int,
         adoption_rule: Optional[AdoptionRule] = None,
         sampling_rule: Optional[SamplingRule] = None,
@@ -304,16 +417,54 @@ class BatchedDynamics:
         rng: RngLike = None,
     ) -> None:
         self._num_replicates = check_positive_int(num_replicates, "num_replicates")
-        self._population_size = check_positive_int(population_size, "population_size")
+        if np.ndim(population_size) == 0:
+            self._population_size: Union[int, np.ndarray] = check_positive_int(
+                population_size, "population_size"
+            )
+        else:
+            sizes = np.asarray(population_size, dtype=np.int64)
+            if sizes.shape != (num_replicates,):
+                raise ValueError(
+                    f"per-replicate population_size must have shape "
+                    f"({num_replicates},), got {sizes.shape}"
+                )
+            if np.any(sizes <= 0):
+                raise ValueError("every population size must be positive")
+            self._population_size = sizes.copy()
+            self._population_size.setflags(write=False)
         self._num_options = check_positive_int(num_options, "num_options")
         self._adoption_rule = adoption_rule or SymmetricAdoptionRule(0.6)
+        rule_rows = np.ndim(self._adoption_rule.alpha) and np.size(
+            self._adoption_rule.alpha
+        )
+        if rule_rows and rule_rows != num_replicates:
+            raise ValueError(
+                f"per-row adoption rule has {rule_rows} rows but the batch has "
+                f"{num_replicates} replicates"
+            )
         if sampling_rule is None:
             sampling_rule = MixtureSampling(default_exploration_rate(self._adoption_rule))
+        mu_rows = np.ndim(sampling_rule.exploration_rate) and np.size(
+            sampling_rule.exploration_rate
+        )
+        if mu_rows and mu_rows != num_replicates:
+            raise ValueError(
+                f"per-row sampling rule has {mu_rows} rows but the batch has "
+                f"{num_replicates} replicates"
+            )
         self._sampling_rule = sampling_rule
         if initial_state is None:
-            initial_state = BatchedPopulationState.uniform(
-                num_replicates, population_size, num_options
-            )
+            if np.ndim(self._population_size) == 0:
+                initial_state = BatchedPopulationState.uniform(
+                    num_replicates, self._population_size, num_options
+                )
+            else:
+                initial_state = BatchedPopulationState.stack(
+                    [
+                        PopulationState.uniform(int(size), num_options)
+                        for size in self._population_size
+                    ]
+                )
         elif isinstance(initial_state, PopulationState):
             initial_state = BatchedPopulationState.from_state(
                 initial_state, num_replicates
@@ -322,7 +473,12 @@ class BatchedDynamics:
             raise ValueError("initial_state has the wrong number of replicates")
         if initial_state.num_options != num_options:
             raise ValueError("initial_state has the wrong number of options")
-        if initial_state.population_size != population_size:
+        expected_sizes = (
+            np.full(num_replicates, self._population_size, dtype=np.int64)
+            if np.ndim(self._population_size) == 0
+            else self._population_size
+        )
+        if not np.array_equal(initial_state.population_sizes, expected_sizes):
             raise ValueError("initial_state has the wrong population size")
         self._initial_state = initial_state
         self._state = initial_state
@@ -335,8 +491,8 @@ class BatchedDynamics:
         return self._num_replicates
 
     @property
-    def population_size(self) -> int:
-        """Number of individuals ``N`` per replicate."""
+    def population_size(self) -> Union[int, np.ndarray]:
+        """Number of individuals ``N`` per replicate (int, or ``(R,)`` array per-row)."""
         return self._population_size
 
     @property
@@ -439,12 +595,13 @@ class BatchedDynamics:
 
 def simulate_batched_population(
     environment: RewardEnvironment,
-    population_size: int,
+    population_size: Union[int, np.ndarray],
     horizon: int,
     num_replicates: int,
     *,
-    beta: float = 0.6,
-    mu: Optional[float] = None,
+    beta: Union[float, np.ndarray] = 0.6,
+    mu: Union[None, float, np.ndarray] = None,
+    alpha: Union[None, float, np.ndarray] = None,
     rng: RngLike = None,
 ) -> BatchedTrajectory:
     """One-call helper: run ``num_replicates`` replicates with paper defaults.
@@ -453,12 +610,25 @@ def simulate_batched_population(
     :func:`~repro.core.dynamics.simulate_finite_population`; with
     ``num_replicates=1`` and matching seeds the two produce bit-identical
     trajectories.
+
+    ``population_size``, ``beta``, ``alpha`` and ``mu`` each accept either a
+    scalar (shared by all replicates, today's API) or a shape-``(R,)`` array
+    giving every row its own value — the sweep-axis mode.  ``alpha`` defaults
+    to the symmetric convention ``1 - beta``.
     """
+    if np.ndim(beta) == 0 and alpha is None:
+        adoption_rule: AdoptionRule = SymmetricAdoptionRule(float(beta))
+    elif alpha is None:
+        adoption_rule = RowwiseAdoptionRule.symmetric(beta)
+    elif np.ndim(beta) == 0 and np.ndim(alpha) == 0:
+        adoption_rule = GeneralAdoptionRule(float(alpha), float(beta))
+    else:
+        adoption_rule = RowwiseAdoptionRule(alpha, beta)
     dynamics = BatchedDynamics(
         num_replicates=num_replicates,
         population_size=population_size,
         num_options=environment.num_options,
-        adoption_rule=SymmetricAdoptionRule(beta),
+        adoption_rule=adoption_rule,
         sampling_rule=MixtureSampling(mu) if mu is not None else None,
         rng=rng,
     )

@@ -23,18 +23,28 @@ import numpy as np
 from repro.utils.validation import check_probability, check_probability_vector
 
 
-def default_exploration_rate(adoption_rule) -> float:
+def default_exploration_rate(adoption_rule):
     """The default ``mu`` for a given adoption rule: the theorem maximum.
 
     Returns ``min(1, delta^2 / 6)`` — the largest exploration rate the
     paper's theorems allow — or ``0.01`` when ``delta`` is degenerate
     (zero or infinite).  Every engine derives its default sampling rule
     from this one function so they stay exact-seed equivalent.
+
+    For a per-row rule (:class:`~repro.core.adoption.RowwiseAdoptionRule`,
+    whose ``delta`` is a shape-``(R,)`` array) the same formula is applied
+    elementwise and an array of per-row rates is returned.
     """
-    delta = adoption_rule.delta
-    if np.isfinite(delta) and delta > 0:
-        return min(1.0, delta**2 / 6.0)
-    return 0.01
+    delta = np.asarray(adoption_rule.delta, dtype=float)
+    with np.errstate(invalid="ignore"):
+        rates = np.where(
+            np.isfinite(delta) & (delta > 0),
+            np.minimum(1.0, np.where(np.isfinite(delta), delta, 0.0) ** 2 / 6.0),
+            0.01,
+        )
+    if rates.ndim == 0:
+        return float(rates)
+    return rates
 
 
 def _as_popularity_matrix(popularities: np.ndarray) -> np.ndarray:
@@ -92,28 +102,74 @@ class SamplingRule(abc.ABC):
         return self.exploration_rate / num_options
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"{type(self).__name__}(mu={self.exploration_rate:.4f})"
+        mu = np.asarray(self.exploration_rate)
+        if mu.ndim == 0:
+            return f"{type(self).__name__}(mu={float(mu):.4f})"
+        return (
+            f"{type(self).__name__}(R={mu.size}, "
+            f"mu∈[{mu.min():.4f}, {mu.max():.4f}])"
+        )
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, SamplingRule):
             return NotImplemented
-        return np.isclose(self.exploration_rate, other.exploration_rate)
+        mine = np.asarray(self.exploration_rate)
+        theirs = np.asarray(other.exploration_rate)
+        if mine.shape != theirs.shape:
+            return False
+        return bool(np.all(np.isclose(mine, theirs)))
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__, round(self.exploration_rate, 12)))
+        return hash(
+            (type(self).__name__, np.round(np.asarray(self.exploration_rate), 12).tobytes())
+        )
 
 
 class MixtureSampling(SamplingRule):
-    """The paper's sampling rule: uniform with weight ``mu``, popularity otherwise."""
+    """The paper's sampling rule: uniform with weight ``mu``, popularity otherwise.
 
-    def __init__(self, mu: float) -> None:
-        self._mu = check_probability(mu, "mu")
+    ``mu`` may also be a shape-``(R,)`` array of per-row exploration rates for
+    the batched engine's sweep-axis mode: row ``r`` of a batch then mixes with
+    weight ``mu_r``.  A per-row rule only supports the batched path
+    (:meth:`consideration_probabilities_batch` with exactly ``R`` rows); the
+    scalar :meth:`consideration_probabilities` raises for it.
+    """
+
+    def __init__(self, mu) -> None:
+        if np.ndim(mu) == 0:
+            self._mu = check_probability(mu, "mu")
+        else:
+            mu = np.asarray(mu, dtype=float)
+            if mu.ndim != 1 or mu.size == 0:
+                raise ValueError("per-row mu must be a non-empty 1-D (R,) array")
+            if not np.all(np.isfinite(mu)):
+                raise ValueError("every per-row mu must be finite")
+            if np.any(mu < 0) or np.any(mu > 1):
+                raise ValueError("every per-row mu must lie in [0, 1]")
+            self._mu = mu.copy()
+            self._mu.setflags(write=False)
 
     @property
-    def exploration_rate(self) -> float:
+    def exploration_rate(self):
+        """The uniform-exploration weight ``mu`` (float, or ``(R,)`` array per-row)."""
         return self._mu
 
+    @property
+    def is_rowwise(self) -> bool:
+        """Whether this rule carries per-row exploration rates."""
+        return np.ndim(self._mu) == 1
+
+    @property
+    def num_rows(self) -> int:
+        """Number of parameter rows ``R`` (1 for a scalar rule)."""
+        return int(np.asarray(self._mu).size) if self.is_rowwise else 1
+
     def consideration_probabilities(self, popularity: np.ndarray) -> np.ndarray:
+        if self.is_rowwise:
+            raise ValueError(
+                "per-row MixtureSampling has no single-replicate rule; use "
+                "consideration_probabilities_batch with an (R, m) matrix"
+            )
         popularity = check_probability_vector(popularity, "popularity")
         num_options = popularity.size
         probabilities = (1.0 - self._mu) * popularity + self._mu / num_options
@@ -128,7 +184,16 @@ class MixtureSampling(SamplingRule):
         ):
             raise ValueError("every row of popularities must be a probability vector")
         num_options = popularities.shape[1]
-        probabilities = (1.0 - self._mu) * popularities + self._mu / num_options
+        if self.is_rowwise:
+            if popularities.shape[0] != self._mu.size:
+                raise ValueError(
+                    f"per-row mu has {self._mu.size} rows but popularities has "
+                    f"{popularities.shape[0]}"
+                )
+            mu = self._mu[:, None]
+        else:
+            mu = self._mu
+        probabilities = (1.0 - mu) * popularities + mu / num_options
         return probabilities / probabilities.sum(axis=1, keepdims=True)
 
 

@@ -2,7 +2,10 @@
 
 The paper's model (Section 2.1) assumes each option ``j`` has an unknown
 quality ``eta_j`` and emits a fresh Bernoulli signal ``R^t_j ~ Bern(eta_j)``
-each step.  :class:`BernoulliEnvironment` implements exactly that model.
+each step.  :class:`BernoulliEnvironment` implements exactly that model;
+:class:`RowwiseBernoulliEnvironment` generalises it with one quality vector
+per batch row, which the sweep-axis batched engine uses to advance a whole
+parameter grid in one pass.
 
 The paper also shows (second worked example in Section 2.1, after Ellison &
 Fudenberg 1995) how richer reward models — continuous-valued rewards with
@@ -22,7 +25,7 @@ baseline comparisons are implemented.
 """
 
 from repro.environments.base import RewardEnvironment
-from repro.environments.bernoulli import BernoulliEnvironment
+from repro.environments.bernoulli import BernoulliEnvironment, RowwiseBernoulliEnvironment
 from repro.environments.continuous import (
     ContinuousRewardEnvironment,
     EllisonFudenbergEnvironment,
@@ -40,6 +43,7 @@ from repro.environments.replay import RecordedRewardSequence, record_rewards
 __all__ = [
     "RewardEnvironment",
     "BernoulliEnvironment",
+    "RowwiseBernoulliEnvironment",
     "ContinuousRewardEnvironment",
     "EllisonFudenbergEnvironment",
     "PiecewiseConstantDriftEnvironment",

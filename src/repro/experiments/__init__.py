@@ -11,9 +11,16 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
     ReplicatedResult,
     batched_replication,
+    grid_batched_replication,
     run_replications,
 )
 from repro.experiments.sweep import ParameterGrid, run_sweep
+from repro.experiments.dynamics_sweep import (
+    FlatGrid,
+    dynamics_grid_replication,
+    dynamics_point_replication,
+    flatten_grid,
+)
 from repro.experiments.results import ResultTable
 from repro.experiments.io import read_csv, write_csv
 from repro.experiments.report import generate_report, table_to_markdown
@@ -22,9 +29,14 @@ __all__ = [
     "ExperimentConfig",
     "ReplicatedResult",
     "batched_replication",
+    "grid_batched_replication",
     "run_replications",
     "ParameterGrid",
     "run_sweep",
+    "FlatGrid",
+    "dynamics_grid_replication",
+    "dynamics_point_replication",
+    "flatten_grid",
     "ResultTable",
     "read_csv",
     "write_csv",

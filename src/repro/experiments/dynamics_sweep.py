@@ -1,0 +1,259 @@
+"""Canonical replication functions for sweeping the paper's dynamics.
+
+These are the workloads behind benchmark tables and the ``repro sweep`` CLI:
+the finite-population dynamics on Bernoulli qualities, swept over any subset
+of ``(qualities, N, T, alpha, beta, mu)``.  Three interchangeable execution
+engines share one parameter convention:
+
+* :func:`dynamics_point_replication` — the per-seed loop
+  (:class:`~repro.core.dynamics.FinitePopulationDynamics`, one run per
+  replicate);
+* ``@batched_replication`` at each grid point (what PR 1 added) — not defined
+  here because :func:`dynamics_grid_replication` strictly dominates it;
+* :func:`dynamics_grid_replication` — the sweep-axis batched engine: the
+  whole ``G x R`` grid-times-replicates workload flattens into one
+  ``(G·R, m)`` :class:`~repro.core.batched.BatchedDynamics` launch with
+  per-row parameters, then unflattens into per-point results.
+
+Parameter convention (per grid point, merged with ``base_parameters``):
+
+``qualities``
+    Sequence of option qualities ``eta_j`` (required; same length ``m`` at
+    every point).
+``N``
+    Population size (required).
+``T``
+    Horizon (required; must be shared by every point — the batch advances in
+    lock-step).
+``beta``
+    Good-signal adoption probability (default 0.6).
+``alpha``
+    Bad-signal adoption probability (default ``1 - beta``, the paper's
+    symmetric convention).
+``mu``
+    Exploration rate (default: the theorem maximum ``min(1, delta^2/6)``
+    evaluated at that point's own ``(alpha, beta)``).
+
+Both engines report the same metrics per replicate — ``regret`` (expected
+regret over the trajectory) and ``best_option_share`` — and both derive their
+randomness from the per-point seed lists that
+:func:`~repro.experiments.sweep.run_sweep` hands them, so a sweep is
+reproducible from ``(grid, replications, seed)`` alone on either engine.
+
+Memory note: the flattened batch keeps, for every one of the ``T`` steps,
+three ``(G·R, m)`` matrices — int64 counts, float64 pre-step popularities and
+int8 rewards, ~17 bytes per cell-step in total — i.e. ``O(T · G · R · m)``
+memory independent of ``N``.  A 20-point x 50-replicate x 300-step sweep over
+5 options is ~25 MB — far below the cost of the per-point trajectories it
+replaces — but for very large ``G·R·T`` consider splitting the grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.adoption import GeneralAdoptionRule, RowwiseAdoptionRule
+from repro.core.batched import BatchedDynamics, BatchedTrajectory
+from repro.core.dynamics import FinitePopulationDynamics
+from repro.core.regret import best_option_share, expected_regret
+from repro.core.sampling import MixtureSampling, default_exploration_rate
+from repro.environments import BernoulliEnvironment, RowwiseBernoulliEnvironment
+from repro.experiments.runner import grid_batched_replication
+
+
+def _point_parameters(parameters: Dict[str, Any]) -> Tuple[np.ndarray, int, int, float, float, Any]:
+    """Extract and validate one grid point's ``(qualities, N, T, alpha, beta, mu)``."""
+    try:
+        qualities = np.asarray(parameters["qualities"], dtype=float)
+        population = int(parameters["N"])
+        horizon = int(parameters["T"])
+    except KeyError as error:
+        raise KeyError(
+            f"dynamics sweep points need 'qualities', 'N' and 'T'; missing {error}"
+        ) from None
+    beta = float(parameters.get("beta", 0.6))
+    alpha_value = parameters.get("alpha")
+    alpha = float(alpha_value) if alpha_value is not None else 1.0 - beta
+    mu = parameters.get("mu")  # None means "derive the theorem default"
+    return qualities, population, horizon, alpha, beta, mu
+
+
+@dataclass(frozen=True)
+class FlatGrid:
+    """The ``G x R`` grid flattened to per-row parameter arrays.
+
+    Row layout: rows ``g * R .. (g+1) * R - 1`` are the ``R`` replicates of
+    grid point ``g`` — the exact inverse of the unflattening performed by
+    :func:`dynamics_grid_replication`.
+    """
+
+    qualities: np.ndarray  # (G*R, m)
+    population_sizes: Union[int, np.ndarray]  # int or (G*R,)
+    alpha: np.ndarray  # (G*R,)
+    beta: np.ndarray  # (G*R,)
+    mu: np.ndarray  # (G*R,)
+    horizon: int
+    replications: int
+
+    @property
+    def num_rows(self) -> int:
+        """Total number of flattened rows ``G * R``."""
+        return int(self.qualities.shape[0])
+
+    @property
+    def num_options(self) -> int:
+        """Number of options ``m`` (shared by every grid point)."""
+        return int(self.qualities.shape[1])
+
+    def build(self, rng) -> Tuple[BatchedDynamics, RowwiseBernoulliEnvironment]:
+        """Construct the single engine launch realising this flattened grid.
+
+        Both the environment and the dynamics draw from the *same* generator,
+        mirroring the per-point batched convention, so a sweep row is
+        bit-reproducible by rebuilding this pair with an equal generator.
+        """
+        environment = RowwiseBernoulliEnvironment(self.qualities, rng=rng)
+        dynamics = BatchedDynamics(
+            num_replicates=self.num_rows,
+            population_size=self.population_sizes,
+            num_options=self.num_options,
+            adoption_rule=RowwiseAdoptionRule(self.alpha, self.beta),
+            sampling_rule=MixtureSampling(self.mu),
+            rng=rng,
+        )
+        return dynamics, environment
+
+
+def flatten_grid(points: Sequence[Dict[str, Any]], replications: int) -> FlatGrid:
+    """Expand per-point parameter dicts into the per-row arrays of one batch.
+
+    Every point's ``qualities`` must have the same length and every point the
+    same horizon ``T`` (the batch advances all rows in lock-step); population
+    sizes, ``alpha``/``beta`` and ``mu`` may all differ per point.
+    """
+    if len(points) == 0:
+        raise ValueError("need at least one grid point")
+    if replications <= 0:
+        raise ValueError(f"replications must be positive, got {replications}")
+
+    quality_rows: List[np.ndarray] = []
+    sizes: List[int] = []
+    alphas: List[float] = []
+    betas: List[float] = []
+    mus: List[float] = []
+    horizons = set()
+    for parameters in points:
+        qualities, population, horizon, alpha, beta, mu = _point_parameters(parameters)
+        if mu is None:
+            mu = default_exploration_rate(GeneralAdoptionRule(alpha, beta))
+        quality_rows.append(qualities)
+        sizes.append(population)
+        alphas.append(alpha)
+        betas.append(beta)
+        mus.append(float(mu))
+        horizons.add(horizon)
+    option_counts = {row.size for row in quality_rows}
+    if len(option_counts) != 1:
+        raise ValueError(
+            f"every grid point must have the same number of options, got {sorted(option_counts)}"
+        )
+    if len(horizons) != 1:
+        raise ValueError(
+            "the batched sweep advances all grid points in lock-step, so every "
+            f"point must share one horizon T; got {sorted(horizons)}"
+        )
+
+    size_array = np.repeat(np.asarray(sizes, dtype=np.int64), replications)
+    population_sizes: Union[int, np.ndarray]
+    if np.all(size_array == size_array[0]):
+        population_sizes = int(size_array[0])
+    else:
+        population_sizes = size_array
+    return FlatGrid(
+        # from_points is the one canonical definition of the grid-point ->
+        # flattened-row layout; deriving the matrix through it (rather than
+        # repeating np.repeat here) keeps the two from drifting apart and
+        # validates the qualities at flatten time.
+        qualities=RowwiseBernoulliEnvironment.from_points(
+            quality_rows, replications
+        ).qualities,
+        population_sizes=population_sizes,
+        alpha=np.repeat(np.asarray(alphas), replications),
+        beta=np.repeat(np.asarray(betas), replications),
+        mu=np.repeat(np.asarray(mus), replications),
+        horizon=horizons.pop(),
+        replications=replications,
+    )
+
+
+def _metric_row(regret: float, share: float) -> Dict[str, float]:
+    return {"regret": float(regret), "best_option_share": float(share)}
+
+
+@grid_batched_replication
+def dynamics_grid_replication(
+    seed_blocks: Sequence[Sequence[int]], points: Sequence[Dict[str, Any]]
+) -> List[List[Dict[str, float]]]:
+    """Run the whole dynamics sweep as one flattened engine launch.
+
+    The generator is seeded with the concatenation of every point's seed
+    list, so the full sweep is a pure function of ``run_sweep``'s
+    ``(grid, replications, seed)`` arguments; a single row is reproducible by
+    rebuilding the same :class:`FlatGrid` and generator (see
+    ``tests/property/test_engine_invariants.py``).
+    """
+    flat = flatten_grid(points, len(seed_blocks[0]) if seed_blocks else 0)
+    if len(seed_blocks) != len(points):
+        raise ValueError(
+            f"got {len(seed_blocks)} seed blocks for {len(points)} grid points"
+        )
+    flat_seeds = [seed for block in seed_blocks for seed in block]
+    if len(flat_seeds) != flat.num_rows:
+        raise ValueError(
+            "every grid point must contribute the same number of seeds; got "
+            f"{len(flat_seeds)} seeds for {flat.num_rows} rows"
+        )
+    generator = np.random.default_rng(flat_seeds)
+    dynamics, environment = flat.build(generator)
+    trajectory: BatchedTrajectory = dynamics.run(environment, flat.horizon)
+
+    regrets = trajectory.expected_regret(flat.qualities)
+    shares = trajectory.best_option_share(flat.qualities.argmax(axis=1))
+    replications = flat.replications
+    return [
+        [
+            _metric_row(regrets[point * replications + row], shares[point * replications + row])
+            for row in range(replications)
+        ]
+        for point in range(len(points))
+    ]
+
+
+def dynamics_point_replication(seed: int, parameters: Dict[str, Any]) -> Dict[str, float]:
+    """Per-seed loop engine for the same workload (the ``--engine loop`` fallback).
+
+    One :class:`~repro.core.dynamics.FinitePopulationDynamics` run per
+    replicate, with the environment seeded at ``seed`` and the dynamics at
+    ``seed + 1`` (the repository's per-seed convention).
+    """
+    qualities, population, horizon, alpha, beta, mu = _point_parameters(parameters)
+    rule = GeneralAdoptionRule(alpha, beta)
+    if mu is None:
+        mu = default_exploration_rate(rule)
+    environment = BernoulliEnvironment(qualities, rng=seed)
+    dynamics = FinitePopulationDynamics(
+        population_size=population,
+        num_options=int(qualities.size),
+        adoption_rule=rule,
+        sampling_rule=MixtureSampling(float(mu)),
+        rng=seed + 1,
+    )
+    trajectory = dynamics.run(environment, horizon)
+    matrix = trajectory.popularity_matrix()
+    return _metric_row(
+        expected_regret(matrix, qualities),
+        best_option_share(matrix, int(qualities.argmax())),
+    )

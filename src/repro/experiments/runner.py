@@ -34,6 +34,41 @@ BatchedReplicationFunction = Callable[
 ]
 """A batched replication takes (seeds, parameters) and returns one metrics dict per seed."""
 
+GridReplicationFunction = Callable[
+    [Sequence[Sequence[int]], Sequence[Dict[str, Any]]],
+    Sequence[Sequence[Dict[str, float]]],
+]
+"""A grid replication takes (per-point seed lists, per-point parameters) and
+returns, for each grid point, one metrics dict per seed."""
+
+
+def grid_batched_replication(function: GridReplicationFunction) -> GridReplicationFunction:
+    """Mark ``function`` as a whole-grid batched replication for :func:`run_sweep`.
+
+    Where :func:`batched_replication` collapses the replicate axis of *one*
+    experiment configuration, a grid replication collapses the sweep axis as
+    well: :func:`~repro.experiments.sweep.run_sweep` calls it exactly once
+    with the seed lists and parameter dicts of **every** grid point, and the
+    function returns one metrics dict per (point, seed) pair — typically by
+    flattening all ``G x R`` rows into a single
+    :class:`~repro.core.batched.BatchedDynamics` launch with per-row
+    parameters.
+
+    The seed lists are derived per point exactly as the per-point paths derive
+    them, so switching engines never changes an experiment's provenance.
+
+    Usage::
+
+        @grid_batched_replication
+        def replication(seed_blocks, points):
+            flat_seeds = [seed for block in seed_blocks for seed in block]
+            rng = np.random.default_rng(flat_seeds)
+            ...  # one (G*R, m) BatchedDynamics launch
+            return [[{"regret": ...} for seed in block] for block in seed_blocks]
+    """
+    function.grid_replications = True  # type: ignore[attr-defined]
+    return function
+
 
 def batched_replication(function: BatchedReplicationFunction) -> BatchedReplicationFunction:
     """Mark ``function`` as a batched replication for :func:`run_replications`.
@@ -118,6 +153,11 @@ def run_replications(
     seed; the derived seeds, and therefore the result's provenance record,
     are identical in both modes.
     """
+    if getattr(replication, "grid_replications", False):
+        raise TypeError(
+            "grid-batched replications run over a whole ParameterGrid; call "
+            "run_sweep instead of run_replications"
+        )
     seeds = seeds_for_replications(config.seed, config.replications)
     result = ReplicatedResult(config=config, seeds=seeds)
     if getattr(replication, "batched_replications", False):

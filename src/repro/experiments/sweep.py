@@ -8,7 +8,13 @@ from typing import Any, Dict, Iterator, List, Mapping, Sequence
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.results import ResultTable
-from repro.experiments.runner import ReplicatedResult, ReplicationFunction, run_replications
+from repro.experiments.runner import (
+    ReplicatedResult,
+    ReplicationFunction,
+    _validated_metrics,
+    run_replications,
+)
+from repro.utils.rng import seeds_for_replications
 
 
 @dataclass(frozen=True)
@@ -67,19 +73,60 @@ def run_sweep(
     Replication functions marked with
     :func:`~repro.experiments.runner.batched_replication` take the batched
     fast path at every grid point: all ``replications`` replicates of a point
-    run as one vectorised batch instead of a per-seed loop.
+    run as one vectorised batch instead of a per-seed loop.  Functions marked
+    with :func:`~repro.experiments.runner.grid_batched_replication` go one
+    step further — the *entire* ``grid x replications`` workload is handed
+    over in a single call (typically one ``(G·R, m)`` engine launch) and the
+    returned rows are unflattened back into per-point
+    :class:`ReplicatedResult` objects.  All three paths derive identical
+    per-point seed lists from ``seed``, so results stay reproducible from the
+    arguments alone regardless of the engine.
     """
-    results: List[ReplicatedResult] = []
-    table = ResultTable()
+    configs: List[ExperimentConfig] = []
     for index, point in enumerate(grid):
         parameters = dict(base_parameters or {})
         parameters.update(point)
-        config = ExperimentConfig(
-            name=f"{name}[{index}]",
-            parameters=parameters,
-            replications=replications,
-            seed=seed + index,
+        configs.append(
+            ExperimentConfig(
+                name=f"{name}[{index}]",
+                parameters=parameters,
+                replications=replications,
+                seed=seed + index,
+            )
         )
+
+    results: List[ReplicatedResult] = []
+    table = ResultTable()
+    if getattr(replication, "grid_replications", False):
+        seed_blocks = [
+            seeds_for_replications(config.seed, config.replications)
+            for config in configs
+        ]
+        metric_blocks = list(
+            replication(
+                [list(block) for block in seed_blocks],
+                [dict(config.parameters) for config in configs],
+            )
+        )
+        if len(metric_blocks) != len(configs):
+            raise ValueError(
+                f"grid replication returned {len(metric_blocks)} metric blocks "
+                f"for {len(configs)} grid points"
+            )
+        for config, seeds, rows in zip(configs, seed_blocks, metric_blocks):
+            rows = list(rows)
+            if len(rows) != len(seeds):
+                raise ValueError(
+                    f"grid replication returned {len(rows)} metric rows for "
+                    f"{len(seeds)} seeds of {config.name}"
+                )
+            result = ReplicatedResult(config=config, seeds=seeds)
+            result.metrics.extend(_validated_metrics(row) for row in rows)
+            results.append(result)
+            table.add_row(result.summary_row())
+        return results, table
+
+    for config in configs:
         result = run_replications(config, replication)
         results.append(result)
         table.add_row(result.summary_row())

@@ -103,6 +103,26 @@ class NetworkDynamics:
         """Per-agent current options (-1 means sitting out); copy."""
         return self._choices.copy()
 
+    def set_choices(self, choices: np.ndarray) -> None:
+        """Overwrite every agent's current option (-1 means sitting out).
+
+        Scenario setup hook: start a run from a prescribed configuration
+        (warm starts, adversarial initialisations, or — in the tests — a
+        group where every neighbour sits out, which exercises the uniform
+        fallback of stage 1).
+        """
+        choices = np.asarray(choices)
+        if choices.shape != (self._network.size,):
+            raise ValueError(
+                f"choices must have shape ({self._network.size},), got {choices.shape}"
+            )
+        if np.any(choices < -1) or np.any(choices >= self._num_options):
+            raise ValueError(
+                f"choices must lie in -1..{self._num_options - 1} (got range "
+                f"[{choices.min()}, {choices.max()}])"
+            )
+        self._choices = choices.astype(np.int64).copy()
+
     def state(self) -> PopulationState:
         """Aggregate population state (counts of committed agents per option)."""
         committed = self._choices[self._choices >= 0]

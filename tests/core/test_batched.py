@@ -416,3 +416,226 @@ class TestSamplingBatch:
         np.testing.assert_allclose(batch, [[0.3, 0.7], [0.9, 0.1]])
         with pytest.raises(ValueError):
             rule.consideration_probabilities_batch(np.array([0.5, 0.5]))
+
+
+class TestRowwiseAdoptionRule:
+    def test_symmetric_classmethod(self):
+        from repro.core.adoption import RowwiseAdoptionRule
+
+        rule = RowwiseAdoptionRule.symmetric(np.array([0.6, 0.8]))
+        np.testing.assert_allclose(rule.alpha, [0.4, 0.2])
+        np.testing.assert_allclose(rule.beta, [0.6, 0.8])
+        assert rule.num_rows == 2
+        assert rule.is_informative()
+
+    def test_symmetric_rejects_below_half(self):
+        from repro.core.adoption import RowwiseAdoptionRule
+
+        with pytest.raises(ValueError):
+            RowwiseAdoptionRule.symmetric(np.array([0.6, 0.4]))
+
+    def test_rejects_alpha_above_beta(self):
+        from repro.core.adoption import RowwiseAdoptionRule
+
+        with pytest.raises(ValueError, match="row 1"):
+            RowwiseAdoptionRule(np.array([0.2, 0.9]), np.array([0.6, 0.7]))
+
+    def test_rejects_out_of_range(self):
+        from repro.core.adoption import RowwiseAdoptionRule
+
+        with pytest.raises(ValueError):
+            RowwiseAdoptionRule(np.array([-0.1]), np.array([0.5]))
+        with pytest.raises(ValueError):
+            RowwiseAdoptionRule(np.array([0.5]), np.array([1.1]))
+
+    def test_delta_per_row_with_infinite_rows(self):
+        from repro.core.adoption import RowwiseAdoptionRule
+
+        rule = RowwiseAdoptionRule(np.array([0.0, 0.3]), np.array([0.5, 0.6]))
+        delta = rule.delta
+        assert np.isinf(delta[0])
+        assert delta[1] == pytest.approx(np.log(2.0))
+
+    def test_shared_signal_vector_broadcasts(self):
+        from repro.core.adoption import RowwiseAdoptionRule
+
+        rule = RowwiseAdoptionRule(np.array([0.3, 0.2]), np.array([0.6, 0.9]))
+        probabilities = rule.adopt_probabilities(np.array([1, 0]))
+        np.testing.assert_allclose(probabilities, [[0.6, 0.3], [0.9, 0.2]])
+
+    def test_row_view_and_scalar_signal(self):
+        from repro.core.adoption import RowwiseAdoptionRule
+
+        rule = RowwiseAdoptionRule(np.array([0.3, 0.2]), np.array([0.6, 0.9]))
+        scalar = rule.row(1)
+        assert isinstance(scalar, GeneralAdoptionRule)
+        assert scalar.alpha == pytest.approx(0.2)
+        np.testing.assert_allclose(rule.adopt_probability(1), [0.6, 0.9])
+        with pytest.raises(IndexError):
+            rule.row(2)
+        with pytest.raises(ValueError):
+            rule.adopt_probability(2)
+
+    def test_equality_and_scalar_rules_never_equal(self):
+        from repro.core.adoption import RowwiseAdoptionRule
+
+        rowwise = RowwiseAdoptionRule.symmetric(np.array([0.6, 0.6]))
+        assert rowwise == RowwiseAdoptionRule.symmetric(np.array([0.6, 0.6]))
+        assert rowwise != RowwiseAdoptionRule.symmetric(np.array([0.6, 0.7]))
+        assert rowwise != SymmetricAdoptionRule(0.6)
+        assert SymmetricAdoptionRule(0.6) != rowwise
+
+
+class TestPerRowPopulationSizes:
+    def test_stack_heterogeneous_states(self):
+        states = [PopulationState.uniform(60, 3), PopulationState.uniform(90, 3)]
+        batched = BatchedPopulationState.stack(states)
+        assert batched.num_replicates == 2
+        np.testing.assert_array_equal(batched.population_sizes, [60, 90])
+        np.testing.assert_array_equal(batched.counts[0], states[0].counts)
+        np.testing.assert_array_equal(batched.counts[1], states[1].counts)
+
+    def test_stack_collapses_equal_sizes_to_int(self):
+        states = [PopulationState.uniform(60, 3), PopulationState.uniform(60, 3)]
+        batched = BatchedPopulationState.stack(states)
+        assert isinstance(batched.population_size, int)
+        np.testing.assert_array_equal(batched.population_sizes, [60, 60])
+
+    def test_stack_rejects_mixed_options_or_times(self):
+        with pytest.raises(ValueError):
+            BatchedPopulationState.stack(
+                [PopulationState.uniform(60, 3), PopulationState.uniform(60, 2)]
+            )
+        with pytest.raises(ValueError):
+            BatchedPopulationState.stack(
+                [PopulationState.uniform(60, 3), PopulationState.uniform(60, 3, time=1)]
+            )
+        with pytest.raises(ValueError):
+            BatchedPopulationState.stack([])
+
+    def test_per_row_bound_enforced(self):
+        with pytest.raises(ValueError, match="replicate 1"):
+            BatchedPopulationState(
+                counts=np.array([[10, 10], [40, 40]]),
+                population_size=np.array([50, 60]),
+            )
+
+    def test_replicate_view_carries_its_own_size(self):
+        batched = BatchedPopulationState(
+            counts=np.array([[10, 10], [40, 40]]),
+            population_size=np.array([50, 100]),
+        )
+        assert batched.replicate(0).population_size == 50
+        assert batched.replicate(1).population_size == 100
+
+    def test_dynamics_defaults_to_per_row_uniform_start(self):
+        dynamics = BatchedDynamics(2, np.array([60, 90]), 3, rng=0)
+        np.testing.assert_array_equal(
+            dynamics.state.counts[0], PopulationState.uniform(60, 3).counts
+        )
+        np.testing.assert_array_equal(
+            dynamics.state.counts[1], PopulationState.uniform(90, 3).counts
+        )
+
+    def test_dynamics_step_respects_per_row_sizes(self):
+        sizes = np.array([40, 4000])
+        dynamics = BatchedDynamics(2, sizes, 2, rng=1)
+        state = dynamics.step(np.array([[1, 0], [1, 0]]))
+        assert state.counts[0].sum() <= 40
+        assert state.counts[1].sum() <= 4000
+        # The large row cannot have been truncated to the small row's size.
+        assert state.counts[1].sum() > 40
+
+    def test_simulate_helper_accepts_arrays(self):
+        env = BernoulliEnvironment([0.8, 0.5], rng=0)
+        trajectory = simulate_batched_population(
+            env, np.array([50, 80, 110]), 5, 3,
+            beta=np.array([0.6, 0.7, 0.8]), mu=np.array([0.05, 0.1, 0.2]),
+            alpha=np.array([0.3, 0.2, 0.1]), rng=2,
+        )
+        final = trajectory.final_state()
+        np.testing.assert_array_equal(final.population_sizes, [50, 80, 110])
+        assert np.all(final.counts.sum(axis=1) <= [50, 80, 110])
+
+
+class TestPerRowTrajectoryMetrics:
+    def _trajectory(self):
+        generator = np.random.default_rng(3)
+        from repro.environments import RowwiseBernoulliEnvironment
+
+        qualities = np.array([[0.9, 0.2], [0.3, 0.8]])
+        env = RowwiseBernoulliEnvironment(qualities, rng=generator)
+        trajectory = simulate_batched_population(
+            env, 200, 12, 2, beta=0.65, mu=0.1, rng=generator
+        )
+        return trajectory, qualities
+
+    def test_expected_regret_per_row_qualities(self):
+        trajectory, qualities = self._trajectory()
+        per_row = trajectory.expected_regret(qualities)
+        assert per_row.shape == (2,)
+        # Row r's regret against its own qualities equals the shared-vector
+        # computation restricted to that row.
+        for row in range(2):
+            shared = trajectory.expected_regret(qualities[row])
+            assert per_row[row] == pytest.approx(shared[row])
+
+    def test_expected_regret_rejects_bad_shapes(self):
+        trajectory, _ = self._trajectory()
+        with pytest.raises(ValueError):
+            trajectory.expected_regret(np.full((3, 2), 0.5))
+        with pytest.raises(ValueError):
+            trajectory.expected_regret(np.full((2, 2), 1.5))
+
+    def test_best_option_share_per_row_indices(self):
+        trajectory, qualities = self._trajectory()
+        per_row = trajectory.best_option_share(qualities.argmax(axis=1))
+        assert per_row.shape == (2,)
+        assert per_row[0] == pytest.approx(trajectory.best_option_share(0)[0])
+        assert per_row[1] == pytest.approx(trajectory.best_option_share(1)[1])
+
+    def test_best_option_share_rejects_bad_indices(self):
+        trajectory, _ = self._trajectory()
+        with pytest.raises(ValueError):
+            trajectory.best_option_share(np.array([0, 5]))
+        with pytest.raises(ValueError):
+            trajectory.best_option_share(np.array([0, 1, 0]))
+        with pytest.raises(ValueError):
+            trajectory.best_option_share(np.array([0.5, 1.0]))
+
+    def test_empirical_regret_per_row_best_quality(self):
+        trajectory, qualities = self._trajectory()
+        per_row = trajectory.empirical_regret(qualities.max(axis=1))
+        shared = trajectory.empirical_regret(float(qualities[0].max()))
+        assert per_row.shape == (2,)
+        assert per_row[0] == pytest.approx(shared[0])
+        with pytest.raises(ValueError):
+            trajectory.empirical_regret(np.array([0.9, 0.8, 0.7]))
+
+
+class TestPerRowNaNRejection:
+    """Per-row parameter paths must reject NaN as loudly as the scalar paths."""
+
+    def test_rowwise_rule_rejects_nan(self):
+        from repro.core.adoption import RowwiseAdoptionRule
+
+        with pytest.raises(ValueError, match="finite"):
+            RowwiseAdoptionRule(np.array([np.nan]), np.array([0.6]))
+        with pytest.raises(ValueError, match="finite"):
+            RowwiseAdoptionRule(np.array([0.3]), np.array([np.nan]))
+
+    def test_rowwise_mu_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            MixtureSampling(np.array([np.nan, 0.1]))
+
+    def test_rowwise_environment_rejects_nan(self):
+        from repro.environments import RowwiseBernoulliEnvironment
+
+        with pytest.raises(ValueError, match="finite"):
+            RowwiseBernoulliEnvironment(np.array([[0.5, np.nan]]))
+
+    def test_per_row_regret_rejects_nan_qualities(self):
+        env = BernoulliEnvironment([0.8, 0.5], rng=0)
+        trajectory = simulate_batched_population(env, 100, 5, 2, rng=1)
+        with pytest.raises(ValueError, match="finite"):
+            trajectory.expected_regret(np.array([[0.8, np.nan], [0.8, 0.5]]))

@@ -105,3 +105,76 @@ class TestConvenienceConstructors:
     def test_random_instance_single_option(self):
         env = BernoulliEnvironment.random_instance(1, rng=0)
         assert env.num_options == 1
+
+
+class TestRowwiseBernoulliEnvironment:
+    def _environment(self, rng=0):
+        from repro.environments import RowwiseBernoulliEnvironment
+
+        qualities = np.array([[0.9, 0.1, 0.5], [0.2, 0.8, 0.5]])
+        return RowwiseBernoulliEnvironment(qualities, rng=rng), qualities
+
+    def test_per_row_properties(self):
+        env, qualities = self._environment()
+        assert env.num_rows == 2
+        assert env.num_options == 3
+        np.testing.assert_array_equal(env.qualities, qualities)
+        np.testing.assert_array_equal(env.best_option, [0, 1])
+        np.testing.assert_allclose(env.best_quality, [0.9, 0.8])
+        np.testing.assert_allclose(env.quality_gap(), [0.4, 0.3])
+
+    def test_sample_batch_marginals_follow_each_row(self):
+        env, qualities = self._environment(rng=1)
+        draws = np.stack([env.sample_batch(2) for _ in range(4000)])
+        np.testing.assert_allclose(draws.mean(axis=0), qualities, atol=0.03)
+        assert env.time == 4000
+
+    def test_sample_batch_requires_exact_row_count(self):
+        env, _ = self._environment()
+        with pytest.raises(ValueError):
+            env.sample_batch(3)
+
+    def test_single_replicate_interface_unavailable(self):
+        env, _ = self._environment()
+        with pytest.raises(RuntimeError):
+            env.sample()
+        with pytest.raises(RuntimeError):
+            env.sample_many(5)
+
+    def test_from_points_repeats_each_vector(self):
+        from repro.environments import RowwiseBernoulliEnvironment
+
+        env = RowwiseBernoulliEnvironment.from_points(
+            [[0.9, 0.1], [0.2, 0.8]], replications=3, rng=0
+        )
+        assert env.num_rows == 6
+        np.testing.assert_array_equal(env.qualities[:3], np.tile([0.9, 0.1], (3, 1)))
+        np.testing.assert_array_equal(env.qualities[3:], np.tile([0.2, 0.8], (3, 1)))
+
+    def test_from_points_rejects_ragged_vectors(self):
+        from repro.environments import RowwiseBernoulliEnvironment
+
+        with pytest.raises(ValueError):
+            RowwiseBernoulliEnvironment.from_points([[0.9, 0.1], [0.2]], replications=2)
+
+    def test_rejects_bad_matrices(self):
+        from repro.environments import RowwiseBernoulliEnvironment
+
+        with pytest.raises(ValueError):
+            RowwiseBernoulliEnvironment(np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            RowwiseBernoulliEnvironment(np.array([[0.5, 1.5]]))
+
+    def test_quality_gap_single_option(self):
+        from repro.environments import RowwiseBernoulliEnvironment
+
+        env = RowwiseBernoulliEnvironment(np.array([[0.5], [0.9]]))
+        np.testing.assert_array_equal(env.quality_gap(), [0.0, 0.0])
+
+    def test_degenerate_qualities_exact(self):
+        from repro.environments import RowwiseBernoulliEnvironment
+
+        env = RowwiseBernoulliEnvironment(np.array([[1.0, 0.0]]), rng=0)
+        draws = np.stack([env.sample_batch(1) for _ in range(50)])
+        assert np.all(draws[:, 0, 0] == 1)
+        assert np.all(draws[:, 0, 1] == 0)

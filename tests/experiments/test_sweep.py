@@ -86,3 +86,135 @@ class TestRunSweep:
             seed=0,
         )
         assert results[0].seeds != results[1].seeds
+
+
+class TestGridBatchedSweep:
+    def _make_grid_function(self, transform=None):
+        from repro.experiments import grid_batched_replication
+
+        calls = []
+
+        @grid_batched_replication
+        def replication(seed_blocks, points):
+            calls.append((seed_blocks, points))
+            blocks = [
+                [{"metric": float(point["x"]) + seed * 0.0} for seed in block]
+                for block, point in zip(seed_blocks, points)
+            ]
+            return transform(blocks) if transform else blocks
+
+        return replication, calls
+
+    def test_called_exactly_once_with_all_points(self):
+        from repro.experiments import ParameterGrid, run_sweep
+
+        replication, calls = self._make_grid_function()
+        results, table = run_sweep(
+            "grid", ParameterGrid({"x": [1, 2, 3]}), replication, replications=2, seed=0
+        )
+        assert len(calls) == 1
+        seed_blocks, points = calls[0]
+        assert [point["x"] for point in points] == [1, 2, 3]
+        assert all(len(block) == 2 for block in seed_blocks)
+        assert len(results) == 3
+        assert table.column("metric") == [1.0, 2.0, 3.0]
+        # provenance matches the per-point derivation
+        assert [result.seeds for result in results] == seed_blocks
+
+    def test_wrong_block_count_rejected(self):
+        from repro.experiments import ParameterGrid, run_sweep
+
+        replication, _ = self._make_grid_function(transform=lambda blocks: blocks[:-1])
+        with pytest.raises(ValueError, match="metric blocks"):
+            run_sweep(
+                "grid", ParameterGrid({"x": [1, 2]}), replication, replications=2, seed=0
+            )
+
+    def test_wrong_row_count_rejected(self):
+        from repro.experiments import ParameterGrid, run_sweep
+
+        replication, _ = self._make_grid_function(
+            transform=lambda blocks: [blocks[0][:1]] + blocks[1:]
+        )
+        with pytest.raises(ValueError, match="metric rows"):
+            run_sweep(
+                "grid", ParameterGrid({"x": [1, 2]}), replication, replications=2, seed=0
+            )
+
+    def test_base_parameters_reach_every_point(self):
+        from repro.experiments import ParameterGrid, grid_batched_replication, run_sweep
+
+        @grid_batched_replication
+        def replication(seed_blocks, points):
+            return [
+                [{"sum": float(point["x"] + point["offset"])} for _ in block]
+                for block, point in zip(seed_blocks, points)
+            ]
+
+        _, table = run_sweep(
+            "grid",
+            ParameterGrid({"x": [1, 2]}),
+            replication,
+            replications=1,
+            seed=0,
+            base_parameters={"offset": 10},
+        )
+        assert table.column("sum") == [11.0, 12.0]
+
+
+class TestFlattenGrid:
+    def test_row_layout_and_broadcasting(self):
+        import numpy as np
+
+        from repro.experiments import flatten_grid
+
+        points = [
+            {"qualities": (0.9, 0.1), "N": 50, "T": 6, "beta": 0.6, "mu": 0.05},
+            {"qualities": (0.2, 0.8), "N": 70, "T": 6, "beta": 0.7, "mu": 0.1},
+        ]
+        flat = flatten_grid(points, replications=3)
+        assert flat.num_rows == 6
+        assert flat.num_options == 2
+        assert flat.horizon == 6
+        np.testing.assert_array_equal(flat.population_sizes, [50] * 3 + [70] * 3)
+        np.testing.assert_allclose(flat.beta, [0.6] * 3 + [0.7] * 3)
+        np.testing.assert_allclose(flat.alpha, [0.4] * 3 + [0.3] * 3)
+        np.testing.assert_allclose(flat.mu, [0.05] * 3 + [0.1] * 3)
+        np.testing.assert_array_equal(flat.qualities[:3], np.tile([0.9, 0.1], (3, 1)))
+
+    def test_equal_sizes_collapse_to_int(self):
+        from repro.experiments import flatten_grid
+
+        points = [
+            {"qualities": (0.9, 0.1), "N": 50, "T": 6},
+            {"qualities": (0.2, 0.8), "N": 50, "T": 6},
+        ]
+        flat = flatten_grid(points, replications=2)
+        assert isinstance(flat.population_sizes, int)
+        assert flat.population_sizes == 50
+
+    def test_default_mu_derives_from_each_rows_beta(self):
+        from repro.experiments import flatten_grid
+
+        points = [
+            {"qualities": (0.9, 0.1), "N": 50, "T": 6, "beta": 0.6},
+            {"qualities": (0.9, 0.1), "N": 50, "T": 6, "beta": 0.8},
+        ]
+        flat = flatten_grid(points, replications=1)
+        assert flat.mu[0] < flat.mu[1]
+
+    def test_missing_required_key_raises(self):
+        from repro.experiments import flatten_grid
+
+        with pytest.raises(KeyError, match="qualities"):
+            flatten_grid([{"N": 50, "T": 6}], replications=1)
+
+    def test_mismatched_option_counts_rejected(self):
+        from repro.experiments import flatten_grid
+
+        points = [
+            {"qualities": (0.9, 0.1), "N": 50, "T": 6},
+            {"qualities": (0.9, 0.1, 0.2), "N": 50, "T": 6},
+        ]
+        with pytest.raises(ValueError, match="options"):
+            flatten_grid(points, replications=1)

@@ -1,0 +1,192 @@
+"""Generator for the golden-trajectory regression fixtures.
+
+Each function runs one engine on a small, fully pinned configuration and
+returns a JSON-serialisable record of everything the run produced: the
+per-step counts, the rewards the engine observed, and the configuration that
+produced them.  ``tests/integration/test_golden_trajectories.py`` re-runs the
+same configurations and compares bit-for-bit against the committed JSON under
+``tests/fixtures/golden/``, so *any* silent change to an engine's dynamics —
+a reordered random draw, an off-by-one in the clock, a broadcasting bug — is
+caught even when every statistical test still passes.
+
+To regenerate after an *intentional* dynamics change::
+
+    PYTHONPATH=src python tests/fixtures/generate_golden.py
+
+NumPy only guarantees distribution-stream stability within a release line, so
+every fixture records the ``major.minor`` NumPy version it was generated
+under; the comparison test skips (rather than fails) under a different
+release line.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import networkx as nx
+import numpy as np
+
+from repro.core.adoption import RowwiseAdoptionRule, SymmetricAdoptionRule
+from repro.core.batched import BatchedDynamics
+from repro.core.dynamics import FinitePopulationDynamics
+from repro.core.sampling import MixtureSampling
+from repro.environments import BernoulliEnvironment, RowwiseBernoulliEnvironment
+from repro.network import NetworkDynamics, SocialNetwork
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+SEQUENTIAL_CONFIG = {
+    "qualities": [0.8, 0.5, 0.35],
+    "population_size": 500,
+    "horizon": 20,
+    "beta": 0.65,
+    "mu": 0.05,
+    "environment_seed": 11,
+    "dynamics_seed": 12,
+}
+
+BATCHED_CONFIG = {
+    # Four rows, every per-row knob different: qualities, N, alpha, beta, mu.
+    "qualities": [
+        [0.8, 0.5, 0.35],
+        [0.7, 0.6, 0.2],
+        [0.9, 0.3, 0.3],
+        [0.6, 0.55, 0.5],
+    ],
+    "population_sizes": [120, 260, 400, 75],
+    "alpha": [0.35, 0.3, 0.25, 0.4],
+    "beta": [0.65, 0.7, 0.75, 0.6],
+    "mu": [0.05, 0.1, 0.02, 0.2],
+    "horizon": 15,
+    "seed": 21,
+}
+
+NETWORK_CONFIG = {
+    "qualities": [0.85, 0.45],
+    "ring_size": 30,
+    "neighbors_each_side": 2,
+    "horizon": 15,
+    "beta": 0.65,
+    "mu": 0.1,
+    "environment_seed": 31,
+    "dynamics_seed": 32,
+}
+
+
+def _numpy_release() -> str:
+    return ".".join(np.__version__.split(".")[:2])
+
+
+def _record(engine: str, config: dict, counts, rewards, extra: dict = None) -> dict:
+    record = {
+        "engine": engine,
+        "numpy_release": _numpy_release(),
+        "config": config,
+        "counts": np.asarray(counts).tolist(),
+        "rewards": np.asarray(rewards).tolist(),
+    }
+    record.update(extra or {})
+    return record
+
+
+def golden_sequential() -> dict:
+    """Seeded :class:`FinitePopulationDynamics` run, counts recorded per step."""
+    config = SEQUENTIAL_CONFIG
+    environment = BernoulliEnvironment(config["qualities"], rng=config["environment_seed"])
+    dynamics = FinitePopulationDynamics(
+        population_size=config["population_size"],
+        num_options=len(config["qualities"]),
+        adoption_rule=SymmetricAdoptionRule(config["beta"]),
+        sampling_rule=MixtureSampling(config["mu"]),
+        rng=config["dynamics_seed"],
+    )
+    trajectory = dynamics.run(environment, config["horizon"])
+    return _record(
+        "sequential",
+        config,
+        [state.counts for state in trajectory.states],
+        trajectory.rewards,
+    )
+
+
+def golden_batched() -> dict:
+    """Seeded per-row-parameterised :class:`BatchedDynamics` run.
+
+    Exercises the full sweep-axis surface in one fixture: per-row qualities
+    (via :class:`RowwiseBernoulliEnvironment`), per-row population sizes,
+    per-row ``(alpha, beta)`` and per-row ``mu`` — one generator shared by
+    the environment and the dynamics, exactly as the batched sweep wires it.
+    """
+    config = BATCHED_CONFIG
+    generator = np.random.default_rng(config["seed"])
+    environment = RowwiseBernoulliEnvironment(config["qualities"], rng=generator)
+    dynamics = BatchedDynamics(
+        num_replicates=len(config["population_sizes"]),
+        population_size=np.asarray(config["population_sizes"]),
+        num_options=len(config["qualities"][0]),
+        adoption_rule=RowwiseAdoptionRule(config["alpha"], config["beta"]),
+        sampling_rule=MixtureSampling(np.asarray(config["mu"], dtype=float)),
+        rng=generator,
+    )
+    trajectory = dynamics.run(environment, config["horizon"])
+    return _record(
+        "batched",
+        config,
+        [state.counts for state in trajectory.states],
+        trajectory.rewards,
+    )
+
+
+def golden_network() -> dict:
+    """Seeded :class:`NetworkDynamics` run on a ring, choices recorded per step."""
+    config = NETWORK_CONFIG
+    environment = BernoulliEnvironment(config["qualities"], rng=config["environment_seed"])
+    network = SocialNetwork.ring(
+        config["ring_size"], neighbors_each_side=config["neighbors_each_side"]
+    )
+    dynamics = NetworkDynamics(
+        network=network,
+        num_options=len(config["qualities"]),
+        adoption_rule=SymmetricAdoptionRule(config["beta"]),
+        exploration_rate=config["mu"],
+        rng=config["dynamics_seed"],
+    )
+    choices = []
+    counts = []
+    rewards = []
+    for _ in range(config["horizon"]):
+        reward = environment.sample()
+        state = dynamics.step(reward)
+        rewards.append(reward)
+        counts.append(state.counts)
+        choices.append(dynamics.choices())
+    return _record(
+        "network",
+        config,
+        counts,
+        rewards,
+        extra={"choices": np.asarray(choices).tolist()},
+    )
+
+
+GENERATORS = {
+    "sequential": golden_sequential,
+    "batched": golden_batched,
+    "network": golden_network,
+}
+
+
+def generate_all(directory: Path = GOLDEN_DIR) -> None:
+    """Write every golden fixture as pretty-printed JSON under ``directory``."""
+    directory.mkdir(parents=True, exist_ok=True)
+    for name, generate in GENERATORS.items():
+        path = directory / f"{name}.json"
+        with path.open("w") as handle:
+            json.dump(generate(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    generate_all()

@@ -1,0 +1,124 @@
+"""Golden-trajectory regression tests: engines must reproduce committed runs bit-for-bit.
+
+The statistical equivalence suite (`test_cross_validation.py`) catches
+*distributional* drift; these tests catch *any* drift.  Each committed JSON
+under ``tests/fixtures/golden/`` pins one engine's complete output — per-step
+counts, observed rewards, per-agent choices — for a fully seeded
+configuration, including the per-row-parameterised batched engine that the
+sweep-axis batching of this repository relies on.  A refactor that reorders a
+single random draw fails here even if the resulting process is statistically
+identical.
+
+Fixtures are regenerated (after an *intentional* dynamics change) with::
+
+    PYTHONPATH=src python tests/fixtures/generate_golden.py
+
+NumPy's stream-stability guarantee only holds within a release line, so a
+fixture generated under a different ``major.minor`` NumPy skips instead of
+failing.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+FIXTURES_DIR = Path(__file__).parent.parent / "fixtures"
+GOLDEN_DIR = FIXTURES_DIR / "golden"
+
+
+def _load_generator_module():
+    spec = importlib.util.spec_from_file_location(
+        "generate_golden", FIXTURES_DIR / "generate_golden.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+generate_golden = _load_generator_module()
+
+ENGINES = sorted(generate_golden.GENERATORS)
+
+
+def _load_fixture(name: str) -> dict:
+    path = GOLDEN_DIR / f"{name}.json"
+    if not path.exists():
+        pytest.fail(
+            f"missing golden fixture {path}; regenerate with "
+            "`PYTHONPATH=src python tests/fixtures/generate_golden.py`"
+        )
+    with path.open() as handle:
+        return json.load(handle)
+
+
+def _skip_unless_same_numpy_release(fixture: dict) -> None:
+    current = ".".join(np.__version__.split(".")[:2])
+    recorded = fixture["numpy_release"]
+    if current != recorded:
+        pytest.skip(
+            f"golden fixture generated under numpy {recorded}, running "
+            f"{current}; NumPy only guarantees stream stability within a "
+            "release line"
+        )
+
+
+class TestGoldenTrajectories:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_engine_reproduces_committed_trajectory(self, engine):
+        fixture = _load_fixture(engine)
+        _skip_unless_same_numpy_release(fixture)
+        fresh = generate_golden.GENERATORS[engine]()
+
+        assert fresh["config"] == fixture["config"], (
+            f"the {engine} golden configuration changed; if intentional, "
+            "regenerate the fixtures"
+        )
+        for field in ("counts", "rewards", "choices"):
+            if field not in fixture:
+                continue
+            committed = np.asarray(fixture[field])
+            regenerated = np.asarray(fresh[field])
+            assert regenerated.shape == committed.shape, (
+                f"{engine} {field} shape changed: "
+                f"{committed.shape} -> {regenerated.shape}"
+            )
+            mismatches = np.argwhere(regenerated != committed)
+            assert mismatches.size == 0, (
+                f"{engine} dynamics drifted from the committed golden "
+                f"trajectory: first {field} mismatch at index "
+                f"{tuple(mismatches[0])} "
+                f"(committed {committed[tuple(mismatches[0])]}, "
+                f"got {regenerated[tuple(mismatches[0])]}). If this change "
+                "is intentional, regenerate with `PYTHONPATH=src python "
+                "tests/fixtures/generate_golden.py`"
+            )
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_fixture_is_internally_consistent(self, engine):
+        """Committed fixtures themselves satisfy the engines' invariants."""
+        fixture = _load_fixture(engine)
+        counts = np.asarray(fixture["counts"])
+        rewards = np.asarray(fixture["rewards"])
+        assert counts.shape[0] == fixture["config"]["horizon"]
+        assert np.all(counts >= 0)
+        assert np.all((rewards == 0) | (rewards == 1))
+        if engine == "batched":
+            sizes = np.asarray(fixture["config"]["population_sizes"])
+            assert np.all(counts.sum(axis=2) <= sizes[None, :])
+        elif engine == "sequential":
+            assert np.all(counts.sum(axis=1) <= fixture["config"]["population_size"])
+        elif engine == "network":
+            choices = np.asarray(fixture["choices"])
+            size = fixture["config"]["ring_size"]
+            assert choices.shape == (fixture["config"]["horizon"], size)
+            # counts must be exactly the histogram of committed choices
+            for step in range(choices.shape[0]):
+                committed = choices[step][choices[step] >= 0]
+                histogram = np.bincount(
+                    committed, minlength=len(fixture["config"]["qualities"])
+                )
+                assert np.array_equal(histogram, counts[step])

@@ -3,8 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.core.adoption import SymmetricAdoptionRule
+from repro.core.adoption import AlwaysAdoptRule, GeneralAdoptionRule, SymmetricAdoptionRule
+from repro.core.dynamics import FinitePopulationDynamics
 from repro.core.regret import expected_regret
+from repro.core.sampling import MixtureSampling
 from repro.environments import BernoulliEnvironment
 from repro.network import NetworkDynamics, SocialNetwork, simulate_network_dynamics
 
@@ -90,3 +92,113 @@ class TestNetworkDynamics:
         dynamics = NetworkDynamics(SocialNetwork.complete(10), 2, adoption_rule=rule, rng=0)
         assert dynamics.adoption_rule.beta == pytest.approx(0.7)
         assert dynamics.exploration_rate == pytest.approx(0.05)
+
+
+class TestSetChoices:
+    def test_overwrites_state(self):
+        dynamics = NetworkDynamics(SocialNetwork.complete(5), 3, rng=0)
+        dynamics.set_choices(np.array([0, 1, 2, -1, -1]))
+        assert np.array_equal(dynamics.choices(), [0, 1, 2, -1, -1])
+        state = dynamics.state()
+        assert np.array_equal(state.counts, [1, 1, 1])
+        assert state.sitting_out == 2
+
+    def test_rejects_bad_shapes_and_values(self):
+        dynamics = NetworkDynamics(SocialNetwork.complete(5), 3, rng=0)
+        with pytest.raises(ValueError):
+            dynamics.set_choices(np.array([0, 1]))
+        with pytest.raises(ValueError):
+            dynamics.set_choices(np.array([0, 1, 3, 0, 0]))
+        with pytest.raises(ValueError):
+            dynamics.set_choices(np.array([0, 1, -2, 0, 0]))
+
+
+class TestStageOneFallbacks:
+    """Direct coverage of the two uniform-fallback branches of stage (1)."""
+
+    def test_no_neighbour_fallback_considers_uniformly(self):
+        """Isolated agents fall back to uniform consideration, never imitation.
+
+        With ``mu = 0`` (no exploration) and an always-adopt rule, any
+        consideration an isolated agent makes *must* come from the
+        no-neighbour fallback — and because that fallback is uniform, every
+        option receives a substantial share even though the initial choices
+        were concentrated by hand on option 0.
+        """
+        import networkx as nx
+
+        size = 400
+        network = SocialNetwork(nx.empty_graph(size), name="isolated")
+        dynamics = NetworkDynamics(
+            network, 2, adoption_rule=AlwaysAdoptRule(), exploration_rate=0.0, rng=7
+        )
+        dynamics.set_choices(np.zeros(size, dtype=np.int64))  # all on option 0
+        state = dynamics.step(np.array([1, 1]))
+        # Everyone adopted something (always-adopt), and the uniform fallback
+        # split the group roughly evenly despite the all-on-0 start.
+        assert state.committed == size
+        assert state.counts[1] > size // 4
+        assert state.counts[0] > size // 4
+
+    def test_all_neighbours_sitting_out_falls_back_to_uniform(self):
+        """A committed-free neighbourhood triggers the uniform fallback."""
+        size = 400
+        network = SocialNetwork.ring(size, neighbors_each_side=2)
+        dynamics = NetworkDynamics(
+            network, 2, adoption_rule=AlwaysAdoptRule(), exploration_rate=0.0, rng=8
+        )
+        dynamics.set_choices(np.full(size, -1, dtype=np.int64))  # everyone sits out
+        state = dynamics.step(np.array([1, 1]))
+        assert state.committed == size
+        assert state.counts[1] > size // 4
+        assert state.counts[0] > size // 4
+
+    def test_never_adopting_group_stays_sitting_out(self):
+        """With f == 0 everyone sits out forever and the fallback keeps firing."""
+        network = SocialNetwork.ring(20, neighbors_each_side=1)
+        dynamics = NetworkDynamics(
+            network, 2, adoption_rule=GeneralAdoptionRule(0.0, 0.0),
+            exploration_rate=0.0, rng=9,
+        )
+        env = BernoulliEnvironment([0.9, 0.1], rng=10)
+        trajectory = dynamics.run(env, 5)
+        for state in trajectory.states:
+            assert state.committed == 0
+        # An all-sitting-out group reports the uniform popularity.
+        assert np.allclose(dynamics.popularity(), [0.5, 0.5])
+
+
+class TestCompleteGraphReduction:
+    def test_one_step_transition_matches_core_dynamics(self):
+        """On the complete graph the per-step transition law matches the
+        original exchangeable dynamics.
+
+        Both engines are run for one step from a (near-)uniform start across
+        many independent seeds and the per-option mean counts are compared;
+        the network restriction only changes *who* an agent can observe, and
+        on the complete graph that set is the whole group, so the means must
+        agree up to Monte Carlo error.
+        """
+        size, replicates = 300, 200
+        rewards = np.array([1, 0])
+        rule = SymmetricAdoptionRule(0.7)
+        network = SocialNetwork.complete(size)
+
+        network_counts = np.zeros(2)
+        core_counts = np.zeros(2)
+        for seed in range(replicates):
+            network_dynamics = NetworkDynamics(
+                network, 2, adoption_rule=rule, exploration_rate=0.1, rng=seed
+            )
+            network_counts += network_dynamics.step(rewards).counts
+            core_dynamics = FinitePopulationDynamics(
+                size, 2, adoption_rule=rule,
+                sampling_rule=MixtureSampling(0.1), rng=seed + 100_000,
+            )
+            core_counts += core_dynamics.step(rewards).counts
+        network_means = network_counts / replicates
+        core_means = core_counts / replicates
+        # Expected count of option j: N * ((1-mu) Q_j + mu/m) * f(R_j); with a
+        # uniform start the two engines share it exactly.  Monte Carlo SE of
+        # each mean is ~0.6, so a tolerance of 3 is ~5 sigma on the difference.
+        assert np.all(np.abs(network_means - core_means) < 3.0)

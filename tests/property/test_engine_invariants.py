@@ -5,10 +5,15 @@ the faithful :class:`AgentBasedDynamics`, and the replicate-axis
 :class:`BatchedDynamics` — simulates the same two-stage process, so the same
 invariants must hold for each:
 
-* per-(replicate-)step counts are non-negative and sum to at most ``N``;
+* per-(replicate-)step counts are non-negative and sum to at most ``N``
+  (the *row's own* ``N`` in the per-row-parameterised sweep mode);
 * the popularity distribution always lies on the probability simplex;
+* scalar parameters and all-equal per-row parameter arrays are the *same*
+  dynamics, bit for bit;
 * :func:`run_replications` / :func:`run_sweep` outputs are a pure function of
-  the config seed, on both the per-seed loop and the batched fast path.
+  the config seed, on the per-seed loop, the per-point batched path, and the
+  whole-grid batched path — and a flattened sweep row is bit-reproducible by
+  a standalone :class:`BatchedDynamics` launch built from the same seeds.
 """
 
 import numpy as np
@@ -17,7 +22,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.agents import Population
-from repro.core.adoption import SymmetricAdoptionRule
+from repro.core.adoption import RowwiseAdoptionRule, SymmetricAdoptionRule
 from repro.core.batched import BatchedDynamics, simulate_batched_population
 from repro.core.dynamics import (
     AgentBasedDynamics,
@@ -25,15 +30,18 @@ from repro.core.dynamics import (
     simulate_finite_population,
 )
 from repro.core.regret import expected_regret
-from repro.core.sampling import MixtureSampling
-from repro.environments import BernoulliEnvironment
+from repro.core.sampling import MixtureSampling, default_exploration_rate
+from repro.environments import BernoulliEnvironment, RowwiseBernoulliEnvironment
 from repro.experiments import (
     ExperimentConfig,
     ParameterGrid,
     batched_replication,
+    dynamics_grid_replication,
+    dynamics_point_replication,
     run_replications,
     run_sweep,
 )
+from repro.utils.rng import seeds_for_replications
 
 ENGINES = ("finite", "agent", "batched")
 
@@ -106,6 +114,114 @@ class TestEngineInvariants:
             assert 0 <= counts.sum() <= population
             assert np.all(popularity >= 0.0)
             assert abs(popularity.sum() - 1.0) < 1e-9
+
+
+class TestRowwiseParameterInvariants:
+    """The sweep-axis mode: per-row ``(alpha, beta, mu, N)`` arrays."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        populations=st.lists(st.integers(min_value=1, max_value=80), min_size=1, max_size=4),
+        options=st.integers(min_value=1, max_value=4),
+        betas=st.lists(
+            st.floats(min_value=0.5, max_value=0.95, allow_nan=False),
+            min_size=1,
+            max_size=4,
+        ),
+        mu=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=10_000),
+        steps=st.integers(min_value=1, max_value=4),
+    )
+    def test_per_row_counts_bounded_by_each_rows_population(
+        self, populations, options, betas, mu, seed, steps
+    ):
+        """Every row respects its *own* population size and simplex."""
+        rows = max(len(populations), len(betas))
+        populations = np.resize(np.asarray(populations, dtype=np.int64), rows)
+        betas = np.resize(np.asarray(betas), rows)
+        mus = np.resize(np.asarray([mu, min(1.0, mu + 0.3)]), rows)
+        dynamics = BatchedDynamics(
+            rows,
+            populations,
+            options,
+            adoption_rule=RowwiseAdoptionRule.symmetric(betas),
+            sampling_rule=MixtureSampling(mus),
+            rng=seed,
+        )
+        reward_rng = np.random.default_rng(seed + 1)
+        for _ in range(steps):
+            state = dynamics.step(reward_rng.integers(0, 2, size=(rows, options)))
+            assert np.all(state.counts >= 0)
+            assert np.all(state.counts.sum(axis=1) <= populations)
+            popularity = state.popularity()
+            assert np.all(popularity >= 0.0)
+            assert np.allclose(popularity.sum(axis=1), 1.0, atol=1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        population=st.integers(min_value=1, max_value=80),
+        options=st.integers(min_value=1, max_value=4),
+        beta=st.floats(min_value=0.5, max_value=0.95, allow_nan=False),
+        mu=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=10_000),
+        steps=st.integers(min_value=1, max_value=4),
+    )
+    def test_scalar_and_all_equal_arrays_are_bit_identical(
+        self, population, options, beta, mu, seed, steps
+    ):
+        """Broadcasting is exact: all-equal (R,) arrays == scalars, same stream."""
+        rows = 3
+        scalar = BatchedDynamics(
+            rows,
+            population,
+            options,
+            adoption_rule=SymmetricAdoptionRule(beta),
+            sampling_rule=MixtureSampling(mu),
+            rng=seed,
+        )
+        rowwise = BatchedDynamics(
+            rows,
+            np.full(rows, population),
+            options,
+            adoption_rule=RowwiseAdoptionRule.symmetric(np.full(rows, beta)),
+            sampling_rule=MixtureSampling(np.full(rows, mu)),
+            rng=seed,
+        )
+        reward_rng = np.random.default_rng(seed + 1)
+        for _ in range(steps):
+            rewards = reward_rng.integers(0, 2, size=(rows, options))
+            state_scalar = scalar.step(rewards)
+            state_rowwise = rowwise.step(rewards)
+            assert np.array_equal(state_scalar.counts, state_rowwise.counts)
+
+    def test_mixed_scalar_array_broadcasting(self):
+        """A scalar alpha against an array beta broadcasts to every row."""
+        rule = RowwiseAdoptionRule(0.3, np.array([0.6, 0.7, 0.8]))
+        assert np.array_equal(rule.alpha, [0.3, 0.3, 0.3])
+        probabilities = rule.adopt_probabilities(np.array([[1, 0], [0, 1], [1, 1]]))
+        assert np.array_equal(probabilities, [[0.6, 0.3], [0.3, 0.7], [0.8, 0.8]])
+        # per-row defaults derive from each row's own delta
+        rates = default_exploration_rate(rule)
+        assert rates.shape == (3,)
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_rowwise_rule_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BatchedDynamics(
+                4,
+                50,
+                2,
+                adoption_rule=RowwiseAdoptionRule.symmetric(np.array([0.6, 0.7])),
+            )
+        with pytest.raises(ValueError):
+            BatchedDynamics(
+                4,
+                50,
+                2,
+                sampling_rule=MixtureSampling(np.array([0.1, 0.2])),
+            )
+        with pytest.raises(ValueError):
+            BatchedDynamics(4, np.array([50, 60]), 2)
 
 
 QUALITIES = [0.85, 0.45]
@@ -185,3 +301,107 @@ class TestSeededDeterminism:
             run_replications(base, _batched_replication_fn).metrics
             != run_replications(other, _batched_replication_fn).metrics
         )
+
+
+SWEEP_GRID_AXES = {"N": (60, 90), "beta": (0.6, 0.75)}
+SWEEP_BASE = {"qualities": (0.85, 0.45), "T": 8, "mu": 0.05}
+
+
+class TestSweepAxisBatching:
+    """The whole-grid batched path of ``run_sweep``."""
+
+    def test_grid_engine_deterministic_and_seed_compatible_with_loop(self):
+        """Grid runs are pure functions of the seed, with loop-identical seed lists."""
+        grid = ParameterGrid(SWEEP_GRID_AXES)
+        first_results, first_table = run_sweep(
+            "grid", grid, dynamics_grid_replication,
+            replications=4, seed=5, base_parameters=SWEEP_BASE,
+        )
+        second_results, second_table = run_sweep(
+            "grid", grid, dynamics_grid_replication,
+            replications=4, seed=5, base_parameters=SWEEP_BASE,
+        )
+        loop_results, _ = run_sweep(
+            "grid", grid, dynamics_point_replication,
+            replications=4, seed=5, base_parameters=SWEEP_BASE,
+        )
+        assert [result.metrics for result in first_results] == [
+            result.metrics for result in second_results
+        ]
+        assert first_table.rows == second_table.rows
+        # Engine choice never changes an experiment's provenance record.
+        assert [result.seeds for result in first_results] == [
+            result.seeds for result in loop_results
+        ]
+        changed_results, _ = run_sweep(
+            "grid", grid, dynamics_grid_replication,
+            replications=4, seed=6, base_parameters=SWEEP_BASE,
+        )
+        assert [result.metrics for result in first_results] != [
+            result.metrics for result in changed_results
+        ]
+
+    def test_grid_rows_bit_match_standalone_batched_run(self):
+        """A sweep row is reproducible by a hand-built flattened BatchedDynamics.
+
+        This is the exact-seed guarantee of sweep-axis batching: the harness
+        adds nothing to the engine's random stream, so rebuilding the same
+        (G*R, m) launch from the same seeds yields the sweep's metrics bit
+        for bit.
+        """
+        grid = ParameterGrid(SWEEP_GRID_AXES)
+        replications = 3
+        results, _ = run_sweep(
+            "exact", grid, dynamics_grid_replication,
+            replications=replications, seed=13, base_parameters=SWEEP_BASE,
+        )
+
+        # Hand-build the flattened launch (deliberately NOT via flatten_grid,
+        # so the test pins the documented construction, not the helper).
+        points = list(grid)
+        num_rows = len(points) * replications
+        seed_blocks = [
+            seeds_for_replications(13 + index, replications)
+            for index in range(len(points))
+        ]
+        assert [result.seeds for result in results] == seed_blocks
+        flat_seeds = [seed for block in seed_blocks for seed in block]
+        qualities = np.tile(np.asarray(SWEEP_BASE["qualities"]), (num_rows, 1))
+        betas = np.repeat([point["beta"] for point in points], replications)
+        sizes = np.repeat([point["N"] for point in points], replications)
+
+        generator = np.random.default_rng(flat_seeds)
+        environment = RowwiseBernoulliEnvironment(qualities, rng=generator)
+        dynamics = BatchedDynamics(
+            num_replicates=num_rows,
+            population_size=sizes,
+            num_options=qualities.shape[1],
+            adoption_rule=RowwiseAdoptionRule(1.0 - betas, betas),
+            sampling_rule=MixtureSampling(np.full(num_rows, SWEEP_BASE["mu"])),
+            rng=generator,
+        )
+        trajectory = dynamics.run(environment, SWEEP_BASE["T"])
+        regrets = trajectory.expected_regret(qualities)
+        shares = trajectory.best_option_share(qualities.argmax(axis=1))
+
+        for point_index, result in enumerate(results):
+            for row in range(replications):
+                flat_row = point_index * replications + row
+                assert result.metrics[row]["regret"] == float(regrets[flat_row])
+                assert result.metrics[row]["best_option_share"] == float(
+                    shares[flat_row]
+                )
+
+    def test_grid_function_rejected_by_run_replications(self):
+        config = ExperimentConfig(name="grid", parameters={}, replications=2, seed=0)
+        with pytest.raises(TypeError):
+            run_replications(config, dynamics_grid_replication)
+
+    def test_mismatched_horizons_rejected(self):
+        grid = ParameterGrid({"T": (5, 6)})
+        with pytest.raises(ValueError, match="horizon"):
+            run_sweep(
+                "bad", grid, dynamics_grid_replication,
+                replications=2, seed=0,
+                base_parameters={"qualities": (0.8, 0.4), "N": 50},
+            )

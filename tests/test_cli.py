@@ -186,3 +186,64 @@ class TestSweepCommand:
 
         table = read_csv(target)
         assert table.column("N") == [100, 500]
+
+    def test_default_engine_is_batched(self, capsys):
+        args = build_parser().parse_args(["sweep"])
+        assert args.engine == "batched"
+        exit_code = main(
+            [
+                "sweep",
+                "--options", "0.85", "0.45",
+                "--populations", "100",
+                "--horizon", "20",
+                "--replications", "2",
+            ]
+        )
+        assert exit_code == 0
+        assert "engine=batched" in capsys.readouterr().out
+
+    def test_beta_and_mu_axes_multiply_the_grid(self, capsys):
+        exit_code = main(
+            [
+                "sweep",
+                "--options", "0.85", "0.45",
+                "--populations", "100", "200",
+                "--betas", "0.6", "0.7",
+                "--mus", "0.05", "0.1",
+                "--horizon", "15",
+                "--replications", "2",
+                "--seed", "4",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "8 grid points" in output
+        # one table row per grid point (plus headers/summary lines)
+        assert output.count("0.85") >= 8
+
+    def test_loop_engine_fallback_matches_grid_seeds(self, capsys, tmp_path):
+        """Both engines run the same grid; rows align point for point."""
+        tables = {}
+        for engine in ("batched", "loop"):
+            target = tmp_path / f"{engine}.csv"
+            exit_code = main(
+                [
+                    "sweep",
+                    "--options", "0.85", "0.45",
+                    "--populations", "150",
+                    "--betas", "0.6", "0.7",
+                    "--horizon", "15",
+                    "--replications", "2",
+                    "--seed", "3",
+                    "--engine", engine,
+                    "--output", str(target),
+                ]
+            )
+            assert exit_code == 0
+            from repro.experiments import read_csv
+
+            tables[engine] = read_csv(target)
+        assert tables["batched"].column("beta") == tables["loop"].column("beta")
+        assert tables["batched"].column("N") == tables["loop"].column("N")
+        output = capsys.readouterr().out
+        assert "engine=loop" in output
