@@ -10,6 +10,10 @@ best-option share and graph statistics.  Expected shape: the complete graph
 (the paper's base model) is the most efficient; well-mixed sparse graphs
 (Erdős–Rényi, small-world, preferential attachment) come close; poorly mixing
 graphs (ring, grid) and the star are noticeably worse.
+
+Runs on the vectorised sparse engine (``engine="vectorized"``) — the
+per-agent loop makes this same sweep an order of magnitude slower (see
+``benchmarks/test_bench_network.py`` for the measured engine comparison).
 """
 
 from __future__ import annotations
@@ -37,7 +41,7 @@ def run_experiment() -> ResultTable:
         for seed in range(REPLICATIONS):
             env = BernoulliEnvironment(QUALITIES, rng=seed)
             trajectory = simulate_network_dynamics(
-                env, network, HORIZON, beta=BETA, rng=seed + 50
+                env, network, HORIZON, beta=BETA, rng=seed + 50, engine="vectorized"
             )
             matrix = trajectory.popularity_matrix()
             regrets.append(expected_regret(matrix, QUALITIES))

@@ -6,6 +6,11 @@ network-restricted dynamics over a family of standard topologies at the same
 size and reports regret, best-option share and time-to-dominance against the
 graphs' structural statistics (average degree, diameter, spectral gap).
 
+The runs use the vectorised sparse engine (``engine="vectorized"``), which
+advances every agent at once through one CSR matvec per step — the same
+sweep on the per-agent reference loop takes orders of magnitude longer (see
+``benchmarks/test_bench_network.py``).
+
 Run with:  python examples/network_topologies.py
 """
 
@@ -30,7 +35,8 @@ def evaluate(network: SocialNetwork) -> dict:
     for seed in range(REPLICATIONS):
         environment = BernoulliEnvironment(QUALITIES, rng=seed)
         trajectory = simulate_network_dynamics(
-            environment, network, HORIZON, beta=BETA, rng=100 + seed
+            environment, network, HORIZON, beta=BETA, rng=100 + seed,
+            engine="vectorized",
         )
         matrix = trajectory.popularity_matrix()
         regrets.append(expected_regret(matrix, QUALITIES))

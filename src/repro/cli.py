@@ -1,6 +1,6 @@
 """Command-line interface for quick simulations and bound calculations.
 
-Five subcommands cover the workflows a user reaches for most often without
+Six subcommands cover the workflows a user reaches for most often without
 writing a script::
 
     python -m repro simulate --options 0.8 0.5 0.5 --population 2000 --horizon 300
@@ -8,13 +8,19 @@ writing a script::
     python -m repro bounds   --num-options 5 --beta 0.6 --population 5000
     python -m repro coupling --population 10000 --horizon 8
     python -m repro sweep    --populations 100 1000 10000 --horizon 300 --output sweep.csv
+    python -m repro network  --topology watts_strogatz --size 10000 --replications 50
 
 ``run`` executes many independent replications at once on the batched
 replicate-axis engine (:class:`repro.core.batched.BatchedDynamics`); pass
 ``--engine loop`` to fall back to the sequential per-seed loop.  ``sweep``
 goes further: the whole ``(N x beta x mu)`` parameter grid times its
 replications runs as a *single* batched launch with per-row parameters
-(``--engine loop`` falls back to the per-point per-seed loop).
+(``--engine loop`` falls back to the per-point per-seed loop).  ``network``
+runs the neighbourhood-restricted dynamics on a chosen topology — by default
+on the replicate-batched sparse engine
+(:class:`repro.network.vectorized.BatchedNetworkDynamics`); ``--engine
+vectorized`` runs one replicate per seed on the sparse engine and
+``--engine loop`` falls back to the per-agent reference loop.
 
 Every command prints an aligned text table; ``--output`` additionally writes
 CSV via :func:`repro.experiments.io.write_csv`.
@@ -37,10 +43,13 @@ from repro.core.regret import best_option_share, expected_regret
 from repro.core.theory import TheoryBounds
 from repro.environments import BernoulliEnvironment
 from repro.experiments import (
+    NETWORK_ENGINES,
+    NETWORK_REPLICATIONS,
     ExperimentConfig,
     ParameterGrid,
     ResultTable,
     batched_replication,
+    build_network,
     dynamics_grid_replication,
     dynamics_point_replication,
     run_replications,
@@ -167,6 +176,55 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep.add_argument("--output", type=str, default=None)
+
+    network = subparsers.add_parser(
+        "network",
+        help=(
+            "run the neighbourhood-restricted dynamics on a topology using "
+            "the vectorised sparse engines"
+        ),
+    )
+    network.add_argument("--options", type=float, nargs="+", default=[0.8, 0.5, 0.5])
+    network.add_argument(
+        "--topology",
+        choices=(
+            "complete",
+            "ring",
+            "grid",
+            "star",
+            "erdos_renyi",
+            "barabasi_albert",
+            "watts_strogatz",
+        ),
+        default="watts_strogatz",
+        help="social graph family (random families are seeded by --graph-seed)",
+    )
+    network.add_argument("--size", type=int, default=1000, help="number of individuals N")
+    network.add_argument("--horizon", type=int, default=300, help="number of steps T")
+    network.add_argument("--beta", type=float, default=0.6, help="adoption probability on a good signal")
+    network.add_argument("--mu", type=float, default=None, help="exploration rate (default: delta^2/6)")
+    network.add_argument("--seed", type=int, default=0, help="master seed")
+    network.add_argument("--graph-seed", type=int, default=0, help="seed for random topologies")
+    network.add_argument("--replications", type=int, default=20, help="independent replications R")
+    network.add_argument(
+        "--engine",
+        choices=NETWORK_ENGINES,
+        default="batched",
+        help=(
+            "batched (R, N) sparse engine (default), per-seed vectorized "
+            "sparse engine, or the per-agent reference loop"
+        ),
+    )
+    network.add_argument(
+        "--stats",
+        action="store_true",
+        help=(
+            "also print the expensive topology statistics (spectral gap, "
+            "diameter, clustering) — these are O(N^3)/O(N*E) graph "
+            "computations, far slower than the simulation itself at large N"
+        ),
+    )
+    network.add_argument("--output", type=str, default=None, help="write the summary table to this CSV path")
 
     return parser
 
@@ -379,12 +437,57 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_network(args: argparse.Namespace) -> int:
+    parameters = {
+        "qualities": tuple(args.options),
+        "topology": args.topology,
+        "N": args.size,
+        "T": args.horizon,
+        "beta": args.beta,
+        "graph_seed": args.graph_seed,
+    }
+    if args.mu is not None:
+        parameters["mu"] = args.mu
+    config = ExperimentConfig(
+        name=f"network-{args.engine}",
+        parameters=parameters,
+        replications=args.replications,
+        seed=args.seed,
+    )
+    network = build_network(parameters)
+    # Only the cheap statistics by default: spectral gap / diameter /
+    # clustering are O(N^3)-ish graph computations that would dwarf the
+    # simulation this command exists to run fast (opt in with --stats).
+    header = (
+        f"topology={network.name} N={network.size} "
+        f"avg_degree={network.average_degree():.2f} engine={args.engine}"
+    )
+    if args.stats:
+        metrics = network.metrics()
+        diameter = metrics["diameter"] if metrics["diameter"] is not None else "inf"
+        header += (
+            f" spectral_gap={metrics['spectral_gap']:.4f} "
+            f"diameter={diameter} clustering={metrics['clustering']:.4f}"
+        )
+    print(header)
+    result = run_replications(config, NETWORK_REPLICATIONS[args.engine])
+    table = ResultTable()
+    for name in result.metric_names():
+        row = {"metric": name}
+        row.update(result.summarize(name).as_dict())
+        table.add_row(row)
+    print(config.describe())
+    _finish(table, args.output)
+    return 0
+
+
 _COMMANDS = {
     "simulate": _command_simulate,
     "run": _command_run,
     "bounds": _command_bounds,
     "coupling": _command_coupling,
     "sweep": _command_sweep,
+    "network": _command_network,
 }
 
 

@@ -21,6 +21,14 @@ from repro.experiments.dynamics_sweep import (
     dynamics_point_replication,
     flatten_grid,
 )
+from repro.experiments.network_sweep import (
+    NETWORK_ENGINES,
+    NETWORK_REPLICATIONS,
+    build_network,
+    network_batched_replication,
+    network_point_replication,
+    network_vectorized_replication,
+)
 from repro.experiments.results import ResultTable
 from repro.experiments.io import read_csv, write_csv
 from repro.experiments.report import generate_report, table_to_markdown
@@ -37,6 +45,12 @@ __all__ = [
     "dynamics_grid_replication",
     "dynamics_point_replication",
     "flatten_grid",
+    "NETWORK_ENGINES",
+    "NETWORK_REPLICATIONS",
+    "build_network",
+    "network_batched_replication",
+    "network_point_replication",
+    "network_vectorized_replication",
     "ResultTable",
     "read_csv",
     "write_csv",

@@ -5,9 +5,19 @@ of a uniformly random *neighbour* in the social graph (rather than of any
 group member); stage (2) is unchanged.  With the complete graph this reduces
 to the original dynamics.
 
-The simulator is vectorised over agents per step (adjacency handled through
-per-agent neighbour arrays), which keeps topology sweeps over thousands of
-agents practical.
+Two single-replicate engines implement the same per-step law:
+
+* :class:`NetworkDynamics` — the per-agent reference loop (one Python
+  iteration per agent per step); and
+* :class:`~repro.network.vectorized.VectorizedNetworkDynamics` — the sparse
+  vectorised engine, which computes every agent's committed-neighbour option
+  counts in one CSR matvec and samples the considered options in bulk.
+
+Both share :class:`NetworkDynamicsBase` (state, validation, the run loop), so
+they differ only in how :meth:`~NetworkDynamicsBase.step` realises the
+transition.  The engines consume randomness differently, so equal seeds give
+different trajectories; the equivalence is distributional, enforced by the
+KS / chi-squared cross-validation in ``tests/integration/``.
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.adoption import AdoptionRule, SymmetricAdoptionRule
+from repro.core.sampling import default_exploration_rate
 from repro.core.state import PopulationState, Trajectory
 from repro.environments.base import RewardEnvironment
 from repro.network.topology import SocialNetwork
@@ -24,16 +35,21 @@ from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_positive_int, check_probability
 
 
-class NetworkDynamics:
-    """Finite-population social learning restricted to a social network.
+class NetworkDynamicsBase:
+    """Shared substrate of the single-replicate network engines.
+
+    Owns the configuration (graph, option count, adoption rule, exploration
+    rate, generator), the per-agent choice vector, and everything that does
+    not depend on *how* a step is computed: state accounting, choice
+    overrides, and the run loop.  Subclasses implement :meth:`step`.
 
     Each individual keeps its current option (or "sitting out").  Per step:
 
     1. with probability ``mu`` consider a uniformly random option; otherwise
-       pick a uniformly random neighbour and consider the option that
-       neighbour held after the previous step (if the neighbour is sitting
-       out, or the individual has no neighbours, fall back to a uniformly
-       random option);
+       pick a uniformly random *committed* neighbour and consider the option
+       that neighbour held after the previous step (if every neighbour is
+       sitting out, or the individual has no neighbours, fall back to a
+       uniformly random option);
     2. adopt the considered option with probability ``beta``/``alpha``
        depending on its fresh quality signal, else sit out this step.
 
@@ -137,9 +153,7 @@ class NetworkDynamics:
         """Popularity distribution among committed agents (uniform if none)."""
         return self.state().popularity()
 
-    # ------------------------------------------------------------------ step
-    def step(self, rewards: np.ndarray) -> PopulationState:
-        """Advance all agents one step given the reward vector ``R^{t+1}``."""
+    def _validated_rewards(self, rewards: np.ndarray) -> np.ndarray:
         rewards = np.asarray(rewards)
         if rewards.shape != (self._num_options,):
             raise ValueError(
@@ -147,6 +161,45 @@ class NetworkDynamics:
             )
         if np.any((rewards != 0) & (rewards != 1)):
             raise ValueError("rewards must be binary")
+        return rewards
+
+    def step(self, rewards: np.ndarray) -> PopulationState:
+        """Advance all agents one step given the reward vector ``R^{t+1}``."""
+        raise NotImplementedError
+
+    def run(self, environment: RewardEnvironment, horizon: int) -> Trajectory:
+        """Simulate ``horizon`` steps against ``environment``; record the trajectory."""
+        horizon = check_positive_int(horizon, "horizon")
+        if environment.num_options != self._num_options:
+            raise ValueError(
+                "environment and dynamics disagree on the number of options"
+            )
+        # One state per step: the pre-step popularity is read off the state
+        # the previous step() already computed instead of rebuilding the
+        # bincount from the raw choices a second time.
+        state = self.state()
+        trajectory = Trajectory(initial_state=state)
+        for _ in range(horizon):
+            pre_step_popularity = state.popularity()
+            rewards = environment.sample()
+            state = self.step(rewards)
+            trajectory.record(pre_step_popularity, rewards, state)
+        return trajectory
+
+
+class NetworkDynamics(NetworkDynamicsBase):
+    """Per-agent reference implementation of the network-restricted dynamics.
+
+    Advances one agent at a time in Python; exact but slow — at large ``N``
+    use :class:`~repro.network.vectorized.VectorizedNetworkDynamics`, which
+    simulates the same process orders of magnitude faster (see
+    ``benchmarks/test_bench_network.py``).
+    """
+
+    # ------------------------------------------------------------------ step
+    def step(self, rewards: np.ndarray) -> PopulationState:
+        """Advance all agents one step given the reward vector ``R^{t+1}``."""
+        rewards = self._validated_rewards(rewards)
 
         size = self._network.size
         previous_choices = self._choices
@@ -186,21 +239,6 @@ class NetworkDynamics:
         self._time += 1
         return self.state()
 
-    def run(self, environment: RewardEnvironment, horizon: int) -> Trajectory:
-        """Simulate ``horizon`` steps against ``environment``; record the trajectory."""
-        horizon = check_positive_int(horizon, "horizon")
-        if environment.num_options != self._num_options:
-            raise ValueError(
-                "environment and dynamics disagree on the number of options"
-            )
-        trajectory = Trajectory(initial_state=self.state())
-        for _ in range(horizon):
-            pre_step_popularity = self.popularity()
-            rewards = environment.sample()
-            new_state = self.step(rewards)
-            trajectory.record(pre_step_popularity, rewards, new_state)
-        return trajectory
-
 
 def simulate_network_dynamics(
     environment: RewardEnvironment,
@@ -210,17 +248,37 @@ def simulate_network_dynamics(
     beta: float = 0.6,
     mu: Optional[float] = None,
     rng: RngLike = None,
+    engine: str = "loop",
 ) -> Trajectory:
-    """One-call helper mirroring :func:`repro.core.dynamics.simulate_finite_population`."""
+    """One-call helper mirroring :func:`repro.core.dynamics.simulate_finite_population`.
+
+    ``engine`` selects the implementation: ``"loop"`` (the per-agent
+    reference, default) or ``"vectorized"`` (the sparse CSR engine — same
+    process, orders of magnitude faster at large ``N``).  The engines consume
+    randomness differently, so equal seeds give different — statistically
+    equivalent — trajectories.
+    """
     adoption_rule = SymmetricAdoptionRule(beta)
     if mu is None:
-        delta = adoption_rule.delta
-        mu = min(1.0, delta**2 / 6.0) if np.isfinite(delta) and delta > 0 else 0.01
-    dynamics = NetworkDynamics(
-        network=network,
-        num_options=environment.num_options,
-        adoption_rule=adoption_rule,
-        exploration_rate=mu,
-        rng=rng,
-    )
+        mu = default_exploration_rate(adoption_rule)
+    if engine == "loop":
+        dynamics: NetworkDynamicsBase = NetworkDynamics(
+            network=network,
+            num_options=environment.num_options,
+            adoption_rule=adoption_rule,
+            exploration_rate=mu,
+            rng=rng,
+        )
+    elif engine == "vectorized":
+        from repro.network.vectorized import VectorizedNetworkDynamics
+
+        dynamics = VectorizedNetworkDynamics(
+            network=network,
+            num_options=environment.num_options,
+            adoption_rule=adoption_rule,
+            exploration_rate=mu,
+            rng=rng,
+        )
+    else:
+        raise ValueError(f"engine must be 'loop' or 'vectorized', got {engine!r}")
     return dynamics.run(environment, horizon)

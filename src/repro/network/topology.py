@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 import numpy as np
@@ -14,9 +14,13 @@ from repro.utils.validation import check_in_range, check_positive_int
 class SocialNetwork:
     """An undirected social graph over agents ``0 .. N-1``.
 
-    Wraps a :class:`networkx.Graph` and precomputes the neighbour lists the
-    network-restricted dynamics queries every step.  Isolated vertices are
-    allowed (such an individual can only learn through uniform exploration).
+    Wraps a :class:`networkx.Graph` and precomputes the adjacency structure
+    the network-restricted dynamics queries every step: per-node neighbour
+    arrays for the per-agent loop engine, and a CSR (compressed sparse row)
+    view — ``csr_indptr`` / ``csr_indices`` plus cached degrees — for the
+    vectorised engines, which consume the whole adjacency in single NumPy
+    passes instead of per-node lookups.  Isolated vertices are allowed (such
+    an individual can only learn through uniform exploration).
 
     Parameters
     ----------
@@ -41,6 +45,54 @@ class SocialNetwork:
             node: np.fromiter(graph.neighbors(node), dtype=np.int64)
             for node in range(graph.number_of_nodes())
         }
+        self._csr: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------- CSR view
+    def _build_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        if self._csr is None:
+            size = self.size
+            degrees = np.fromiter(
+                (self._neighbors[node].size for node in range(size)),
+                dtype=np.int64,
+                count=size,
+            )
+            indptr = np.zeros(size + 1, dtype=np.int64)
+            np.cumsum(degrees, out=indptr[1:])
+            if indptr[-1]:
+                indices = np.concatenate(
+                    [self._neighbors[node] for node in range(size)]
+                ).astype(np.int64, copy=False)
+            else:
+                indices = np.zeros(0, dtype=np.int64)
+            edge_rows = np.repeat(np.arange(size, dtype=np.int64), degrees)
+            for array in (degrees, indptr, indices, edge_rows):
+                array.setflags(write=False)
+            self._csr = (indptr, indices, degrees, edge_rows)
+        return self._csr
+
+    @property
+    def csr_indptr(self) -> np.ndarray:
+        """CSR row pointers, shape ``(N + 1,)``: row ``i`` owns ``indices[indptr[i]:indptr[i+1]]``."""
+        return self._build_csr()[0]
+
+    @property
+    def csr_indices(self) -> np.ndarray:
+        """CSR column indices, shape ``(2E,)`` — each undirected edge appears in both rows."""
+        return self._build_csr()[1]
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Per-node degrees, shape ``(N,)`` (cached)."""
+        return self._build_csr()[2]
+
+    @property
+    def csr_edge_rows(self) -> np.ndarray:
+        """Row index of every CSR slot, shape ``(2E,)`` — ``repeat(arange(N), degrees)``.
+
+        Precomputed once so the vectorised engines' per-step sparse matvec is
+        a pure gather + bincount with no per-step index construction.
+        """
+        return self._build_csr()[3]
 
     # ------------------------------------------------------------ properties
     @property
@@ -71,7 +123,7 @@ class SocialNetwork:
     # -------------------------------------------------------------- metrics
     def average_degree(self) -> float:
         """Mean degree over all nodes."""
-        return float(np.mean([self.degree(node) for node in range(self.size)]))
+        return float(self.degrees.mean())
 
     def is_connected(self) -> bool:
         """Whether the graph is connected (single node counts as connected)."""

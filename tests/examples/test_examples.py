@@ -1,0 +1,83 @@
+"""Smoke tests for the runnable examples.
+
+CI runs some examples at full scale; these tests import the example modules
+and run their ``main()`` at drastically reduced scale inside the regular test
+suite, so example drift (renamed APIs, changed signatures, broken imports) is
+caught by a plain ``pytest`` run before CI's example step — and locally,
+where the example step does not exist.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent.parent / "examples"
+
+
+def _load_example(name: str):
+    """Import ``examples/<name>.py`` as a throwaway module."""
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    # Register so dataclasses/typing introspection inside the module works.
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+class TestNetworkTopologiesExample:
+    def test_main_runs_at_reduced_scale(self, capsys, monkeypatch):
+        module = _load_example("network_topologies")
+        monkeypatch.setattr(module, "POPULATION", 64)
+        monkeypatch.setattr(module, "HORIZON", 40)
+        monkeypatch.setattr(module, "REPLICATIONS", 1)
+        module.main()
+        output = capsys.readouterr().out
+        assert "Network-restricted social learning" in output
+        assert "complete" in output
+        assert "spectral gap" in output
+
+    def test_evaluate_reports_all_metrics(self):
+        module = _load_example("network_topologies")
+        # evaluate() at full module scale is slow; shrink via module constants.
+        module.POPULATION, module.HORIZON, module.REPLICATIONS = 40, 20, 1
+        metrics = module.evaluate(module.SocialNetwork.ring(40))
+        assert {
+            "topology",
+            "avg degree",
+            "diameter",
+            "spectral gap",
+            "regret",
+            "best-option share",
+            "steps to 60% dominance",
+        } <= set(metrics)
+        assert 0.0 <= metrics["best-option share"] <= 1.0
+
+
+class TestSensorNetworkExample:
+    def test_main_runs_at_reduced_scale(self, capsys, monkeypatch):
+        module = _load_example("sensor_network")
+        monkeypatch.setattr(module, "NUM_SENSORS", 30)
+        monkeypatch.setattr(module, "ROUNDS", 20)
+        module.main()
+        output = capsys.readouterr().out
+        assert "sensors agreeing" in output
+        assert "perfect network" in output
+        assert "best channel" in output
+
+    def test_run_fleet_reports_transport_stats(self, monkeypatch):
+        module = _load_example("sensor_network")
+        monkeypatch.setattr(module, "NUM_SENSORS", 25)
+        monkeypatch.setattr(module, "ROUNDS", 12)
+        result = module.run_fleet(loss_rate=0.2, delay_rate=0.1, crash_fraction=0.2, seed=0)
+        assert result.transport_stats["sent"] > 0
+        assert 0.0 <= result.best_option_share <= 1.0
+        assert result.alive_series[-1] <= 25

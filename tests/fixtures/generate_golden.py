@@ -32,7 +32,12 @@ from repro.core.batched import BatchedDynamics
 from repro.core.dynamics import FinitePopulationDynamics
 from repro.core.sampling import MixtureSampling
 from repro.environments import BernoulliEnvironment, RowwiseBernoulliEnvironment
-from repro.network import NetworkDynamics, SocialNetwork
+from repro.network import (
+    BatchedNetworkDynamics,
+    NetworkDynamics,
+    SocialNetwork,
+    VectorizedNetworkDynamics,
+)
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
@@ -71,6 +76,31 @@ NETWORK_CONFIG = {
     "mu": 0.1,
     "environment_seed": 31,
     "dynamics_seed": 32,
+}
+
+# The vectorised engine consumes the random stream differently from the loop
+# engine, so it gets its own fixture at the same configuration (and its own
+# seeds, to make clear no bit-identity with the loop fixture is implied).
+NETWORK_VECTORIZED_CONFIG = {
+    "qualities": [0.85, 0.45],
+    "ring_size": 30,
+    "neighbors_each_side": 2,
+    "horizon": 15,
+    "beta": 0.65,
+    "mu": 0.1,
+    "environment_seed": 41,
+    "dynamics_seed": 42,
+}
+
+NETWORK_BATCHED_CONFIG = {
+    "qualities": [0.8, 0.5, 0.35],
+    "ring_size": 24,
+    "neighbors_each_side": 2,
+    "num_replicates": 3,
+    "horizon": 12,
+    "beta": 0.7,
+    "mu": 0.08,
+    "seed": 51,
 }
 
 
@@ -170,10 +200,82 @@ def golden_network() -> dict:
     )
 
 
+def golden_network_vectorized() -> dict:
+    """Seeded :class:`VectorizedNetworkDynamics` run on a ring, choices per step."""
+    config = NETWORK_VECTORIZED_CONFIG
+    environment = BernoulliEnvironment(config["qualities"], rng=config["environment_seed"])
+    network = SocialNetwork.ring(
+        config["ring_size"], neighbors_each_side=config["neighbors_each_side"]
+    )
+    dynamics = VectorizedNetworkDynamics(
+        network=network,
+        num_options=len(config["qualities"]),
+        adoption_rule=SymmetricAdoptionRule(config["beta"]),
+        exploration_rate=config["mu"],
+        rng=config["dynamics_seed"],
+    )
+    choices = []
+    counts = []
+    rewards = []
+    for _ in range(config["horizon"]):
+        reward = environment.sample()
+        state = dynamics.step(reward)
+        rewards.append(reward)
+        counts.append(state.counts)
+        choices.append(dynamics.choices())
+    return _record(
+        "network_vectorized",
+        config,
+        counts,
+        rewards,
+        extra={"choices": np.asarray(choices).tolist()},
+    )
+
+
+def golden_network_batched() -> dict:
+    """Seeded :class:`BatchedNetworkDynamics` run: R replicates on one ring.
+
+    One generator drives both the environment batch draws and the dynamics,
+    exactly as ``network_batched_replication`` wires them.
+    """
+    config = NETWORK_BATCHED_CONFIG
+    generator = np.random.default_rng(config["seed"])
+    environment = BernoulliEnvironment(config["qualities"], rng=generator)
+    network = SocialNetwork.ring(
+        config["ring_size"], neighbors_each_side=config["neighbors_each_side"]
+    )
+    dynamics = BatchedNetworkDynamics(
+        network=network,
+        num_options=len(config["qualities"]),
+        num_replicates=config["num_replicates"],
+        adoption_rule=SymmetricAdoptionRule(config["beta"]),
+        exploration_rate=config["mu"],
+        rng=generator,
+    )
+    choices = []
+    counts = []
+    rewards = []
+    for _ in range(config["horizon"]):
+        reward = environment.sample_batch(config["num_replicates"])
+        state = dynamics.step(reward)
+        rewards.append(reward)
+        counts.append(state.counts)
+        choices.append(dynamics.choices())
+    return _record(
+        "network_batched",
+        config,
+        counts,
+        rewards,
+        extra={"choices": np.asarray(choices).tolist()},
+    )
+
+
 GENERATORS = {
     "sequential": golden_sequential,
     "batched": golden_batched,
     "network": golden_network,
+    "network_vectorized": golden_network_vectorized,
+    "network_batched": golden_network_batched,
 }
 
 

@@ -23,7 +23,11 @@ from repro import (
     simulate_finite_population,
 )
 from repro.distributed import DistributedLearningProtocol
-from repro.network import SocialNetwork, simulate_network_dynamics
+from repro.network import (
+    SocialNetwork,
+    simulate_batched_network_dynamics,
+    simulate_network_dynamics,
+)
 
 QUALITIES = [0.85, 0.45]
 BETA = 0.65
@@ -196,3 +200,124 @@ class TestBatchedEngineEquivalence:
         )
         result = stats.chi2_contingency(table)
         assert result.pvalue > 0.01
+
+
+# --------------------------------------------------------------------------
+# Network engines: loop vs vectorised vs replicate-batched on a sparse graph.
+# --------------------------------------------------------------------------
+
+NETWORK_SIZE = 150
+NETWORK_HORIZON = 60
+NETWORK_REPLICATES = 70
+
+
+class TestNetworkEngineEquivalence:
+    """The vectorised and batched network engines against the per-agent loop.
+
+    The gate runs on a genuinely sparse topology (a small-world graph, not
+    the complete graph), so it exercises the neighbourhood restriction the
+    engines actually vectorise: the CSR matvec, the committed-neighbour
+    inverse-CDF draw, and the uniform fallbacks.  The engines consume the
+    random stream differently, so the comparison is distributional — KS and
+    chi-squared on the terminal best-option popularity across replicates —
+    mirroring the PR 1 cross-validation pattern for the core engines.
+    """
+
+    # Fully seeded runs are deterministic, so the samples are computed once
+    # and shared across the KS / chi-squared / sanity tests (the loop engine
+    # alone costs ~N*T*R Python iterations per computation).
+    _cache: dict = {}
+
+    @staticmethod
+    def _network() -> SocialNetwork:
+        return SocialNetwork.watts_strogatz(
+            NETWORK_SIZE, nearest_neighbors=6, rewiring_probability=0.1, rng=0
+        )
+
+    @classmethod
+    def _per_seed_terminal_popularities(cls, engine: str) -> np.ndarray:
+        if engine not in cls._cache:
+            network = cls._network()
+            terminal = []
+            for seed in range(NETWORK_REPLICATES):
+                env = BernoulliEnvironment(QUALITIES, rng=seed)
+                trajectory = simulate_network_dynamics(
+                    env,
+                    network,
+                    NETWORK_HORIZON,
+                    beta=BETA,
+                    mu=MU,
+                    rng=seed + 1000,
+                    engine=engine,
+                )
+                terminal.append(trajectory.final_state().popularity()[0])
+            cls._cache[engine] = np.asarray(terminal)
+        return cls._cache[engine]
+
+    @classmethod
+    def _batched_terminal_popularities(cls) -> np.ndarray:
+        if "batched" not in cls._cache:
+            env = BernoulliEnvironment(QUALITIES, rng=777)
+            trajectory = simulate_batched_network_dynamics(
+                env,
+                cls._network(),
+                NETWORK_HORIZON,
+                NETWORK_REPLICATES,
+                beta=BETA,
+                mu=MU,
+                rng=778,
+            )
+            cls._cache["batched"] = trajectory.final_state().popularity()[:, 0]
+        return cls._cache["batched"]
+
+    def test_vectorized_matches_loop_ks(self):
+        """KS two-sample test: vectorised engine vs the per-agent loop."""
+        loop = self._per_seed_terminal_popularities("loop")
+        vectorized = self._per_seed_terminal_popularities("vectorized")
+        result = stats.ks_2samp(loop, vectorized)
+        assert result.pvalue > 0.01
+
+    def test_batched_matches_loop_ks(self):
+        """KS two-sample test: replicate-batched engine vs the per-agent loop."""
+        loop = self._per_seed_terminal_popularities("loop")
+        batched = self._batched_terminal_popularities()
+        result = stats.ks_2samp(loop, batched)
+        assert result.pvalue > 0.01
+
+    def test_vectorized_matches_loop_chi_squared(self):
+        """Chi-squared homogeneity on quartile-binned terminal popularity."""
+        loop = self._per_seed_terminal_popularities("loop")
+        vectorized = self._per_seed_terminal_popularities("vectorized")
+        edges = np.quantile(np.concatenate([loop, vectorized]), [0.25, 0.5, 0.75])
+        bins = np.concatenate([[-np.inf], edges, [np.inf]])
+        table = np.array(
+            [
+                np.histogram(loop, bins=bins)[0],
+                np.histogram(vectorized, bins=bins)[0],
+            ]
+        )
+        result = stats.chi2_contingency(table)
+        assert result.pvalue > 0.01
+
+    def test_batched_matches_loop_chi_squared(self):
+        """Chi-squared homogeneity: batched engine vs the per-agent loop."""
+        loop = self._per_seed_terminal_popularities("loop")
+        batched = self._batched_terminal_popularities()
+        edges = np.quantile(np.concatenate([loop, batched]), [0.25, 0.5, 0.75])
+        bins = np.concatenate([[-np.inf], edges, [np.inf]])
+        table = np.array(
+            [
+                np.histogram(loop, bins=bins)[0],
+                np.histogram(batched, bins=bins)[0],
+            ]
+        )
+        result = stats.chi2_contingency(table)
+        assert result.pvalue > 0.01
+
+    def test_all_network_engines_prefer_best_option(self):
+        """Every engine concentrates the sparse-topology group on the best option."""
+        loop = self._per_seed_terminal_popularities("loop")
+        vectorized = self._per_seed_terminal_popularities("vectorized")
+        batched = self._batched_terminal_popularities()
+        for values in (loop, vectorized, batched):
+            assert values.mean() > 0.5

@@ -111,7 +111,7 @@ class TestGoldenTrajectories:
             assert np.all(counts.sum(axis=2) <= sizes[None, :])
         elif engine == "sequential":
             assert np.all(counts.sum(axis=1) <= fixture["config"]["population_size"])
-        elif engine == "network":
+        elif engine in ("network", "network_vectorized"):
             choices = np.asarray(fixture["choices"])
             size = fixture["config"]["ring_size"]
             assert choices.shape == (fixture["config"]["horizon"], size)
@@ -122,3 +122,15 @@ class TestGoldenTrajectories:
                     committed, minlength=len(fixture["config"]["qualities"])
                 )
                 assert np.array_equal(histogram, counts[step])
+        elif engine == "network_batched":
+            choices = np.asarray(fixture["choices"])
+            size = fixture["config"]["ring_size"]
+            replicates = fixture["config"]["num_replicates"]
+            num_options = len(fixture["config"]["qualities"])
+            assert choices.shape == (fixture["config"]["horizon"], replicates, size)
+            assert counts.shape == (fixture["config"]["horizon"], replicates, num_options)
+            for step in range(choices.shape[0]):
+                for replicate in range(replicates):
+                    committed = choices[step, replicate][choices[step, replicate] >= 0]
+                    histogram = np.bincount(committed, minlength=num_options)
+                    assert np.array_equal(histogram, counts[step, replicate])

@@ -99,3 +99,49 @@ class TestMetrics:
     def test_neighbors_contents(self):
         network = SocialNetwork.ring(5)
         assert set(network.neighbors(0).tolist()) == {1, 4}
+
+
+class TestCSRView:
+    """The cached CSR adjacency the vectorised engines consume."""
+
+    def test_indptr_and_indices_match_neighbor_lists(self):
+        network = SocialNetwork.watts_strogatz(40, 4, 0.2, rng=0)
+        indptr, indices = network.csr_indptr, network.csr_indices
+        assert indptr.shape == (network.size + 1,)
+        assert indptr[0] == 0 and indptr[-1] == indices.size
+        for node in range(network.size):
+            row = indices[indptr[node] : indptr[node + 1]]
+            assert sorted(row.tolist()) == sorted(network.neighbors(node).tolist())
+
+    def test_degrees_match_graph(self):
+        network = SocialNetwork.barabasi_albert(30, 2, rng=0)
+        expected = [network.degree(node) for node in range(network.size)]
+        assert network.degrees.tolist() == expected
+        assert network.average_degree() == pytest.approx(float(np.mean(expected)))
+
+    def test_edge_rows_expand_indptr(self):
+        network = SocialNetwork.ring(9, neighbors_each_side=2)
+        rows = network.csr_edge_rows
+        assert rows.shape == network.csr_indices.shape
+        np.testing.assert_array_equal(
+            rows, np.repeat(np.arange(network.size), network.degrees)
+        )
+
+    def test_each_undirected_edge_has_two_slots(self):
+        network = SocialNetwork.erdos_renyi(25, 0.3, rng=1)
+        assert network.csr_indices.size == 2 * network.graph.number_of_edges()
+
+    def test_isolated_nodes_have_empty_rows(self):
+        network = SocialNetwork(nx.empty_graph(5), name="isolated")
+        assert network.csr_indices.size == 0
+        assert network.csr_edge_rows.size == 0
+        np.testing.assert_array_equal(network.csr_indptr, np.zeros(6, dtype=np.int64))
+        np.testing.assert_array_equal(network.degrees, np.zeros(5, dtype=np.int64))
+
+    def test_arrays_are_cached_and_frozen(self):
+        network = SocialNetwork.ring(10)
+        assert network.csr_indices is network.csr_indices  # cached, not rebuilt
+        with pytest.raises(ValueError):
+            network.csr_indices[0] = 99
+        with pytest.raises(ValueError):
+            network.degrees[0] = 99

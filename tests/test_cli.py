@@ -247,3 +247,85 @@ class TestSweepCommand:
         assert tables["batched"].column("N") == tables["loop"].column("N")
         output = capsys.readouterr().out
         assert "engine=loop" in output
+
+
+class TestNetworkCommand:
+    def test_default_engine_is_batched(self):
+        args = build_parser().parse_args(["network"])
+        assert args.engine == "batched"
+        assert args.topology == "watts_strogatz"
+
+    def test_batched_engine_prints_topology_and_summary(self, capsys):
+        exit_code = main(
+            [
+                "network",
+                "--options", "0.85", "0.45",
+                "--topology", "ring",
+                "--size", "200",
+                "--horizon", "30",
+                "--replications", "8",
+                "--seed", "1",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "topology=ring" in output
+        assert "engine=batched" in output
+        assert "avg_degree" in output
+        # Expensive topology statistics only appear behind --stats.
+        assert "spectral_gap" not in output
+        assert "regret" in output and "best_option_share" in output
+
+    def test_stats_flag_adds_expensive_topology_statistics(self, capsys):
+        exit_code = main(
+            [
+                "network",
+                "--topology", "ring",
+                "--size", "40",
+                "--horizon", "10",
+                "--replications", "2",
+                "--stats",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "spectral_gap" in output
+        assert "diameter" in output
+        assert "clustering" in output
+
+    @pytest.mark.parametrize("engine", ("vectorized", "loop"))
+    def test_alternative_engines_run(self, engine, capsys):
+        exit_code = main(
+            [
+                "network",
+                "--options", "0.85", "0.45",
+                "--topology", "complete",
+                "--size", "60",
+                "--horizon", "15",
+                "--replications", "3",
+                "--engine", engine,
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert f"engine={engine}" in output
+
+    def test_output_writes_csv(self, tmp_path):
+        target = tmp_path / "network.csv"
+        exit_code = main(
+            [
+                "network",
+                "--topology", "erdos_renyi",
+                "--size", "80",
+                "--horizon", "15",
+                "--replications", "4",
+                "--graph-seed", "2",
+                "--output", str(target),
+            ]
+        )
+        assert exit_code == 0
+        assert target.exists()
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["network", "--topology", "moebius"])
