@@ -1,0 +1,194 @@
+"""Distributed-protocol throughput: vectorised engines vs the message loop.
+
+The message-passing loop (:class:`repro.distributed.DistributedLearningProtocol`)
+pays Python-interpreter cost per node *and* per message object per round, so
+at ``N = 10^4`` a single round costs hundreds of milliseconds.  The
+vectorised engine (:class:`repro.distributed.VectorizedProtocol`) replaces
+the node/message loop with whole-population array operations, and the
+batched engine (:class:`repro.distributed.BatchedProtocol`) amortises the
+remaining per-round Python overhead across ``R`` replicate fleets.  This
+benchmark measures all three on a lossy network at the ISSUE's target size
+``N = 10^4`` and asserts the vectorised engine is at least 10x faster than
+the loop per replicate.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.adoption import SymmetricAdoptionRule
+from repro.distributed import (
+    BatchedProtocol,
+    DistributedLearningProtocol,
+    LossyTransport,
+    VectorizedProtocol,
+)
+from repro.environments import BernoulliEnvironment
+from repro.experiments import ResultTable
+
+QUALITIES = [0.9, 0.6, 0.6, 0.5]
+NUM_NODES = 10_000
+ROUNDS = 5
+BATCH_REPLICATES = 16
+BETA = 0.62
+MU = 0.03
+LOSS = 0.1
+
+REQUIRED_SPEEDUP = 10.0
+
+
+def _run_loop() -> float:
+    environment = BernoulliEnvironment(QUALITIES, rng=0)
+    protocol = DistributedLearningProtocol(
+        NUM_NODES,
+        len(QUALITIES),
+        adoption_rule=SymmetricAdoptionRule(BETA),
+        exploration_rate=MU,
+        transport=LossyTransport(loss_rate=LOSS, rng=1),
+        rng=2,
+    )
+    start = time.perf_counter()
+    protocol.run(environment, ROUNDS)
+    return time.perf_counter() - start
+
+
+def _run_vectorized() -> float:
+    environment = BernoulliEnvironment(QUALITIES, rng=0)
+    protocol = VectorizedProtocol(
+        NUM_NODES,
+        len(QUALITIES),
+        adoption_rule=SymmetricAdoptionRule(BETA),
+        exploration_rate=MU,
+        loss_rate=LOSS,
+        rng=2,
+    )
+    start = time.perf_counter()
+    protocol.run(environment, ROUNDS)
+    return time.perf_counter() - start
+
+
+def _run_batched() -> float:
+    environment = BernoulliEnvironment(QUALITIES, rng=0)
+    protocol = BatchedProtocol(
+        NUM_NODES,
+        len(QUALITIES),
+        num_replicates=BATCH_REPLICATES,
+        adoption_rule=SymmetricAdoptionRule(BETA),
+        exploration_rate=MU,
+        loss_rate=LOSS,
+        rng=2,
+    )
+    start = time.perf_counter()
+    protocol.run(environment, ROUNDS)
+    return time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="distributed-throughput")
+def test_vectorized_protocol_throughput(save_results):
+    """The array-ops protocol engine delivers >= 10x over the message loop."""
+    # Warm both code paths once so neither side pays one-off import or
+    # allocation costs inside the timed region.
+    _run_vectorized()
+
+    vectorized_seconds = min(_run_vectorized() for _ in range(3))
+    loop_seconds = _run_loop()
+    batched_seconds = min(_run_batched() for _ in range(2))
+
+    node_rounds = NUM_NODES * ROUNDS
+    speedup = loop_seconds / vectorized_seconds
+    batched_speedup = (loop_seconds * BATCH_REPLICATES) / batched_seconds
+    table = ResultTable(
+        [
+            {
+                "engine": "loop",
+                "replicates": 1,
+                "seconds": loop_seconds,
+                "node_rounds_per_s": node_rounds / loop_seconds,
+                "speedup_per_replicate": 1.0,
+            },
+            {
+                "engine": "vectorized",
+                "replicates": 1,
+                "seconds": vectorized_seconds,
+                "node_rounds_per_s": node_rounds / vectorized_seconds,
+                "speedup_per_replicate": speedup,
+            },
+            {
+                "engine": "batched",
+                "replicates": BATCH_REPLICATES,
+                "seconds": batched_seconds,
+                "node_rounds_per_s": node_rounds * BATCH_REPLICATES / batched_seconds,
+                "speedup_per_replicate": batched_speedup,
+            },
+        ]
+    )
+    save_results(table, "bench_distributed")
+
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"vectorized protocol engine speedup {speedup:.1f}x below the required "
+        f"{REQUIRED_SPEEDUP:.0f}x at N={NUM_NODES}"
+    )
+
+
+@pytest.mark.benchmark(group="distributed-throughput")
+def test_engines_agree_on_mean_terminal_share(save_results):
+    """A throughput win is worthless if the fast engines simulate a different protocol.
+
+    Cross-checks the replicate-mean terminal best-option popularity of the
+    three engines at a smaller size (the loop engine is the bottleneck).
+    The full distributional gate lives in
+    ``tests/integration/test_cross_validation.py``; this is a cheap smoke
+    that the benchmark configuration itself is simulated consistently.
+    """
+    nodes, rounds, replicates = 300, 40, 30
+
+    def loop_terminal():
+        values = []
+        for seed in range(replicates):
+            environment = BernoulliEnvironment(QUALITIES, rng=seed)
+            protocol = DistributedLearningProtocol(
+                nodes,
+                len(QUALITIES),
+                adoption_rule=SymmetricAdoptionRule(BETA),
+                exploration_rate=MU,
+                transport=LossyTransport(loss_rate=LOSS, rng=seed + 500),
+                rng=seed + 1000,
+            )
+            values.append(protocol.run(environment, rounds).popularity_matrix[-1, 0])
+        return float(np.mean(values))
+
+    def vectorized_terminal():
+        values = []
+        for seed in range(replicates):
+            environment = BernoulliEnvironment(QUALITIES, rng=seed)
+            protocol = VectorizedProtocol(
+                nodes,
+                len(QUALITIES),
+                adoption_rule=SymmetricAdoptionRule(BETA),
+                exploration_rate=MU,
+                loss_rate=LOSS,
+                rng=seed + 1000,
+            )
+            values.append(protocol.run(environment, rounds).popularity_matrix[-1, 0])
+        return float(np.mean(values))
+
+    def batched_terminal():
+        environment = BernoulliEnvironment(QUALITIES, rng=7)
+        protocol = BatchedProtocol(
+            nodes,
+            len(QUALITIES),
+            num_replicates=replicates,
+            adoption_rule=SymmetricAdoptionRule(BETA),
+            exploration_rate=MU,
+            loss_rate=LOSS,
+            rng=8,
+        )
+        result = protocol.run(environment, rounds)
+        return float(result.trajectory.popularity_tensor()[-1, :, 0].mean())
+
+    loop_mean = loop_terminal()
+    assert vectorized_terminal() == pytest.approx(loop_mean, abs=0.08)
+    assert batched_terminal() == pytest.approx(loop_mean, abs=0.08)

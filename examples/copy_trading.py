@@ -20,8 +20,6 @@ Run with:  python examples/copy_trading.py
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro import BernoulliEnvironment, RecordedRewardSequence, empirical_regret
 from repro.baselines import (
     FollowTheCrowd,

@@ -19,8 +19,6 @@ Run with:  python examples/word_of_mouth.py
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro import EllisonFudenbergEnvironment, best_option_share, expected_regret
 from repro.core.adoption import GeneralAdoptionRule
 from repro.core.dynamics import FinitePopulationDynamics

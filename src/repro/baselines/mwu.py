@@ -15,7 +15,6 @@ unlimited memory and communication" upper baseline of experiment E7.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

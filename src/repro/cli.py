@@ -1,6 +1,6 @@
 """Command-line interface for quick simulations and bound calculations.
 
-Six subcommands cover the workflows a user reaches for most often without
+Seven subcommands cover the workflows a user reaches for most often without
 writing a script::
 
     python -m repro simulate --options 0.8 0.5 0.5 --population 2000 --horizon 300
@@ -9,6 +9,7 @@ writing a script::
     python -m repro coupling --population 10000 --horizon 8
     python -m repro sweep    --populations 100 1000 10000 --horizon 300 --output sweep.csv
     python -m repro network  --topology watts_strogatz --size 10000 --replications 50
+    python -m repro protocol --nodes 10000 --loss 0.2 --mass-crash-fraction 0.4
 
 ``run`` executes many independent replications at once on the batched
 replicate-axis engine (:class:`repro.core.batched.BatchedDynamics`); pass
@@ -20,7 +21,11 @@ runs the neighbourhood-restricted dynamics on a chosen topology — by default
 on the replicate-batched sparse engine
 (:class:`repro.network.vectorized.BatchedNetworkDynamics`); ``--engine
 vectorized`` runs one replicate per seed on the sparse engine and
-``--engine loop`` falls back to the per-agent reference loop.
+``--engine loop`` falls back to the per-agent reference loop.  ``protocol``
+runs the message-passing distributed protocol under message loss and
+crash-stop failures — by default on the replicate-batched
+:class:`repro.distributed.vectorized.BatchedProtocol`; only ``--engine
+loop`` models per-message delay (``--delay``).
 
 Every command prints an aligned text table; ``--output`` additionally writes
 CSV via :func:`repro.experiments.io.write_csv`.
@@ -30,7 +35,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -45,6 +50,8 @@ from repro.environments import BernoulliEnvironment
 from repro.experiments import (
     NETWORK_ENGINES,
     NETWORK_REPLICATIONS,
+    PROTOCOL_ENGINES,
+    PROTOCOL_REPLICATIONS,
     ExperimentConfig,
     ParameterGrid,
     ResultTable,
@@ -225,6 +232,55 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     network.add_argument("--output", type=str, default=None, help="write the summary table to this CSV path")
+
+    protocol = subparsers.add_parser(
+        "protocol",
+        help=(
+            "run the message-passing distributed protocol under message "
+            "loss and crash-stop failures using the vectorised engines"
+        ),
+    )
+    protocol.add_argument(
+        "--options", type=float, nargs="+", default=[0.9, 0.6, 0.6, 0.5]
+    )
+    protocol.add_argument("--nodes", type=int, default=1000, help="number of devices N")
+    protocol.add_argument("--rounds", type=int, default=300, help="number of protocol rounds T")
+    protocol.add_argument("--beta", type=float, default=0.6, help="adoption probability on a good signal")
+    protocol.add_argument("--mu", type=float, default=None, help="exploration rate (default: delta^2/6)")
+    protocol.add_argument("--loss", type=float, default=0.0, help="per-message drop probability")
+    protocol.add_argument(
+        "--delay",
+        type=float,
+        default=0.0,
+        help="per-message one-round delay probability (loop engine only)",
+    )
+    protocol.add_argument(
+        "--crash", type=float, default=0.0, help="per-round per-node crash probability"
+    )
+    protocol.add_argument(
+        "--mass-crash-round",
+        type=int,
+        default=None,
+        help="round of the one-off mass failure (default: rounds//2 when a fraction is given)",
+    )
+    protocol.add_argument(
+        "--mass-crash-fraction",
+        type=float,
+        default=0.0,
+        help="fraction of surviving nodes killed by the mass failure",
+    )
+    protocol.add_argument("--seed", type=int, default=0, help="master seed")
+    protocol.add_argument("--replications", type=int, default=20, help="independent replications R")
+    protocol.add_argument(
+        "--engine",
+        choices=PROTOCOL_ENGINES,
+        default="batched",
+        help=(
+            "batched (R, N) engine (default), per-seed vectorized engine, "
+            "or the per-message reference loop (required for --delay > 0)"
+        ),
+    )
+    protocol.add_argument("--output", type=str, default=None, help="write the summary table to this CSV path")
 
     return parser
 
@@ -481,6 +537,53 @@ def _command_network(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_protocol(args: argparse.Namespace) -> int:
+    if args.delay > 0 and args.engine != "loop":
+        print(
+            "error: only the loop engine models per-message delay; "
+            "re-run with --engine loop or drop --delay",
+            file=sys.stderr,
+        )
+        return 2
+    mass_round = args.mass_crash_round
+    if mass_round is None and args.mass_crash_fraction > 0:
+        mass_round = args.rounds // 2
+    parameters = {
+        "qualities": tuple(args.options),
+        "N": args.nodes,
+        "T": args.rounds,
+        "beta": args.beta,
+        "loss": args.loss,
+        "delay": args.delay,
+        "crash": args.crash,
+        "mass_crash_fraction": args.mass_crash_fraction,
+    }
+    if mass_round is not None:
+        parameters["mass_crash_round"] = mass_round
+    if args.mu is not None:
+        parameters["mu"] = args.mu
+    config = ExperimentConfig(
+        name=f"protocol-{args.engine}",
+        parameters=parameters,
+        replications=args.replications,
+        seed=args.seed,
+    )
+    print(
+        f"nodes={args.nodes} loss={args.loss} delay={args.delay} "
+        f"crash={args.crash} mass_crash_fraction={args.mass_crash_fraction} "
+        f"engine={args.engine}"
+    )
+    result = run_replications(config, PROTOCOL_REPLICATIONS[args.engine])
+    table = ResultTable()
+    for name in result.metric_names():
+        row = {"metric": name}
+        row.update(result.summarize(name).as_dict())
+        table.add_row(row)
+    print(config.describe())
+    _finish(table, args.output)
+    return 0
+
+
 _COMMANDS = {
     "simulate": _command_simulate,
     "run": _command_run,
@@ -488,6 +591,7 @@ _COMMANDS = {
     "coupling": _command_coupling,
     "sweep": _command_sweep,
     "network": _command_network,
+    "protocol": _command_protocol,
 }
 
 

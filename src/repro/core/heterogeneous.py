@@ -18,7 +18,7 @@ popularity of the *whole* committed population, exactly as in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

@@ -25,7 +25,6 @@ import numpy as np
 from repro.core.adoption import AdoptionRule, SymmetricAdoptionRule
 from repro.core.sampling import MixtureSampling, SamplingRule
 from repro.environments.base import RewardEnvironment
-from repro.utils.rng import RngLike
 from repro.utils.validation import check_positive_int, check_probability_vector
 
 

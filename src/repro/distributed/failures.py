@@ -3,9 +3,7 @@
 from __future__ import annotations
 
 import abc
-from typing import Iterable, List, Sequence
-
-import numpy as np
+from typing import List, Sequence
 
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_non_negative_int, check_probability
@@ -15,14 +13,18 @@ class FailureModel(abc.ABC):
     """Decides which nodes crash at the start of each round."""
 
     @abc.abstractmethod
-    def crashes_for_round(self, round_number: int, alive_nodes: Sequence[int]) -> List[int]:
+    def crashes_for_round(
+        self, round_number: int, alive_nodes: Sequence[int]
+    ) -> List[int]:
         """Node ids (subset of ``alive_nodes``) that crash at the start of this round."""
 
 
 class NoFailures(FailureModel):
     """The default: nothing ever crashes."""
 
-    def crashes_for_round(self, round_number: int, alive_nodes: Sequence[int]) -> List[int]:
+    def crashes_for_round(
+        self, round_number: int, alive_nodes: Sequence[int]
+    ) -> List[int]:
         return []
 
 
@@ -65,7 +67,9 @@ class CrashFailureModel(FailureModel):
         )
         self._rng = ensure_rng(rng)
 
-    def crashes_for_round(self, round_number: int, alive_nodes: Sequence[int]) -> List[int]:
+    def crashes_for_round(
+        self, round_number: int, alive_nodes: Sequence[int]
+    ) -> List[int]:
         alive = list(alive_nodes)
         if not alive:
             return []

@@ -63,7 +63,9 @@ class ProtocolNode:
     # -------------------------------------------------------------- handlers
     def make_query(self, peer: int, round_number: int) -> ChoiceQuery:
         """Build the round's query to a uniformly chosen peer."""
-        return ChoiceQuery(sender=self.node_id, recipient=peer, round_number=round_number)
+        return ChoiceQuery(
+            sender=self.node_id, recipient=peer, round_number=round_number
+        )
 
     def handle_query(self, query: ChoiceQuery) -> Optional[ChoiceReply]:
         """Answer a peer's query with this node's current option (if alive)."""

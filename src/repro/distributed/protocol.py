@@ -26,6 +26,7 @@ each round so the standard regret definitions apply unchanged.
 
 from __future__ import annotations
 
+import abc
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -80,7 +81,129 @@ class ProtocolResult:
         return int(self.popularity_matrix.shape[0])
 
 
-class DistributedLearningProtocol:
+class ProtocolBase(abc.ABC):
+    """Shared substrate of the distributed-protocol engines.
+
+    Owns everything that does not depend on *how* a round is computed: the
+    option count, the exploration rate ``mu``, the generator, the round
+    counter, the fallback-exploration counter, and the :meth:`run` driver
+    (per-round regret accounting via :class:`RegretAccumulator`, popularity /
+    reward / alive bookkeeping, and the :class:`ProtocolResult` assembly).
+
+    Engines implement :meth:`run_round` (one lossy round for the whole
+    group), :meth:`popularity` (pre-round popularity among alive committed
+    nodes), :meth:`num_alive` and :meth:`transport_stats`.  Today's engines:
+
+    * :class:`DistributedLearningProtocol` — the explicit message-passing
+      loop (one Python object per node, real :class:`Message` objects over a
+      :class:`LossyTransport`); the only engine that models per-message
+      *delay*; and
+    * :class:`~repro.distributed.vectorized.VectorizedProtocol` — the
+      array-ops engine (peer sampling, loss masks and the adopt step as
+      whole-population NumPy operations), loss-only.
+
+    Parameters
+    ----------
+    num_options:
+        Number of options ``m``.
+    exploration_rate:
+        The probability ``mu`` of deliberate uniform exploration.
+    rng:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        num_options: int,
+        exploration_rate: float,
+        rng: RngLike = None,
+    ) -> None:
+        self._num_options = check_positive_int(num_options, "num_options")
+        self._mu = check_probability(exploration_rate, "exploration_rate")
+        self._rng = ensure_rng(rng)
+        self._round = 0
+        self._fallback_explorations = 0
+
+    # ------------------------------------------------------------ properties
+    @property
+    def num_options(self) -> int:
+        """Number of options ``m``."""
+        return self._num_options
+
+    @property
+    def exploration_rate(self) -> float:
+        """The exploration probability ``mu``."""
+        return self._mu
+
+    @property
+    def round_number(self) -> int:
+        """Rounds executed so far."""
+        return self._round
+
+    @property
+    def fallback_explorations(self) -> int:
+        """Node-rounds that fell back to uniform exploration so far."""
+        return self._fallback_explorations
+
+    # ------------------------------------------------------------- interface
+    @abc.abstractmethod
+    def popularity(self) -> np.ndarray:
+        """Popularity among alive committed nodes (uniform when none committed)."""
+
+    @abc.abstractmethod
+    def num_alive(self) -> int:
+        """Number of nodes that have not crashed."""
+
+    @abc.abstractmethod
+    def run_round(self, rewards: np.ndarray) -> None:
+        """Execute one protocol round with the given quality signals."""
+
+    @abc.abstractmethod
+    def transport_stats(self) -> Dict[str, int]:
+        """Message counters accumulated so far, as a plain dict."""
+
+    # ---------------------------------------------------------------- driver
+    def _validated_rewards(self, rewards: np.ndarray) -> np.ndarray:
+        rewards = np.asarray(rewards)
+        if rewards.shape != (self._num_options,):
+            raise ValueError(
+                f"rewards must have shape ({self._num_options},), got {rewards.shape}"
+            )
+        return rewards
+
+    def run(self, environment: RewardEnvironment, rounds: int) -> ProtocolResult:
+        """Run the protocol for ``rounds`` rounds against ``environment``."""
+        rounds = check_positive_int(rounds, "rounds")
+        if environment.num_options != self._num_options:
+            raise ValueError(
+                "environment and protocol disagree on the number of options"
+            )
+        best_option = environment.best_option
+        accumulator = RegretAccumulator(best_quality=environment.best_quality)
+        popularity_rows = []
+        reward_rows = []
+        alive_series = []
+        for _ in range(rounds):
+            popularity = self.popularity()
+            rewards = environment.sample()
+            alive_series.append(self.num_alive())
+            self.run_round(rewards)
+            accumulator.update(popularity, rewards)
+            popularity_rows.append(popularity)
+            reward_rows.append(rewards)
+        popularity_matrix = np.stack(popularity_rows)
+        return ProtocolResult(
+            popularity_matrix=popularity_matrix,
+            reward_matrix=np.stack(reward_rows),
+            regret=accumulator.regret(),
+            best_option_share=float(popularity_matrix[:, best_option].mean()),
+            alive_series=np.asarray(alive_series, dtype=np.int64),
+            transport_stats=self.transport_stats(),
+            fallback_explorations=self._fallback_explorations,
+        )
+
+
+class DistributedLearningProtocol(ProtocolBase):
     """Simulator of the protocol over ``N`` message-passing nodes.
 
     Parameters
@@ -118,10 +241,7 @@ class DistributedLearningProtocol:
         rng: RngLike = None,
     ) -> None:
         num_nodes = check_positive_int(num_nodes, "num_nodes")
-        num_options = check_positive_int(num_options, "num_options")
-        self._num_options = num_options
-        self._mu = check_probability(exploration_rate, "exploration_rate")
-        self._rng = ensure_rng(rng)
+        super().__init__(num_options, exploration_rate, rng)
         adoption_rule = adoption_rule or SymmetricAdoptionRule(0.6)
         self._nodes = [
             ProtocolNode(
@@ -137,8 +257,6 @@ class DistributedLearningProtocol:
         self._max_query_attempts = check_positive_int(
             max_query_attempts, "max_query_attempts"
         )
-        self._round = 0
-        self._fallback_explorations = 0
 
     # ------------------------------------------------------------ properties
     @property
@@ -147,23 +265,21 @@ class DistributedLearningProtocol:
         return self._nodes
 
     @property
-    def num_options(self) -> int:
-        """Number of options ``m``."""
-        return self._num_options
-
-    @property
     def transport(self) -> LossyTransport:
         """The transport layer."""
         return self._transport
 
-    @property
-    def round_number(self) -> int:
-        """Rounds executed so far."""
-        return self._round
-
     def alive_nodes(self) -> List[ProtocolNode]:
         """Nodes that have not crashed."""
         return [node for node in self._nodes if not node.crashed]
+
+    def num_alive(self) -> int:
+        """Number of nodes that have not crashed."""
+        return len(self.alive_nodes())
+
+    def transport_stats(self) -> Dict[str, int]:
+        """Message counters from the transport layer."""
+        return self._transport.stats.as_dict()
 
     def popularity(self) -> np.ndarray:
         """Popularity among alive committed nodes (uniform when none committed)."""
@@ -179,11 +295,7 @@ class DistributedLearningProtocol:
     # ----------------------------------------------------------------- round
     def run_round(self, rewards: np.ndarray) -> None:
         """Execute one protocol round with the given quality signals."""
-        rewards = np.asarray(rewards)
-        if rewards.shape != (self._num_options,):
-            raise ValueError(
-                f"rewards must have shape ({self._num_options},), got {rewards.shape}"
-            )
+        rewards = self._validated_rewards(rewards)
 
         # 1. Crash injection.
         alive_ids = [node.node_id for node in self.alive_nodes()]
@@ -248,34 +360,3 @@ class DistributedLearningProtocol:
                 node.adopt_step(int(rewards[node.considered_option]), self._rng)
 
         self._round += 1
-
-    def run(self, environment: RewardEnvironment, rounds: int) -> ProtocolResult:
-        """Run the protocol for ``rounds`` rounds against ``environment``."""
-        rounds = check_positive_int(rounds, "rounds")
-        if environment.num_options != self._num_options:
-            raise ValueError(
-                "environment and protocol disagree on the number of options"
-            )
-        best_option = environment.best_option
-        accumulator = RegretAccumulator(best_quality=environment.best_quality)
-        popularity_rows = []
-        reward_rows = []
-        alive_series = []
-        for _ in range(rounds):
-            popularity = self.popularity()
-            rewards = environment.sample()
-            alive_series.append(len(self.alive_nodes()))
-            self.run_round(rewards)
-            accumulator.update(popularity, rewards)
-            popularity_rows.append(popularity)
-            reward_rows.append(rewards)
-        popularity_matrix = np.stack(popularity_rows)
-        return ProtocolResult(
-            popularity_matrix=popularity_matrix,
-            reward_matrix=np.stack(reward_rows),
-            regret=accumulator.regret(),
-            best_option_share=float(popularity_matrix[:, best_option].mean()),
-            alive_series=np.asarray(alive_series, dtype=np.int64),
-            transport_stats=self._transport.stats.as_dict(),
-            fallback_explorations=self._fallback_explorations,
-        )

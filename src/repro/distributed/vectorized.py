@@ -1,0 +1,622 @@
+"""Vectorised engines for the distributed-protocol simulation.
+
+The message-passing loop (:class:`~repro.distributed.protocol.DistributedLearningProtocol`)
+advances one node and one :class:`~repro.distributed.messages.Message` object
+at a time in Python, which makes the lossy-round experiments (E10) orders of
+magnitude slower than every other engine in this repository.  The two engines
+here simulate the *same round law* as whole-population array operations:
+
+* :class:`VectorizedProtocol` simulates one round for all ``N`` alive nodes
+  at once — uniform peer sampling is one integer draw per querying node
+  (rank-shifted to exclude self), query and reply loss are independent
+  Bernoulli masks over the peer vector, crash-stop failures are a boolean
+  ``alive`` mask threaded through every step, and the adopt step is one
+  broadcast thinning via :meth:`~repro.core.adoption.AdoptionRule.adopt_probabilities`.
+* :class:`BatchedProtocol` adds a replicate axis: ``R`` independent fleets
+  advance as ``(R, N)`` choice/alive matrices per round, recording
+  :class:`~repro.core.batched.BatchedPopulationState` snapshots into a
+  :class:`~repro.core.batched.BatchedTrajectory` — so a loss-rate x
+  crash-fraction grid collapses into a few launches.
+
+Per round (identical to the loop's law):
+
+1. crash injection;
+2. every alive node explores with probability ``mu`` (always, when it is the
+   only survivor); the rest query one uniformly random alive peer;
+3. a query is dropped with probability ``loss_rate``; a delivered query is
+   answered with the peer's previous-round option and the reply is dropped
+   independently with probability ``loss_rate``; a node whose exchange was
+   lost or whose peer was sitting out retries with a fresh random peer, up to
+   ``max_query_attempts`` sub-rounds;
+4. nodes that never heard back from a committed peer fall back to uniform
+   exploration;
+5. every alive node observes its considered option's fresh signal and runs
+   the adopt step.
+
+What the vectorised engines do **not** model is per-message *delay*
+(``delay_rate`` of :class:`~repro.distributed.transport.LossyTransport`):
+a delayed message changes which round a reply lands in, which is inherently
+sequential bookkeeping — use the loop engine when delay matters.  Under pure
+loss the delivered-message law is identical, so the engines are
+distributionally equivalent to the loop (KS / chi-squared cross-validated in
+``tests/integration/test_cross_validation.py``, with bit-exact golden
+fixtures pinning each engine separately).  The engines consume the random
+stream differently from the loop, so equal seeds give different trajectories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.adoption import AdoptionRule, SymmetricAdoptionRule
+from repro.core.batched import BatchedPopulationState, BatchedTrajectory
+from repro.distributed.failures import FailureModel, NoFailures
+from repro.distributed.protocol import ProtocolBase
+from repro.distributed.transport import TransportStats
+from repro.environments.base import RewardEnvironment
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import (
+    check_non_negative_int,
+    check_positive_int,
+    check_probability,
+)
+
+
+def _lossy_exchange(
+    rng: np.random.Generator,
+    loss_rate: float,
+    peer_choices: np.ndarray,
+    stats: TransportStats,
+) -> np.ndarray:
+    """One retry sub-round's message law, shared by both vectorised engines.
+
+    Draws the independent Bernoulli loss masks for the queries and the
+    replies of the still-waiting nodes (``peer_choices`` holds each waiting
+    node's sampled peer's current option), updates the transport counters —
+    every delivered query is answered, so replies-sent equals
+    queries-delivered — and returns the satisfied mask: a reply delivered
+    from a *committed* peer.
+    """
+    num_waiting = peer_choices.size
+    query_arrives = rng.random(num_waiting) >= loss_rate
+    reply_arrives = rng.random(num_waiting) >= loss_rate
+    replies_sent = int(query_arrives.sum())
+    reply_delivered = query_arrives & reply_arrives
+    stats.sent += num_waiting + replies_sent
+    stats.delivered += replies_sent + int(reply_delivered.sum())
+    stats.dropped += (num_waiting - replies_sent) + int(
+        (query_arrives & ~reply_arrives).sum()
+    )
+    return reply_delivered & (peer_choices >= 0)
+
+
+class VectorizedProtocol(ProtocolBase):
+    """Array-ops simulator of the protocol over ``N`` nodes (loss, no delay).
+
+    Drop-in for :class:`~repro.distributed.protocol.DistributedLearningProtocol`
+    on lossy-but-undelayed networks: same constructor knobs (with the
+    transport object replaced by a plain ``loss_rate``), same
+    :class:`~repro.distributed.protocol.ProtocolResult`, same regret
+    accounting — the round itself runs in ``O(N)`` NumPy work instead of
+    ``O(N)`` Python message objects.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of devices ``N``.
+    num_options:
+        Number of options ``m``.
+    adoption_rule:
+        Shared adoption rule; defaults to the paper's symmetric rule with
+        ``beta = 0.6``.
+    exploration_rate:
+        The probability ``mu`` of deliberate uniform exploration.
+    loss_rate:
+        Probability that each query and each reply is independently dropped
+        (the ``loss_rate`` of the loop engine's transport).  Per-message
+        delay is not modelled — use the loop engine for ``delay_rate > 0``.
+    failure_model:
+        Crash injection model (same API as the loop engine); defaults to no
+        failures.
+    max_query_attempts:
+        How many times a node re-queries with a fresh random peer before
+        falling back to uniform exploration.
+    rng:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        num_options: int,
+        adoption_rule: Optional[AdoptionRule] = None,
+        exploration_rate: float = 0.05,
+        loss_rate: float = 0.0,
+        failure_model: Optional[FailureModel] = None,
+        max_query_attempts: int = 6,
+        rng: RngLike = None,
+    ) -> None:
+        num_nodes = check_positive_int(num_nodes, "num_nodes")
+        super().__init__(num_options, exploration_rate, rng)
+        self._num_nodes = num_nodes
+        self._adoption_rule = adoption_rule or SymmetricAdoptionRule(0.6)
+        self._loss_rate = check_probability(loss_rate, "loss_rate")
+        self._failure_model = failure_model or NoFailures()
+        self._max_query_attempts = check_positive_int(
+            max_query_attempts, "max_query_attempts"
+        )
+        self._stats = TransportStats()
+        # Every node starts committed to a uniformly random option, exactly
+        # like the loop engine's node initialisation.
+        self._choices = self._rng.integers(num_options, size=num_nodes).astype(
+            np.int64
+        )
+        self._alive = np.ones(num_nodes, dtype=bool)
+
+    # ------------------------------------------------------------ properties
+    @property
+    def num_nodes(self) -> int:
+        """Number of devices ``N``."""
+        return self._num_nodes
+
+    @property
+    def adoption_rule(self) -> AdoptionRule:
+        """The shared adoption rule."""
+        return self._adoption_rule
+
+    @property
+    def loss_rate(self) -> float:
+        """Per-message drop probability."""
+        return self._loss_rate
+
+    def choices(self) -> np.ndarray:
+        """Per-node current options (-1 means sitting out); copy.
+
+        Crashed nodes retain their last committed option here — mask with
+        :meth:`alive` (as :meth:`popularity` does) before counting.
+        """
+        return self._choices.copy()
+
+    def alive(self) -> np.ndarray:
+        """Boolean alive mask over the nodes; copy."""
+        return self._alive.copy()
+
+    def num_alive(self) -> int:
+        """Number of nodes that have not crashed."""
+        return int(self._alive.sum())
+
+    def transport_stats(self) -> Dict[str, int]:
+        """Message counters (``delayed`` is always 0 — delay is not modelled)."""
+        return self._stats.as_dict()
+
+    def popularity(self) -> np.ndarray:
+        """Popularity among alive committed nodes (uniform when none committed)."""
+        committed = self._choices[self._alive & (self._choices >= 0)]
+        counts = np.bincount(committed, minlength=self._num_options)
+        total = counts.sum()
+        if total == 0:
+            return np.full(self._num_options, 1.0 / self._num_options)
+        return counts / total
+
+    # ----------------------------------------------------------------- round
+    def run_round(self, rewards: np.ndarray) -> None:
+        """Execute one protocol round with the given quality signals."""
+        rewards = self._validated_rewards(rewards)
+        if np.any((rewards != 0) & (rewards != 1)):
+            raise ValueError("rewards must be binary")
+
+        # 1. Crash injection (the failure model keeps the loop engine's API).
+        alive_ids = np.flatnonzero(self._alive)
+        crashed = self._failure_model.crashes_for_round(
+            self._round, alive_ids.tolist()
+        )
+        if crashed:
+            self._alive[np.asarray(crashed, dtype=np.int64)] = False
+            alive_ids = np.flatnonzero(self._alive)
+        num_alive = alive_ids.size
+        if num_alive == 0:
+            self._round += 1
+            return
+
+        # 2. Sampling stage: a mu-fraction explores (everyone, when a single
+        #    survivor has no peer to query); the rest query random peers.
+        explore = self._rng.random(num_alive) < self._mu
+        if num_alive == 1:
+            explore[:] = True
+        considered = np.full(self._num_nodes, -1, dtype=np.int64)
+        explorers = alive_ids[explore]
+        considered[explorers] = self._rng.integers(
+            self._num_options, size=explorers.size
+        )
+        waiting = alive_ids[~explore]
+        # Rank of each waiting node inside the sorted alive_ids vector, used
+        # to exclude self from its peer draw below.
+        waiting_rank = np.flatnonzero(~explore)
+
+        for _ in range(self._max_query_attempts):
+            if waiting.size == 0:
+                break
+            num_waiting = waiting.size
+            # 3a. One uniform integer draw per query: an index into the
+            #     alive vector with self excluded by shifting draws at or
+            #     above the node's own rank up by one.
+            draws = self._rng.integers(num_alive - 1, size=num_waiting)
+            peers = alive_ids[draws + (draws >= waiting_rank)]
+            # 3b/3c. Loss masks and stats via the shared sub-round law; a
+            #        delivered reply from a committed peer satisfies the
+            #        node, everyone else (lost exchange, sitting-out peer)
+            #        retries.
+            satisfied = _lossy_exchange(
+                self._rng, self._loss_rate, self._choices[peers], self._stats
+            )
+            considered[waiting[satisfied]] = self._choices[peers[satisfied]]
+            waiting = waiting[~satisfied]
+            waiting_rank = waiting_rank[~satisfied]
+
+        # 4. Fallback exploration for nodes that never heard back.
+        if waiting.size:
+            considered[waiting] = self._rng.integers(
+                self._num_options, size=waiting.size
+            )
+            self._fallback_explorations += int(waiting.size)
+
+        # 5. Adoption stage: one broadcast thinning on the fresh signals.
+        active = considered >= 0
+        adopt_probability = self._adoption_rule.adopt_probabilities(
+            rewards[considered[active]]
+        )
+        adopted = self._rng.random(int(active.sum())) < adopt_probability
+        self._choices[active] = np.where(adopted, considered[active], -1)
+        self._round += 1
+
+
+@dataclass
+class BatchedProtocolResult:
+    """Outcome of a full :class:`BatchedProtocol` run.
+
+    Attributes
+    ----------
+    trajectory:
+        The recorded :class:`~repro.core.batched.BatchedTrajectory` —
+        pre-round popularities and per-round rewards with shapes ``(T, R, m)``
+        and states whose counts are the per-replicate alive-committed
+        histograms.
+    alive_matrix:
+        ``(T, R)`` number of alive nodes at the start of each round.
+    transport_stats:
+        Message counters aggregated over all replicates.
+    fallback_explorations:
+        Node-rounds (summed over replicates) that fell back to uniform
+        exploration.
+    best_option:
+        Index of the environment's best option.
+    best_quality:
+        ``eta_1``, the benchmark quality for regret.
+    """
+
+    trajectory: BatchedTrajectory
+    alive_matrix: np.ndarray
+    transport_stats: Dict[str, int]
+    fallback_explorations: int
+    best_option: int
+    best_quality: float
+
+    @property
+    def rounds(self) -> int:
+        """Number of protocol rounds executed."""
+        return self.trajectory.horizon
+
+    @property
+    def num_replicates(self) -> int:
+        """Number of replicates ``R``."""
+        return self.trajectory.num_replicates
+
+    def regret(self) -> np.ndarray:
+        """Per-replicate realised average regret, shape ``(R,)``.
+
+        Same definition as :attr:`~repro.distributed.protocol.ProtocolResult.regret`:
+        ``eta_1 - (1/T) sum_t <Q^{t-1}, R^t>`` with realised rewards.
+        """
+        return self.trajectory.empirical_regret(self.best_quality)
+
+    def best_option_share(self) -> np.ndarray:
+        """Per-replicate average pre-round popularity of the best option, shape ``(R,)``."""
+        return self.trajectory.best_option_share(self.best_option)
+
+
+class BatchedProtocol:
+    """Replicate-axis vectorised simulator of the distributed protocol.
+
+    Advances ``R`` statistically independent fleets in lock-step as
+    ``(R, N)`` choice and alive matrices: per round, one ``(R, N)`` explore
+    draw, then — over the compressed set of still-waiting (replicate, node)
+    pairs — a rank-shifted uniform peer draw and two Bernoulli loss masks
+    per retry sub-round, and finally one broadcast adoption thinning.  All
+    replicates share one generator, so a batch is reproducible from a single
+    seed but individual replicates are not independently re-runnable (same
+    contract as :class:`~repro.core.batched.BatchedDynamics`).
+
+    Crash-stop failures mirror
+    :class:`~repro.distributed.failures.CrashFailureModel` with the
+    replicate axis built in: an independent per-round crash coin per alive
+    node, plus an optional one-off mass failure killing a fraction of each
+    replicate's surviving nodes at a scheduled round.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of devices ``N`` per replicate.
+    num_options:
+        Number of options ``m``.
+    num_replicates:
+        Number of independent replicates ``R``.
+    adoption_rule:
+        Shared adoption rule; defaults to the symmetric rule with ``beta = 0.6``.
+    exploration_rate:
+        The probability ``mu`` of deliberate uniform exploration.
+    loss_rate:
+        Per-message drop probability (queries and replies independently).
+    per_round_crash_probability:
+        Probability that each alive node crashes at the start of any round.
+    mass_failure_round:
+        Round at which a mass failure occurs (``None`` disables it).
+    mass_failure_fraction:
+        Fraction of each replicate's currently-alive nodes killed then.
+    max_query_attempts:
+        Re-query attempts before falling back to uniform exploration.
+    rng:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        num_options: int,
+        num_replicates: int,
+        adoption_rule: Optional[AdoptionRule] = None,
+        exploration_rate: float = 0.05,
+        loss_rate: float = 0.0,
+        per_round_crash_probability: float = 0.0,
+        mass_failure_round: Optional[int] = None,
+        mass_failure_fraction: float = 0.0,
+        max_query_attempts: int = 6,
+        rng: RngLike = None,
+    ) -> None:
+        self._num_nodes = check_positive_int(num_nodes, "num_nodes")
+        self._num_options = check_positive_int(num_options, "num_options")
+        self._num_replicates = check_positive_int(num_replicates, "num_replicates")
+        self._adoption_rule = adoption_rule or SymmetricAdoptionRule(0.6)
+        self._mu = check_probability(exploration_rate, "exploration_rate")
+        self._loss_rate = check_probability(loss_rate, "loss_rate")
+        self._per_round_crash = check_probability(
+            per_round_crash_probability, "per_round_crash_probability"
+        )
+        if mass_failure_round is not None:
+            mass_failure_round = check_non_negative_int(
+                mass_failure_round, "mass_failure_round"
+            )
+        self._mass_failure_round = mass_failure_round
+        self._mass_failure_fraction = check_probability(
+            mass_failure_fraction, "mass_failure_fraction"
+        )
+        self._max_query_attempts = check_positive_int(
+            max_query_attempts, "max_query_attempts"
+        )
+        self._rng = ensure_rng(rng)
+        self._round = 0
+        self._fallback_explorations = 0
+        self._stats = TransportStats()
+        shape = (num_replicates, num_nodes)
+        self._choices = self._rng.integers(num_options, size=shape).astype(np.int64)
+        self._alive = np.ones(shape, dtype=bool)
+
+    # ------------------------------------------------------------ properties
+    @property
+    def num_nodes(self) -> int:
+        """Number of devices ``N`` per replicate."""
+        return self._num_nodes
+
+    @property
+    def num_options(self) -> int:
+        """Number of options ``m``."""
+        return self._num_options
+
+    @property
+    def num_replicates(self) -> int:
+        """Number of replicates ``R``."""
+        return self._num_replicates
+
+    @property
+    def round_number(self) -> int:
+        """Rounds executed so far."""
+        return self._round
+
+    @property
+    def fallback_explorations(self) -> int:
+        """Node-rounds that fell back to uniform exploration, over all replicates."""
+        return self._fallback_explorations
+
+    def choices(self) -> np.ndarray:
+        """Per-replicate, per-node current options, shape ``(R, N)``; copy.
+
+        Crashed nodes retain their last committed option here — mask with
+        :meth:`alive` (as :meth:`state` does) before counting.
+        """
+        return self._choices.copy()
+
+    def alive(self) -> np.ndarray:
+        """Boolean alive masks, shape ``(R, N)``; copy."""
+        return self._alive.copy()
+
+    def alive_counts(self) -> np.ndarray:
+        """Per-replicate number of alive nodes, shape ``(R,)``."""
+        return self._alive.sum(axis=1)
+
+    def transport_stats(self) -> Dict[str, int]:
+        """Message counters aggregated over all replicates."""
+        return self._stats.as_dict()
+
+    def state(self) -> BatchedPopulationState:
+        """Per-replicate alive-committed counts as a batched state."""
+        committed = self._alive & (self._choices >= 0)
+        keys = (
+            np.arange(self._num_replicates, dtype=np.int64)[:, None]
+            * self._num_options
+            + np.where(committed, self._choices, 0)
+        )[committed]
+        counts = np.bincount(
+            keys, minlength=self._num_replicates * self._num_options
+        ).reshape(self._num_replicates, self._num_options)
+        return BatchedPopulationState(
+            counts=counts.astype(np.int64),
+            population_size=self._num_nodes,
+            time=self._round,
+        )
+
+    def popularity(self) -> np.ndarray:
+        """Per-replicate popularity among alive committed nodes, shape ``(R, m)``."""
+        return self.state().popularity()
+
+    # --------------------------------------------------------------- crashes
+    def _inject_crashes(self) -> None:
+        if self._per_round_crash > 0:
+            coins = self._rng.random(self._alive.shape) < self._per_round_crash
+            self._alive &= ~coins
+        if (
+            self._mass_failure_round is not None
+            and self._round == self._mass_failure_round
+            and self._mass_failure_fraction > 0
+        ):
+            alive_counts = self._alive.sum(axis=1)
+            victims = np.rint(self._mass_failure_fraction * alive_counts).astype(
+                np.int64
+            )
+            # Kill the `victims[r]` alive nodes with the smallest random keys
+            # in each row — a uniformly random subset of the survivors.
+            keys = self._rng.random(self._alive.shape)
+            keys[~self._alive] = np.inf
+            order = np.argsort(keys, axis=1)
+            kill_sorted = np.arange(self._num_nodes)[None, :] < victims[:, None]
+            kill = np.zeros_like(self._alive)
+            np.put_along_axis(kill, order, kill_sorted, axis=1)
+            self._alive &= ~kill
+
+    # ----------------------------------------------------------------- round
+    def run_round(self, rewards: np.ndarray) -> None:
+        """Advance every replicate one round given the rewards ``R^t``.
+
+        ``rewards`` is an ``(R, m)`` matrix of per-replicate binary reward
+        realisations, or a single ``(m,)`` vector shared by all replicates.
+        """
+        rewards = np.asarray(rewards)
+        if rewards.shape == (self._num_options,):
+            rewards = np.broadcast_to(
+                rewards, (self._num_replicates, self._num_options)
+            )
+        elif rewards.shape != (self._num_replicates, self._num_options):
+            raise ValueError(
+                f"rewards must have shape ({self._num_replicates}, "
+                f"{self._num_options}) or ({self._num_options},), got {rewards.shape}"
+            )
+        if np.any((rewards != 0) & (rewards != 1)):
+            raise ValueError("rewards must be binary")
+
+        # 1. Crash injection.
+        self._inject_crashes()
+        alive_counts = self._alive.sum(axis=1)  # (R,)
+        shape = self._alive.shape
+
+        # 2. Sampling stage over the whole (R, N) grid at once.  Lone
+        #    survivors always explore (no peer to query).
+        explore = self._alive & (
+            (self._rng.random(shape) < self._mu) | (alive_counts[:, None] <= 1)
+        )
+        considered = np.full(shape, -1, dtype=np.int64)
+        considered[explore] = self._rng.integers(
+            self._num_options, size=int(explore.sum())
+        )
+        # Per-row rank of each alive node and the row's alive positions in
+        # index order — both constant across the retry sub-rounds.
+        rank = np.cumsum(self._alive, axis=1) - 1
+        alive_order = np.argsort(~self._alive, axis=1, kind="stable")
+        peer_high = np.maximum(alive_counts - 1, 1)
+
+        # The retry sub-rounds work on the compressed (replicate, node) index
+        # pairs still waiting — the waiting set shrinks geometrically, so
+        # later attempts touch a few percent of the grid, not all of it.
+        waiting_rows, waiting_cols = np.nonzero(self._alive & ~explore)
+        for _ in range(self._max_query_attempts):
+            num_waiting = waiting_rows.size
+            if num_waiting == 0:
+                break
+            # 3a. One uniform integer draw per query; rank-shift excludes
+            #     self (waiting cells always have >= 2 alive in their row).
+            draws = self._rng.integers(peer_high[waiting_rows])
+            peer_rank = draws + (draws >= rank[waiting_rows, waiting_cols])
+            peers = alive_order[waiting_rows, peer_rank]
+            # 3b/3c. Loss masks and stats via the shared sub-round law.
+            peer_choice = self._choices[waiting_rows, peers]
+            satisfied = _lossy_exchange(
+                self._rng, self._loss_rate, peer_choice, self._stats
+            )
+            considered[waiting_rows[satisfied], waiting_cols[satisfied]] = (
+                peer_choice[satisfied]
+            )
+            waiting_rows = waiting_rows[~satisfied]
+            waiting_cols = waiting_cols[~satisfied]
+
+        # 4. Fallback exploration for nodes that never heard back.
+        num_fallback = waiting_rows.size
+        if num_fallback:
+            considered[waiting_rows, waiting_cols] = self._rng.integers(
+                self._num_options, size=num_fallback
+            )
+            self._fallback_explorations += num_fallback
+
+        # 5. Adoption stage: gather each node's considered-option signal and
+        #    thin in one broadcast draw.
+        active = considered >= 0
+        signals = np.take_along_axis(
+            rewards, np.where(active, considered, 0), axis=1
+        )
+        adopt_probability = self._adoption_rule.adopt_probabilities(signals)
+        adopted = (self._rng.random(shape) < adopt_probability) & active
+        self._choices = np.where(
+            active, np.where(adopted, considered, -1), self._choices
+        )
+        self._round += 1
+
+    def run(self, environment: RewardEnvironment, rounds: int) -> BatchedProtocolResult:
+        """Run every replicate for ``rounds`` rounds against ``environment``.
+
+        Each round draws one ``(R, m)`` reward batch via
+        :meth:`~repro.environments.base.RewardEnvironment.sample_batch`, so
+        replicates observe independent reward realisations from the same
+        environment instance.
+        """
+        rounds = check_positive_int(rounds, "rounds")
+        if environment.num_options != self._num_options:
+            raise ValueError(
+                "environment and protocol disagree on the number of options"
+            )
+        state = self.state()
+        trajectory = BatchedTrajectory(initial_state=state)
+        alive_rows = []
+        for _ in range(rounds):
+            pre_round_popularity = state.popularity()
+            rewards = environment.sample_batch(self._num_replicates)
+            alive_rows.append(self._alive.sum(axis=1))
+            self.run_round(rewards)
+            state = self.state()
+            trajectory.record(pre_round_popularity, rewards, state)
+        return BatchedProtocolResult(
+            trajectory=trajectory,
+            alive_matrix=np.stack(alive_rows),
+            transport_stats=self._stats.as_dict(),
+            fallback_explorations=self._fallback_explorations,
+            best_option=environment.best_option,
+            best_quality=environment.best_quality,
+        )

@@ -22,14 +22,14 @@ parameters the reduction prescribes.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 from scipy import stats
 
 from repro.environments.base import RewardEnvironment
-from repro.utils.rng import RngLike, ensure_rng
-from repro.utils.validation import check_in_range, check_positive_int
+from repro.utils.rng import RngLike
+from repro.utils.validation import check_positive_int
 
 
 class ContinuousRewardEnvironment(RewardEnvironment):

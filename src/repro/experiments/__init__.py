@@ -29,6 +29,13 @@ from repro.experiments.network_sweep import (
     network_point_replication,
     network_vectorized_replication,
 )
+from repro.experiments.protocol_sweep import (
+    PROTOCOL_ENGINES,
+    PROTOCOL_REPLICATIONS,
+    protocol_batched_replication,
+    protocol_point_replication,
+    protocol_vectorized_replication,
+)
 from repro.experiments.results import ResultTable
 from repro.experiments.io import read_csv, write_csv
 from repro.experiments.report import generate_report, table_to_markdown
@@ -51,6 +58,11 @@ __all__ = [
     "network_batched_replication",
     "network_point_replication",
     "network_vectorized_replication",
+    "PROTOCOL_ENGINES",
+    "PROTOCOL_REPLICATIONS",
+    "protocol_batched_replication",
+    "protocol_point_replication",
+    "protocol_vectorized_replication",
     "ResultTable",
     "read_csv",
     "write_csv",

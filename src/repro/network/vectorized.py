@@ -36,7 +36,7 @@ the recorded trajectory stores only ``(R, m)`` aggregates per step.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Optional
 
 import numpy as np
 

@@ -52,3 +52,53 @@ class TestCrashFailureModel:
             CrashFailureModel(mass_failure_round=-1)
         with pytest.raises(ValueError):
             CrashFailureModel(mass_failure_fraction=2.0)
+
+
+class TestMassCrashRoundBoundary:
+    def test_boundary_rounds_do_not_trigger_the_mass_failure(self):
+        """The scheduled round matches exactly — not off by one either way."""
+        for scheduled in (0, 1, 7):
+            model = CrashFailureModel(
+                mass_failure_round=scheduled, mass_failure_fraction=0.5, rng=0
+            )
+            for round_number in range(10):
+                crashed = model.crashes_for_round(round_number, list(range(40)))
+                if round_number == scheduled:
+                    assert len(crashed) == 20
+                else:
+                    assert crashed == []
+
+    def test_mass_failure_applies_to_the_currently_alive_set(self):
+        """The fraction is of *survivors* at the scheduled round, not of N."""
+        model = CrashFailureModel(mass_failure_round=4, mass_failure_fraction=0.5, rng=1)
+        survivors = list(range(0, 100, 3))  # 34 nodes left out of 100
+        crashed = model.crashes_for_round(4, survivors)
+        assert len(crashed) == 17
+        assert set(crashed) <= set(survivors)
+
+    def test_fraction_rounds_to_nearest_count(self):
+        model = CrashFailureModel(mass_failure_round=0, mass_failure_fraction=0.25, rng=2)
+        # 0.25 * 10 = 2.5 -> round() -> 2 (banker's rounding on the half).
+        assert len(model.crashes_for_round(0, list(range(10)))) == 2
+        model = CrashFailureModel(mass_failure_round=0, mass_failure_fraction=0.26, rng=3)
+        assert len(model.crashes_for_round(0, list(range(10)))) == 3
+
+    def test_full_fraction_kills_every_survivor_once(self):
+        model = CrashFailureModel(mass_failure_round=2, mass_failure_fraction=1.0, rng=4)
+        alive = [5, 9, 13]
+        assert model.crashes_for_round(2, alive) == sorted(alive)
+        # The mass failure is one-off: nothing further crashes afterwards.
+        assert model.crashes_for_round(3, []) == []
+
+    def test_mass_and_per_round_crashes_combine_without_duplicates(self):
+        model = CrashFailureModel(
+            per_round_crash_probability=0.5,
+            mass_failure_round=0,
+            mass_failure_fraction=0.5,
+            rng=5,
+        )
+        alive = list(range(30))
+        crashed = model.crashes_for_round(0, alive)
+        assert len(crashed) == len(set(crashed))
+        assert len(crashed) >= 15  # at least the mass-failure victims
+        assert set(crashed) <= set(alive)

@@ -1,6 +1,5 @@
 """Tests for the lossy transport layer."""
 
-import numpy as np
 import pytest
 
 from repro.distributed import ChoiceQuery, LossyTransport
@@ -68,3 +67,68 @@ class TestLossAndDelay:
     def test_deliver_rejects_negative_round(self):
         with pytest.raises(ValueError):
             LossyTransport().deliver(-1)
+
+
+class TestDeliveryOrdering:
+    def test_same_round_messages_delivered_in_send_order(self):
+        transport = LossyTransport(rng=0)
+        messages = [
+            ChoiceQuery(sender=sender, recipient=9, round_number=1)
+            for sender in range(5)
+        ]
+        for message in messages:
+            transport.send(message)
+        assert transport.deliver(1) == messages
+
+    def test_delayed_message_arrives_before_next_rounds_sends(self):
+        """A message delayed out of round r is queued into mailbox r+1 at
+        *send* time, so it precedes everything sent during round r+1.
+
+        Seed 3 draws (loss, delay) pairs that delay the first message and
+        leave the second on time at ``delay_rate=0.5``.
+        """
+        transport = LossyTransport(delay_rate=0.5, rng=3)
+        late = make_message(round_number=3)
+        fresh = ChoiceQuery(sender=7, recipient=8, round_number=4)
+        transport.send(late)
+        assert transport.deliver(3) == []  # the late message skipped round 3
+        transport.send(fresh)
+        assert transport.deliver(4) == [late, fresh]
+        assert transport.stats.delayed == 1
+
+    def test_undelivered_rounds_accumulate_as_pending(self):
+        transport = LossyTransport(delay_rate=1.0, rng=0)
+        for round_number in (0, 1, 2):
+            transport.send(make_message(round_number=round_number))
+        assert transport.pending() == 3
+        transport.deliver(1)  # the round-0 message, delayed into round 1
+        assert transport.pending() == 2
+
+
+class TestStatsAccounting:
+    def test_sent_equals_delivered_plus_dropped_plus_pending(self):
+        transport = LossyTransport(loss_rate=0.3, delay_rate=0.4, rng=5)
+        for round_number in range(50):
+            for _ in range(20):
+                transport.send(make_message(round_number=round_number))
+            transport.deliver(round_number)
+        stats = transport.stats
+        assert stats.sent == 1000
+        assert stats.sent == stats.delivered + stats.dropped + transport.pending()
+
+    def test_delayed_messages_still_count_as_delivered_once(self):
+        transport = LossyTransport(delay_rate=1.0, rng=0)
+        transport.send(make_message(round_number=0))
+        transport.deliver(0)
+        transport.deliver(1)
+        stats = transport.stats.as_dict()
+        assert stats == {"sent": 1, "delivered": 1, "dropped": 0, "delayed": 1}
+
+    def test_dropped_messages_are_never_delivered_nor_delayed(self):
+        transport = LossyTransport(loss_rate=1.0, delay_rate=1.0, rng=0)
+        for _ in range(10):
+            transport.send(make_message())
+        assert transport.deliver(0) == [] and transport.deliver(1) == []
+        stats = transport.stats.as_dict()
+        assert stats == {"sent": 10, "delivered": 0, "dropped": 10, "delayed": 0}
+        assert transport.pending() == 0

@@ -24,13 +24,13 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-import networkx as nx
 import numpy as np
 
 from repro.core.adoption import RowwiseAdoptionRule, SymmetricAdoptionRule
 from repro.core.batched import BatchedDynamics
 from repro.core.dynamics import FinitePopulationDynamics
 from repro.core.sampling import MixtureSampling
+from repro.distributed import BatchedProtocol, CrashFailureModel, VectorizedProtocol
 from repro.environments import BernoulliEnvironment, RowwiseBernoulliEnvironment
 from repro.network import (
     BatchedNetworkDynamics,
@@ -101,6 +101,41 @@ NETWORK_BATCHED_CONFIG = {
     "beta": 0.7,
     "mu": 0.08,
     "seed": 51,
+}
+
+# Both protocol fixtures exercise the full lossy surface: message loss,
+# per-round crashes and a mid-run mass failure, so a drift in any of the
+# loss masks, the peer draw, the crash injection or the adopt thinning
+# changes the committed trajectory.
+PROTOCOL_VECTORIZED_CONFIG = {
+    "qualities": [0.85, 0.45, 0.3],
+    "num_nodes": 40,
+    "horizon": 12,
+    "beta": 0.65,
+    "mu": 0.1,
+    "loss_rate": 0.25,
+    "per_round_crash_probability": 0.02,
+    "mass_failure_round": 6,
+    "mass_failure_fraction": 0.3,
+    "max_query_attempts": 4,
+    "environment_seed": 61,
+    "failures_seed": 62,
+    "dynamics_seed": 63,
+}
+
+PROTOCOL_BATCHED_CONFIG = {
+    "qualities": [0.85, 0.45, 0.3],
+    "num_nodes": 30,
+    "num_replicates": 3,
+    "horizon": 10,
+    "beta": 0.65,
+    "mu": 0.1,
+    "loss_rate": 0.25,
+    "per_round_crash_probability": 0.02,
+    "mass_failure_round": 5,
+    "mass_failure_fraction": 0.3,
+    "max_query_attempts": 4,
+    "seed": 71,
 }
 
 
@@ -270,12 +305,114 @@ def golden_network_batched() -> dict:
     )
 
 
+def golden_protocol_vectorized() -> dict:
+    """Seeded :class:`VectorizedProtocol` run under loss and crashes.
+
+    Records per-round alive-committed counts, choices and alive masks, so
+    the crash injection is pinned alongside the round law.
+    """
+    config = PROTOCOL_VECTORIZED_CONFIG
+    environment = BernoulliEnvironment(
+        config["qualities"], rng=config["environment_seed"]
+    )
+    protocol = VectorizedProtocol(
+        num_nodes=config["num_nodes"],
+        num_options=len(config["qualities"]),
+        adoption_rule=SymmetricAdoptionRule(config["beta"]),
+        exploration_rate=config["mu"],
+        loss_rate=config["loss_rate"],
+        failure_model=CrashFailureModel(
+            per_round_crash_probability=config["per_round_crash_probability"],
+            mass_failure_round=config["mass_failure_round"],
+            mass_failure_fraction=config["mass_failure_fraction"],
+            rng=config["failures_seed"],
+        ),
+        max_query_attempts=config["max_query_attempts"],
+        rng=config["dynamics_seed"],
+    )
+    choices = []
+    alive = []
+    counts = []
+    rewards = []
+    for _ in range(config["horizon"]):
+        reward = environment.sample()
+        protocol.run_round(reward)
+        round_choices = protocol.choices()
+        round_alive = protocol.alive()
+        rewards.append(reward)
+        choices.append(round_choices)
+        alive.append(round_alive)
+        committed = round_choices[round_alive & (round_choices >= 0)]
+        counts.append(np.bincount(committed, minlength=len(config["qualities"])))
+    return _record(
+        "protocol_vectorized",
+        config,
+        counts,
+        rewards,
+        extra={
+            "choices": np.asarray(choices).tolist(),
+            "alive": np.asarray(alive).tolist(),
+            "transport_stats": protocol.transport_stats(),
+            "fallback_explorations": protocol.fallback_explorations,
+        },
+    )
+
+
+def golden_protocol_batched() -> dict:
+    """Seeded :class:`BatchedProtocol` run: R lossy fleets in one launch.
+
+    One generator drives both the environment batch draws and the protocol,
+    exactly as ``protocol_batched_replication`` wires them.
+    """
+    config = PROTOCOL_BATCHED_CONFIG
+    generator = np.random.default_rng(config["seed"])
+    environment = BernoulliEnvironment(config["qualities"], rng=generator)
+    protocol = BatchedProtocol(
+        num_nodes=config["num_nodes"],
+        num_options=len(config["qualities"]),
+        num_replicates=config["num_replicates"],
+        adoption_rule=SymmetricAdoptionRule(config["beta"]),
+        exploration_rate=config["mu"],
+        loss_rate=config["loss_rate"],
+        per_round_crash_probability=config["per_round_crash_probability"],
+        mass_failure_round=config["mass_failure_round"],
+        mass_failure_fraction=config["mass_failure_fraction"],
+        max_query_attempts=config["max_query_attempts"],
+        rng=generator,
+    )
+    choices = []
+    alive = []
+    counts = []
+    rewards = []
+    for _ in range(config["horizon"]):
+        reward = environment.sample_batch(config["num_replicates"])
+        protocol.run_round(reward)
+        rewards.append(reward)
+        choices.append(protocol.choices())
+        alive.append(protocol.alive())
+        counts.append(protocol.state().counts)
+    return _record(
+        "protocol_batched",
+        config,
+        counts,
+        rewards,
+        extra={
+            "choices": np.asarray(choices).tolist(),
+            "alive": np.asarray(alive).tolist(),
+            "transport_stats": protocol.transport_stats(),
+            "fallback_explorations": protocol.fallback_explorations,
+        },
+    )
+
+
 GENERATORS = {
     "sequential": golden_sequential,
     "batched": golden_batched,
     "network": golden_network,
     "network_vectorized": golden_network_vectorized,
     "network_batched": golden_network_batched,
+    "protocol_vectorized": golden_protocol_vectorized,
+    "protocol_batched": golden_protocol_batched,
 }
 
 

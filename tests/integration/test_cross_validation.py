@@ -321,3 +321,145 @@ class TestNetworkEngineEquivalence:
         batched = self._batched_terminal_popularities()
         for values in (loop, vectorized, batched):
             assert values.mean() > 0.5
+
+
+# --------------------------------------------------------------------------
+# Protocol engines: message-passing loop vs vectorised vs replicate-batched
+# under genuinely lossy communication.
+# --------------------------------------------------------------------------
+
+PROTOCOL_NODES = 150
+PROTOCOL_ROUNDS = 60
+PROTOCOL_REPLICATES = 70
+PROTOCOL_LOSS = 0.25
+
+
+class TestProtocolEngineEquivalence:
+    """The vectorised and batched protocol engines against the message loop.
+
+    The gate runs with a *lossy* transport (25% per-message drop rate), so it
+    exercises exactly what the vectorised engines reimplement as array ops:
+    the Bernoulli loss masks on queries and replies, the retry sub-rounds and
+    the uniform fallback.  Under pure loss the delivered-message law of the
+    engines is identical; the engines consume the random stream differently,
+    so the comparison is distributional — KS and chi-squared on the terminal
+    best-option popularity across replicates, mirroring the network-engine
+    gate above.
+    """
+
+    # Fully seeded runs are deterministic, so the samples are computed once
+    # and shared across the KS / chi-squared / sanity tests (the loop engine
+    # alone pays ~2 Python message objects per node per round).
+    _cache: dict = {}
+
+    @classmethod
+    def _terminal_popularities(cls, engine: str) -> np.ndarray:
+        if engine in cls._cache:
+            return cls._cache[engine]
+        from repro.core.adoption import SymmetricAdoptionRule
+        from repro.distributed import (
+            BatchedProtocol,
+            LossyTransport,
+            VectorizedProtocol,
+        )
+
+        if engine == "batched":
+            env = BernoulliEnvironment(QUALITIES, rng=777)
+            protocol = BatchedProtocol(
+                PROTOCOL_NODES,
+                2,
+                num_replicates=PROTOCOL_REPLICATES,
+                adoption_rule=SymmetricAdoptionRule(BETA),
+                exploration_rate=MU,
+                loss_rate=PROTOCOL_LOSS,
+                rng=778,
+            )
+            result = protocol.run(env, PROTOCOL_ROUNDS)
+            cls._cache[engine] = result.trajectory.popularity_tensor()[-1, :, 0]
+            return cls._cache[engine]
+
+        terminal = []
+        for seed in range(PROTOCOL_REPLICATES):
+            env = BernoulliEnvironment(QUALITIES, rng=seed)
+            if engine == "loop":
+                protocol = DistributedLearningProtocol(
+                    PROTOCOL_NODES,
+                    2,
+                    adoption_rule=SymmetricAdoptionRule(BETA),
+                    exploration_rate=MU,
+                    transport=LossyTransport(loss_rate=PROTOCOL_LOSS, rng=seed + 500),
+                    rng=seed + 1000,
+                )
+            else:
+                protocol = VectorizedProtocol(
+                    PROTOCOL_NODES,
+                    2,
+                    adoption_rule=SymmetricAdoptionRule(BETA),
+                    exploration_rate=MU,
+                    loss_rate=PROTOCOL_LOSS,
+                    rng=seed + 1000,
+                )
+            result = protocol.run(env, PROTOCOL_ROUNDS)
+            terminal.append(result.popularity_matrix[-1, 0])
+        cls._cache[engine] = np.asarray(terminal)
+        return cls._cache[engine]
+
+    @staticmethod
+    def _chi_squared_pvalue(first: np.ndarray, second: np.ndarray) -> float:
+        edges = np.quantile(np.concatenate([first, second]), [0.25, 0.5, 0.75])
+        bins = np.concatenate([[-np.inf], edges, [np.inf]])
+        table = np.array(
+            [np.histogram(first, bins=bins)[0], np.histogram(second, bins=bins)[0]]
+        )
+        return float(stats.chi2_contingency(table).pvalue)
+
+    def test_vectorized_matches_loop_ks(self):
+        """KS two-sample test: array-ops engine vs the message-passing loop."""
+        loop = self._terminal_popularities("loop")
+        vectorized = self._terminal_popularities("vectorized")
+        assert stats.ks_2samp(loop, vectorized).pvalue > 0.01
+
+    def test_batched_matches_loop_ks(self):
+        """KS two-sample test: replicate-batched engine vs the message loop."""
+        loop = self._terminal_popularities("loop")
+        batched = self._terminal_popularities("batched")
+        assert stats.ks_2samp(loop, batched).pvalue > 0.01
+
+    def test_vectorized_matches_loop_chi_squared(self):
+        """Chi-squared homogeneity on quartile-binned terminal popularity."""
+        loop = self._terminal_popularities("loop")
+        vectorized = self._terminal_popularities("vectorized")
+        assert self._chi_squared_pvalue(loop, vectorized) > 0.01
+
+    def test_batched_matches_loop_chi_squared(self):
+        """Chi-squared homogeneity: batched engine vs the message loop."""
+        loop = self._terminal_popularities("loop")
+        batched = self._terminal_popularities("batched")
+        assert self._chi_squared_pvalue(loop, batched) > 0.01
+
+    def test_perfect_vectorized_protocol_matches_shared_memory(self):
+        """With no loss, the vectorised protocol reproduces the shared-memory dynamics."""
+        from repro.core.adoption import SymmetricAdoptionRule
+        from repro.distributed import VectorizedProtocol
+
+        def vectorized_protocol_metrics(seed: int) -> tuple[float, float]:
+            env = BernoulliEnvironment(QUALITIES, rng=seed)
+            protocol = VectorizedProtocol(
+                POPULATION,
+                2,
+                adoption_rule=SymmetricAdoptionRule(BETA),
+                exploration_rate=MU,
+                rng=seed + 5000,
+            )
+            result = protocol.run(env, HORIZON)
+            return result.regret, result.best_option_share
+
+        vec_regret, vec_share = average(vectorised_metrics)
+        proto_regret, proto_share = average(vectorized_protocol_metrics)
+        assert proto_regret == pytest.approx(vec_regret, abs=0.06)
+        assert proto_share == pytest.approx(vec_share, abs=0.12)
+
+    def test_all_protocol_engines_prefer_best_option(self):
+        """Every engine concentrates the lossy fleet on the best option."""
+        for engine in ("loop", "vectorized", "batched"):
+            assert self._terminal_popularities(engine).mean() > 0.5

@@ -6,9 +6,6 @@ Section 2.1, non-stationary environments, heterogeneous populations, and the
 experiment harness driving real simulations.
 """
 
-import numpy as np
-import pytest
-
 from repro import (
     BernoulliEnvironment,
     EllisonFudenbergEnvironment,

@@ -77,7 +77,7 @@ class TestGoldenTrajectories:
             f"the {engine} golden configuration changed; if intentional, "
             "regenerate the fixtures"
         )
-        for field in ("counts", "rewards", "choices"):
+        for field in ("counts", "rewards", "choices", "alive"):
             if field not in fixture:
                 continue
             committed = np.asarray(fixture[field])
@@ -134,3 +134,28 @@ class TestGoldenTrajectories:
                     committed = choices[step, replicate][choices[step, replicate] >= 0]
                     histogram = np.bincount(committed, minlength=num_options)
                     assert np.array_equal(histogram, counts[step, replicate])
+        elif engine in ("protocol_vectorized", "protocol_batched"):
+            choices = np.asarray(fixture["choices"])
+            alive = np.asarray(fixture["alive"], dtype=bool)
+            num_options = len(fixture["config"]["qualities"])
+            assert choices.shape == alive.shape
+            # The alive mask only ever shrinks (crash-stop failures).
+            assert np.all(alive[1:] <= alive[:-1])
+            # Counts must be exactly the alive-committed histogram, per step
+            # (and per replicate for the batched fixture).
+            flat_choices = choices.reshape(choices.shape[0], -1, choices.shape[-1])
+            flat_alive = alive.reshape(flat_choices.shape)
+            flat_counts = counts.reshape(counts.shape[0], -1, num_options)
+            for step in range(flat_choices.shape[0]):
+                for row in range(flat_choices.shape[1]):
+                    mask = flat_alive[step, row] & (flat_choices[step, row] >= 0)
+                    histogram = np.bincount(
+                        flat_choices[step, row][mask], minlength=num_options
+                    )
+                    assert np.array_equal(histogram, flat_counts[step, row])
+            # Message conservation: the vectorised engines never queue
+            # messages across rounds, so every sent message was either
+            # delivered or dropped.
+            stats = fixture["transport_stats"]
+            assert stats["sent"] == stats["delivered"] + stats["dropped"]
+            assert stats["delayed"] == 0

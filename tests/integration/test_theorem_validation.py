@@ -16,7 +16,6 @@ These tests are the reproduction's core assertions:
 """
 
 import numpy as np
-import pytest
 
 from repro import (
     BernoulliEnvironment,

@@ -20,7 +20,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.adoption import SymmetricAdoptionRule
-from repro.environments import BernoulliEnvironment
 from repro.experiments import (
     NETWORK_ENGINES,
     NETWORK_REPLICATIONS,

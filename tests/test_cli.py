@@ -1,6 +1,5 @@
 """Tests for the command-line interface."""
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -329,3 +328,103 @@ class TestNetworkCommand:
     def test_unknown_topology_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["network", "--topology", "moebius"])
+
+
+class TestProtocolCommand:
+    def test_default_engine_is_batched(self):
+        args = build_parser().parse_args(["protocol"])
+        assert args.engine == "batched"
+        assert args.nodes == 1000
+
+    def test_batched_engine_prints_summary(self, capsys):
+        exit_code = main(
+            [
+                "protocol",
+                "--options", "0.85", "0.45",
+                "--nodes", "200",
+                "--rounds", "30",
+                "--loss", "0.2",
+                "--replications", "8",
+                "--seed", "1",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "engine=batched" in output
+        assert "loss=0.2" in output
+        assert "regret" in output and "best_option_share" in output
+        assert "alive_fraction" in output
+
+    @pytest.mark.parametrize("engine", ("vectorized", "loop"))
+    def test_alternative_engines_run(self, engine, capsys):
+        exit_code = main(
+            [
+                "protocol",
+                "--options", "0.85", "0.45",
+                "--nodes", "60",
+                "--rounds", "15",
+                "--replications", "2",
+                "--engine", engine,
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert f"engine={engine}" in output
+
+    def test_mass_crash_defaults_to_midpoint_round(self, capsys):
+        exit_code = main(
+            [
+                "protocol",
+                "--options", "0.85", "0.45",
+                "--nodes", "100",
+                "--rounds", "20",
+                "--mass-crash-fraction", "0.4",
+                "--replications", "3",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "mass_crash_round=10" in output
+
+    def test_delay_requires_the_loop_engine(self, capsys):
+        exit_code = main(
+            [
+                "protocol",
+                "--nodes", "50",
+                "--rounds", "5",
+                "--delay", "0.1",
+                "--engine", "batched",
+            ]
+        )
+        assert exit_code == 2
+        assert "loop engine" in capsys.readouterr().err
+
+    def test_delay_runs_on_the_loop_engine(self, capsys):
+        exit_code = main(
+            [
+                "protocol",
+                "--options", "0.85", "0.45",
+                "--nodes", "50",
+                "--rounds", "10",
+                "--delay", "0.1",
+                "--replications", "2",
+                "--engine", "loop",
+            ]
+        )
+        assert exit_code == 0
+        assert "engine=loop" in capsys.readouterr().out
+
+    def test_output_writes_csv(self, tmp_path):
+        target = tmp_path / "protocol.csv"
+        exit_code = main(
+            [
+                "protocol",
+                "--nodes", "80",
+                "--rounds", "10",
+                "--loss", "0.1",
+                "--replications", "4",
+                "--output", str(target),
+            ]
+        )
+        assert exit_code == 0
+        assert target.exists()

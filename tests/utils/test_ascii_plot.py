@@ -2,8 +2,6 @@
 
 import logging
 
-import pytest
-
 from repro.utils.ascii_plot import ascii_histogram, ascii_line_plot, format_table
 from repro.utils.logging import enable_console_logging, get_logger
 
