@@ -1,0 +1,129 @@
+"""Parallel-runtime benchmark: multi-process sharding and cache-hit replay.
+
+A CPU-bound sweep — the per-seed loop engine, which the runtime shards into
+one task per ``(point, seed)`` pair — runs three ways through the same
+``run_sweep`` entry point:
+
+* ``serial`` — the in-process :class:`SerialExecutor` (the default);
+* ``parallel`` — a 4-worker :class:`ParallelExecutor` (skipped, with the
+  asserted floor untested, on machines with fewer than 4 CPUs); and
+* ``cache replay`` — the serial executor against a warm
+  :class:`ResultStore`, which must serve every task without recompute.
+
+Floors asserted (ISSUE 5): the 4-worker sweep is at least 2x faster than
+serial, bit-identical per-(point, seed); warm replay is at least 50x faster
+than the cold compute, with zero store misses.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.experiments import ParameterGrid, ResultTable, run_sweep
+from repro.experiments.dynamics_sweep import dynamics_point_replication
+from repro.runtime import ParallelExecutor, ResultStore, SerialExecutor
+
+QUALITIES = (0.8, 0.5, 0.5, 0.5, 0.5)
+POPULATION = 20_000
+REPLICATES = 4
+HORIZON = 400
+GRID = ParameterGrid({"beta": (0.55, 0.6, 0.65, 0.7), "mu": (0.02, 0.1)})
+BASE_PARAMETERS = {"qualities": QUALITIES, "N": POPULATION, "T": HORIZON}
+
+PARALLEL_WORKERS = 4
+REQUIRED_PARALLEL_SPEEDUP = 2.0
+REQUIRED_REPLAY_SPEEDUP = 50.0
+
+
+def _run(executor=None, store=None):
+    """One full sweep through the runtime; returns (seconds, per-point metrics)."""
+    start = time.perf_counter()
+    results, _ = run_sweep(
+        "bench-runtime",
+        GRID,
+        dynamics_point_replication,
+        replications=REPLICATES,
+        seed=0,
+        base_parameters=BASE_PARAMETERS,
+        executor=executor,
+        store=store,
+    )
+    seconds = time.perf_counter() - start
+    assert len(results) == len(GRID)
+    assert all(len(result.metrics) == REPLICATES for result in results)
+    return seconds, [result.metrics for result in results]
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_runtime_sharding_and_replay_throughput(save_results, tmp_path):
+    """4-worker sharding >= 2x over serial; warm-store replay >= 50x, 0 misses."""
+    # Warm once (imports, allocator) before timing the serial baseline.
+    _run(executor=SerialExecutor())
+    serial_seconds, serial_metrics = _run(executor=SerialExecutor())
+
+    rows = [
+        {
+            "execution": "serial",
+            "seconds": serial_seconds,
+            "speedup_vs_serial": 1.0,
+            "tasks": len(GRID) * REPLICATES,
+        }
+    ]
+
+    can_go_parallel = (os.cpu_count() or 1) >= PARALLEL_WORKERS
+    if can_go_parallel:
+        parallel_seconds, parallel_metrics = _run(
+            executor=ParallelExecutor(PARALLEL_WORKERS)
+        )
+        assert parallel_metrics == serial_metrics, (
+            "parallel sweep is not bit-identical to serial"
+        )
+        rows.append(
+            {
+                "execution": f"parallel-{PARALLEL_WORKERS}",
+                "seconds": parallel_seconds,
+                "speedup_vs_serial": serial_seconds / parallel_seconds,
+                "tasks": len(GRID) * REPLICATES,
+            }
+        )
+
+    store_path = tmp_path / "bench_runtime.sqlite"
+    with ResultStore(store_path) as store:
+        cold_seconds, cold_metrics = _run(store=store)
+        assert store.misses == len(GRID) * REPLICATES
+    with ResultStore(store_path) as store:
+        replay_seconds, replay_metrics = _run(store=store)
+        assert store.misses == 0, "warm replay recomputed tasks"
+    assert cold_metrics == serial_metrics
+    assert replay_metrics == serial_metrics
+    replay_speedup = cold_seconds / replay_seconds
+    rows.append(
+        {
+            "execution": "cache-replay",
+            "seconds": replay_seconds,
+            "speedup_vs_serial": serial_seconds / replay_seconds,
+            "tasks": len(GRID) * REPLICATES,
+        }
+    )
+
+    save_results(ResultTable(rows), "bench_runtime")
+
+    assert replay_speedup >= REQUIRED_REPLAY_SPEEDUP, (
+        f"cache-hit replay speedup {replay_speedup:.1f}x below the required "
+        f"{REQUIRED_REPLAY_SPEEDUP:.0f}x over cold compute"
+    )
+    if not can_go_parallel:
+        pytest.skip(
+            f"only {os.cpu_count()} CPUs: the {PARALLEL_WORKERS}-worker "
+            f">= {REQUIRED_PARALLEL_SPEEDUP:.0f}x floor needs "
+            f"{PARALLEL_WORKERS} cores"
+        )
+    parallel_speedup = serial_seconds / parallel_seconds
+    assert parallel_speedup >= REQUIRED_PARALLEL_SPEEDUP, (
+        f"{PARALLEL_WORKERS}-worker speedup {parallel_speedup:.1f}x below the "
+        f"required {REQUIRED_PARALLEL_SPEEDUP:.0f}x on a CPU-bound "
+        f"{len(GRID)}-point x {REPLICATES}-replicate grid at N={POPULATION}"
+    )

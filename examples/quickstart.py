@@ -86,6 +86,19 @@ def main() -> None:
         height=14,
     ))
 
+    # Scaling out: replication studies and parameter sweeps can be sharded
+    # across worker processes and cached in a content-addressed result store
+    # (see the README's "Scaling out" guide), e.g.
+    #
+    #   python -m repro sweep --populations 1000 10000 --betas 0.6 0.7 \
+    #       --replications 50 --workers 4 --store sweep.sqlite
+    #
+    # Re-running the same command serves finished work from the store, so an
+    # interrupted sweep resumes instead of restarting.
+    print()
+    print("Next: shard a sweep across cores with")
+    print("  python -m repro sweep --workers 4 --store sweep.sqlite  [...]")
+
 
 if __name__ == "__main__":
     main()

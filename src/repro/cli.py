@@ -27,6 +27,13 @@ crash-stop failures — by default on the replicate-batched
 :class:`repro.distributed.vectorized.BatchedProtocol`; only ``--engine
 loop`` models per-message delay (``--delay``).
 
+``sweep``, ``network`` and ``protocol`` additionally accept the parallel
+runtime flags (``--workers K --store PATH [--resume]``): the workload is
+sharded across ``K`` worker processes and every computed result lands in a
+content-addressed sqlite store that serves cache hits on re-runs and lets a
+killed run resume shard-by-shard — with bit-identical metrics at any worker
+count (see the README's "Scaling out" guide).
+
 Every command prints an aligned text table; ``--output`` additionally writes
 CSV via :func:`repro.experiments.io.write_csv`.
 """
@@ -35,7 +42,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -63,7 +71,89 @@ from repro.experiments import (
     run_sweep,
     write_csv,
 )
+from repro.runtime import ParallelExecutor, ResultStore
 from repro.utils.ascii_plot import ascii_line_plot
+
+
+def _add_runtime_arguments(subparser: argparse.ArgumentParser) -> None:
+    """Attach the parallel-runtime flags shared by sweep/network/protocol."""
+    runtime = subparser.add_argument_group(
+        "parallel runtime",
+        "shard the workload across worker processes and cache results in a "
+        "content-addressed sqlite store (see the README's 'Scaling out' "
+        "guide); results are bit-identical at any worker count",
+    )
+    runtime.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (default 1 = in-process serial execution)",
+    )
+    runtime.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        help=(
+            "sqlite result store path: completed shards are flushed as they "
+            "finish and matching results are served from cache instead of "
+            "recomputed"
+        ),
+    )
+    runtime.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "fail fast unless --store already exists (continuing an "
+            "interrupted run); with --store, cache reuse itself is always on"
+        ),
+    )
+
+
+def _runtime_kwargs(args: argparse.Namespace) -> Dict[str, Any]:
+    """Translate --workers/--store/--resume into ``executor=``/``store=`` kwargs."""
+    kwargs: Dict[str, Any] = {}
+    if args.workers < 1:
+        print(
+            f"error: --workers must be at least 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    if args.resume and not args.store:
+        print("error: --resume needs --store PATH", file=sys.stderr)
+        raise SystemExit(2)
+    if args.store:
+        if args.resume and not Path(args.store).exists():
+            print(
+                f"error: cannot resume: no result store at {args.store}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        kwargs["store"] = ResultStore(args.store)
+    if args.workers > 1:
+        kwargs["executor"] = ParallelExecutor(args.workers)
+    return kwargs
+
+
+def _warn_single_task(args: argparse.Namespace) -> None:
+    """Note when --workers cannot help because the engine is replicate-batched."""
+    if args.workers > 1 and args.engine == "batched":
+        print(
+            "note: the batched engine advances all replicates as one "
+            "indivisible task, so --workers adds no parallelism here; use "
+            "--engine vectorized (or loop) to shard across seeds",
+            file=sys.stderr,
+        )
+
+
+def _finish_runtime(runtime_kwargs: Dict[str, Any]) -> None:
+    """Report cache statistics and release the store, if one was opened."""
+    store = runtime_kwargs.get("store")
+    if store is not None:
+        print(
+            f"store {store.path}: {store.hits} cache hits, "
+            f"{store.misses} misses, {len(store)} rows"
+        )
+        store.close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -183,6 +273,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep.add_argument("--output", type=str, default=None)
+    _add_runtime_arguments(sweep)
 
     network = subparsers.add_parser(
         "network",
@@ -232,6 +323,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     network.add_argument("--output", type=str, default=None, help="write the summary table to this CSV path")
+    _add_runtime_arguments(network)
 
     protocol = subparsers.add_parser(
         "protocol",
@@ -281,6 +373,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     protocol.add_argument("--output", type=str, default=None, help="write the summary table to this CSV path")
+    _add_runtime_arguments(protocol)
 
     return parser
 
@@ -475,8 +568,20 @@ def _command_sweep(args: argparse.Namespace) -> int:
     if not args.betas:
         base_parameters["beta"] = args.beta
     replication = (
-        dynamics_grid_replication if args.engine == "batched" else dynamics_point_replication
+        dynamics_grid_replication
+        if args.engine == "batched"
+        else dynamics_point_replication
     )
+    runtime_kwargs = _runtime_kwargs(args)
+    if runtime_kwargs and args.engine == "batched":
+        print(
+            "note: with --workers/--store the batched sweep runs one grid "
+            "point per task (the per-point batched convention) instead of "
+            "the fused whole-grid launch, so sampled trajectories differ "
+            "from a plain `repro sweep` at the same seed — statistically "
+            "equivalent, and stable across worker counts and cache states",
+            file=sys.stderr,
+        )
     _, table = run_sweep(
         f"sweep-{args.engine}",
         grid,
@@ -484,12 +589,15 @@ def _command_sweep(args: argparse.Namespace) -> int:
         replications=args.replications,
         seed=args.seed,
         base_parameters=base_parameters,
+        **runtime_kwargs,
     )
     print(
         f"sweep engine={args.engine}: {len(grid)} grid points x "
         f"{args.replications} replications"
+        + (f" on {args.workers} workers" if args.workers > 1 else "")
     )
     _finish(table, args.output)
+    _finish_runtime(runtime_kwargs)
     return 0
 
 
@@ -526,7 +634,11 @@ def _command_network(args: argparse.Namespace) -> int:
             f"diameter={diameter} clustering={metrics['clustering']:.4f}"
         )
     print(header)
-    result = run_replications(config, NETWORK_REPLICATIONS[args.engine])
+    runtime_kwargs = _runtime_kwargs(args)
+    _warn_single_task(args)
+    result = run_replications(
+        config, NETWORK_REPLICATIONS[args.engine], **runtime_kwargs
+    )
     table = ResultTable()
     for name in result.metric_names():
         row = {"metric": name}
@@ -534,6 +646,7 @@ def _command_network(args: argparse.Namespace) -> int:
         table.add_row(row)
     print(config.describe())
     _finish(table, args.output)
+    _finish_runtime(runtime_kwargs)
     return 0
 
 
@@ -573,7 +686,11 @@ def _command_protocol(args: argparse.Namespace) -> int:
         f"crash={args.crash} mass_crash_fraction={args.mass_crash_fraction} "
         f"engine={args.engine}"
     )
-    result = run_replications(config, PROTOCOL_REPLICATIONS[args.engine])
+    runtime_kwargs = _runtime_kwargs(args)
+    _warn_single_task(args)
+    result = run_replications(
+        config, PROTOCOL_REPLICATIONS[args.engine], **runtime_kwargs
+    )
     table = ResultTable()
     for name in result.metric_names():
         row = {"metric": name}
@@ -581,6 +698,7 @@ def _command_protocol(args: argparse.Namespace) -> int:
         table.add_row(row)
     print(config.describe())
     _finish(table, args.output)
+    _finish_runtime(runtime_kwargs)
     return 0
 
 

@@ -14,7 +14,7 @@ from repro.experiments.runner import (
     grid_batched_replication,
     run_replications,
 )
-from repro.experiments.sweep import ParameterGrid, run_sweep
+from repro.experiments.sweep import ParameterGrid, run_sweep, sweep_configs
 from repro.experiments.dynamics_sweep import (
     FlatGrid,
     dynamics_grid_replication,
@@ -48,6 +48,7 @@ __all__ = [
     "run_replications",
     "ParameterGrid",
     "run_sweep",
+    "sweep_configs",
     "FlatGrid",
     "dynamics_grid_replication",
     "dynamics_point_replication",

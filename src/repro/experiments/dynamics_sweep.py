@@ -64,7 +64,9 @@ from repro.environments import BernoulliEnvironment, RowwiseBernoulliEnvironment
 from repro.experiments.runner import grid_batched_replication
 
 
-def _point_parameters(parameters: Dict[str, Any]) -> Tuple[np.ndarray, int, int, float, float, Any]:
+def _point_parameters(
+    parameters: Dict[str, Any],
+) -> Tuple[np.ndarray, int, int, float, float, Any]:
     """Extract and validate one grid point's ``(qualities, N, T, alpha, beta, mu)``."""
     try:
         qualities = np.asarray(parameters["qualities"], dtype=float)
@@ -225,14 +227,19 @@ def dynamics_grid_replication(
     replications = flat.replications
     return [
         [
-            _metric_row(regrets[point * replications + row], shares[point * replications + row])
+            _metric_row(
+                regrets[point * replications + row],
+                shares[point * replications + row],
+            )
             for row in range(replications)
         ]
         for point in range(len(points))
     ]
 
 
-def dynamics_point_replication(seed: int, parameters: Dict[str, Any]) -> Dict[str, float]:
+def dynamics_point_replication(
+    seed: int, parameters: Dict[str, Any]
+) -> Dict[str, float]:
     """Per-seed loop engine for the same workload (the ``--engine loop`` fallback).
 
     One :class:`~repro.core.dynamics.FinitePopulationDynamics` run per

@@ -2,6 +2,13 @@
 
 The environment has no plotting stack, so persistent results are written as
 CSV for plotting elsewhere.  Only the standard library ``csv`` module is used.
+
+Round-trip contract: the write/read pair is **asymmetric for missing cells**.
+A row lacking some column is written as an empty cell (CSV has no other way
+to say "absent"), and :func:`read_csv` *drops* empty cells from their row
+rather than inventing a value for them — so sparse rows survive a round trip
+as sparse rows, but a genuinely empty *string* value does not (it reads back
+as absent).  Write a sentinel if the distinction matters.
 """
 
 from __future__ import annotations
@@ -15,15 +22,41 @@ from repro.experiments.results import ResultTable
 PathLike = Union[str, Path]
 
 
-def write_csv(table: ResultTable, path: PathLike) -> Path:
+def write_csv(table: ResultTable, path: PathLike, *, append: bool = False) -> Path:
     """Write a result table to ``path`` (parent directories are created).
 
-    Returns the resolved path.  Missing cells are written as empty strings.
+    Returns the resolved path.  Missing cells are written as empty strings
+    (and are dropped again by :func:`read_csv` — see the module docstring
+    for the round-trip contract).
+
+    With ``append=True``, rows are added to an existing file instead of
+    rewriting it — the incremental-flush mode sharded runs use, so each
+    completed chunk costs one append rather than a whole-table rewrite.  The
+    existing header stays authoritative: appended rows must not introduce
+    new columns (a ``ValueError`` names any offenders), and cells for
+    existing columns a row lacks are written empty as usual.  Appending to a
+    missing or empty file is an ordinary write.
     """
     if len(table) == 0:
         raise ValueError("refusing to write an empty result table")
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    if append and path.exists() and path.stat().st_size > 0:
+        with path.open("r", newline="") as handle:
+            header = next(csv.reader(handle), None)
+        if not header:
+            raise ValueError(f"cannot append to {path}: existing header is empty")
+        extra = [column for column in table.columns if column not in header]
+        if extra:
+            raise ValueError(
+                f"cannot append to {path}: rows introduce columns {extra} "
+                f"missing from the existing header {header}"
+            )
+        with path.open("a", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=header, restval="")
+            for row in table.rows:
+                writer.writerow(row)
+        return path
     with path.open("w", newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=table.columns, restval="")
         writer.writeheader()
@@ -35,8 +68,10 @@ def write_csv(table: ResultTable, path: PathLike) -> Path:
 def read_csv(path: PathLike) -> ResultTable:
     """Read a result table previously written by :func:`write_csv`.
 
-    Numeric-looking cells are converted back to ``int``/``float``; empty cells
-    are dropped from their row.
+    Numeric-looking cells are converted back to ``int``/``float``; empty
+    cells are **dropped** from their row (the inverse of how missing cells
+    are written — see the module docstring), so ``row.get(column)`` after a
+    round trip distinguishes "absent" from any real value.
     """
     path = Path(path)
     if not path.exists():

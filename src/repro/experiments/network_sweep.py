@@ -134,7 +134,9 @@ def build_network(parameters: Dict[str, Any]) -> SocialNetwork:
     )
 
 
-def _point_parameters(parameters: Dict[str, Any]) -> Tuple[np.ndarray, int, float, float]:
+def _point_parameters(
+    parameters: Dict[str, Any],
+) -> Tuple[np.ndarray, int, float, float]:
     """Extract one point's ``(qualities, T, beta, mu)`` with engine-shared defaults."""
     try:
         qualities = np.asarray(parameters["qualities"], dtype=float)
@@ -151,11 +153,10 @@ def _point_parameters(parameters: Dict[str, Any]) -> Tuple[np.ndarray, int, floa
 
 
 def _metric_row(matrix: np.ndarray, qualities: np.ndarray) -> Dict[str, float]:
+    best = int(qualities.argmax())
     return {
         "regret": float(expected_regret(matrix, qualities)),
-        "best_option_share": float(
-            best_option_share(matrix, int(qualities.argmax()))
-        ),
+        "best_option_share": float(best_option_share(matrix, best)),
     }
 
 
@@ -176,12 +177,16 @@ def _run_single(
     return _metric_row(trajectory.popularity_matrix(), qualities)
 
 
-def network_point_replication(seed: int, parameters: Dict[str, Any]) -> Dict[str, float]:
+def network_point_replication(
+    seed: int, parameters: Dict[str, Any]
+) -> Dict[str, float]:
     """Per-seed loop engine (the ``--engine loop`` reference path)."""
     return _run_single(NetworkDynamics, seed, parameters)
 
 
-def network_vectorized_replication(seed: int, parameters: Dict[str, Any]) -> Dict[str, float]:
+def network_vectorized_replication(
+    seed: int, parameters: Dict[str, Any]
+) -> Dict[str, float]:
     """Per-seed sparse vectorised engine — one run per seed, no per-agent loop."""
     return _run_single(VectorizedNetworkDynamics, seed, parameters)
 

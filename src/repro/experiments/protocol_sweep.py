@@ -129,7 +129,9 @@ def _failure_model(point: Dict[str, Any], rng) -> CrashFailureModel | NoFailures
     return NoFailures()
 
 
-def protocol_point_replication(seed: int, parameters: Dict[str, Any]) -> Dict[str, float]:
+def protocol_point_replication(
+    seed: int, parameters: Dict[str, Any]
+) -> Dict[str, float]:
     """Per-seed message-passing loop engine (the ``--engine loop`` reference path)."""
     point = _point_parameters(parameters)
     environment = BernoulliEnvironment(point["qualities"], rng=seed)

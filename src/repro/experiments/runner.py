@@ -42,7 +42,9 @@ GridReplicationFunction = Callable[
 returns, for each grid point, one metrics dict per seed."""
 
 
-def grid_batched_replication(function: GridReplicationFunction) -> GridReplicationFunction:
+def grid_batched_replication(
+    function: GridReplicationFunction,
+) -> GridReplicationFunction:
     """Mark ``function`` as a whole-grid batched replication for :func:`run_sweep`.
 
     Where :func:`batched_replication` collapses the replicate axis of *one*
@@ -70,7 +72,9 @@ def grid_batched_replication(function: GridReplicationFunction) -> GridReplicati
     return function
 
 
-def batched_replication(function: BatchedReplicationFunction) -> BatchedReplicationFunction:
+def batched_replication(
+    function: BatchedReplicationFunction,
+) -> BatchedReplicationFunction:
     """Mark ``function`` as a batched replication for :func:`run_replications`.
 
     A batched replication is called once with ``(seeds, parameters)`` — the
@@ -140,7 +144,11 @@ def _validated_metrics(metrics: Any) -> Dict[str, float]:
 
 
 def run_replications(
-    config: ExperimentConfig, replication: ReplicationFunction
+    config: ExperimentConfig,
+    replication: ReplicationFunction,
+    *,
+    executor: Any = None,
+    store: Any = None,
 ) -> ReplicatedResult:
     """Run ``config.replications`` independent replications of an experiment.
 
@@ -152,6 +160,15 @@ def run_replications(
     once with the full seed list (the batched fast path) instead of once per
     seed; the derived seeds, and therefore the result's provenance record,
     are identical in both modes.
+
+    ``executor``/``store`` route execution through the parallel runtime
+    (:mod:`repro.runtime`): an executor (e.g.
+    :class:`~repro.runtime.executors.ParallelExecutor`) shards the per-seed
+    work across processes — per-seed functions parallelise seed by seed,
+    batched functions stay one indivisible task — and a
+    :class:`~repro.runtime.store.ResultStore` serves cache hits and records
+    results for resume.  The runtime derives identical seeds, so results are
+    bit-identical to the default in-process path.
     """
     if getattr(replication, "grid_replications", False):
         raise TypeError(
@@ -160,6 +177,14 @@ def run_replications(
         )
     seeds = seeds_for_replications(config.seed, config.replications)
     result = ReplicatedResult(config=config, seeds=seeds)
+    if executor is not None or store is not None:
+        # Imported lazily: repro.runtime depends on this module.
+        from repro.runtime import ShardPlan, run_plan
+
+        plan = ShardPlan.from_config(config, replication)
+        rows_per_point = run_plan(plan, replication, executor=executor, store=store)
+        result.metrics.extend(rows_per_point[0])
+        return result
     if getattr(replication, "batched_replications", False):
         rows = list(replication(list(seeds), dict(config.parameters)))
         if len(rows) != len(seeds):
@@ -170,5 +195,7 @@ def run_replications(
         result.metrics.extend(_validated_metrics(row) for row in rows)
         return result
     for seed in seeds:
-        result.metrics.append(_validated_metrics(replication(seed, dict(config.parameters))))
+        result.metrics.append(
+            _validated_metrics(replication(seed, dict(config.parameters)))
+        )
     return result

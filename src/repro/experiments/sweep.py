@@ -55,6 +55,37 @@ class ParameterGrid:
             yield dict(zip(names, combination))
 
 
+def sweep_configs(
+    name: str,
+    grid: ParameterGrid,
+    *,
+    replications: int = 5,
+    seed: int = 0,
+    base_parameters: Mapping[str, Any] | None = None,
+) -> List[ExperimentConfig]:
+    """The per-point experiment configs of a sweep, in grid order.
+
+    This is the single canonical derivation — point ``i`` is named
+    ``f"{name}[{i}]"`` and seeded at ``seed + i`` — shared by
+    :func:`run_sweep` and the parallel runtime's
+    :meth:`~repro.runtime.shard.ShardPlan.from_configs`, so sharded and
+    in-process sweeps agree on every config and therefore on every seed.
+    """
+    configs: List[ExperimentConfig] = []
+    for index, point in enumerate(grid):
+        parameters = dict(base_parameters or {})
+        parameters.update(point)
+        configs.append(
+            ExperimentConfig(
+                name=f"{name}[{index}]",
+                parameters=parameters,
+                replications=replications,
+                seed=seed + index,
+            )
+        )
+    return configs
+
+
 def run_sweep(
     name: str,
     grid: ParameterGrid,
@@ -63,6 +94,8 @@ def run_sweep(
     replications: int = 5,
     seed: int = 0,
     base_parameters: Mapping[str, Any] | None = None,
+    executor: Any = None,
+    store: Any = None,
 ) -> tuple[List[ReplicatedResult], ResultTable]:
     """Run ``replication`` over every point of ``grid``.
 
@@ -81,22 +114,48 @@ def run_sweep(
     :class:`ReplicatedResult` objects.  All three paths derive identical
     per-point seed lists from ``seed``, so results stay reproducible from the
     arguments alone regardless of the engine.
+
+    ``executor``/``store`` route the sweep through the parallel runtime
+    (:mod:`repro.runtime`): the workload is decomposed into per-point (and,
+    for per-seed functions, per-seed) tasks, cache hits are served from the
+    :class:`~repro.runtime.store.ResultStore`, the misses run on the
+    executor — e.g. a multi-process
+    :class:`~repro.runtime.executors.ParallelExecutor` — and completed
+    shards are flushed to the store as they finish, making interrupted
+    sweeps resumable.  Task results are execution-invariant, so any executor
+    and any cache state yield bit-identical per-(point, seed) metrics.  One
+    caveat: grid-batched functions run one *point* per task (the per-point
+    batched convention) rather than as a single fused ``G x R`` launch, so
+    their sampled trajectories differ from the in-process grid path while
+    remaining statistically equivalent and internally reproducible.
     """
-    configs: List[ExperimentConfig] = []
-    for index, point in enumerate(grid):
-        parameters = dict(base_parameters or {})
-        parameters.update(point)
-        configs.append(
-            ExperimentConfig(
-                name=f"{name}[{index}]",
-                parameters=parameters,
-                replications=replications,
-                seed=seed + index,
-            )
-        )
+    configs = sweep_configs(
+        name,
+        grid,
+        replications=replications,
+        seed=seed,
+        base_parameters=base_parameters,
+    )
 
     results: List[ReplicatedResult] = []
     table = ResultTable()
+
+    if executor is not None or store is not None:
+        # Imported lazily: repro.runtime depends on this module's siblings.
+        from repro.runtime import ShardPlan, run_plan
+
+        plan = ShardPlan.from_configs(configs, replication)
+        rows_per_point = run_plan(plan, replication, executor=executor, store=store)
+        for config, rows in zip(configs, rows_per_point):
+            result = ReplicatedResult(
+                config=config,
+                seeds=seeds_for_replications(config.seed, config.replications),
+            )
+            result.metrics.extend(rows)
+            results.append(result)
+            table.add_row(result.summary_row())
+        return results, table
+
     if getattr(replication, "grid_replications", False):
         seed_blocks = [
             seeds_for_replications(config.seed, config.replications)

@@ -1,0 +1,68 @@
+"""The runtime driver: cache lookup, shard dispatch, flush and ordered merge.
+
+:func:`run_plan` is the one entry point the experiment harness calls.  For a
+:class:`~repro.runtime.shard.ShardPlan` it
+
+1. looks every task up in the :class:`~repro.runtime.store.ResultStore`
+   (when one is attached) and keeps the cache hits,
+2. partitions only the *misses* into shards and hands them to the executor,
+3. flushes each completed shard back to the store the moment it arrives —
+   so a killed run resumes shard-by-shard — and
+4. merges everything back into per-point metric lists in replicate order.
+
+Because tasks are execution-invariant (see :mod:`repro.runtime.shard`), the
+merged output is bit-identical whichever executor ran the misses and however
+many of the tasks came from the cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.runtime.executors import SerialExecutor
+from repro.runtime.shard import ShardPlan, partition_tasks
+from repro.runtime.store import ResultStore
+
+PointMetrics = List[List[Dict[str, float]]]
+"""Per grid point, one metrics dict per seed (in seed order)."""
+
+
+def run_plan(
+    plan: ShardPlan,
+    replication,
+    *,
+    executor=None,
+    store: Optional[ResultStore] = None,
+) -> PointMetrics:
+    """Execute ``plan`` and return per-point metric rows in replicate order.
+
+    ``executor`` defaults to a fresh :class:`SerialExecutor`; ``store`` is
+    optional.  If the executor raises (worker crash, ``KeyboardInterrupt``),
+    every shard that completed before the failure has already been flushed
+    to the store, so re-running the same plan against the same store picks
+    up where the run died.
+    """
+    executor = executor if executor is not None else SerialExecutor()
+    completed: Dict[int, List[Dict[str, float]]] = {}
+
+    pending = list(plan.tasks)
+    if store is not None:
+        pending = []
+        for task in plan.tasks:
+            cached = store.get(store.key_for(task))
+            if cached is None:
+                pending.append(task)
+            else:
+                completed[task.ordinal] = cached
+
+    shards = partition_tasks(pending, executor.num_shards)
+    for shard_results in executor.run_shards(shards, replication):
+        if store is not None:
+            store.put_many(shard_results)
+        for task, metrics in shard_results:
+            completed[task.ordinal] = metrics
+
+    merged: PointMetrics = [[] for _ in range(plan.num_points)]
+    for task in plan.tasks:
+        merged[task.point_index].extend(completed[task.ordinal])
+    return merged

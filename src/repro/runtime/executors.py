@@ -1,0 +1,178 @@
+"""Pluggable shard executors: in-process serial and multi-process parallel.
+
+Both executors consume shards (lists of :class:`~repro.runtime.shard.Task`)
+and yield ``(task, metrics)`` pairs one completed shard at a time, so the
+driver can flush each shard to the :class:`~repro.runtime.store.ResultStore`
+the moment it finishes — that per-shard flush is what makes interrupted runs
+resumable.  Because every task runs through the same
+:func:`~repro.runtime.shard.execute_task` compute path and depends only on
+its own ``(function, parameters, seeds)``, the two executors (at any worker
+count) produce bit-identical metrics; only wall-clock differs.
+
+:class:`ParallelExecutor` ships tasks to ``ProcessPoolExecutor`` workers as
+plain picklable data.  Workers resolve the replication function from its
+``module:qualname`` reference and construct engines on their side, so the
+parent process never pickles engines, environments or closures.  The
+replication function must therefore live at module level; closures fall back
+to :class:`SerialExecutor` (or raise, with a pointer, under the parallel
+executor).
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import sys
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from functools import lru_cache
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple
+
+from repro.runtime.shard import Task, execute_task, function_reference
+
+ShardResults = List[Tuple[Task, List[Dict[str, float]]]]
+"""One completed shard: each task paired with its per-seed metric rows."""
+
+
+@lru_cache(maxsize=64)
+def resolve_replication(reference: str) -> Callable:
+    """Import the replication function behind a ``module:qualname`` reference."""
+    module_name, _, qualified_name = reference.partition(":")
+    if not module_name or not qualified_name:
+        raise ValueError(f"malformed function reference {reference!r}")
+    module = importlib.import_module(module_name)
+    target = module
+    for part in qualified_name.split("."):
+        target = getattr(target, part)
+    return target
+
+
+def _worker_initializer(extra_sys_path: Sequence[str]) -> None:
+    """Make the parent's package importable in spawn-started workers."""
+    for entry in extra_sys_path:  # pragma: no cover - runs in worker processes
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+
+def _execute_shard(tasks: Sequence[Task]) -> ShardResults:
+    """Worker-side entry point: run one shard and return its results."""
+    return [
+        (task, execute_task(task, resolve_replication(task.function_ref)))
+        for task in tasks
+    ]
+
+
+class SerialExecutor:
+    """Zero-dependency in-process executor (the default).
+
+    ``num_shards`` only sets the flush granularity when a store is attached;
+    it never changes results.
+    """
+
+    def __init__(self, num_shards: int = 8) -> None:
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        self.num_shards = num_shards
+
+    def run_shards(
+        self, shards: Sequence[Sequence[Task]], replication: Callable
+    ) -> Iterator[ShardResults]:
+        """Run each shard in order, yielding it as soon as it completes."""
+        for shard in shards:
+            yield [(task, execute_task(task, replication)) for task in shard]
+
+
+class ParallelExecutor:
+    """``ProcessPoolExecutor``-backed executor with chunked shard dispatch.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker process count (default: ``os.cpu_count()``).
+    shards_per_worker:
+        Dispatch granularity — the plan's pending tasks are chunked into
+        ``max_workers * shards_per_worker`` shards so slow tasks cannot
+        starve the pool and store flushes happen throughout the run.
+    mp_context:
+        Optional :mod:`multiprocessing` context; the platform default
+        (``fork`` on Linux) keeps worker start-up cheap, while ``spawn``
+        workers re-import the library via the recorded ``sys.path``.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        *,
+        shards_per_worker: int = 4,
+        mp_context=None,
+    ) -> None:
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        if max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        if shards_per_worker <= 0:
+            raise ValueError(
+                f"shards_per_worker must be positive, got {shards_per_worker}"
+            )
+        self.max_workers = max_workers
+        self.shards_per_worker = shards_per_worker
+        self.mp_context = mp_context
+
+    @property
+    def num_shards(self) -> int:
+        """Default number of dispatch chunks for a plan's pending tasks."""
+        return self.max_workers * self.shards_per_worker
+
+    def _check_resolvable(self, replication: Callable) -> None:
+        reference = function_reference(replication)
+        try:
+            resolved = resolve_replication(reference)
+        except (ImportError, AttributeError, ValueError) as error:
+            raise ValueError(
+                f"ParallelExecutor cannot ship {reference!r} to worker "
+                "processes; replication functions must be importable at "
+                "module level (use SerialExecutor for closures)"
+            ) from error
+        if resolved is not replication:
+            raise ValueError(
+                f"{reference!r} does not resolve back to the replication "
+                "function being run; replication functions must be "
+                "module-level (use SerialExecutor for closures)"
+            )
+
+    def run_shards(
+        self, shards: Sequence[Sequence[Task]], replication: Callable
+    ) -> Iterator[ShardResults]:
+        """Run shards across the pool, yielding each as it completes.
+
+        Completion order is arbitrary; the driver reassembles results by
+        task ordinal, so ordering here is irrelevant to correctness.
+        """
+        if not shards:
+            return
+        self._check_resolvable(replication)
+        # Workers started with "spawn" know nothing of the parent's
+        # sys.path; record the library location so they can re-import it.
+        package_root = _repro_import_root()
+        with ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            mp_context=self.mp_context,
+            initializer=_worker_initializer,
+            initargs=((package_root,),),
+        ) as pool:
+            pending = {pool.submit(_execute_shard, list(shard)) for shard in shards}
+            try:
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        yield future.result()
+            except BaseException:
+                for future in pending:
+                    future.cancel()
+                raise
+
+
+def _repro_import_root() -> str:
+    """Directory that must be on ``sys.path`` for ``import repro`` to work."""
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))

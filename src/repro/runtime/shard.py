@@ -1,0 +1,213 @@
+"""Deterministic work decomposition for sharded sweep execution.
+
+A :class:`ShardPlan` turns a ``ParameterGrid x replications`` workload (or a
+single replicated :class:`~repro.experiments.config.ExperimentConfig`) into an
+ordered tuple of :class:`Task` objects — the smallest units of work the
+runtime schedules, caches and resumes.  The decomposition is **deterministic**
+and **execution-invariant**:
+
+* every grid point derives its seed list exactly as the legacy serial paths
+  do (``seeds_for_replications(config.seed, config.replications)`` — the
+  integer-seed materialisation of :func:`repro.utils.rng.spawn_rngs`'s
+  independent streams), so the runtime never changes an experiment's
+  provenance; and
+* every task is a pure function of its own ``(function, parameters, seeds)``
+  triple — no task observes which shard it landed on, how many workers exist,
+  or what ran before it — so **any** sharding (1 worker or 32, one shard or a
+  hundred) yields bit-identical per-(point, seed) metrics.
+
+Task granularity follows the replication function's execution mode:
+
+``loop``
+    Plain per-seed functions split into one task per ``(point, seed)`` pair —
+    maximal parallelism and per-seed cache/resume granularity.
+``batched``
+    ``@batched_replication`` functions derive one generator from the *whole*
+    seed list, so a point's batch is indivisible: one task per point.
+``grid``
+    ``@grid_batched_replication`` functions are called with a single-point
+    grid per task, which by construction equals the per-point batched
+    convention (the generator is seeded by that point's seed list alone).
+    Note this differs from the legacy whole-grid fused launch, whose single
+    generator consumes every point's seeds at once; the runtime trades that
+    fusion for shard-invariance and per-point caching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import _validated_metrics
+from repro.utils.rng import seeds_for_replications
+
+MODE_LOOP = "loop"
+MODE_BATCHED = "batched"
+MODE_GRID = "grid"
+
+
+def function_reference(function: Callable) -> str:
+    """The ``module:qualname`` string a worker process resolves back to ``function``."""
+    return f"{function.__module__}:{function.__qualname__}"
+
+
+def replication_mode(function: Callable) -> str:
+    """Execution mode of a replication function (``loop``/``batched``/``grid``)."""
+    if getattr(function, "grid_replications", False):
+        return MODE_GRID
+    if getattr(function, "batched_replications", False):
+        return MODE_BATCHED
+    return MODE_LOOP
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit of work: some seeds of one grid point.
+
+    Tasks are plain picklable data — the replication function travels as its
+    importable ``module:qualname`` reference, and workers rebuild engines
+    from ``parameters`` on their side.  ``ordinal`` is the task's position in
+    the plan (the merge order); ``replicate_offset`` is the index of
+    ``seeds[0]`` within the point's full seed list.
+    """
+
+    ordinal: int
+    point_index: int
+    name: str
+    function_ref: str
+    mode: str
+    parameters: Dict[str, Any]
+    seeds: Tuple[int, ...]
+    replicate_offset: int
+
+    @property
+    def num_replicates(self) -> int:
+        """Number of (point, seed) results this task produces."""
+        return len(self.seeds)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """An ordered, deterministic decomposition of a replicated workload.
+
+    ``configs`` are the per-point experiment configs in sweep order;
+    ``tasks`` cover every ``(point, seed)`` pair exactly once, ordered by
+    ``(point_index, replicate_offset)``.
+    """
+
+    configs: Tuple[ExperimentConfig, ...]
+    tasks: Tuple[Task, ...]
+
+    @classmethod
+    def from_configs(
+        cls,
+        configs: Sequence[ExperimentConfig],
+        replication: Callable,
+    ) -> "ShardPlan":
+        """Decompose ``configs`` into tasks for ``replication``.
+
+        Seed lists are derived per config exactly as
+        :func:`~repro.experiments.runner.run_replications` derives them, so
+        results are bit-identical to the serial paths seed by seed.
+        """
+        if not configs:
+            raise ValueError("a shard plan needs at least one config")
+        mode = replication_mode(replication)
+        reference = function_reference(replication)
+        tasks: List[Task] = []
+        for point_index, config in enumerate(configs):
+            seeds = seeds_for_replications(config.seed, config.replications)
+            if mode == MODE_LOOP:
+                blocks = [(offset, (seed,)) for offset, seed in enumerate(seeds)]
+            else:
+                blocks = [(0, tuple(seeds))]
+            for offset, block in blocks:
+                tasks.append(
+                    Task(
+                        ordinal=len(tasks),
+                        point_index=point_index,
+                        name=config.name,
+                        function_ref=reference,
+                        mode=mode,
+                        parameters=dict(config.parameters),
+                        seeds=block,
+                        replicate_offset=offset,
+                    )
+                )
+        return cls(configs=tuple(configs), tasks=tuple(tasks))
+
+    @classmethod
+    def from_config(
+        cls, config: ExperimentConfig, replication: Callable
+    ) -> "ShardPlan":
+        """Plan for a single replicated experiment configuration."""
+        return cls.from_configs([config], replication)
+
+    @property
+    def num_points(self) -> int:
+        """Number of grid points (configs) in the plan."""
+        return len(self.configs)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def shards(self, num_shards: int) -> List[List[Task]]:
+        """Split the plan's tasks into at most ``num_shards`` contiguous chunks."""
+        return partition_tasks(list(self.tasks), num_shards)
+
+
+def partition_tasks(tasks: Sequence[Task], num_shards: int) -> List[List[Task]]:
+    """Contiguous, balanced partition of ``tasks`` into at most ``num_shards`` chunks.
+
+    Deterministic: chunk boundaries depend only on ``(len(tasks),
+    num_shards)``.  Empty input yields no shards; chunk sizes differ by at
+    most one and preserve task order, so an ordered merge is a plain
+    concatenation.
+    """
+    if num_shards <= 0:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    total = len(tasks)
+    if total == 0:
+        return []
+    count = min(num_shards, total)
+    base, extra = divmod(total, count)
+    shards: List[List[Task]] = []
+    start = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        shards.append(list(tasks[start : start + size]))
+        start += size
+    return shards
+
+
+def execute_task(task: Task, function: Callable) -> List[Dict[str, float]]:
+    """Run one task, returning one validated metrics dict per seed.
+
+    This is the single compute path shared by every executor (the serial
+    executor calls it in-process; process-pool workers call it after
+    resolving ``task.function_ref``), which is what makes results
+    executor-invariant.
+    """
+    parameters = dict(task.parameters)
+    if task.mode == MODE_LOOP:
+        rows = [function(seed, dict(parameters)) for seed in task.seeds]
+        return [_validated_metrics(row) for row in rows]
+    if task.mode == MODE_BATCHED:
+        rows = list(function(list(task.seeds), parameters))
+    elif task.mode == MODE_GRID:
+        blocks = list(function([list(task.seeds)], [parameters]))
+        if len(blocks) != 1:
+            raise ValueError(
+                f"grid replication returned {len(blocks)} metric blocks for "
+                f"the single point of task {task.name}"
+            )
+        rows = list(blocks[0])
+    else:
+        raise ValueError(f"unknown task mode {task.mode!r}")
+    if len(rows) != len(task.seeds):
+        raise ValueError(
+            f"replication returned {len(rows)} metric rows for "
+            f"{len(task.seeds)} seeds of {task.name}"
+        )
+    return [_validated_metrics(row) for row in rows]

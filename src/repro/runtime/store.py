@@ -1,0 +1,194 @@
+"""Content-addressed result store: stdlib ``sqlite3`` + JSON rows.
+
+Every :class:`~repro.runtime.shard.Task` has a canonical **cache key** — the
+SHA-256 of the canonical JSON encoding of::
+
+    {"function": <module:qualname>, "parameters": {...},
+     "seeds": [...], "code_version": <repro.__version__>}
+
+Two tasks share a key exactly when they would compute the same metrics:
+same replication function, same parameters (order-insensitive, tuples and
+numpy scalars normalised), same seed list, same code version.  Sweep names,
+shard layout and worker counts are deliberately *not* part of the key, so a
+result computed by any execution strategy serves every other one.
+
+The store keeps one row per key with the metrics as a JSON array (one object
+per seed).  It is written only from the driving process — workers return
+results to the parent, which flushes each completed shard — so a plain
+sqlite connection suffices and an interrupted sweep leaves every completed
+shard behind for resume.  ``hits``/``misses`` count :meth:`get` outcomes for
+reporting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro import __version__
+from repro.runtime.shard import Task
+
+PathLike = Union[str, Path]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    key TEXT PRIMARY KEY,
+    function TEXT NOT NULL,
+    name TEXT NOT NULL,
+    parameters TEXT NOT NULL,
+    seeds TEXT NOT NULL,
+    code_version TEXT NOT NULL,
+    metrics TEXT NOT NULL,
+    created_at TEXT NOT NULL
+)
+"""
+
+
+def canonical_value(value: Any) -> Any:
+    """Normalise ``value`` for canonical JSON encoding.
+
+    Mappings are key-sorted, sequences become lists, numpy scalars and
+    0-d arrays become Python scalars.  Unsupported types raise ``TypeError``
+    rather than falling back to ``str`` — a silent fallback could make two
+    different parameterisations collide on one key.
+    """
+    if isinstance(value, dict):
+        normalized = {}
+        for key in sorted(value):
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"cache-key parameter names must be strings, got {key!r}"
+                )
+            normalized[key] = canonical_value(value[key])
+        return normalized
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return [canonical_value(item) for item in value.tolist()]
+    if isinstance(value, (np.integer, np.floating, np.bool_)):
+        return value.item()
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(
+        f"cannot build a canonical cache key from {type(value).__name__} "
+        f"value {value!r}; use scalars, strings, sequences or mappings"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(canonical_value(value), sort_keys=True, separators=(",", ":"))
+
+
+def task_key(task: Task, code_version: str = __version__) -> str:
+    """The content-addressed cache key of ``task``."""
+    payload = canonical_json(
+        {
+            "function": task.function_ref,
+            "parameters": task.parameters,
+            "seeds": list(task.seeds),
+            "code_version": code_version,
+        }
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """A persistent, content-addressed cache of task metrics.
+
+    Parameters
+    ----------
+    path:
+        Sqlite database file (created, with parents, if missing) or
+        ``":memory:"`` for an ephemeral store.
+    code_version:
+        Version string mixed into every key (default: ``repro.__version__``),
+        so upgrading the library naturally invalidates old entries.
+    """
+
+    def __init__(
+        self, path: PathLike = ":memory:", *, code_version: str = __version__
+    ) -> None:
+        self.path = path if path == ":memory:" else Path(path)
+        self.code_version = code_version
+        self.hits = 0
+        self.misses = 0
+        if isinstance(self.path, Path):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._connection = sqlite3.connect(str(self.path))
+        self._connection.execute(_SCHEMA)
+        self._connection.commit()
+
+    def key_for(self, task: Task) -> str:
+        """Cache key of ``task`` under this store's code version."""
+        return task_key(task, self.code_version)
+
+    def get(self, key: str) -> Optional[List[Dict[str, float]]]:
+        """Stored metrics for ``key``, or ``None`` (counts hits/misses)."""
+        row = self._connection.execute(
+            "SELECT metrics FROM results WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return json.loads(row[0])
+
+    def put(self, task: Task, metrics: List[Dict[str, float]]) -> str:
+        """Store ``metrics`` for ``task``; returns the key."""
+        return self.put_many([(task, metrics)])[0]
+
+    def put_many(
+        self, entries: Iterable[Tuple[Task, List[Dict[str, float]]]]
+    ) -> List[str]:
+        """Store a batch of results in one transaction (a shard flush)."""
+        keys: List[str] = []
+        now = datetime.now(timezone.utc).isoformat()
+        rows = []
+        for task, metrics in entries:
+            key = self.key_for(task)
+            keys.append(key)
+            rows.append(
+                (
+                    key,
+                    task.function_ref,
+                    task.name,
+                    canonical_json(task.parameters),
+                    json.dumps(list(task.seeds)),
+                    self.code_version,
+                    json.dumps(metrics),
+                    now,
+                )
+            )
+        self._connection.executemany(
+            "INSERT OR REPLACE INTO results VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            rows,
+        )
+        self._connection.commit()
+        return keys
+
+    def __contains__(self, key: str) -> bool:
+        row = self._connection.execute(
+            "SELECT 1 FROM results WHERE key = ?", (key,)
+        ).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        row = self._connection.execute("SELECT COUNT(*) FROM results").fetchone()
+        return int(row[0])
+
+    def close(self) -> None:
+        """Close the underlying sqlite connection."""
+        self._connection.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -12,6 +12,16 @@ single integer while still letting callers share one generator across
 components when they want correlated streams (e.g. the coupling of
 Lemma 4.5, which requires the finite and infinite dynamics to observe the very
 same reward realisations).
+
+Sharding contract: :func:`seeds_for_replications` materialises the exact
+integer seeds behind :func:`spawn_rngs`'s independent child streams, and a
+child generator depends only on its own seed.  Any partition of the seed
+list therefore reproduces the unsharded streams — reconstructing generators
+chunk by chunk, in any grouping, yields bit-identical draws to building them
+all at once.  The parallel runtime (:mod:`repro.runtime`) leans on this to
+guarantee that sharded, multi-process sweeps match serial ones seed for
+seed; the contract is pinned by a property test in
+``tests/property/test_seed_sharding.py``.
 """
 
 from __future__ import annotations

@@ -40,3 +40,46 @@ class TestCsvRoundTrip:
     def test_read_missing_file_rejected(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             read_csv(tmp_path / "absent.csv")
+
+    def test_empty_string_cell_reads_back_as_absent(self, tmp_path):
+        # The documented round-trip asymmetry: an empty *string* value is
+        # indistinguishable from a missing cell on disk, so it is dropped.
+        table = ResultTable([{"a": "", "b": 1}])
+        loaded = read_csv(write_csv(table, tmp_path / "empty_cell.csv"))
+        assert "a" not in loaded.rows[0]
+        assert loaded.rows[0]["b"] == 1
+
+
+class TestAppendMode:
+    def test_append_accumulates_rows(self, tmp_path):
+        path = tmp_path / "shards.csv"
+        write_csv(ResultTable([{"shard": 0, "regret": 0.25}]), path)
+        write_csv(ResultTable([{"shard": 1, "regret": 0.5}]), path, append=True)
+        write_csv(ResultTable([{"shard": 2, "regret": 0.75}]), path, append=True)
+        loaded = read_csv(path)
+        assert loaded.column("shard") == [0, 1, 2]
+        assert loaded.column("regret") == [0.25, 0.5, 0.75]
+
+    def test_append_to_missing_file_writes_header(self, tmp_path):
+        path = tmp_path / "fresh.csv"
+        write_csv(ResultTable([{"a": 1}]), path, append=True)
+        assert read_csv(path).column("a") == [1]
+
+    def test_append_with_sparse_rows_uses_existing_header(self, tmp_path):
+        path = tmp_path / "sparse.csv"
+        write_csv(ResultTable([{"a": 1, "b": 2}]), path)
+        write_csv(ResultTable([{"a": 3}]), path, append=True)
+        loaded = read_csv(path)
+        assert loaded.rows[1] == {"a": 3}
+
+    def test_append_with_new_column_rejected(self, tmp_path):
+        path = tmp_path / "strict.csv"
+        write_csv(ResultTable([{"a": 1}]), path)
+        with pytest.raises(ValueError, match="surprise"):
+            write_csv(ResultTable([{"a": 2, "surprise": 9}]), path, append=True)
+
+    def test_plain_write_still_overwrites(self, tmp_path):
+        path = tmp_path / "overwrite.csv"
+        write_csv(ResultTable([{"a": 1}, {"a": 2}]), path)
+        write_csv(ResultTable([{"a": 3}]), path)
+        assert read_csv(path).column("a") == [3]

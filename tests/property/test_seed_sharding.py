@@ -1,0 +1,83 @@
+"""Property tests for the seed-sharding contract the parallel runtime relies on.
+
+The runtime (:mod:`repro.runtime`) splits a sweep's replicate seed lists into
+arbitrary shards and rebuilds one generator per seed inside worker processes.
+That is only sound because of the contract documented in
+:mod:`repro.utils.rng`: ``seeds_for_replications`` materialises exactly the
+integer seeds behind ``spawn_rngs``'s independent streams, and each stream
+depends on nothing but its own seed — so *any* partition of the seed list
+reproduces the unsharded streams bit for bit.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.rng import seeds_for_replications, spawn_rngs
+
+master_seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@st.composite
+def seed_list_partitions(draw):
+    """A master seed, a replication count, and a random partition of the list."""
+    master = draw(master_seeds)
+    replications = draw(st.integers(min_value=1, max_value=24))
+    boundaries = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=replications),
+            max_size=6,
+        )
+    )
+    cuts = sorted(set(boundaries) | {0, replications})
+    chunks = [
+        (cuts[index], cuts[index + 1]) for index in range(len(cuts) - 1)
+    ]
+    return master, replications, chunks
+
+
+@given(seed_list_partitions())
+@settings(max_examples=50, deadline=None)
+def test_any_partition_reproduces_the_unsharded_streams(case):
+    """Rebuilding generators chunk by chunk matches building them all at once."""
+    master, replications, chunks = case
+    seeds = seeds_for_replications(master, replications)
+    unsharded = [np.random.default_rng(seed).random(8) for seed in seeds]
+
+    sharded = []
+    for start, stop in chunks:
+        # Each shard sees only its own slice of the seed list, exactly as a
+        # worker process does.
+        sharded.extend(
+            np.random.default_rng(seed).random(8) for seed in seeds[start:stop]
+        )
+
+    assert len(sharded) == len(unsharded)
+    for mine, reference in zip(sharded, unsharded):
+        np.testing.assert_array_equal(mine, reference)
+
+
+@given(master_seeds, st.integers(min_value=1, max_value=16))
+@settings(max_examples=50, deadline=None)
+def test_seeds_for_replications_materialises_spawn_rngs_streams(master, count):
+    """The stored integer seeds rebuild exactly spawn_rngs's child generators."""
+    from_seeds = [
+        np.random.default_rng(seed).random(4)
+        for seed in seeds_for_replications(master, count)
+    ]
+    spawned = [child.random(4) for child in spawn_rngs(master, count)]
+    for rebuilt, spawned_draws in zip(from_seeds, spawned):
+        np.testing.assert_array_equal(rebuilt, spawned_draws)
+
+
+@given(master_seeds, st.integers(min_value=1, max_value=16))
+@settings(max_examples=50, deadline=None)
+def test_seed_lists_have_the_prefix_property(master, count):
+    """Growing the replication count only extends the seed list.
+
+    This is what lets a warm :class:`~repro.runtime.store.ResultStore` serve
+    the first ``R`` replicates of a re-run that asks for ``R' > R``.
+    """
+    shorter = seeds_for_replications(master, count)
+    longer = seeds_for_replications(master, count + 5)
+    assert longer[: len(shorter)] == shorter

@@ -1,0 +1,117 @@
+"""Tests for the serial and multi-process executors and the plan driver."""
+
+import pytest
+
+from repro.experiments import ParameterGrid, run_sweep, sweep_configs
+from repro.experiments.dynamics_sweep import dynamics_point_replication
+from repro.runtime import (
+    ParallelExecutor,
+    ResultStore,
+    SerialExecutor,
+    ShardPlan,
+    execute_task,
+    run_plan,
+)
+
+BASE = {"qualities": (0.8, 0.5), "T": 8}
+GRID = ParameterGrid({"N": [40, 80]})
+
+
+def small_plan(replications=3, seed=5):
+    configs = sweep_configs(
+        "exec", GRID, replications=replications, seed=seed, base_parameters=BASE
+    )
+    return ShardPlan.from_configs(configs, dynamics_point_replication)
+
+
+class TestSerialExecutor:
+    def test_matches_the_legacy_in_process_sweep(self):
+        plan = small_plan()
+        runtime_rows = run_plan(
+            plan, dynamics_point_replication, executor=SerialExecutor()
+        )
+        legacy_results, _ = run_sweep(
+            "exec",
+            GRID,
+            dynamics_point_replication,
+            replications=3,
+            seed=5,
+            base_parameters=BASE,
+        )
+        assert runtime_rows == [result.metrics for result in legacy_results]
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            SerialExecutor(num_shards=0)
+
+
+class TestParallelExecutor:
+    def test_bit_identical_to_serial(self):
+        plan = small_plan()
+        serial = run_plan(plan, dynamics_point_replication)
+        parallel = run_plan(
+            plan,
+            dynamics_point_replication,
+            executor=ParallelExecutor(2, shards_per_worker=2),
+        )
+        assert parallel == serial
+
+    def test_closure_replication_rejected(self):
+        def closure(seed, parameters):
+            return {"metric": 1.0}
+
+        plan_configs = sweep_configs(
+            "closure", GRID, replications=1, seed=0, base_parameters=BASE
+        )
+        plan = ShardPlan.from_configs(plan_configs, closure)
+        with pytest.raises(ValueError, match="SerialExecutor"):
+            run_plan(plan, closure, executor=ParallelExecutor(2))
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(0)
+        with pytest.raises(ValueError):
+            ParallelExecutor(2, shards_per_worker=0)
+
+    def test_default_shard_count_scales_with_workers(self):
+        executor = ParallelExecutor(3, shards_per_worker=4)
+        assert executor.num_shards == 12
+
+
+class TestRunPlanWithStore:
+    def test_warm_store_serves_everything_without_recompute(self):
+        plan = small_plan()
+        calls = []
+
+        def counting(seed, parameters):
+            calls.append(seed)
+            return dynamics_point_replication(seed, parameters)
+
+        with ResultStore() as store:
+            cold = run_plan(plan, counting, store=store)
+            cold_calls = len(calls)
+            assert cold_calls == len(plan)
+            warm = run_plan(plan, counting, store=store)
+            assert len(calls) == cold_calls  # zero recomputation
+            assert store.hits == len(plan)
+            assert warm == cold
+
+    def test_partial_store_only_computes_the_misses(self):
+        plan = small_plan()
+        with ResultStore() as store:
+            half = list(plan.tasks)[: len(plan) // 2]
+            for task in half:
+                store.put(task, execute_task(task, dynamics_point_replication))
+            full = run_plan(plan, dynamics_point_replication, store=store)
+            assert store.hits == len(half)
+            assert full == run_plan(plan, dynamics_point_replication)
+
+    def test_growing_replications_reuses_the_prefix(self):
+        # seeds_for_replications has the prefix property, so a store warmed
+        # at R=2 serves the first two replicates of an R=4 re-run.
+        with ResultStore() as store:
+            run_plan(small_plan(replications=2), dynamics_point_replication, store=store)
+            store.hits = store.misses = 0
+            run_plan(small_plan(replications=4), dynamics_point_replication, store=store)
+            assert store.hits == 2 * len(GRID)
+            assert store.misses == 2 * len(GRID)

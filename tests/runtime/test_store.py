@@ -1,0 +1,135 @@
+"""Tests for the content-addressed sqlite ResultStore."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.dynamics_sweep import dynamics_point_replication
+from repro.runtime import ResultStore, ShardPlan, canonical_json, task_key
+
+BASE = {"qualities": (0.8, 0.5), "T": 10, "N": 50}
+
+
+def make_task(parameters=None, seeds=None, replications=2, seed=0):
+    config = ExperimentConfig(
+        name="store-test",
+        parameters=dict(parameters or BASE),
+        replications=replications,
+        seed=seed,
+    )
+    plan = ShardPlan.from_config(config, dynamics_point_replication)
+    task = plan.tasks[0]
+    if seeds is not None:
+        task = type(task)(
+            ordinal=task.ordinal,
+            point_index=task.point_index,
+            name=task.name,
+            function_ref=task.function_ref,
+            mode=task.mode,
+            parameters=task.parameters,
+            seeds=tuple(seeds),
+            replicate_offset=task.replicate_offset,
+        )
+    return task
+
+
+class TestCanonicalJson:
+    def test_key_order_insensitive(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_tuple_and_list_equivalent(self):
+        assert canonical_json({"q": (0.8, 0.5)}) == canonical_json({"q": [0.8, 0.5]})
+
+    def test_numpy_scalars_normalised(self):
+        assert canonical_json({"n": np.int64(5)}) == canonical_json({"n": 5})
+        assert canonical_json({"x": np.float64(0.5)}) == canonical_json({"x": 0.5})
+
+    def test_numpy_arrays_normalised(self):
+        assert canonical_json({"q": np.array([0.8, 0.5])}) == canonical_json(
+            {"q": [0.8, 0.5]}
+        )
+
+    def test_none_and_bool_supported(self):
+        assert canonical_json({"a": None, "b": True}) == '{"a":null,"b":true}'
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError, match="canonical cache key"):
+            canonical_json({"bad": object()})
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(TypeError, match="parameter names"):
+            canonical_json({1: "x"})
+
+
+class TestTaskKey:
+    def test_parameter_order_does_not_change_the_key(self):
+        first = make_task({"T": 10, "N": 50, "qualities": (0.8, 0.5)})
+        second = make_task({"qualities": (0.8, 0.5), "N": 50, "T": 10})
+        assert task_key(first) == task_key(second)
+
+    def test_different_seeds_change_the_key(self):
+        assert task_key(make_task(seeds=[1])) != task_key(make_task(seeds=[2]))
+
+    def test_different_parameters_change_the_key(self):
+        other = dict(BASE, N=100)
+        assert task_key(make_task(BASE)) != task_key(make_task(other))
+
+    def test_code_version_changes_the_key(self):
+        task = make_task()
+        assert task_key(task, "v1") != task_key(task, "v2")
+
+
+class TestResultStore:
+    def test_miss_then_hit_round_trip(self):
+        task = make_task()
+        metrics = [{"regret": 0.5}, {"regret": 0.25}]
+        with ResultStore() as store:
+            key = store.key_for(task)
+            assert store.get(key) is None
+            store.put(task, metrics)
+            assert store.get(key) == metrics
+            assert store.hits == 1
+            assert store.misses == 1
+            assert key in store
+            assert len(store) == 1
+
+    def test_contains_does_not_count(self):
+        with ResultStore() as store:
+            assert store.key_for(make_task()) not in store
+            assert store.hits == 0
+            assert store.misses == 0
+
+    def test_put_overwrites(self):
+        task = make_task()
+        with ResultStore() as store:
+            store.put(task, [{"a": 1.0}, {"a": 1.0}])
+            store.put(task, [{"a": 2.0}, {"a": 2.0}])
+            assert len(store) == 1
+            assert store.get(store.key_for(task)) == [{"a": 2.0}, {"a": 2.0}]
+
+    def test_persists_across_reopen(self, tmp_path):
+        path = tmp_path / "nested" / "results.sqlite"
+        task = make_task()
+        metrics = [{"regret": 0.125}, {"regret": 0.5}]
+        with ResultStore(path) as store:
+            store.put(task, metrics)
+        with ResultStore(path) as reopened:
+            assert reopened.get(reopened.key_for(task)) == metrics
+
+    def test_code_version_isolates_entries(self, tmp_path):
+        path = tmp_path / "versioned.sqlite"
+        task = make_task()
+        with ResultStore(path, code_version="v1") as store:
+            store.put(task, [{"a": 1.0}, {"a": 1.0}])
+        with ResultStore(path, code_version="v2") as upgraded:
+            assert upgraded.get(upgraded.key_for(task)) is None
+
+    def test_put_many_single_transaction(self):
+        first = make_task(seeds=[1])
+        second = make_task(seeds=[2])
+        with ResultStore() as store:
+            keys = store.put_many(
+                [(first, [{"a": 1.0}]), (second, [{"a": 2.0}])]
+            )
+            assert len(keys) == 2
+            assert len(store) == 2

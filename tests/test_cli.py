@@ -428,3 +428,69 @@ class TestProtocolCommand:
         )
         assert exit_code == 0
         assert target.exists()
+
+
+class TestRuntimeFlags:
+    SWEEP = [
+        "sweep",
+        "--options", "0.8", "0.5",
+        "--populations", "200", "400",
+        "--horizon", "10",
+        "--replications", "2",
+        "--engine", "loop",
+    ]
+
+    def test_workers_and_store_run_and_report_cache_stats(self, capsys, tmp_path):
+        store = str(tmp_path / "sweep.sqlite")
+        assert main(self.SWEEP + ["--workers", "2", "--store", store]) == 0
+        output = capsys.readouterr().out
+        assert "on 2 workers" in output
+        assert "0 cache hits, 4 misses, 4 rows" in output
+
+    def test_warm_store_serves_every_task(self, capsys, tmp_path):
+        store = str(tmp_path / "sweep.sqlite")
+        main(self.SWEEP + ["--store", store])
+        first = capsys.readouterr().out
+        assert main(self.SWEEP + ["--store", store, "--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "4 cache hits, 0 misses, 4 rows" in second
+        # identical metric tables modulo the store-stats line
+        assert first.splitlines()[:-1] == second.splitlines()[:-1]
+
+    def test_resume_without_store_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.SWEEP + ["--resume"])
+        assert excinfo.value.code == 2
+        assert "--resume needs --store" in capsys.readouterr().err
+
+    def test_resume_with_missing_store_rejected(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.SWEEP + ["--resume", "--store", str(tmp_path / "absent.sqlite")])
+        assert excinfo.value.code == 2
+        assert "cannot resume" in capsys.readouterr().err
+
+    def test_nonpositive_workers_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.SWEEP + ["--workers", "0"])
+        assert excinfo.value.code == 2
+        assert "--workers must be at least 1" in capsys.readouterr().err
+
+    def test_batched_sweep_notes_the_per_point_convention(self, capsys, tmp_path):
+        arguments = self.SWEEP[:-1] + ["batched"]  # swap --engine loop -> batched
+        store = str(tmp_path / "batched.sqlite")
+        assert main(arguments + ["--store", store]) == 0
+        assert "one grid point per task" in capsys.readouterr().err
+
+    def test_network_batched_workers_notes_single_task(self, capsys):
+        exit_code = main(
+            [
+                "network",
+                "--topology", "ring",
+                "--size", "100",
+                "--horizon", "5",
+                "--replications", "2",
+                "--workers", "2",
+            ]
+        )
+        assert exit_code == 0
+        assert "indivisible task" in capsys.readouterr().err
