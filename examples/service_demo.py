@@ -1,0 +1,102 @@
+"""Simulation-as-a-service: submit jobs to an embedded API daemon.
+
+The ``repro serve`` daemon turns the one-shot CLI into a long-running
+service: clients POST a job (the same configuration a ``repro sweep`` /
+``network`` / ``protocol`` command derives), poll its status, and fetch
+result rows — with every computed task landing in a shared content-addressed
+result store, so a repeated job is served from cache at ~zero compute and
+identical submissions in flight deduplicate onto one computation.
+
+This script embeds the daemon in-process (what ``repro serve`` runs behind a
+port) and walks the whole loop with the thin stdlib client:
+
+1. start a daemon on an ephemeral port with a fresh result store,
+2. submit a protocol sweep job over HTTP and poll it to completion,
+3. re-submit the identical job and show it costs zero cache misses,
+4. submit two identical jobs back-to-back and show they attach to one
+   computation (in-flight dedup), and
+5. print the daemon's /stats view.
+
+Run with:  python examples/service_demo.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.runtime import ResultStore
+from repro.service import ServiceClient, protocol_request, start_daemon
+from repro.utils import format_table
+
+NODES = 2000
+ROUNDS = 120
+REPLICATIONS = 20
+QUALITIES = [0.9, 0.6, 0.6, 0.5]
+
+
+def main() -> None:
+    store_path = Path(tempfile.mkdtemp(prefix="repro-service-")) / "results.sqlite"
+    store = ResultStore(store_path)
+    request = protocol_request(
+        options=QUALITIES,
+        nodes=NODES,
+        rounds=ROUNDS,
+        loss=0.2,
+        mass_crash_fraction=0.3,
+        replications=REPLICATIONS,
+        engine="batched",
+    )
+
+    with start_daemon(store=store) as daemon:
+        client = ServiceClient(daemon.url)
+        print(f"daemon up at {daemon.url}: {client.healthz()}")
+
+        print("\n-- cold job: computed by the worker pool --")
+        submitted = client.submit(request)
+        print(f"submitted {submitted['job_id']} (status {submitted['status']})")
+        result = client.wait(submitted["job_id"])
+        print(result["description"])
+        print(format_table(result["rows"], float_format="{:.4f}"))
+        print(
+            f"cache: {result['cache_hits']} hits, "
+            f"{result['cache_misses']} misses"
+        )
+
+        print("\n-- identical job again: served from the result store --")
+        warm = client.wait(client.submit(request)["job_id"])
+        print(
+            f"cache: {warm['cache_hits']} hits, {warm['cache_misses']} misses "
+            f"(rows identical: {warm['rows'] == result['rows']})"
+        )
+
+        print("\n-- two identical submissions in flight: one computation --")
+        fresh = protocol_request(
+            options=QUALITIES,
+            nodes=NODES,
+            rounds=ROUNDS,
+            loss=0.35,
+            replications=REPLICATIONS,
+            engine="batched",
+        )
+        first = client.submit(fresh)
+        second = client.submit(fresh)
+        print(
+            f"first -> {first['job_id']}, second -> {second['job_id']} "
+            f"(attached: {second['attached']})"
+        )
+        client.wait(first["job_id"])
+
+        stats = client.stats()
+        print(
+            f"\n/stats: store {stats['store']['rows']} rows, "
+            f"{stats['store']['hits']} hits, {stats['store']['misses']} misses; "
+            f"queue completed {stats['queue']['completed']}, "
+            f"deduplicated {stats['queue']['deduplicated']}"
+        )
+
+    store.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,6 @@
 """Command-line interface for quick simulations and bound calculations.
 
-Seven subcommands cover the workflows a user reaches for most often without
+Eight subcommands cover the workflows a user reaches for most often without
 writing a script::
 
     python -m repro simulate --options 0.8 0.5 0.5 --population 2000 --horizon 300
@@ -10,6 +10,7 @@ writing a script::
     python -m repro sweep    --populations 100 1000 10000 --horizon 300 --output sweep.csv
     python -m repro network  --topology watts_strogatz --size 10000 --replications 50
     python -m repro protocol --nodes 10000 --loss 0.2 --mass-crash-fraction 0.4
+    python -m repro serve    --port 8765 --store results.sqlite
 
 ``run`` executes many independent replications at once on the batched
 replicate-axis engine (:class:`repro.core.batched.BatchedDynamics`); pass
@@ -32,7 +33,12 @@ runtime flags (``--workers K --store PATH [--resume]``): the workload is
 sharded across ``K`` worker processes and every computed result lands in a
 content-addressed sqlite store that serves cache hits on re-runs and lets a
 killed run resume shard-by-shard — with bit-identical metrics at any worker
-count (see the README's "Scaling out" guide).
+count (see the README's "Scaling out" guide).  All three derive their
+workload through the shared request layer (:mod:`repro.service.requests`),
+the same path ``serve`` — the long-running simulation-as-a-service API
+daemon (job submission, polling, cache-first result serving; see the
+README's "Serving" guide) — executes for jobs submitted over HTTP, so a CLI
+invocation and the equivalent API job produce bit-identical rows.
 
 Every command prints an aligned text table; ``--output`` additionally writes
 CSV via :func:`repro.experiments.io.write_csv`.
@@ -57,21 +63,24 @@ from repro.core.theory import TheoryBounds
 from repro.environments import BernoulliEnvironment
 from repro.experiments import (
     NETWORK_ENGINES,
-    NETWORK_REPLICATIONS,
     PROTOCOL_ENGINES,
-    PROTOCOL_REPLICATIONS,
     ExperimentConfig,
-    ParameterGrid,
     ResultTable,
     batched_replication,
     build_network,
-    dynamics_grid_replication,
-    dynamics_point_replication,
     run_replications,
-    run_sweep,
     write_csv,
 )
 from repro.runtime import ParallelExecutor, ResultStore
+from repro.service.daemon import SimulationDaemon, SimulationService
+from repro.service.requests import (
+    RequestError,
+    execute_request,
+    network_request,
+    prepare_request,
+    protocol_request,
+    sweep_request,
+)
 from repro.utils.ascii_plot import ascii_line_plot
 
 
@@ -153,6 +162,20 @@ def _finish_runtime(runtime_kwargs: Dict[str, Any]) -> None:
             f"store {store.path}: {store.hits} cache hits, "
             f"{store.misses} misses, {len(store)} rows"
         )
+        store.close()
+
+
+def _close_runtime(runtime_kwargs: Dict[str, Any]) -> None:
+    """Release the store unconditionally (the error-path counterpart).
+
+    Commands call this from ``finally`` so a failure anywhere between
+    :func:`_runtime_kwargs` opening the store and :func:`_finish_runtime`
+    closing it cannot leak the sqlite connection; ``ResultStore.close`` is
+    idempotent, so the success path (which already closed, after printing
+    stats) is unaffected.
+    """
+    store = runtime_kwargs.get("store")
+    if store is not None:
         store.close()
 
 
@@ -375,6 +398,57 @@ def build_parser() -> argparse.ArgumentParser:
     protocol.add_argument("--output", type=str, default=None, help="write the summary table to this CSV path")
     _add_runtime_arguments(protocol)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help=(
+            "run the simulation-as-a-service API daemon (job submission, "
+            "status polling, cache-first result serving)"
+        ),
+    )
+    serve.add_argument(
+        "--host", type=str, default="127.0.0.1", help="bind address (default loopback)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8765, help="bind port (0 picks a free port)"
+    )
+    serve.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        help=(
+            "shared content-addressed result store: computed tasks are "
+            "flushed there and repeat jobs are served from cache (without "
+            "one, every job recomputes)"
+        ),
+    )
+    serve.add_argument(
+        "--job-workers",
+        type=int,
+        default=2,
+        help="worker threads draining the job queue (default 2)",
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=16,
+        help=(
+            "pending-job bound: submissions beyond it get HTTP 429 "
+            "back-pressure (default 16)"
+        ),
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker *processes* per job, as in the sweep/network/protocol "
+            "--workers flag (default 1 = in-process execution)"
+        ),
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request to stderr"
+    )
+
     return parser
 
 
@@ -558,67 +632,55 @@ def _command_coupling(args: argparse.Namespace) -> int:
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
-    axes = {"N": list(args.populations)}
-    if args.betas:
-        axes["beta"] = list(args.betas)
-    if args.mus:
-        axes["mu"] = list(args.mus)
-    grid = ParameterGrid(axes)
-    base_parameters = {"qualities": tuple(args.options), "T": args.horizon}
-    if not args.betas:
-        base_parameters["beta"] = args.beta
-    replication = (
-        dynamics_grid_replication
-        if args.engine == "batched"
-        else dynamics_point_replication
-    )
-    runtime_kwargs = _runtime_kwargs(args)
-    if runtime_kwargs and args.engine == "batched":
-        print(
-            "note: with --workers/--store the batched sweep runs one grid "
-            "point per task (the per-point batched convention) instead of "
-            "the fused whole-grid launch, so sampled trajectories differ "
-            "from a plain `repro sweep` at the same seed — statistically "
-            "equivalent, and stable across worker counts and cache states",
-            file=sys.stderr,
-        )
-    _, table = run_sweep(
-        f"sweep-{args.engine}",
-        grid,
-        replication,
+    request = sweep_request(
+        options=args.options,
+        populations=args.populations,
+        horizon=args.horizon,
+        beta=args.beta,
+        betas=args.betas,
+        mus=args.mus,
         replications=args.replications,
         seed=args.seed,
-        base_parameters=base_parameters,
-        **runtime_kwargs,
+        engine=args.engine,
     )
-    print(
-        f"sweep engine={args.engine}: {len(grid)} grid points x "
-        f"{args.replications} replications"
-        + (f" on {args.workers} workers" if args.workers > 1 else "")
-    )
-    _finish(table, args.output)
-    _finish_runtime(runtime_kwargs)
+    runtime_kwargs = _runtime_kwargs(args)
+    try:
+        if runtime_kwargs and args.engine == "batched":
+            print(
+                "note: with --workers/--store the batched sweep runs one grid "
+                "point per task (the per-point batched convention) instead of "
+                "the fused whole-grid launch, so sampled trajectories differ "
+                "from a plain `repro sweep` at the same seed — statistically "
+                "equivalent, and stable across worker counts and cache states",
+                file=sys.stderr,
+            )
+        result = execute_request(request, **runtime_kwargs)
+        print(
+            result.description
+            + (f" on {args.workers} workers" if args.workers > 1 else "")
+        )
+        _finish(result.table, args.output)
+        _finish_runtime(runtime_kwargs)
+    finally:
+        _close_runtime(runtime_kwargs)
     return 0
 
 
 def _command_network(args: argparse.Namespace) -> int:
-    parameters = {
-        "qualities": tuple(args.options),
-        "topology": args.topology,
-        "N": args.size,
-        "T": args.horizon,
-        "beta": args.beta,
-        "graph_seed": args.graph_seed,
-    }
-    if args.mu is not None:
-        parameters["mu"] = args.mu
-    config = ExperimentConfig(
-        name=f"network-{args.engine}",
-        parameters=parameters,
+    request = network_request(
+        options=args.options,
+        topology=args.topology,
+        size=args.size,
+        horizon=args.horizon,
+        beta=args.beta,
+        mu=args.mu,
+        graph_seed=args.graph_seed,
         replications=args.replications,
         seed=args.seed,
+        engine=args.engine,
     )
-    network = build_network(parameters)
+    prepared = prepare_request(request)
+    network = build_network(prepared.config.parameters)
     # Only the cheap statistics by default: spectral gap / diameter /
     # clustering are O(N^3)-ish graph computations that would dwarf the
     # simulation this command exists to run fast (opt in with --stats).
@@ -635,70 +697,90 @@ def _command_network(args: argparse.Namespace) -> int:
         )
     print(header)
     runtime_kwargs = _runtime_kwargs(args)
-    _warn_single_task(args)
-    result = run_replications(
-        config, NETWORK_REPLICATIONS[args.engine], **runtime_kwargs
-    )
-    table = ResultTable()
-    for name in result.metric_names():
-        row = {"metric": name}
-        row.update(result.summarize(name).as_dict())
-        table.add_row(row)
-    print(config.describe())
-    _finish(table, args.output)
-    _finish_runtime(runtime_kwargs)
+    try:
+        _warn_single_task(args)
+        result = execute_request(request, prepared=prepared, **runtime_kwargs)
+        print(result.description)
+        _finish(result.table, args.output)
+        _finish_runtime(runtime_kwargs)
+    finally:
+        _close_runtime(runtime_kwargs)
     return 0
 
 
 def _command_protocol(args: argparse.Namespace) -> int:
-    if args.delay > 0 and args.engine != "loop":
-        print(
-            "error: only the loop engine models per-message delay; "
-            "re-run with --engine loop or drop --delay",
-            file=sys.stderr,
+    try:
+        request = protocol_request(
+            options=args.options,
+            nodes=args.nodes,
+            rounds=args.rounds,
+            beta=args.beta,
+            mu=args.mu,
+            loss=args.loss,
+            delay=args.delay,
+            crash=args.crash,
+            mass_crash_round=args.mass_crash_round,
+            mass_crash_fraction=args.mass_crash_fraction,
+            replications=args.replications,
+            seed=args.seed,
+            engine=args.engine,
         )
+    except RequestError as error:
+        print(f"error: {error}", file=sys.stderr)
         return 2
-    mass_round = args.mass_crash_round
-    if mass_round is None and args.mass_crash_fraction > 0:
-        mass_round = args.rounds // 2
-    parameters = {
-        "qualities": tuple(args.options),
-        "N": args.nodes,
-        "T": args.rounds,
-        "beta": args.beta,
-        "loss": args.loss,
-        "delay": args.delay,
-        "crash": args.crash,
-        "mass_crash_fraction": args.mass_crash_fraction,
-    }
-    if mass_round is not None:
-        parameters["mass_crash_round"] = mass_round
-    if args.mu is not None:
-        parameters["mu"] = args.mu
-    config = ExperimentConfig(
-        name=f"protocol-{args.engine}",
-        parameters=parameters,
-        replications=args.replications,
-        seed=args.seed,
-    )
     print(
         f"nodes={args.nodes} loss={args.loss} delay={args.delay} "
         f"crash={args.crash} mass_crash_fraction={args.mass_crash_fraction} "
         f"engine={args.engine}"
     )
     runtime_kwargs = _runtime_kwargs(args)
-    _warn_single_task(args)
-    result = run_replications(
-        config, PROTOCOL_REPLICATIONS[args.engine], **runtime_kwargs
-    )
-    table = ResultTable()
-    for name in result.metric_names():
-        row = {"metric": name}
-        row.update(result.summarize(name).as_dict())
-        table.add_row(row)
-    print(config.describe())
-    _finish(table, args.output)
-    _finish_runtime(runtime_kwargs)
+    try:
+        _warn_single_task(args)
+        result = execute_request(request, **runtime_kwargs)
+        print(result.description)
+        _finish(result.table, args.output)
+        _finish_runtime(runtime_kwargs)
+    finally:
+        _close_runtime(runtime_kwargs)
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        print(
+            f"error: --workers must be at least 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    store = ResultStore(args.store) if args.store else None
+    try:
+        service = SimulationService(
+            store,
+            job_workers=args.job_workers,
+            queue_capacity=args.queue_size,
+            process_workers=args.workers,
+        )
+        server = SimulationDaemon((args.host, args.port), service, verbose=args.verbose)
+    except (OSError, ValueError) as error:
+        if store is not None:
+            store.close()
+        print(f"error: cannot start daemon: {error}", file=sys.stderr)
+        return 2
+    try:
+        store_note = (
+            f"store {store.path}"
+            if store is not None
+            else "no result store (every job recomputes)"
+        )
+        print(f"repro serve listening on {server.url} — {store_note}", flush=True)
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+        service.close()
+        if store is not None:
+            store.close()
     return 0
 
 
@@ -710,6 +792,7 @@ _COMMANDS = {
     "sweep": _command_sweep,
     "network": _command_network,
     "protocol": _command_protocol,
+    "serve": _command_serve,
 }
 
 

@@ -14,6 +14,7 @@ as absent).  Write a sentinel if the distinction matters.
 from __future__ import annotations
 
 import csv
+import re
 from pathlib import Path
 from typing import Union
 
@@ -90,19 +91,32 @@ def read_csv(path: PathLike) -> ResultTable:
     return table
 
 
+# Strictly the spellings str(int)/str(float) produce for finite numbers.
+# Python's int()/float() constructors are far more permissive — they accept
+# underscore separators ("1_000"), surrounding whitespace (" 7 ") and
+# inf/nan spellings — so parsing with them would silently turn string-valued
+# cells into numbers on read.  Non-finite floats (written as "inf"/"nan")
+# therefore round-trip as *strings*; like the empty-cell asymmetry in the
+# module docstring, write a sentinel if the distinction matters.
+_INT_CELL = re.compile(r"[+-]?[0-9]+\Z")
+_FLOAT_CELL = re.compile(
+    r"[+-]?(?:[0-9]+\.[0-9]*|\.[0-9]+|[0-9]+)(?:[eE][+-]?[0-9]+)?\Z"
+)
+
+
 def _parse_cell(value: str):
-    """Best-effort conversion of a CSV cell back to int/float/bool/str."""
-    lowered = value.lower()
-    if lowered == "true":
+    """Conversion of a CSV cell back to int/float/bool/str.
+
+    Only cells matching the strict numeric patterns above convert; anything
+    else — including ``"1_000"``, ``" 7 "``, ``"inf"`` and ``"nan"`` —
+    stays a string, so string-valued columns survive a round trip intact.
+    """
+    if value == "True":
         return True
-    if lowered == "false":
+    if value == "False":
         return False
-    try:
+    if _INT_CELL.fullmatch(value):
         return int(value)
-    except ValueError:
-        pass
-    try:
+    if _FLOAT_CELL.fullmatch(value):
         return float(value)
-    except ValueError:
-        pass
     return value

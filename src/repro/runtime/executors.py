@@ -153,22 +153,29 @@ class ParallelExecutor:
         # Workers started with "spawn" know nothing of the parent's
         # sys.path; record the library location so they can re-import it.
         package_root = _repro_import_root()
-        with ProcessPoolExecutor(
+        pool = ProcessPoolExecutor(
             max_workers=self.max_workers,
             mp_context=self.mp_context,
             initializer=_worker_initializer,
             initargs=((package_root,),),
-        ) as pool:
+        )
+        try:
             pending = {pool.submit(_execute_shard, list(shard)) for shard in shards}
-            try:
-                while pending:
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        yield future.result()
-            except BaseException:
-                for future in pending:
-                    future.cancel()
-                raise
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield future.result()
+        except BaseException:
+            # Abort path (worker crash, KeyboardInterrupt, abandoned
+            # generator): drop every not-yet-started shard and return
+            # *without* joining the pool — a `with pool:` exit would block
+            # until in-flight shards finish, hanging a Ctrl-C for as long as
+            # the slowest running shard.  Workers still running their
+            # current shard exit on their own once it completes.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        else:
+            pool.shutdown(wait=True)
 
 
 def _repro_import_root() -> str:

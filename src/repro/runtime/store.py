@@ -13,11 +13,16 @@ shard layout and worker counts are deliberately *not* part of the key, so a
 result computed by any execution strategy serves every other one.
 
 The store keeps one row per key with the metrics as a JSON array (one object
-per seed).  It is written only from the driving process — workers return
-results to the parent, which flushes each completed shard — so a plain
-sqlite connection suffices and an interrupted sweep leaves every completed
-shard behind for resume.  ``hits``/``misses`` count :meth:`get` outcomes for
-reporting.
+per seed).  Results are written only from the opening process — workers
+return results to the parent, which flushes each completed shard — but that
+process may be multi-threaded: the API daemon's worker threads read and
+write one shared store concurrently.  Access is therefore serialised behind
+an internal lock (one connection, ``check_same_thread=False``), and
+file-backed stores run in WAL mode with a busy timeout so a second *process*
+pointing at the same file (a CLI run next to a daemon) blocks briefly
+instead of failing with ``database is locked``.  ``hits``/``misses`` count
+:meth:`get` outcomes for reporting; :meth:`counters` snapshots both
+atomically so callers can attribute deltas to a span of work.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from __future__ import annotations
 import hashlib
 import json
 import sqlite3
+import threading
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
@@ -35,6 +41,8 @@ from repro import __version__
 from repro.runtime.shard import Task
 
 PathLike = Union[str, Path]
+
+_BUSY_TIMEOUT_SECONDS = 30.0
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS results (
@@ -47,6 +55,14 @@ CREATE TABLE IF NOT EXISTS results (
     metrics TEXT NOT NULL,
     created_at TEXT NOT NULL
 )
+"""
+
+# Naming the columns keeps the insert valid (or loudly broken) if the schema
+# ever gains a column; a positional VALUES (?,...) would silently misalign.
+_INSERT = """
+INSERT OR REPLACE INTO results
+    (key, function, name, parameters, seeds, code_version, metrics, created_at)
+VALUES (?, ?, ?, ?, ?, ?, ?, ?)
 """
 
 
@@ -110,6 +126,12 @@ class ResultStore:
     code_version:
         Version string mixed into every key (default: ``repro.__version__``),
         so upgrading the library naturally invalidates old entries.
+
+    Thread safety: all statements run on one connection serialised behind an
+    internal lock, so a store instance may be shared freely between threads
+    (the API daemon shares one store across its whole worker pool).  Sharing
+    one *file* between processes is also safe — WAL mode plus a
+    30-second busy timeout — though hit/miss counters are per-instance.
     """
 
     def __init__(
@@ -119,11 +141,29 @@ class ResultStore:
         self.code_version = code_version
         self.hits = 0
         self.misses = 0
+        self._lock = threading.RLock()
         if isinstance(self.path, Path):
             self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._connection = sqlite3.connect(str(self.path))
+        self._connection: Optional[sqlite3.Connection] = sqlite3.connect(
+            str(self.path),
+            timeout=_BUSY_TIMEOUT_SECONDS,
+            check_same_thread=False,
+        )
+        # WAL lets a concurrent reader proceed during a write (it is a no-op
+        # "memory" mode for :memory: stores); the busy timeout makes a second
+        # writer on the same file wait instead of raising "database is
+        # locked".
+        self._connection.execute("PRAGMA journal_mode=WAL")
+        self._connection.execute(
+            f"PRAGMA busy_timeout={int(_BUSY_TIMEOUT_SECONDS * 1000)}"
+        )
         self._connection.execute(_SCHEMA)
         self._connection.commit()
+
+    def _require_connection(self) -> sqlite3.Connection:
+        if self._connection is None:
+            raise RuntimeError(f"result store {self.path} is closed")
+        return self._connection
 
     def key_for(self, task: Task) -> str:
         """Cache key of ``task`` under this store's code version."""
@@ -131,13 +171,14 @@ class ResultStore:
 
     def get(self, key: str) -> Optional[List[Dict[str, float]]]:
         """Stored metrics for ``key``, or ``None`` (counts hits/misses)."""
-        row = self._connection.execute(
-            "SELECT metrics FROM results WHERE key = ?", (key,)
-        ).fetchone()
-        if row is None:
-            self.misses += 1
-            return None
-        self.hits += 1
+        with self._lock:
+            row = self._require_connection().execute(
+                "SELECT metrics FROM results WHERE key = ?", (key,)
+            ).fetchone()
+            if row is None:
+                self.misses += 1
+                return None
+            self.hits += 1
         return json.loads(row[0])
 
     def put(self, task: Task, metrics: List[Dict[str, float]]) -> str:
@@ -166,26 +207,42 @@ class ResultStore:
                     now,
                 )
             )
-        self._connection.executemany(
-            "INSERT OR REPLACE INTO results VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
-            rows,
-        )
-        self._connection.commit()
+        with self._lock:
+            connection = self._require_connection()
+            connection.executemany(_INSERT, rows)
+            connection.commit()
         return keys
 
+    def counters(self) -> Tuple[int, int]:
+        """Atomic ``(hits, misses)`` snapshot of this instance's counters."""
+        with self._lock:
+            return self.hits, self.misses
+
     def __contains__(self, key: str) -> bool:
-        row = self._connection.execute(
-            "SELECT 1 FROM results WHERE key = ?", (key,)
-        ).fetchone()
+        with self._lock:
+            row = self._require_connection().execute(
+                "SELECT 1 FROM results WHERE key = ?", (key,)
+            ).fetchone()
         return row is not None
 
     def __len__(self) -> int:
-        row = self._connection.execute("SELECT COUNT(*) FROM results").fetchone()
+        with self._lock:
+            row = self._require_connection().execute(
+                "SELECT COUNT(*) FROM results"
+            ).fetchone()
         return int(row[0])
 
     def close(self) -> None:
-        """Close the underlying sqlite connection."""
-        self._connection.close()
+        """Close the underlying sqlite connection (idempotent)."""
+        with self._lock:
+            if self._connection is not None:
+                self._connection.close()
+                self._connection = None
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._connection is None
 
     def __enter__(self) -> "ResultStore":
         return self

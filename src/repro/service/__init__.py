@@ -1,0 +1,64 @@
+"""Simulation-as-a-service: request layer, job queue, HTTP daemon, client.
+
+The service package turns the one-shot CLI system into a long-running,
+cache-first API daemon on top of the parallel runtime (:mod:`repro.runtime`):
+
+* :mod:`repro.service.requests` — the **shared request layer**: validated
+  :class:`SimulationRequest` objects and one :func:`execute_request` path
+  used by both the CLI and the daemon, so HTTP jobs and CLI commands produce
+  bit-identical rows;
+* :mod:`repro.service.jobs` — :class:`JobQueue`: bounded queue + worker
+  threads + in-flight dedup by content address (back-pressure via
+  :class:`QueueFull` -> HTTP 429);
+* :mod:`repro.service.daemon` — :class:`SimulationDaemon`: the stdlib
+  ``ThreadingHTTPServer`` front end (``POST /jobs``, ``GET /jobs/<id>``,
+  ``GET /jobs/<id>/result``, ``GET /healthz``, ``GET /stats``), embeddable
+  via :func:`start_daemon`;
+* :mod:`repro.service.client` — :class:`ServiceClient`: a thin
+  ``urllib``-based client (submit/status/result/wait/run).
+
+Entry point: ``repro serve --port 8080 --store results.sqlite``; see the
+README's "Serving" section.
+"""
+
+from repro.service.client import JobFailed, ServiceClient, ServiceError
+from repro.service.daemon import (
+    DaemonHandle,
+    SimulationDaemon,
+    SimulationService,
+    start_daemon,
+)
+from repro.service.jobs import Job, JobQueue, QueueFull
+from repro.service.requests import (
+    RequestError,
+    RequestResult,
+    SimulationRequest,
+    execute_request,
+    network_request,
+    prepare_request,
+    protocol_request,
+    request_from_dict,
+    sweep_request,
+)
+
+__all__ = [
+    "DaemonHandle",
+    "Job",
+    "JobFailed",
+    "JobQueue",
+    "QueueFull",
+    "RequestError",
+    "RequestResult",
+    "ServiceClient",
+    "ServiceError",
+    "SimulationDaemon",
+    "SimulationRequest",
+    "SimulationService",
+    "execute_request",
+    "network_request",
+    "prepare_request",
+    "protocol_request",
+    "request_from_dict",
+    "start_daemon",
+    "sweep_request",
+]

@@ -1,0 +1,150 @@
+"""Thin stdlib HTTP client for the simulation daemon.
+
+Mirrors the daemon's endpoint surface one method per endpoint, plus a
+blocking :meth:`ServiceClient.run` convenience (submit, poll to completion,
+fetch rows) used by tests, examples and the CI smoke job.  Only
+:mod:`urllib.request` is used, so the client imports anywhere the library
+does.
+
+Error contract: non-2xx responses raise :class:`ServiceError` carrying the
+HTTP status and the decoded JSON payload — ``status == 429`` is the daemon's
+back-pressure signal (full queue; retry later), ``400`` a malformed request,
+``404`` an unknown job or path.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional, Union
+from urllib import error as urllib_error
+from urllib import request as urllib_request
+
+from repro.service.requests import SimulationRequest
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx daemon response (or no response at all)."""
+
+    def __init__(
+        self, message: str, *, status: Optional[int] = None, payload: Any = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload
+
+
+class JobFailed(ServiceError):
+    """The polled job finished in the ``error`` state."""
+
+
+Payload = Union[SimulationRequest, Dict[str, Any]]
+
+
+class ServiceClient:
+    """HTTP client bound to one daemon base URL."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _call(
+        self, path: str, *, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib_request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            headers={"Content-Type": "application/json"} if data else {},
+            method="POST" if data is not None else "GET",
+        )
+        try:
+            with urllib_request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib_error.HTTPError as error:
+            try:
+                payload = json.loads(error.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                payload = None
+            message = (
+                payload.get("error") if isinstance(payload, dict) else None
+            ) or f"daemon returned HTTP {error.code} for {path}"
+            raise ServiceError(
+                message, status=error.code, payload=payload
+            ) from None
+        except urllib_error.URLError as error:
+            raise ServiceError(
+                f"cannot reach daemon at {self.base_url}: {error.reason}"
+            ) from None
+
+    # -- endpoint methods ----------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        """``GET /healthz``."""
+        return self._call("/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        """``GET /stats``."""
+        return self._call("/stats")
+
+    def submit(self, request: Payload) -> Dict[str, Any]:
+        """``POST /jobs``; accepts a request object or a raw payload dict.
+
+        Returns ``{"job_id", "key", "status", "attached"}``; raises
+        :class:`ServiceError` with ``status=429`` when the queue is full.
+        """
+        payload = (
+            request.to_dict() if isinstance(request, SimulationRequest) else request
+        )
+        return self._call("/jobs", body=payload)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """``GET /jobs/<id>``."""
+        return self._call(f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """``GET /jobs/<id>/result``.
+
+        Raises :class:`ServiceError` with ``status=202`` while the job is
+        still queued/running and ``status=500`` when it failed.
+        """
+        payload = self._call(f"/jobs/{job_id}/result")
+        if "rows" not in payload:
+            # the daemon answers 202 + a status snapshot for a pending job,
+            # which urllib treats as success — surface it as an error here
+            raise ServiceError(
+                f"job {job_id} is still {payload.get('status')}",
+                status=202,
+                payload=payload,
+            )
+        return payload
+
+    def wait(
+        self, job_id: str, *, timeout: float = 120.0, poll_interval: float = 0.05
+    ) -> Dict[str, Any]:
+        """Poll ``/jobs/<id>`` until the job finishes; returns its result.
+
+        Raises :class:`JobFailed` if the job errored and
+        :class:`ServiceError` on timeout.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["status"] == "done":
+                return self.result(job_id)
+            if status["status"] == "error":
+                raise JobFailed(
+                    f"job {job_id} failed: {status.get('error')}",
+                    status=500,
+                    payload=status,
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {status['status']} after {timeout}s"
+                )
+            time.sleep(poll_interval)
+
+    def run(self, request: Payload, *, timeout: float = 120.0) -> List[Dict[str, Any]]:
+        """Submit ``request``, wait for completion, and return its rows."""
+        submitted = self.submit(request)
+        return self.wait(submitted["job_id"], timeout=timeout)["rows"]

@@ -1,0 +1,295 @@
+"""Simulation-as-a-service: a stdlib HTTP daemon over the parallel runtime.
+
+Architecture (the PVC-style client/daemon split): a thin
+:class:`~repro.service.client.ServiceClient` (or any HTTP caller) talks JSON
+to :class:`SimulationDaemon`, which owns
+
+* one shared, thread-safe :class:`~repro.runtime.store.ResultStore` — every
+  computed task lands there and repeat queries are served by content
+  address (cache-first serving: a fully warm job costs ~zero compute);
+* a bounded :class:`~repro.service.jobs.JobQueue` whose worker threads
+  execute jobs through the same
+  :func:`~repro.service.requests.execute_request` path the CLI uses, so an
+  HTTP job and the equivalent CLI command return bit-identical rows; and
+* an optional per-job :class:`~repro.runtime.executors.ParallelExecutor`
+  when the daemon is started with ``process_workers > 1``.
+
+Endpoints::
+
+    POST /jobs              submit {"kind": ..., ...}; 202 + job id
+                            (200 when attached to an identical in-flight
+                            job; 429 when the queue is full; 400 on a
+                            malformed request)
+    GET  /jobs/<id>         job status (state, timings, cache hits/misses)
+    GET  /jobs/<id>/result  result rows once done (202 while pending,
+                            500 payload when the job failed)
+    GET  /healthz           liveness + version
+    GET  /stats             store hits/misses/rows + queue depth + job counts
+
+Run it via ``repro serve`` or embed it with :func:`start_daemon` (tests and
+examples start it on an ephemeral port in a background thread).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import __version__
+from repro.runtime.executors import ParallelExecutor
+from repro.runtime.store import ResultStore
+from repro.service.jobs import DONE, ERROR, JobQueue, QueueFull
+from repro.service.requests import (
+    RequestError,
+    SimulationRequest,
+    execute_request,
+    request_from_dict,
+)
+
+MAX_REQUEST_BYTES = 1 << 20  # 1 MiB of JSON is far beyond any real request
+
+
+class SimulationService:
+    """The daemon's engine room: shared store + job queue + executor policy.
+
+    Usable without HTTP (the handler, the CLI and in-process tests all drive
+    this object); the HTTP layer only translates it to status codes.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        *,
+        job_workers: int = 2,
+        queue_capacity: int = 16,
+        process_workers: int = 1,
+    ) -> None:
+        if process_workers < 1:
+            raise ValueError(f"process_workers must be >= 1, got {process_workers}")
+        self.store = store
+        self.process_workers = process_workers
+        self.queue = JobQueue(
+            self._execute, workers=job_workers, capacity=queue_capacity
+        )
+
+    def _execute(
+        self, request: SimulationRequest
+    ) -> Tuple[List[Dict[str, Any]], str, int, int]:
+        executor = (
+            ParallelExecutor(self.process_workers) if self.process_workers > 1 else None
+        )
+        before_hits, before_misses = (
+            self.store.counters() if self.store is not None else (0, 0)
+        )
+        result = execute_request(request, executor=executor, store=self.store)
+        after_hits, after_misses = (
+            self.store.counters() if self.store is not None else (0, 0)
+        )
+        # Counter deltas are attributed per job; with several jobs in flight
+        # on one store they are approximate, exact when jobs run one at a
+        # time (the /stats totals are always exact).
+        return (
+            result.rows,
+            result.description,
+            after_hits - before_hits,
+            after_misses - before_misses,
+        )
+
+    def submit(self, payload: Dict[str, Any]):
+        """Validate and enqueue a request payload; returns ``(job, attached)``."""
+        request = request_from_dict(payload)
+        return self.queue.submit(request)
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``/stats`` payload: store counters plus queue counters."""
+        store_stats: Dict[str, Any] = {"attached": self.store is not None}
+        if self.store is not None:
+            hits, misses = self.store.counters()
+            store_stats.update(
+                {
+                    "path": str(self.store.path),
+                    "hits": hits,
+                    "misses": misses,
+                    "rows": len(self.store),
+                }
+            )
+        return {
+            "version": __version__,
+            "store": store_stats,
+            "queue": self.queue.stats(),
+        }
+
+    def close(self) -> None:
+        """Stop the workers; the store is owned by the caller and stays open."""
+        self.queue.close()
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs/paths onto the owning server's SimulationService."""
+
+    server_version = f"repro-serve/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    # The default handler logs every request to stderr; keep the daemon
+    # quiet unless the server was built with verbose logging.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    @property
+    def service(self) -> SimulationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise RequestError("request body must be a JSON object")
+        if length > MAX_REQUEST_BYTES:
+            raise RequestError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_REQUEST_BYTES}-byte limit"
+            )
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise RequestError(f"request body is not valid JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise RequestError("request body must be a JSON object")
+        return payload
+
+    # -- routes --------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        if self.path.rstrip("/") != "/jobs":
+            self._send_json(404, {"error": f"unknown path {self.path}"})
+            return
+        try:
+            job, attached = self.service.submit(self._read_json())
+        except RequestError as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        except QueueFull as error:
+            self._send_json(429, {"error": str(error)})
+            return
+        self._send_json(
+            200 if attached else 202,
+            {
+                "job_id": job.id,
+                "key": job.key,
+                "status": job.status,
+                "attached": attached,
+            },
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        parts = [part for part in self.path.split("?")[0].split("/") if part]
+        if parts == ["healthz"]:
+            self._send_json(200, {"status": "ok", "version": __version__})
+            return
+        if parts == ["stats"]:
+            self._send_json(200, self.service.stats())
+            return
+        if len(parts) >= 2 and parts[0] == "jobs":
+            job = self.service.queue.get(parts[1])
+            if job is None:
+                self._send_json(404, {"error": f"unknown job {parts[1]!r}"})
+                return
+            if len(parts) == 2:
+                self._send_json(200, job.snapshot())
+                return
+            if len(parts) == 3 and parts[2] == "result":
+                if job.status == DONE:
+                    payload = job.snapshot()
+                    payload["description"] = job.description
+                    payload["rows"] = job.rows
+                    self._send_json(200, payload)
+                elif job.status == ERROR:
+                    self._send_json(500, job.snapshot())
+                else:
+                    self._send_json(202, job.snapshot())
+                return
+        self._send_json(404, {"error": f"unknown path {self.path}"})
+
+
+class SimulationDaemon(ThreadingHTTPServer):
+    """``ThreadingHTTPServer`` bound to a :class:`SimulationService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: SimulationService,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, _ServiceHandler)
+        self.service = service
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+@dataclass
+class DaemonHandle:
+    """A daemon running in a background thread (the embedding/test harness)."""
+
+    server: SimulationDaemon
+    service: SimulationService
+    thread: threading.Thread
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    def close(self) -> None:
+        """Shut down HTTP, the job workers, and the store (if daemon-owned)."""
+        self.server.shutdown()
+        self.server.server_close()
+        self.service.close()
+        self.thread.join(timeout=10.0)
+
+    def __enter__(self) -> "DaemonHandle":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def start_daemon(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    store: Optional[ResultStore] = None,
+    job_workers: int = 2,
+    queue_capacity: int = 16,
+    process_workers: int = 1,
+    verbose: bool = False,
+) -> DaemonHandle:
+    """Start a daemon in a background thread; ``port=0`` picks a free port."""
+    service = SimulationService(
+        store,
+        job_workers=job_workers,
+        queue_capacity=queue_capacity,
+        process_workers=process_workers,
+    )
+    server = SimulationDaemon((host, port), service, verbose=verbose)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve", daemon=True
+    )
+    thread.start()
+    return DaemonHandle(server=server, service=service, thread=thread)

@@ -1,0 +1,243 @@
+"""Asynchronous job queue: worker threads, in-flight dedup, back-pressure.
+
+The daemon cannot run simulations on its HTTP threads — a submission must
+return immediately with a job id the client polls.  :class:`JobQueue` owns
+that decoupling:
+
+* a **bounded** FIFO of queued jobs — when it is full, :meth:`submit`
+  raises :class:`QueueFull` and the daemon answers ``429`` instead of
+  accepting unbounded work;
+* a pool of **worker threads** draining the queue through a single execute
+  callable (the daemon binds :func:`~repro.service.requests.execute_request`
+  to its shared store there); and
+* **in-flight deduplication** by content address: submitting a request whose
+  key matches a queued or running job attaches the caller to that job
+  instead of queueing a second computation.  Completed jobs are *not*
+  deduplicated — a re-submission becomes a new job, which the result store
+  then serves entirely from cache (the cheap ~475x replay path).
+
+Jobs are kept in memory (bounded by ``history_limit``, oldest finished jobs
+evicted first); the durable artefacts live in the result store.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.service.requests import SimulationRequest
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+ERROR = "error"
+
+JOB_STATES = (QUEUED, RUNNING, DONE, ERROR)
+
+
+class QueueFull(RuntimeError):
+    """The pending queue is at capacity; the caller should back off (HTTP 429)."""
+
+
+@dataclass
+class Job:
+    """One submitted request and everything known about its execution."""
+
+    id: str
+    key: str
+    request: SimulationRequest
+    status: str = QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    rows: Optional[List[Dict[str, Any]]] = None
+    description: str = ""
+    error: Optional[str] = None
+    cache_hits: int = 0
+    cache_misses: int = 0
+    subscribers: int = 1
+    done_event: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def finished(self) -> bool:
+        return self.status in (DONE, ERROR)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job finishes (or ``timeout`` elapses)."""
+        return self.done_event.wait(timeout)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able status view (everything except the result rows)."""
+        return {
+            "id": self.id,
+            "key": self.key,
+            "kind": self.request.kind,
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "subscribers": self.subscribers,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "error": self.error,
+        }
+
+
+ExecuteCallable = Callable[
+    [SimulationRequest], Tuple[List[Dict[str, Any]], str, int, int]
+]
+"""Runs a request, returning ``(rows, description, cache_hits, cache_misses)``."""
+
+
+class JobQueue:
+    """Bounded multi-worker job queue with in-flight request deduplication."""
+
+    def __init__(
+        self,
+        execute: ExecuteCallable,
+        *,
+        workers: int = 2,
+        capacity: int = 16,
+        history_limit: int = 1024,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._execute = execute
+        self.capacity = capacity
+        self.history_limit = max(history_limit, capacity + workers)
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue(maxsize=capacity)
+        self._lock = threading.Lock()
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._active_by_key: Dict[str, str] = {}
+        self._ids = itertools.count(1)
+        self.completed = 0
+        self.failed = 0
+        self.deduplicated = 0
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"repro-job-worker-{index}", daemon=True
+            )
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission / lookup -------------------------------------------------
+
+    def submit(self, request: SimulationRequest) -> Tuple[Job, bool]:
+        """Enqueue ``request``; returns ``(job, attached)``.
+
+        ``attached`` is True when the request deduplicated onto an existing
+        queued/running job instead of creating a new one.  Raises
+        :class:`QueueFull` when the pending queue is at capacity.
+        """
+        key = request.key()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("job queue is closed")
+            active_id = self._active_by_key.get(key)
+            if active_id is not None:
+                job = self._jobs[active_id]
+                if not job.finished:
+                    job.subscribers += 1
+                    self.deduplicated += 1
+                    return job, True
+            job = Job(id=f"job-{next(self._ids)}", key=key, request=request)
+            try:
+                self._queue.put_nowait(job)
+            except queue.Full:
+                raise QueueFull(
+                    f"job queue is at capacity ({self.capacity} pending); retry later"
+                ) from None
+            self._jobs[job.id] = job
+            self._active_by_key[key] = job.id
+            self._evict_history()
+        return job, False
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """The job with ``job_id``, or ``None``."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def stats(self) -> Dict[str, Any]:
+        """Queue-level counters for the ``/stats`` endpoint."""
+        with self._lock:
+            by_status: Dict[str, int] = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                by_status[job.status] += 1
+            return {
+                "capacity": self.capacity,
+                "queue_depth": self._queue.qsize(),
+                "jobs": by_status,
+                "completed": self.completed,
+                "failed": self.failed,
+                "deduplicated": self.deduplicated,
+            }
+
+    # -- worker side ---------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                self._queue.task_done()
+                return
+            job.started_at = time.time()
+            job.status = RUNNING
+            try:
+                rows, description, hits, misses = self._execute(job.request)
+            except Exception as error:  # noqa: BLE001 - jobs report any failure
+                job.error = f"{type(error).__name__}: {error}"
+                job.status = ERROR
+            else:
+                job.rows = rows
+                job.description = description
+                job.cache_hits = hits
+                job.cache_misses = misses
+                job.status = DONE
+            finally:
+                job.finished_at = time.time()
+                with self._lock:
+                    if self._active_by_key.get(job.key) == job.id:
+                        del self._active_by_key[job.key]
+                    if job.status == DONE:
+                        self.completed += 1
+                    else:
+                        self.failed += 1
+                job.done_event.set()
+                self._queue.task_done()
+
+    def _evict_history(self) -> None:
+        # Called under self._lock: drop oldest *finished* jobs over the cap.
+        while len(self._jobs) > self.history_limit:
+            for job_id, job in self._jobs.items():
+                if job.finished:
+                    del self._jobs[job_id]
+                    break
+            else:
+                return
+
+    def close(self, *, timeout: Optional[float] = 10.0) -> None:
+        """Stop accepting work and join the worker threads."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout)
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

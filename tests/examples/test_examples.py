@@ -80,3 +80,18 @@ class TestSensorNetworkExample:
         assert result.transport_stats["dropped"] > 0
         assert 0.0 <= result.best_option_share <= 1.0
         assert result.alive_series[-1] <= 25
+
+
+class TestServiceDemoExample:
+    def test_main_runs_at_reduced_scale(self, capsys, monkeypatch):
+        module = _load_example("service_demo")
+        monkeypatch.setattr(module, "NODES", 60)
+        monkeypatch.setattr(module, "ROUNDS", 10)
+        monkeypatch.setattr(module, "REPLICATIONS", 2)
+        module.main()
+        output = capsys.readouterr().out
+        assert "daemon up at http://" in output
+        assert "0 misses" in output
+        assert "rows identical: True" in output
+        assert "attached: True" in output
+        assert "/stats:" in output

@@ -83,3 +83,51 @@ class TestAppendMode:
         write_csv(ResultTable([{"a": 1}, {"a": 2}]), path)
         write_csv(ResultTable([{"a": 3}]), path)
         assert read_csv(path).column("a") == [3]
+
+
+class TestStrictCellParsing:
+    """Regression: string cells that Python's int()/float() happen to accept.
+
+    ``int``/``float`` take underscore separators, surrounding whitespace and
+    inf/nan spellings, so the old best-effort parser silently turned
+    string-valued columns into numbers on read.
+    """
+
+    @pytest.mark.parametrize(
+        "value",
+        ["1_000", " 7 ", "7 ", " 7", "inf", "-inf", "nan", "Infinity", "NaN",
+         "1_0.5", "0x10", "1e", "true", "false", "TRUE"],
+    )
+    def test_stringish_cells_round_trip_as_strings(self, value, tmp_path):
+        path = write_csv(ResultTable([{"label": value}]), tmp_path / "strings.csv")
+        assert read_csv(path).column("label") == [value]
+
+    @pytest.mark.parametrize(
+        ("text", "expected"),
+        [
+            ("12", 12),
+            ("-3", -3),
+            ("+4", 4),
+            ("0.5", 0.5),
+            ("-0.5", -0.5),
+            (".5", 0.5),
+            ("2.", 2.0),
+            ("1e5", 1e5),
+            ("1.5E-3", 1.5e-3),
+            ("True", True),
+            ("False", False),
+        ],
+    )
+    def test_numeric_and_bool_spellings_still_parse(self, text, expected, tmp_path):
+        path = tmp_path / "typed.csv"
+        path.write_text(f"cell\n{text}\n")
+        [row] = read_csv(path).rows
+        assert row["cell"] == expected
+        assert type(row["cell"]) is type(expected)
+
+    def test_mixed_column_preserves_per_cell_types(self, tmp_path):
+        table = ResultTable(
+            [{"cell": "1_000"}, {"cell": 1000}, {"cell": "inf"}, {"cell": 2.5}]
+        )
+        loaded = read_csv(write_csv(table, tmp_path / "mixed.csv"))
+        assert loaded.column("cell") == ["1_000", 1000, "inf", 2.5]

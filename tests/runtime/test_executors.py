@@ -1,8 +1,15 @@
 """Tests for the serial and multi-process executors and the plan driver."""
 
+import time
+
 import pytest
 
-from repro.experiments import ParameterGrid, run_sweep, sweep_configs
+from repro.experiments import (
+    ExperimentConfig,
+    ParameterGrid,
+    run_sweep,
+    sweep_configs,
+)
 from repro.experiments.dynamics_sweep import dynamics_point_replication
 from repro.runtime import (
     ParallelExecutor,
@@ -115,3 +122,55 @@ class TestRunPlanWithStore:
             run_plan(small_plan(replications=4), dynamics_point_replication, store=store)
             assert store.hits == 2 * len(GRID)
             assert store.misses == 2 * len(GRID)
+
+
+def sleepy_replication(seed, parameters):
+    """Module-level (worker-resolvable) replication that naps per parameters."""
+    time.sleep(float(parameters.get("sleep", 0.0)))
+    return {"metric": float(seed)}
+
+
+class TestAbortDoesNotJoinRunningShards:
+    """Regression: aborting mid-run must not block on a still-running shard.
+
+    The old abort path cancelled only *pending* futures and then closed the
+    pool via the context manager, whose exit joins the workers — so a
+    Ctrl-C during a big sweep hung until the in-flight shards finished.
+    """
+
+    SLOW = 3.0
+
+    def _shards(self):
+        configs = [
+            ExperimentConfig(
+                name=f"abort[{index}]",
+                parameters={"sleep": sleep},
+                replications=1,
+                seed=index,
+            )
+            for index, sleep in enumerate([0.0, self.SLOW, 0.0])
+        ]
+        plan = ShardPlan.from_configs(configs, sleepy_replication)
+        return plan.shards(len(plan))
+
+    def test_abandoning_the_generator_returns_promptly(self):
+        executor = ParallelExecutor(max_workers=1, shards_per_worker=1)
+        shard_results = executor.run_shards(self._shards(), sleepy_replication)
+        first = next(shard_results)  # fast shard done; slow shard now running
+        assert len(first) == 1
+        start = time.monotonic()
+        shard_results.close()  # GeneratorExit at the yield = the abort path
+        elapsed = time.monotonic() - start
+        assert elapsed < self.SLOW - 1.0, (
+            f"abort took {elapsed:.2f}s — the executor joined the "
+            "still-running slow shard instead of abandoning it"
+        )
+
+    def test_interrupt_propagates_after_prompt_shutdown(self):
+        executor = ParallelExecutor(max_workers=1, shards_per_worker=1)
+        shard_results = executor.run_shards(self._shards(), sleepy_replication)
+        next(shard_results)
+        start = time.monotonic()
+        with pytest.raises(KeyboardInterrupt):
+            shard_results.throw(KeyboardInterrupt)
+        assert time.monotonic() - start < self.SLOW - 1.0

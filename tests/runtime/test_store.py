@@ -1,5 +1,7 @@
 """Tests for the content-addressed sqlite ResultStore."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -133,3 +135,79 @@ class TestResultStore:
             )
             assert len(keys) == 2
             assert len(store) == 2
+
+
+class TestThreadSafety:
+    """Regression: the daemon's worker threads share one store concurrently.
+
+    The old store used a default sqlite connection (``check_same_thread``
+    on, no WAL, no busy timeout) and a positional ``INSERT OR REPLACE``, so
+    any cross-thread access raised and any schema change silently misaligned
+    columns.
+    """
+
+    THREADS = 6
+    TASKS_PER_THREAD = 25
+
+    def test_concurrent_readers_and_writers(self, tmp_path):
+        store = ResultStore(tmp_path / "concurrent.sqlite")
+        errors = []
+        barrier = threading.Barrier(self.THREADS)
+
+        def hammer(worker):
+            try:
+                barrier.wait(timeout=10)
+                for index in range(self.TASKS_PER_THREAD):
+                    task = make_task(
+                        parameters={**BASE, "worker": worker, "index": index},
+                        seeds=[worker, index],
+                    )
+                    metrics = [{"metric": float(worker * 1000 + index)}] * 2
+                    store.put(task, metrics)
+                    assert store.get(store.key_for(task)) == metrics
+                    len(store)  # exercises the read path under contention
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(worker,))
+            for worker in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+        assert len(store) == self.THREADS * self.TASKS_PER_THREAD
+        hits, misses = store.counters()
+        assert hits == self.THREADS * self.TASKS_PER_THREAD
+        assert misses == 0
+        store.close()
+
+    def test_file_store_runs_in_wal_mode(self, tmp_path):
+        store = ResultStore(tmp_path / "wal.sqlite")
+        mode = store._connection.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+        store.close()
+
+    def test_close_is_idempotent_and_marks_closed(self):
+        store = ResultStore()
+        assert not store.closed
+        store.close()
+        store.close()  # second close must not raise
+        assert store.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            store.get("anything")
+
+    def test_insert_names_its_columns(self, tmp_path):
+        # A new column appended to the schema must not shift the insert's
+        # values: named columns keep old writers valid against the wider
+        # table.
+        path = tmp_path / "wider.sqlite"
+        with ResultStore(path) as store:
+            store._connection.execute(
+                "ALTER TABLE results ADD COLUMN annotation TEXT"
+            )
+            task = make_task()
+            key = store.put(task, [{"metric": 1.0}, {"metric": 2.0}])
+            assert store.get(key) == [{"metric": 1.0}, {"metric": 2.0}]

@@ -1,0 +1,148 @@
+"""Tests for the asynchronous job queue (repro.service.jobs)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service.jobs import DONE, ERROR, JobQueue, QueueFull
+from repro.service.requests import sweep_request
+
+ROWS = [{"value": 1.0}]
+
+
+def _request(seed: int = 0):
+    return sweep_request(
+        options=[0.8, 0.5], populations=[60], horizon=8,
+        replications=2, seed=seed, engine="loop",
+    )
+
+
+def _instant(request):
+    return ROWS, "desc", 2, 3
+
+
+class GatedExecute:
+    """Execute callable that blocks until released — makes timing deterministic."""
+
+    def __init__(self):
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self.calls = 0
+
+    def __call__(self, request):
+        self.calls += 1
+        self.started.set()
+        assert self.release.wait(timeout=10.0), "test never released the job"
+        return ROWS, "gated", 0, 0
+
+
+class TestExecution:
+    def test_job_runs_and_records_the_result(self):
+        with JobQueue(_instant, workers=1) as jobs:
+            job, attached = jobs.submit(_request())
+            assert not attached
+            assert job.wait(timeout=10.0)
+            assert job.status == DONE
+            assert job.rows == ROWS
+            assert job.description == "desc"
+            assert (job.cache_hits, job.cache_misses) == (2, 3)
+            assert jobs.get(job.id) is job
+            assert jobs.get("job-999") is None
+
+    def test_failure_is_captured_not_raised(self):
+        def explode(request):
+            raise RuntimeError("engine blew up")
+
+        with JobQueue(explode, workers=1) as jobs:
+            job, _ = jobs.submit(_request())
+            assert job.wait(timeout=10.0)
+            assert job.status == ERROR
+            assert "RuntimeError: engine blew up" in job.error
+            assert jobs.failed == 1
+
+    def test_closed_queue_rejects_submissions(self):
+        jobs = JobQueue(_instant, workers=1)
+        jobs.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            jobs.submit(_request())
+
+
+class TestInFlightDedup:
+    def test_identical_submissions_attach_to_one_job(self):
+        gate = GatedExecute()
+        with JobQueue(gate, workers=1) as jobs:
+            first, attached_first = jobs.submit(_request())
+            assert gate.started.wait(timeout=10.0)
+            second, attached_second = jobs.submit(_request())
+            third, attached_third = jobs.submit(_request())
+            assert not attached_first
+            assert attached_second and attached_third
+            assert first.id == second.id == third.id
+            assert first.subscribers == 3
+            assert jobs.deduplicated == 2
+            gate.release.set()
+            assert first.wait(timeout=10.0)
+        assert gate.calls == 1
+
+    def test_different_requests_do_not_dedup(self):
+        with JobQueue(_instant, workers=1) as jobs:
+            first, _ = jobs.submit(_request(seed=0))
+            second, attached = jobs.submit(_request(seed=1))
+            assert not attached
+            assert first.id != second.id
+            assert first.wait(timeout=10.0) and second.wait(timeout=10.0)
+
+    def test_finished_jobs_are_not_deduplicated(self):
+        with JobQueue(_instant, workers=1) as jobs:
+            first, _ = jobs.submit(_request())
+            assert first.wait(timeout=10.0)
+            second, attached = jobs.submit(_request())
+            assert not attached
+            assert second.id != first.id
+            assert second.wait(timeout=10.0)
+            assert jobs.completed == 2
+
+
+class TestBackPressure:
+    def test_full_queue_raises_queue_full(self):
+        gate = GatedExecute()
+        with JobQueue(gate, workers=1, capacity=1) as jobs:
+            blocker, _ = jobs.submit(_request(seed=0))
+            assert gate.started.wait(timeout=10.0)
+            queued, _ = jobs.submit(_request(seed=1))  # fills the pending slot
+            with pytest.raises(QueueFull, match="capacity"):
+                jobs.submit(_request(seed=2))
+            # ... but an identical in-flight request still attaches.
+            attached_job, attached = jobs.submit(_request(seed=1))
+            assert attached and attached_job.id == queued.id
+            gate.release.set()
+            assert blocker.wait(timeout=10.0) and queued.wait(timeout=10.0)
+
+    def test_stats_report_depth_and_counters(self):
+        gate = GatedExecute()
+        with JobQueue(gate, workers=1, capacity=4) as jobs:
+            running, _ = jobs.submit(_request(seed=0))
+            assert gate.started.wait(timeout=10.0)
+            jobs.submit(_request(seed=1))
+            stats = jobs.stats()
+            assert stats["capacity"] == 4
+            assert stats["queue_depth"] == 1
+            assert stats["jobs"]["running"] == 1
+            assert stats["jobs"]["queued"] == 1
+            gate.release.set()  # stays set: releases the queued job too
+            assert running.wait(timeout=10.0)
+
+
+class TestHistoryEviction:
+    def test_oldest_finished_jobs_are_evicted(self):
+        with JobQueue(_instant, workers=1, capacity=4, history_limit=1) as jobs:
+            # history_limit is floored at capacity + workers = 5
+            submitted = []
+            for seed in range(8):
+                job, _ = jobs.submit(_request(seed=seed))
+                assert job.wait(timeout=10.0)
+                submitted.append(job)
+            assert jobs.get(submitted[-1].id) is submitted[-1]
+            assert jobs.get(submitted[0].id) is None

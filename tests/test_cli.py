@@ -494,3 +494,146 @@ class TestRuntimeFlags:
         )
         assert exit_code == 0
         assert "indivisible task" in capsys.readouterr().err
+
+
+class TestStoreClosedOnErrorPaths:
+    """Regression: a failure after --store opened must still close the store.
+
+    The old commands only closed the store on the success path (inside
+    ``_finish_runtime``), so any error between ``ResultStore(args.store)``
+    and the final print leaked the sqlite connection.
+    """
+
+    def _capture_store(self, monkeypatch):
+        import repro.cli as cli_module
+        from repro.runtime import ResultStore
+
+        created = []
+
+        class RecordingStore(ResultStore):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                created.append(self)
+
+        monkeypatch.setattr(cli_module, "ResultStore", RecordingStore)
+        return created
+
+    @pytest.mark.parametrize("command_args", [
+        TestRuntimeFlags.SWEEP,
+        ["network", "--topology", "ring", "--size", "60", "--horizon", "5",
+         "--replications", "2", "--engine", "loop"],
+        ["protocol", "--nodes", "40", "--rounds", "5",
+         "--replications", "2", "--engine", "loop"],
+    ])
+    def test_execution_error_closes_the_store(
+        self, command_args, monkeypatch, tmp_path
+    ):
+        import repro.cli as cli_module
+
+        created = self._capture_store(monkeypatch)
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("engine blew up")
+
+        monkeypatch.setattr(cli_module, "execute_request", explode)
+        store_path = str(tmp_path / "leak.sqlite")
+        with pytest.raises(RuntimeError, match="engine blew up"):
+            main(command_args + ["--store", store_path])
+        assert len(created) == 1
+        assert created[0].closed
+
+    def test_output_write_error_closes_the_store(self, monkeypatch, tmp_path):
+        import repro.cli as cli_module
+
+        created = self._capture_store(monkeypatch)
+
+        def refuse(table, output):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(cli_module, "_finish", refuse)
+        with pytest.raises(OSError, match="disk full"):
+            main(
+                TestRuntimeFlags.SWEEP
+                + ["--store", str(tmp_path / "leak.sqlite")]
+            )
+        assert len(created) == 1
+        assert created[0].closed
+
+    def test_success_path_still_closes_and_reports(self, capsys, tmp_path):
+        store_path = str(tmp_path / "ok.sqlite")
+        assert main(TestRuntimeFlags.SWEEP + ["--store", store_path]) == 0
+        assert "cache hits" in capsys.readouterr().out
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+        assert args.store is None
+        assert args.queue_size == 16
+        assert args.job_workers == 2
+        assert args.workers == 1
+
+    def test_serve_rejects_nonpositive_workers(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--workers", "0"])
+        assert excinfo.value.code == 2
+        assert "--workers must be at least 1" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_serve_runs_and_shuts_down_cleanly(self, capsys, monkeypatch, tmp_path):
+        import repro.cli as cli_module
+
+        # serve_forever blocks; stand in a Ctrl-C so the command exercises
+        # its startup banner and graceful-shutdown path end to end.
+        monkeypatch.setattr(
+            cli_module.SimulationDaemon,
+            "serve_forever",
+            lambda self: (_ for _ in ()).throw(KeyboardInterrupt()),
+        )
+        store_path = str(tmp_path / "serve.sqlite")
+        assert main(["serve", "--port", "0", "--store", store_path]) == 0
+        captured = capsys.readouterr()
+        assert "repro serve listening on http://" in captured.out
+        assert store_path in captured.out
+        assert "shutting down" in captured.err
+
+    def test_serve_without_store_notes_recomputation(self, capsys, monkeypatch):
+        import repro.cli as cli_module
+
+        monkeypatch.setattr(
+            cli_module.SimulationDaemon,
+            "serve_forever",
+            lambda self: (_ for _ in ()).throw(KeyboardInterrupt()),
+        )
+        assert main(["serve", "--port", "0"]) == 0
+        assert "no result store" in capsys.readouterr().out
+
+    def test_serve_bind_failure_closes_store_and_returns_2(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        import repro.cli as cli_module
+        from repro.runtime import ResultStore
+
+        created = []
+
+        class RecordingStore(ResultStore):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                created.append(self)
+
+        monkeypatch.setattr(cli_module, "ResultStore", RecordingStore)
+
+        def refuse_bind(address, service, verbose=False):
+            service.close()
+            raise OSError("address already in use")
+
+        monkeypatch.setattr(cli_module, "SimulationDaemon", refuse_bind)
+        exit_code = main(["serve", "--store", str(tmp_path / "serve.sqlite")])
+        assert exit_code == 2
+        assert "cannot start daemon" in capsys.readouterr().err
+        assert len(created) == 1
+        assert created[0].closed
