@@ -36,7 +36,9 @@ def dominance_time(
     return None
 
 
-def time_above_threshold(best_option_series: np.ndarray, threshold: float = 0.5) -> float:
+def time_above_threshold(
+    best_option_series: np.ndarray, threshold: float = 0.5
+) -> float:
     """Fraction of steps in which the best option's share is at least ``threshold``."""
     series = np.asarray(best_option_series, dtype=float)
     if series.ndim != 1 or series.size == 0:
@@ -45,9 +47,7 @@ def time_above_threshold(best_option_series: np.ndarray, threshold: float = 0.5)
     return float((series >= threshold).mean())
 
 
-def regret_crossing_time(
-    regret_series: np.ndarray, bound: float
-) -> Optional[int]:
+def regret_crossing_time(regret_series: np.ndarray, bound: float) -> Optional[int]:
     """First step at which the running average regret drops below ``bound`` for good.
 
     ``regret_series[t]`` is the average regret of the first ``t + 1`` steps

@@ -137,9 +137,7 @@ def trace_theorem_43(
     # bounds: delta * sum R_1 - delta' * sum <P, R> <= ln m + T ln(...),
     # rearranged for (sum R_1 - sum <P, R>) / T and with the (delta' - delta)
     # term dropped only when it is negative (which can only help the bound).
-    mixing_term = math.log(
-        (1.0 + mu * (math.exp(delta) - 1.0)) / (1.0 - mu)
-    )
+    mixing_term = math.log((1.0 + mu * (math.exp(delta) - 1.0)) / (1.0 - mu))
     slack_term = max(delta_prime - delta, 0.0) * group_reward / horizon
     regret_bound_rhs = (
         math.log(num_options) / (delta * horizon)

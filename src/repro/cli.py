@@ -116,6 +116,15 @@ def _add_runtime_arguments(subparser: argparse.ArgumentParser) -> None:
             "interrupted run); with --store, cache reuse itself is always on"
         ),
     )
+    runtime.add_argument(
+        "--store-hot-mb",
+        type=float,
+        default=64.0,
+        help=(
+            "in-memory hot-tier budget of the result store in MiB (default "
+            "64); entries beyond it are served from the columnar cold tier"
+        ),
+    )
 
 
 def _runtime_kwargs(args: argparse.Namespace) -> Dict[str, Any]:
@@ -130,6 +139,12 @@ def _runtime_kwargs(args: argparse.Namespace) -> Dict[str, Any]:
     if args.resume and not args.store:
         print("error: --resume needs --store PATH", file=sys.stderr)
         raise SystemExit(2)
+    if args.store_hot_mb <= 0:
+        print(
+            f"error: --store-hot-mb must be positive, got {args.store_hot_mb}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
     if args.store:
         if args.resume and not Path(args.store).exists():
             print(
@@ -137,7 +152,9 @@ def _runtime_kwargs(args: argparse.Namespace) -> Dict[str, Any]:
                 file=sys.stderr,
             )
             raise SystemExit(2)
-        kwargs["store"] = ResultStore(args.store)
+        kwargs["store"] = ResultStore(
+            args.store, hot_budget_bytes=int(args.store_hot_mb * 2**20)
+        )
     if args.workers > 1:
         kwargs["executor"] = ParallelExecutor(args.workers)
     return kwargs
@@ -158,9 +175,16 @@ def _finish_runtime(runtime_kwargs: Dict[str, Any]) -> None:
     """Report cache statistics and release the store, if one was opened."""
     store = runtime_kwargs.get("store")
     if store is not None:
+        counters = store.counters()
         print(
             f"store {store.path}: {store.hits} cache hits, "
             f"{store.misses} misses, {len(store)} rows"
+        )
+        print(
+            f"tiers: {counters.hot_hits} hot hits, {counters.cold_hits} cold "
+            f"hits, {counters.spills} spills, {counters.evictions} evictions, "
+            f"{counters.compactions} compactions, "
+            f"{store.segment_count()} segments"
         )
         store.close()
 
@@ -419,6 +443,16 @@ def build_parser() -> argparse.ArgumentParser:
             "shared content-addressed result store: computed tasks are "
             "flushed there and repeat jobs are served from cache (without "
             "one, every job recomputes)"
+        ),
+    )
+    serve.add_argument(
+        "--store-hot-mb",
+        type=float,
+        default=64.0,
+        help=(
+            "in-memory hot-tier budget for the shared store, in MiB "
+            "(default 64); entries beyond it are served from the columnar "
+            "cold tier"
         ),
     )
     serve.add_argument(
@@ -752,7 +786,17 @@ def _command_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         raise SystemExit(2)
-    store = ResultStore(args.store) if args.store else None
+    if args.store_hot_mb <= 0:
+        print(
+            f"error: --store-hot-mb must be positive, got {args.store_hot_mb}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    store = (
+        ResultStore(args.store, hot_budget_bytes=int(args.store_hot_mb * 2**20))
+        if args.store
+        else None
+    )
     try:
         service = SimulationService(
             store,

@@ -9,8 +9,11 @@ shardable, cacheable, resumable jobs:
 * :mod:`repro.runtime.executors` — :class:`SerialExecutor` (default,
   in-process) and :class:`ParallelExecutor` (``ProcessPoolExecutor``-backed,
   chunked dispatch, worker-side engine construction) behind one interface;
-* :mod:`repro.runtime.store` — :class:`ResultStore`: a content-addressed
-  sqlite cache keyed on ``(function, parameters, seeds, code version)``;
+* :mod:`repro.runtime.store` — :class:`ResultStore`: a tiered
+  content-addressed cache keyed on ``(function, parameters, seeds, code
+  version)`` — an in-memory LRU hot tier over columnar ``.npz`` cold
+  segments, with sqlite as the key → location index and a background
+  compaction thread merging spill segments;
 * :mod:`repro.runtime.driver` — :func:`run_plan`: cache lookup, shard
   dispatch, per-shard flush and ordered merge.
 
@@ -34,15 +37,23 @@ from repro.runtime.shard import (
     partition_tasks,
     replication_mode,
 )
-from repro.runtime.store import ResultStore, canonical_json, task_key
+from repro.runtime.store import (
+    ResultStore,
+    StoreCounters,
+    canonical_json,
+    canonical_value,
+    task_key,
+)
 
 __all__ = [
     "ParallelExecutor",
     "ResultStore",
     "SerialExecutor",
+    "StoreCounters",
     "ShardPlan",
     "Task",
     "canonical_json",
+    "canonical_value",
     "execute_task",
     "function_reference",
     "partition_tasks",

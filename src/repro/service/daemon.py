@@ -24,7 +24,9 @@ Endpoints::
     GET  /jobs/<id>/result  result rows once done (202 while pending,
                             500 payload when the job failed)
     GET  /healthz           liveness + version
-    GET  /stats             store hits/misses/rows + queue depth + job counts
+    GET  /stats             store tier counters (hot/cold hits, spills,
+                            evictions, compactions, residency) + queue depth
+                            + job counts
 
 Run it via ``repro serve`` or embed it with :func:`start_daemon` (tests and
 examples start it on an ephemeral port in a background thread).
@@ -81,22 +83,17 @@ class SimulationService:
         executor = (
             ParallelExecutor(self.process_workers) if self.process_workers > 1 else None
         )
-        before_hits, before_misses = (
-            self.store.counters() if self.store is not None else (0, 0)
-        )
+        before = self.store.counters() if self.store is not None else None
         result = execute_request(request, executor=executor, store=self.store)
-        after_hits, after_misses = (
-            self.store.counters() if self.store is not None else (0, 0)
-        )
         # Counter deltas are attributed per job; with several jobs in flight
         # on one store they are approximate, exact when jobs run one at a
         # time (the /stats totals are always exact).
-        return (
-            result.rows,
-            result.description,
-            after_hits - before_hits,
-            after_misses - before_misses,
-        )
+        if self.store is not None:
+            after = self.store.counters()
+            hits, misses = after.hits - before.hits, after.misses - before.misses
+        else:
+            hits = misses = 0
+        return (result.rows, result.description, hits, misses)
 
     def submit(self, payload: Dict[str, Any]):
         """Validate and enqueue a request payload; returns ``(job, attached)``."""
@@ -107,13 +104,17 @@ class SimulationService:
         """The ``/stats`` payload: store counters plus queue counters."""
         store_stats: Dict[str, Any] = {"attached": self.store is not None}
         if self.store is not None:
-            hits, misses = self.store.counters()
+            # The full tier breakdown: hits/misses as before, plus hot/cold
+            # hit attribution, spill/eviction/compaction activity and the
+            # current residency of each tier.
+            store_stats.update(self.store.counters().as_dict())
             store_stats.update(
                 {
                     "path": str(self.store.path),
-                    "hits": hits,
-                    "misses": misses,
                     "rows": len(self.store),
+                    "hot_entries": self.store.hot_entries,
+                    "hot_bytes": self.store.hot_bytes,
+                    "segments": self.store.segment_count(),
                 }
             )
         return {

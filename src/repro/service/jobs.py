@@ -27,8 +27,9 @@ import queue
 import threading
 import time
 from collections import OrderedDict
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, ContextManager, Dict, List, Optional, Tuple
 
 from repro.service.requests import SimulationRequest
 
@@ -46,7 +47,14 @@ class QueueFull(RuntimeError):
 
 @dataclass
 class Job:
-    """One submitted request and everything known about its execution."""
+    """One submitted request and everything known about its execution.
+
+    Mutable fields (``status``, timings, results, cache counters) are
+    written by a worker thread while HTTP threads read them, so every
+    mutation and :meth:`snapshot` serialise on the owning queue's lock
+    (``owner_lock``, injected at submission).  A standalone job built in a
+    test has no owner and falls back to unlocked access.
+    """
 
     id: str
     key: str
@@ -62,6 +70,12 @@ class Job:
     cache_misses: int = 0
     subscribers: int = 1
     done_event: threading.Event = field(default_factory=threading.Event)
+    owner_lock: Optional[threading.Lock] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def _guard(self) -> ContextManager[Any]:
+        return self.owner_lock if self.owner_lock is not None else nullcontext()
 
     @property
     def finished(self) -> bool:
@@ -72,20 +86,26 @@ class Job:
         return self.done_event.wait(timeout)
 
     def snapshot(self) -> Dict[str, Any]:
-        """JSON-able status view (everything except the result rows)."""
-        return {
-            "id": self.id,
-            "key": self.key,
-            "kind": self.request.kind,
-            "status": self.status,
-            "submitted_at": self.submitted_at,
-            "started_at": self.started_at,
-            "finished_at": self.finished_at,
-            "subscribers": self.subscribers,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "error": self.error,
-        }
+        """JSON-able status view (everything except the result rows).
+
+        Taken under the queue lock so a concurrent worker transition cannot
+        produce a torn view (e.g. ``status == "done"`` with ``finished_at``
+        still ``None``).
+        """
+        with self._guard():
+            return {
+                "id": self.id,
+                "key": self.key,
+                "kind": self.request.kind,
+                "status": self.status,
+                "submitted_at": self.submitted_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "subscribers": self.subscribers,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "error": self.error,
+            }
 
 
 ExecuteCallable = Callable[
@@ -150,7 +170,12 @@ class JobQueue:
                     job.subscribers += 1
                     self.deduplicated += 1
                     return job, True
-            job = Job(id=f"job-{next(self._ids)}", key=key, request=request)
+            job = Job(
+                id=f"job-{next(self._ids)}",
+                key=key,
+                request=request,
+                owner_lock=self._lock,
+            )
             try:
                 self._queue.put_nowait(job)
             except queue.Full:
@@ -188,35 +213,79 @@ class JobQueue:
         while True:
             job = self._queue.get()
             if job is None:
+                # Shutdown sentinel: recycle it for the next worker (close()
+                # enqueues only one) and exit.
                 self._queue.task_done()
+                self._propagate_shutdown()
                 return
-            job.started_at = time.time()
-            job.status = RUNNING
+            with self._lock:
+                job.started_at = time.time()
+                job.status = RUNNING
             try:
                 rows, description, hits, misses = self._execute(job.request)
             except Exception as error:  # noqa: BLE001 - jobs report any failure
-                job.error = f"{type(error).__name__}: {error}"
-                job.status = ERROR
+                outcome: Optional[Tuple] = None
+                failure = f"{type(error).__name__}: {error}"
             else:
-                job.rows = rows
-                job.description = description
-                job.cache_hits = hits
-                job.cache_misses = misses
-                job.status = DONE
-            finally:
+                outcome = (rows, description, hits, misses)
+                failure = None
+            # All result fields flip together with the status, under the
+            # lock, so a concurrent snapshot()/stats() can never observe a
+            # finished status with half-written results or timings.
+            with self._lock:
                 job.finished_at = time.time()
-                with self._lock:
-                    if self._active_by_key.get(job.key) == job.id:
-                        del self._active_by_key[job.key]
-                    if job.status == DONE:
-                        self.completed += 1
-                    else:
-                        self.failed += 1
-                job.done_event.set()
-                self._queue.task_done()
+                if outcome is None:
+                    job.error = failure
+                    job.status = ERROR
+                    self.failed += 1
+                else:
+                    job.rows, job.description, job.cache_hits, job.cache_misses = (
+                        outcome
+                    )
+                    job.status = DONE
+                    self.completed += 1
+                if self._active_by_key.get(job.key) == job.id:
+                    del self._active_by_key[job.key]
+            job.done_event.set()
+            self._queue.task_done()
+
+    def _propagate_shutdown(self) -> None:
+        # Hand the single shutdown sentinel to the next worker.  The slot we
+        # just freed is available and submit() is closed, so this cannot
+        # block; should a raced slot appear full anyway, cancel a pending
+        # job to make room (close() already cancelled the rest).
+        while True:
+            try:
+                self._queue.put_nowait(None)
+                return
+            except queue.Full:  # pragma: no cover - submit() is closed
+                self._cancel_one_pending()
+
+    def _cancel_one_pending(self) -> bool:
+        """Pop one queued job and fail it as cancelled; False when empty."""
+        try:
+            job = self._queue.get_nowait()
+        except queue.Empty:
+            return False
+        self._queue.task_done()
+        if job is None:
+            # Put a raced sentinel straight back — there is room now.
+            self._queue.put_nowait(None)
+            return True
+        with self._lock:
+            job.finished_at = time.time()
+            job.error = "job queue closed before execution"
+            job.status = ERROR
+            self.failed += 1
+            if self._active_by_key.get(job.key) == job.id:
+                del self._active_by_key[job.key]
+        job.done_event.set()
+        return True
 
     def _evict_history(self) -> None:
         # Called under self._lock: drop oldest *finished* jobs over the cap.
+        # Unfinished jobs are never evicted — when everything over the cap
+        # is still live, the history simply stays oversized for a while.
         while len(self._jobs) > self.history_limit:
             for job_id, job in self._jobs.items():
                 if job.finished:
@@ -226,13 +295,28 @@ class JobQueue:
                 return
 
     def close(self, *, timeout: Optional[float] = 10.0) -> None:
-        """Stop accepting work and join the worker threads."""
+        """Stop accepting work, cancel pending jobs and join the workers.
+
+        Queued-but-unstarted jobs fail with ``"job queue closed before
+        execution"`` (their waiters are released); jobs already running are
+        given ``timeout`` seconds to finish.  ``close`` never blocks
+        indefinitely: the old implementation enqueued one blocking sentinel
+        per worker, which deadlocked when the pending queue was full and a
+        worker was stuck on a long job — the sentinel waited behind jobs
+        that would never drain.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-        for _ in self._threads:
-            self._queue.put(None)
+        # Drain the pending queue first (nothing can refill it now), then a
+        # single non-blocking sentinel shuts the workers down in turn.
+        while self._cancel_one_pending():
+            pass
+        try:
+            self._queue.put_nowait(None)
+        except queue.Full:  # pragma: no cover - capacity >= 1 and just drained
+            pass
         for thread in self._threads:
             thread.join(timeout)
 

@@ -28,6 +28,7 @@ every path.
 from __future__ import annotations
 
 import hashlib
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
@@ -101,15 +102,37 @@ def _require(condition: bool, message: str) -> None:
         raise RequestError(message)
 
 
+def _finite_float(name: str, value: Any) -> float:
+    """A finite float, or :class:`RequestError`.
+
+    Non-finite parameters are rejected at the request boundary: the content
+    address is canonical (RFC 8259) JSON, which has no ``NaN``/``Infinity``
+    tokens — and ``json.loads`` would happily accept them from a payload
+    (``{"beta": Infinity}``), turning a client typo into an HTTP 500 deep in
+    key derivation instead of a 400 here.
+    """
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise RequestError(f"'{name}' must be a number, got {value!r}")
+    _require(math.isfinite(value), f"'{name}' must be finite, got {value!r}")
+    return value
+
+
 def _float_list(name: str, values: Any) -> List[float]:
     _require(
         isinstance(values, (list, tuple)) and len(values) > 0,
         f"'{name}' must be a non-empty sequence of numbers",
     )
     try:
-        return [float(value) for value in values]
+        values = [float(value) for value in values]
     except (TypeError, ValueError):
         raise RequestError(f"'{name}' must contain only numbers, got {values!r}")
+    _require(
+        all(math.isfinite(value) for value in values),
+        f"'{name}' must contain only finite numbers, got {values!r}",
+    )
+    return values
 
 
 def _int_list(name: str, values: Any) -> List[int]:
@@ -166,7 +189,7 @@ def sweep_request(
         "options": _float_list("options", options),
         "populations": _int_list("populations", populations),
         "horizon": _positive_int("horizon", horizon),
-        "beta": float(beta),
+        "beta": _finite_float("beta", beta),
         "replications": _positive_int("replications", replications),
         "seed": _non_negative_int("seed", seed),
         "engine": _engine(engine, SWEEP_ENGINES),
@@ -197,14 +220,14 @@ def network_request(
         "topology": str(topology),
         "size": _positive_int("size", size),
         "horizon": _positive_int("horizon", horizon),
-        "beta": float(beta),
+        "beta": _finite_float("beta", beta),
         "graph_seed": _non_negative_int("graph_seed", graph_seed),
         "replications": _positive_int("replications", replications),
         "seed": _non_negative_int("seed", seed),
         "engine": _engine(engine, tuple(NETWORK_ENGINES)),
     }
     if mu is not None:
-        spec["mu"] = float(mu)
+        spec["mu"] = _finite_float("mu", mu)
     return SimulationRequest(kind=NETWORK, spec=spec)
 
 
@@ -233,23 +256,23 @@ def protocol_request(
     """
     engine = _engine(engine, tuple(PROTOCOL_ENGINES))
     rounds = _positive_int("rounds", rounds)
-    delay = float(delay)
+    delay = _finite_float("delay", delay)
     if delay > 0 and engine != "loop":
         raise RequestError(
             "only the loop engine models per-message delay; "
             "use engine='loop' or drop the delay"
         )
-    mass_crash_fraction = float(mass_crash_fraction)
+    mass_crash_fraction = _finite_float("mass_crash_fraction", mass_crash_fraction)
     if mass_crash_round is None and mass_crash_fraction > 0:
         mass_crash_round = rounds // 2
     spec: Dict[str, Any] = {
         "options": _float_list("options", options),
         "nodes": _positive_int("nodes", nodes),
         "rounds": rounds,
-        "beta": float(beta),
-        "loss": float(loss),
+        "beta": _finite_float("beta", beta),
+        "loss": _finite_float("loss", loss),
         "delay": delay,
-        "crash": float(crash),
+        "crash": _finite_float("crash", crash),
         "mass_crash_fraction": mass_crash_fraction,
         "replications": _positive_int("replications", replications),
         "seed": _non_negative_int("seed", seed),
@@ -260,7 +283,7 @@ def protocol_request(
             "mass_crash_round", mass_crash_round
         )
     if mu is not None:
-        spec["mu"] = float(mu)
+        spec["mu"] = _finite_float("mu", mu)
     return SimulationRequest(kind=PROTOCOL, spec=spec)
 
 

@@ -101,7 +101,9 @@ def seeds_for_replications(rng: RngLike, replications: int) -> List[int]:
     return [int(seed) for seed in parent.integers(0, 2**63 - 1, size=replications)]
 
 
-def interleave_choice(rng: RngLike, options: Iterable[int], size: Optional[int] = None) -> np.ndarray:
+def interleave_choice(
+    rng: RngLike, options: Iterable[int], size: Optional[int] = None
+) -> np.ndarray:
     """Uniformly choose from ``options`` — tiny convenience wrapper used in tests."""
     generator = ensure_rng(rng)
     options = np.asarray(list(options))

@@ -1,13 +1,23 @@
-"""Tests for the content-addressed sqlite ResultStore."""
+"""Tests for the tiered content-addressed ResultStore."""
 
+import json
+import sqlite3
 import threading
+import time
 
 import numpy as np
 import pytest
 
+from repro import __version__
 from repro.experiments import ExperimentConfig
 from repro.experiments.dynamics_sweep import dynamics_point_replication
-from repro.runtime import ResultStore, ShardPlan, canonical_json, task_key
+from repro.runtime import (
+    ResultStore,
+    ShardPlan,
+    canonical_json,
+    canonical_value,
+    task_key,
+)
 
 BASE = {"qualities": (0.8, 0.5), "T": 10, "N": 50}
 
@@ -61,6 +71,34 @@ class TestCanonicalJson:
     def test_non_string_keys_rejected(self):
         with pytest.raises(TypeError, match="parameter names"):
             canonical_json({1: "x"})
+
+
+class TestNonFiniteRejection:
+    """RFC 8259 has no NaN/Infinity tokens — such keys must be refused loudly.
+
+    The old encoder passed ``float("nan")`` straight to ``json.dumps``, which
+    happily emits the non-standard ``NaN`` token; the resulting key could not
+    round-trip through any strict JSON parser, and ``NaN != NaN`` made the
+    parameter unmatchable anyway.
+    """
+
+    @pytest.mark.parametrize(
+        "value", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_bare_non_finite_rejected(self, value):
+        with pytest.raises(ValueError, match="non-finite"):
+            canonical_value(value)
+
+    def test_numpy_non_finite_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            canonical_value(np.float64("nan"))
+
+    def test_nested_non_finite_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            canonical_json({"qualities": [0.8, float("inf")], "T": 10})
+
+    def test_finite_floats_still_accepted(self):
+        assert canonical_json({"x": 0.5}) == '{"x":0.5}'
 
 
 class TestTaskKey:
@@ -179,9 +217,10 @@ class TestThreadSafety:
             thread.join(timeout=60)
         assert not errors, errors
         assert len(store) == self.THREADS * self.TASKS_PER_THREAD
-        hits, misses = store.counters()
-        assert hits == self.THREADS * self.TASKS_PER_THREAD
-        assert misses == 0
+        counters = store.counters()
+        assert counters.hits == self.THREADS * self.TASKS_PER_THREAD
+        assert counters.misses == 0
+        assert counters.hits == counters.hot_hits + counters.cold_hits
         store.close()
 
     def test_file_store_runs_in_wal_mode(self, tmp_path):
@@ -211,3 +250,296 @@ class TestThreadSafety:
             task = make_task()
             key = store.put(task, [{"metric": 1.0}, {"metric": 2.0}])
             assert store.get(key) == [{"metric": 1.0}, {"metric": 2.0}]
+
+
+def tiered_store(path, **kwargs):
+    """File-backed store with the background thread off (tests drive compact())."""
+    kwargs.setdefault("compaction_interval", None)
+    return ResultStore(path, **kwargs)
+
+
+# Awkward floats: accumulated rounding, thirds, pi, a denormal, negative
+# zero — bit-identity through the columnar tier means these come back
+# exactly, not merely close.
+AWKWARD = [0.1 + 0.2, 1.0 / 3.0, float(np.pi), 5e-324, -0.0]
+
+
+class TestTieredStore:
+    def test_put_then_get_is_hot_hit_and_spills_a_segment(self, tmp_path):
+        with tiered_store(tmp_path / "tiered.sqlite") as store:
+            key = store.put(make_task(), [{"regret": 0.5}, {"regret": 0.25}])
+            assert store.get(key) == [{"regret": 0.5}, {"regret": 0.25}]
+            counters = store.counters()
+            assert counters.hot_hits == 1
+            assert counters.cold_hits == 0
+            assert counters.spills == 1
+            assert store.hot_entries == 1
+            assert store.segment_count() == 1
+            segments = list((tmp_path / "tiered.sqlite.segments").glob("seg-*.npz"))
+            assert len(segments) == 1
+
+    def test_cold_read_after_reopen_is_bit_identical(self, tmp_path):
+        path = tmp_path / "cold.sqlite"
+        metrics = [{"value": value} for value in AWKWARD]
+        task = make_task()
+        with tiered_store(path) as store:
+            key = store.put(task, metrics)
+        with tiered_store(path) as reopened:
+            assert reopened.hot_entries == 0
+            got = reopened.get(key)
+            assert got == metrics
+            for row, expected in zip(got, metrics):
+                # == would also pass for -0.0 vs 0.0; require the same bits.
+                assert np.float64(row["value"]).tobytes() == np.float64(
+                    expected["value"]
+                ).tobytes()
+            counters = reopened.counters()
+            assert counters.cold_hits == 1
+            assert counters.hot_hits == 0
+            # The cold read admits the entry, so the next one is hot.
+            assert reopened.get(key) == metrics
+            assert reopened.counters().hot_hits == 1
+
+    def test_entry_larger_than_hot_budget_stays_cold(self, tmp_path):
+        with tiered_store(
+            tmp_path / "big.sqlite", hot_budget_bytes=256
+        ) as store:
+            oversized = [{"metric": float(i)} for i in range(64)]
+            key = store.put(make_task(), oversized)
+            assert store.hot_entries == 0
+            for _ in range(2):
+                assert store.get(key) == oversized
+            counters = store.counters()
+            # Never admitted: every read is a cold-tier read.
+            assert counters.cold_hits == 2
+            assert counters.hot_hits == 0
+            assert store.hot_entries == 0
+
+    def test_lru_eviction_by_entry_budget(self, tmp_path):
+        with tiered_store(
+            tmp_path / "lru.sqlite", hot_budget_entries=2
+        ) as store:
+            keys = [
+                store.put(make_task(seeds=[seed]), [{"metric": float(seed)}])
+                for seed in range(3)
+            ]
+            assert store.hot_entries == 2
+            assert store.counters().evictions == 1
+            # The first entry was evicted; reading it is a cold hit.
+            assert store.get(keys[0]) == [{"metric": 0.0}]
+            assert store.counters().cold_hits == 1
+
+    def test_non_float_metrics_fall_back_inline(self, tmp_path):
+        path = tmp_path / "inline.sqlite"
+        metrics = [{"count": 3, "label": "ok", "flag": True, "missing": None}]
+        task = make_task()
+        with tiered_store(path) as store:
+            key = store.put(task, metrics)
+            assert store.counters().spills == 0
+            assert store.segment_count() == 0
+        with tiered_store(path) as reopened:
+            got = reopened.get(key)
+            assert got == metrics
+            assert type(got[0]["count"]) is int
+            assert type(got[0]["flag"]) is bool
+
+    def test_compact_merges_segments_and_survives_reopen(self, tmp_path):
+        path = tmp_path / "compact.sqlite"
+        with tiered_store(path) as store:
+            keys = [
+                store.put(make_task(seeds=[seed]), [{"metric": float(seed)}])
+                for seed in range(4)
+            ]
+            assert store.segment_count() == 4
+            assert store.compact() is True
+            assert store.segment_count() == 1
+            assert store.counters().compactions == 1
+            for seed, key in enumerate(keys):
+                assert store.get(key) == [{"metric": float(seed)}]
+        with tiered_store(path) as reopened:
+            for seed, key in enumerate(keys):
+                assert reopened.get(key) == [{"metric": float(seed)}]
+            assert reopened.segment_count() == 1
+
+    def test_compact_below_threshold_is_a_noop_without_force(self, tmp_path):
+        with tiered_store(tmp_path / "noop.sqlite") as store:
+            store.put(make_task(), [{"metric": 1.0}])
+            assert store.compact() is False
+            assert store.compact(force=True) is True
+            assert store.get(store.key_for(make_task())) == [{"metric": 1.0}]
+
+    def test_max_age_eviction_drops_old_entries(self, tmp_path):
+        with tiered_store(
+            tmp_path / "aged.sqlite", max_age_seconds=0.0
+        ) as store:
+            store.put(make_task(seeds=[1]), [{"metric": 1.0}])
+            store.put(make_task(seeds=[2]), [{"count": 2}])  # inline row
+            time.sleep(0.01)
+            assert store.compact(force=True) is True
+            assert len(store) == 0
+            assert store.get(store.key_for(make_task(seeds=[1]))) is None
+
+    def test_cold_budget_evicts_least_recently_used(self, tmp_path):
+        with tiered_store(
+            tmp_path / "budget.sqlite",
+            cold_budget_bytes=1,
+            hot_budget_entries=1,
+        ) as store:
+            old = store.put(make_task(seeds=[1]), [{"metric": 1.0}])
+            new = store.put(make_task(seeds=[2]), [{"metric": 2.0}])
+            store.get(new)  # refresh recency of the newer entry
+            store.compact(force=True)
+            remaining = {key for key in (old, new) if key in store}
+            # A 1-byte budget keeps nothing resident except what the LRU
+            # order says to drop last — the untouched entry goes first.
+            assert old not in remaining
+
+    def test_memory_store_never_spills(self):
+        with ResultStore() as store:
+            key = store.put(make_task(), [{"metric": 1.0}])
+            assert store.counters().spills == 0
+            assert store.segment_count() == 0
+            assert store.get(key) == [{"metric": 1.0}]
+
+    def test_get_many_counts_like_repeated_gets(self, tmp_path):
+        path = tmp_path / "bulk.sqlite"
+        with tiered_store(path) as store:
+            present = [
+                store.put(make_task(seeds=[seed]), [{"metric": float(seed)}])
+                for seed in range(3)
+            ]
+        with tiered_store(path) as reopened:
+            absent = "0" * 64
+            keys = present + [absent, present[0], absent]
+            found = reopened.get_many(keys)
+            assert set(found) == set(present)
+            assert found[present[1]] == [{"metric": 1.0}]
+            counters = reopened.counters()
+            assert counters.hits == 4  # 3 first reads + 1 duplicate
+            assert counters.misses == 2  # the absent key, twice
+            assert counters.cold_hits == 3
+            assert counters.hot_hits == 1
+
+    def test_invalid_budgets_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="hot_budget_bytes"):
+            ResultStore(tmp_path / "bad.sqlite", hot_budget_bytes=0)
+        with pytest.raises(ValueError, match="compact_threshold"):
+            ResultStore(tmp_path / "bad2.sqlite", compact_threshold=1)
+
+
+class TestLegacyMigration:
+    """Pre-tiered stores (PR-5/PR-6 schema) must open without data loss."""
+
+    LEGACY_SCHEMA = """
+    CREATE TABLE results (
+        key TEXT PRIMARY KEY,
+        function TEXT NOT NULL,
+        name TEXT NOT NULL,
+        parameters TEXT NOT NULL,
+        seeds TEXT NOT NULL,
+        code_version TEXT NOT NULL,
+        metrics TEXT NOT NULL,
+        created_at TEXT NOT NULL
+    )
+    """
+
+    def make_legacy_store(self, path, task, metrics):
+        connection = sqlite3.connect(str(path))
+        connection.execute(self.LEGACY_SCHEMA)
+        connection.execute(
+            "INSERT INTO results VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                task_key(task),
+                task.function_ref,
+                task.name,
+                canonical_json(task.parameters),
+                json.dumps(list(task.seeds)),
+                __version__,
+                json.dumps(metrics),
+                "2026-01-01T00:00:00+00:00",
+            ),
+        )
+        connection.commit()
+        connection.close()
+
+    def test_legacy_store_opens_and_serves_old_rows(self, tmp_path):
+        path = tmp_path / "legacy.sqlite"
+        task = make_task()
+        metrics = [{"regret": 0.5}, {"regret": 0.25}]
+        self.make_legacy_store(path, task, metrics)
+        with tiered_store(path) as store:
+            assert store.get(store.key_for(task)) == metrics
+            assert store.counters().cold_hits == 1
+
+    def test_legacy_store_accepts_new_tiered_writes(self, tmp_path):
+        path = tmp_path / "legacy-grow.sqlite"
+        old_task = make_task(seeds=[1])
+        self.make_legacy_store(path, old_task, [{"regret": 0.5}])
+        with tiered_store(path) as store:
+            new_key = store.put(make_task(seeds=[2]), [{"regret": 0.25}])
+            assert store.counters().spills == 1
+            assert store.get(store.key_for(old_task)) == [{"regret": 0.5}]
+            assert store.get(new_key) == [{"regret": 0.25}]
+        with tiered_store(path) as reopened:
+            assert len(reopened) == 2
+            assert reopened.get(new_key) == [{"regret": 0.25}]
+
+
+class TestTierConcurrency:
+    def test_concurrent_reads_during_spills(self, tmp_path):
+        store = tiered_store(tmp_path / "racing.sqlite")
+        seeds = list(range(40))
+        keys = {}
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    for seed, key in list(keys.items()):
+                        got = store.get(key)
+                        if got is not None:
+                            assert got == [{"metric": float(seed)}]
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for seed in seeds:
+                keys[seed] = store.put(
+                    make_task(seeds=[seed]), [{"metric": float(seed)}]
+                )
+                if seed % 10 == 9:
+                    store.compact(force=True)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not errors, errors
+        for seed, key in keys.items():
+            assert store.get(key) == [{"metric": float(seed)}]
+        store.close()
+
+    def test_background_thread_compacts_and_closes_cleanly(self, tmp_path):
+        store = ResultStore(
+            tmp_path / "auto.sqlite",
+            compact_threshold=2,
+            compaction_interval=0.05,
+        )
+        try:
+            for seed in range(3):
+                store.put(make_task(seeds=[seed]), [{"metric": float(seed)}])
+            deadline = time.time() + 10
+            # Each put can race a merge, so wait for convergence: every
+            # spill segment folded into one, with at least one merge done.
+            while time.time() < deadline:
+                if store.counters().compactions >= 1 and store.segment_count() == 1:
+                    break
+                time.sleep(0.02)
+            assert store.counters().compactions >= 1
+            assert store.segment_count() == 1
+        finally:
+            store.close()
+        assert store.closed

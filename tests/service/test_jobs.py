@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
-from repro.service.jobs import DONE, ERROR, JobQueue, QueueFull
+from repro.service.jobs import DONE, ERROR, QUEUED, Job, JobQueue, QueueFull
 from repro.service.requests import sweep_request
 
 ROWS = [{"value": 1.0}]
@@ -146,3 +147,137 @@ class TestHistoryEviction:
                 submitted.append(job)
             assert jobs.get(submitted[-1].id) is submitted[-1]
             assert jobs.get(submitted[0].id) is None
+
+    def test_all_unfinished_history_is_never_evicted(self):
+        # Regression: _evict_history loops "while over the cap, evict the
+        # oldest *finished* job"; with every job unfinished it must return
+        # (the for/else break) instead of spinning or evicting live jobs.
+        jobs = JobQueue(_instant, workers=1, capacity=1, history_limit=1)
+        try:
+            live = [
+                Job(id=f"live-{index}", key=f"key-{index}", request=_request(index))
+                for index in range(5)
+            ]
+            with jobs._lock:
+                for job in live:
+                    jobs._jobs[job.id] = job
+                jobs._evict_history()
+                assert len(jobs._jobs) == 5  # all unfinished: nothing evicted
+                live[0].status = DONE
+                live[2].status = ERROR
+                jobs._evict_history()
+                # Only the finished jobs go; the live ones stay even though
+                # the history is still over its limit.
+                assert set(jobs._jobs) == {"live-1", "live-3", "live-4"}
+        finally:
+            jobs.close()
+
+
+class TestCloseWithFullQueue:
+    """Regression: close() deadlocked when the pending queue was at capacity.
+
+    The old shutdown put one *blocking* sentinel per worker; with the queue
+    full and the lone worker stuck in a long job, ``put`` waited on a slot
+    that could never free — close() hung forever.  Now pending jobs are
+    cancelled and a single non-blocking sentinel is recycled through the
+    workers.
+    """
+
+    def test_close_returns_promptly_and_cancels_pending(self):
+        gate = GatedExecute()
+        jobs = JobQueue(gate, workers=1, capacity=2)
+        running, _ = jobs.submit(_request(seed=0))
+        assert gate.started.wait(timeout=10.0)
+        pending = [jobs.submit(_request(seed=seed))[0] for seed in (1, 2)]
+        with pytest.raises(QueueFull):
+            jobs.submit(_request(seed=3))  # the queue really is full
+
+        closed = threading.Event()
+
+        def closer():
+            jobs.close(timeout=10.0)
+            closed.set()
+
+        thread = threading.Thread(target=closer)
+        start = time.monotonic()
+        thread.start()
+        # The pending jobs must be cancelled immediately — close() does not
+        # wait for the stuck worker before releasing their waiters.
+        for job in pending:
+            assert job.wait(timeout=5.0), "close() left a pending job hanging"
+            assert job.status == ERROR
+            assert "closed before execution" in job.error
+        gate.release.set()
+        thread.join(timeout=10.0)
+        assert closed.is_set(), "close() deadlocked"
+        assert time.monotonic() - start < 30.0
+        assert running.wait(timeout=1.0)
+        assert running.status == DONE
+        assert jobs.failed == len(pending)
+
+    def test_close_with_idle_full_history_is_clean(self):
+        jobs = JobQueue(_instant, workers=2, capacity=1)
+        job, _ = jobs.submit(_request())
+        assert job.wait(timeout=10.0)
+        jobs.close()  # both workers must stop via the single recycled sentinel
+        for thread in jobs._threads:
+            thread.join(timeout=5.0)
+            assert not thread.is_alive()
+
+
+class TestSnapshotConsistency:
+    """Regression: snapshot()/stats() read worker-mutated fields unlocked.
+
+    A reader could observe ``status == "done"`` with ``finished_at`` (or the
+    cache counters) still unset — a torn view.  Both now serialise on the
+    queue lock against the worker's single locked transition.
+    """
+
+    JOBS = 30
+
+    def test_hammered_snapshots_are_never_torn(self):
+        torn = []
+        done_ids = set()
+        stop = threading.Event()
+        queue_holder = []
+
+        def reader():
+            while not stop.is_set():
+                jobs = queue_holder[0] if queue_holder else None
+                if jobs is None:
+                    continue
+                for job_id in list(done_ids):
+                    job = jobs.get(job_id)
+                    if job is None:
+                        continue
+                    view = job.snapshot()
+                    if view["status"] in (DONE, ERROR):
+                        if view["finished_at"] is None or view["started_at"] is None:
+                            torn.append(view)
+                        if view["status"] == DONE and view["cache_hits"] != 2:
+                            torn.append(view)
+                    stats = jobs.stats()
+                    if stats["jobs"][DONE] > stats["completed"]:
+                        torn.append(stats)
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            with JobQueue(_instant, workers=2, capacity=8, history_limit=256) as jobs:
+                queue_holder.append(jobs)
+                for seed in range(self.JOBS):
+                    job, _ = jobs.submit(_request(seed=seed))
+                    done_ids.add(job.id)
+                    assert job.wait(timeout=10.0)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+        assert not torn, torn[:3]
+
+    def test_standalone_job_snapshot_works_without_owner(self):
+        job = Job(id="solo", key="k", request=_request())
+        view = job.snapshot()
+        assert view["status"] == QUEUED
+        assert view["id"] == "solo"

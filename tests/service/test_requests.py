@@ -81,6 +81,50 @@ class TestBuilderValidation:
         assert explicit.spec["mass_crash_round"] == 7
 
 
+class TestNonFiniteValidation:
+    """Non-finite numbers are rejected at the request boundary (HTTP 400).
+
+    ``json.loads`` accepts the non-standard ``Infinity``/``NaN`` tokens, so
+    without this check a client typo would surface as a 500 deep inside
+    cache-key derivation instead of a clear validation error here.
+    """
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_sweep_rejects_non_finite_beta(self, bad):
+        with pytest.raises(RequestError, match="'beta' must be finite"):
+            sweep_request(options=[0.8, 0.5], populations=[60], beta=bad)
+
+    def test_sweep_rejects_non_finite_options(self):
+        with pytest.raises(RequestError, match="finite"):
+            sweep_request(options=[0.8, float("nan")], populations=[60])
+
+    def test_network_rejects_non_finite_mu(self):
+        with pytest.raises(RequestError, match="'mu' must be finite"):
+            network_request(
+                options=[0.8, 0.5], topology="ring", size=60, mu=float("inf")
+            )
+
+    @pytest.mark.parametrize(
+        "field", ["loss", "delay", "crash", "mass_crash_fraction"]
+    )
+    def test_protocol_rejects_non_finite_rates(self, field):
+        kwargs = dict(options=[0.8, 0.5], nodes=30, engine="loop")
+        kwargs[field] = float("nan")
+        with pytest.raises(RequestError, match=f"'{field}' must be finite"):
+            protocol_request(**kwargs)
+
+    def test_request_from_dict_rejects_non_finite_payload(self):
+        # What json.loads('{"beta": Infinity}') hands the daemon.
+        payload = {
+            "kind": SWEEP,
+            "options": [0.8, 0.5],
+            "populations": [60],
+            "beta": float("inf"),
+        }
+        with pytest.raises(RequestError, match="finite"):
+            request_from_dict(payload)
+
+
 class TestContentAddress:
     def test_key_is_stable_across_equivalent_spellings(self):
         via_list = sweep_request(**SWEEP_KWARGS)
