@@ -19,7 +19,9 @@ committed directory::
 
 from __future__ import annotations
 
+import gc
 import os
+import tracemalloc
 from pathlib import Path
 
 import pytest
@@ -41,6 +43,27 @@ def results_dir() -> Path:
     directory = Path(override) if override else RESULTS_DIR
     directory.mkdir(parents=True, exist_ok=True)
     return directory
+
+
+@pytest.fixture
+def traced_peak():
+    """Callable: run ``fn()`` under tracemalloc, return ``(result, peak_bytes)``.
+
+    Tracing slows allocation noticeably, so benchmarks measure memory in a
+    *separate* pass from wall time — never mix the two in one run.
+    """
+
+    def _measure(fn):
+        gc.collect()
+        tracemalloc.start()
+        try:
+            result = fn()
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return result, peak
+
+    return _measure
 
 
 @pytest.fixture

@@ -69,12 +69,19 @@ def _time(replication, rounds: int) -> float:
 
 
 @pytest.mark.benchmark(group="throughput")
-def test_batched_engine_replicate_throughput(save_results):
+def test_batched_engine_replicate_throughput(save_results, traced_peak):
     """The batched engine delivers >= 10x replicate-throughput over the loop."""
     # Warm both paths once so allocator / import effects don't bias either side.
     _time(_batched_replication, rounds=1)
     batched_seconds = _time(_batched_replication, rounds=3)
     loop_seconds = _time(_loop_replication, rounds=2)
+
+    # Peak memory in a separate tracemalloc pass (tracing skews wall time).
+    config = ExperimentConfig(name="bench-batched-mem", replications=REPLICATES, seed=0)
+    _, loop_peak = traced_peak(lambda: run_replications(config, _loop_replication))
+    _, batched_peak = traced_peak(
+        lambda: run_replications(config, _batched_replication)
+    )
 
     replicate_steps = REPLICATES * HORIZON
     speedup = loop_seconds / batched_seconds
@@ -84,12 +91,14 @@ def test_batched_engine_replicate_throughput(save_results):
                 "engine": "loop",
                 "seconds": loop_seconds,
                 "replicate_steps_per_s": replicate_steps / loop_seconds,
+                "peak_mb": loop_peak / 2**20,
                 "speedup": 1.0,
             },
             {
                 "engine": "batched",
                 "seconds": batched_seconds,
                 "replicate_steps_per_s": replicate_steps / batched_seconds,
+                "peak_mb": batched_peak / 2**20,
                 "speedup": speedup,
             },
         ]

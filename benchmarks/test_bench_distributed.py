@@ -40,7 +40,7 @@ LOSS = 0.1
 REQUIRED_SPEEDUP = 10.0
 
 
-def _run_loop() -> float:
+def _run_loop() -> None:
     environment = BernoulliEnvironment(QUALITIES, rng=0)
     protocol = DistributedLearningProtocol(
         NUM_NODES,
@@ -50,12 +50,16 @@ def _run_loop() -> float:
         transport=LossyTransport(loss_rate=LOSS, rng=1),
         rng=2,
     )
-    start = time.perf_counter()
     protocol.run(environment, ROUNDS)
+
+
+def _time_loop() -> float:
+    start = time.perf_counter()
+    _run_loop()
     return time.perf_counter() - start
 
 
-def _run_vectorized() -> float:
+def _run_vectorized() -> None:
     environment = BernoulliEnvironment(QUALITIES, rng=0)
     protocol = VectorizedProtocol(
         NUM_NODES,
@@ -65,12 +69,16 @@ def _run_vectorized() -> float:
         loss_rate=LOSS,
         rng=2,
     )
-    start = time.perf_counter()
     protocol.run(environment, ROUNDS)
+
+
+def _time_vectorized() -> float:
+    start = time.perf_counter()
+    _run_vectorized()
     return time.perf_counter() - start
 
 
-def _run_batched() -> float:
+def _run_batched() -> None:
     environment = BernoulliEnvironment(QUALITIES, rng=0)
     protocol = BatchedProtocol(
         NUM_NODES,
@@ -81,21 +89,30 @@ def _run_batched() -> float:
         loss_rate=LOSS,
         rng=2,
     )
-    start = time.perf_counter()
     protocol.run(environment, ROUNDS)
+
+
+def _time_batched() -> float:
+    start = time.perf_counter()
+    _run_batched()
     return time.perf_counter() - start
 
 
 @pytest.mark.benchmark(group="distributed-throughput")
-def test_vectorized_protocol_throughput(save_results):
+def test_vectorized_protocol_throughput(save_results, traced_peak):
     """The array-ops protocol engine delivers >= 10x over the message loop."""
     # Warm both code paths once so neither side pays one-off import or
     # allocation costs inside the timed region.
-    _run_vectorized()
+    _time_vectorized()
 
-    vectorized_seconds = min(_run_vectorized() for _ in range(3))
-    loop_seconds = _run_loop()
-    batched_seconds = min(_run_batched() for _ in range(2))
+    vectorized_seconds = min(_time_vectorized() for _ in range(3))
+    loop_seconds = _time_loop()
+    batched_seconds = min(_time_batched() for _ in range(2))
+
+    # Peak memory in a separate tracemalloc pass (tracing skews wall time).
+    _, loop_peak = traced_peak(_run_loop)
+    _, vectorized_peak = traced_peak(_run_vectorized)
+    _, batched_peak = traced_peak(_run_batched)
 
     node_rounds = NUM_NODES * ROUNDS
     speedup = loop_seconds / vectorized_seconds
@@ -107,6 +124,7 @@ def test_vectorized_protocol_throughput(save_results):
                 "replicates": 1,
                 "seconds": loop_seconds,
                 "node_rounds_per_s": node_rounds / loop_seconds,
+                "peak_mb": loop_peak / 2**20,
                 "speedup_per_replicate": 1.0,
             },
             {
@@ -114,6 +132,7 @@ def test_vectorized_protocol_throughput(save_results):
                 "replicates": 1,
                 "seconds": vectorized_seconds,
                 "node_rounds_per_s": node_rounds / vectorized_seconds,
+                "peak_mb": vectorized_peak / 2**20,
                 "speedup_per_replicate": speedup,
             },
             {
@@ -121,6 +140,7 @@ def test_vectorized_protocol_throughput(save_results):
                 "replicates": BATCH_REPLICATES,
                 "seconds": batched_seconds,
                 "node_rounds_per_s": node_rounds * BATCH_REPLICATES / batched_seconds,
+                "peak_mb": batched_peak / 2**20,
                 "speedup_per_replicate": batched_speedup,
             },
         ]

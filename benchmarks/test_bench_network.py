@@ -46,7 +46,7 @@ def network() -> SocialNetwork:
     )
 
 
-def _run_single(dynamics_class, network: SocialNetwork) -> float:
+def _run_single(dynamics_class, network: SocialNetwork) -> None:
     environment = BernoulliEnvironment(QUALITIES, rng=0)
     dynamics = dynamics_class(
         network=network,
@@ -55,12 +55,16 @@ def _run_single(dynamics_class, network: SocialNetwork) -> float:
         exploration_rate=MU,
         rng=1,
     )
-    start = time.perf_counter()
     dynamics.run(environment, HORIZON)
+
+
+def _time_single(dynamics_class, network: SocialNetwork) -> float:
+    start = time.perf_counter()
+    _run_single(dynamics_class, network)
     return time.perf_counter() - start
 
 
-def _run_batched(network: SocialNetwork) -> float:
+def _run_batched(network: SocialNetwork) -> None:
     environment = BernoulliEnvironment(QUALITIES, rng=0)
     dynamics = BatchedNetworkDynamics(
         network=network,
@@ -70,24 +74,35 @@ def _run_batched(network: SocialNetwork) -> float:
         exploration_rate=MU,
         rng=1,
     )
-    start = time.perf_counter()
     dynamics.run(environment, HORIZON)
+
+
+def _time_batched(network: SocialNetwork) -> float:
+    start = time.perf_counter()
+    _run_batched(network)
     return time.perf_counter() - start
 
 
 @pytest.mark.benchmark(group="network-throughput")
-def test_vectorized_network_engine_throughput(network, save_results):
+def test_vectorized_network_engine_throughput(network, save_results, traced_peak):
     """The sparse vectorised engine delivers >= 10x over the per-agent loop."""
     # Warm the CSR cache and both code paths once so neither side pays
     # one-off allocation/import costs inside the timed region.
     network.csr_indices
-    _run_single(VectorizedNetworkDynamics, network)
+    _time_single(VectorizedNetworkDynamics, network)
 
     vectorized_seconds = min(
-        _run_single(VectorizedNetworkDynamics, network) for _ in range(3)
+        _time_single(VectorizedNetworkDynamics, network) for _ in range(3)
     )
-    loop_seconds = _run_single(NetworkDynamics, network)
-    batched_seconds = min(_run_batched(network) for _ in range(2))
+    loop_seconds = _time_single(NetworkDynamics, network)
+    batched_seconds = min(_time_batched(network) for _ in range(2))
+
+    # Peak memory in a separate tracemalloc pass (tracing skews wall time).
+    _, loop_peak = traced_peak(lambda: _run_single(NetworkDynamics, network))
+    _, vectorized_peak = traced_peak(
+        lambda: _run_single(VectorizedNetworkDynamics, network)
+    )
+    _, batched_peak = traced_peak(lambda: _run_batched(network))
 
     agent_steps = SIZE * HORIZON
     speedup = loop_seconds / vectorized_seconds
@@ -99,6 +114,7 @@ def test_vectorized_network_engine_throughput(network, save_results):
                 "replicates": 1,
                 "seconds": loop_seconds,
                 "agent_steps_per_s": agent_steps / loop_seconds,
+                "peak_mb": loop_peak / 2**20,
                 "speedup_per_replicate": 1.0,
             },
             {
@@ -106,6 +122,7 @@ def test_vectorized_network_engine_throughput(network, save_results):
                 "replicates": 1,
                 "seconds": vectorized_seconds,
                 "agent_steps_per_s": agent_steps / vectorized_seconds,
+                "peak_mb": vectorized_peak / 2**20,
                 "speedup_per_replicate": speedup,
             },
             {
@@ -113,6 +130,7 @@ def test_vectorized_network_engine_throughput(network, save_results):
                 "replicates": BATCH_REPLICATES,
                 "seconds": batched_seconds,
                 "agent_steps_per_s": agent_steps * BATCH_REPLICATES / batched_seconds,
+                "peak_mb": batched_peak / 2**20,
                 "speedup_per_replicate": batched_speedup,
             },
         ]

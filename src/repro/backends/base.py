@@ -1,0 +1,67 @@
+"""The array-namespace seam: one :class:`ArrayBackend` per array library.
+
+The vectorised engines never import an accelerator library directly; they go
+through a backend object (Array-API pattern) that bundles
+
+* ``xp`` — the array namespace itself (``numpy``, ``cupy`` or ``torch``'s
+  numpy-compatible layer), used for the hot-path array ops;
+* :meth:`ArrayBackend.rng` — a seeded generator honouring the repository's
+  :mod:`repro.utils.rng` seeding contract (an integer seed reproduces the
+  same stream on every run of the same backend);
+* :meth:`ArrayBackend.asarray` / :meth:`ArrayBackend.to_numpy` — the device
+  boundary, so trajectories and metric rows always come back as NumPy.
+
+The default :class:`~repro.backends.numpy_backend.NumpyBackend` is a pure
+pass-through (``xp is numpy`` and ``rng`` *is* :func:`repro.utils.rng.ensure_rng`),
+which is what keeps the refactored engines bit-identical to their pre-seam
+behaviour.  Optional backends are import-guarded: constructing one without
+the library installed raises :class:`BackendUnavailableError` with an
+actionable message, and nothing in the default path imports them.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+import numpy as np
+
+from repro.utils.rng import RngLike
+
+
+class BackendUnavailableError(RuntimeError):
+    """A named backend's library is not importable in this environment."""
+
+
+class ArrayBackend(abc.ABC):
+    """One array library, wrapped behind the seam the engines call through."""
+
+    #: Canonical spelling used by ``--backend`` flags and request specs.
+    name: str = ""
+
+    @property
+    @abc.abstractmethod
+    def xp(self) -> Any:
+        """The array namespace module (``numpy``-compatible)."""
+
+    @abc.abstractmethod
+    def rng(self, rng: RngLike = None):
+        """A seeded generator for this backend.
+
+        Accepts the :data:`~repro.utils.rng.RngLike` union.  For the NumPy
+        backend this is exactly :func:`~repro.utils.rng.ensure_rng`; other
+        backends accept integer seeds (and ``None``) and derive their device
+        stream from them, so a stored integer seed reproduces the run on the
+        same backend.
+        """
+
+    @abc.abstractmethod
+    def asarray(self, array: Any, dtype: Any = None) -> Any:
+        """Move/convert ``array`` into this backend's namespace."""
+
+    @abc.abstractmethod
+    def to_numpy(self, array: Any) -> np.ndarray:
+        """Copy ``array`` back to host NumPy (no-op for the NumPy backend)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

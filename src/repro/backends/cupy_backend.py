@@ -1,0 +1,86 @@
+"""Optional CuPy backend (import-guarded; requires a CUDA-capable install).
+
+The module imports cleanly without CuPy — :data:`HAS_CUPY` is then ``False``
+and constructing :class:`CupyBackend` raises
+:class:`~repro.backends.base.BackendUnavailableError`.  Nothing in the
+default NumPy path touches this module.
+
+Determinism caveat (also in the README): CuPy's ``Generator`` is a different
+bit generator than NumPy's PCG64, so equal integer seeds give *different*
+streams than the NumPy backend — reproducibility holds per backend, not
+across backends.  Distribution families NumPy's ``Generator`` offers but
+CuPy's lacks (vectorised ``multinomial``/``binomial`` with array parameters)
+are drawn on the host from a NumPy generator seeded identically and
+transferred; the hot array math stays on the device.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.backends.base import ArrayBackend, BackendUnavailableError
+from repro.utils.rng import RngLike, ensure_rng
+
+try:  # pragma: no cover - exercised only where cupy is installed
+    import cupy
+
+    HAS_CUPY = True
+except ImportError:  # cupy is an optional accelerator dependency
+    cupy = None
+    HAS_CUPY = False
+
+
+class _CupyRng:  # pragma: no cover - requires a CUDA device
+    """NumPy-``Generator``-shaped adapter over a CuPy device stream.
+
+    Uniform and integer draws run on the device; ``multinomial``/``binomial``
+    (which CuPy's ``Generator`` does not vectorise over array parameters)
+    fall back to an identically-seeded host generator and transfer.
+    """
+
+    def __init__(self, seed: RngLike) -> None:
+        self._host = ensure_rng(seed)
+        device_seed = int(self._host.integers(0, 2**63 - 1))
+        self._device = cupy.random.default_rng(device_seed)
+
+    def random(self, size=None):
+        return self._device.random(size)
+
+    def integers(self, low, high=None, size=None, dtype=np.int64):
+        return self._device.integers(low, high, size=size, dtype=dtype)
+
+    def multinomial(self, n, pvals):
+        return cupy.asarray(self._host.multinomial(n, cupy.asnumpy(pvals)))
+
+    def binomial(self, n, p):
+        return cupy.asarray(
+            self._host.binomial(cupy.asnumpy(n), cupy.asnumpy(p))
+        )
+
+
+class CupyBackend(ArrayBackend):
+    """CUDA backend over :mod:`cupy` (GPU-resident hot state)."""
+
+    name = "cupy"
+
+    def __init__(self) -> None:
+        if not HAS_CUPY:
+            raise BackendUnavailableError(
+                "the cupy backend needs the 'cupy' package (a CUDA build "
+                "matching your driver); install it or use --backend numpy"
+            )
+
+    @property
+    def xp(self) -> Any:  # pragma: no cover - requires a CUDA device
+        return cupy
+
+    def rng(self, rng: RngLike = None):  # pragma: no cover - requires a CUDA device
+        return _CupyRng(rng)
+
+    def asarray(self, array: Any, dtype: Any = None):  # pragma: no cover
+        return cupy.asarray(array, dtype=dtype)
+
+    def to_numpy(self, array: Any) -> np.ndarray:  # pragma: no cover
+        return cupy.asnumpy(array)

@@ -1,0 +1,35 @@
+"""The default backend: plain NumPy, bit-identical to the pre-seam engines."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.backends.base import ArrayBackend
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class NumpyBackend(ArrayBackend):
+    """Pass-through backend over :mod:`numpy`.
+
+    ``xp`` is the ``numpy`` module itself and :meth:`rng` is exactly
+    :func:`repro.utils.rng.ensure_rng`, so an engine constructed on this
+    backend consumes the random stream identically to the pre-seam code —
+    the property the golden-fixture tests pin.
+    """
+
+    name = "numpy"
+
+    @property
+    def xp(self) -> Any:
+        return np
+
+    def rng(self, rng: RngLike = None) -> np.random.Generator:
+        return ensure_rng(rng)
+
+    def asarray(self, array: Any, dtype: Any = None) -> np.ndarray:
+        return np.asarray(array, dtype=dtype)
+
+    def to_numpy(self, array: Any) -> np.ndarray:
+        return np.asarray(array)

@@ -1,0 +1,67 @@
+"""Backend lookup: ``get_namespace(name)`` and availability reporting."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.backends.base import ArrayBackend, BackendUnavailableError
+from repro.backends.numpy_backend import NumpyBackend
+
+BACKENDS = ("numpy", "cupy", "torch")
+"""The backend names ``--backend`` accepts (optional ones may be unavailable)."""
+
+DEFAULT_BACKEND_NAME = "numpy"
+
+_instances: Dict[str, ArrayBackend] = {}
+
+BackendLike = Union[None, str, ArrayBackend]
+"""Anything :func:`get_namespace` accepts."""
+
+
+def get_namespace(backend: BackendLike = None) -> ArrayBackend:
+    """Resolve a backend name (or instance, or ``None``) to an :class:`ArrayBackend`.
+
+    ``None`` and ``"numpy"`` return the shared NumPy backend.  Optional
+    backends are imported lazily and cached; naming one whose library is not
+    installed raises :class:`~repro.backends.base.BackendUnavailableError`
+    (never an :class:`ImportError` mid-simulation).
+    """
+    if isinstance(backend, ArrayBackend):
+        return backend
+    if backend is None:
+        backend = DEFAULT_BACKEND_NAME
+    if not isinstance(backend, str):
+        raise TypeError(
+            f"backend must be None, a name or an ArrayBackend; got "
+            f"{type(backend).__name__}"
+        )
+    if backend in _instances:
+        return _instances[backend]
+    if backend == "numpy":
+        instance: ArrayBackend = NumpyBackend()
+    elif backend == "cupy":
+        from repro.backends.cupy_backend import CupyBackend
+
+        instance = CupyBackend()
+    elif backend == "torch":
+        from repro.backends.torch_backend import TorchBackend
+
+        instance = TorchBackend()
+    else:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
+        )
+    _instances[backend] = instance
+    return instance
+
+
+def available_backends() -> List[str]:
+    """The subset of :data:`BACKENDS` whose libraries import in this environment."""
+    names = []
+    for name in BACKENDS:
+        try:
+            get_namespace(name)
+        except BackendUnavailableError:
+            continue
+        names.append(name)
+    return names

@@ -1,0 +1,102 @@
+"""Optional PyTorch backend (import-guarded; CPU or CUDA tensors).
+
+The module imports cleanly without torch — :data:`HAS_TORCH` is then
+``False`` and constructing :class:`TorchBackend` raises
+:class:`~repro.backends.base.BackendUnavailableError`.  Nothing in the
+default NumPy path touches this module.
+
+Determinism caveat (also in the README): torch's Philox generator differs
+from NumPy's PCG64, so equal integer seeds give *different* streams than the
+NumPy backend — reproducibility holds per backend, not across backends.
+Count distributions the engines need (``multinomial`` counts, array-``p``
+``binomial``) have no vectorised torch equivalent, so they are drawn on the
+host from an identically-seeded NumPy generator and transferred; the hot
+array math runs on torch tensors (``device`` selects CPU or CUDA).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.backends.base import ArrayBackend, BackendUnavailableError
+from repro.utils.rng import RngLike, ensure_rng
+
+try:  # pragma: no cover - exercised only where torch is installed
+    import torch
+
+    HAS_TORCH = True
+except ImportError:  # torch is an optional accelerator dependency
+    torch = None
+    HAS_TORCH = False
+
+
+class _TorchRng:  # pragma: no cover - requires torch
+    """NumPy-``Generator``-shaped adapter over a ``torch.Generator``.
+
+    Uniform and integer draws run through torch; the count distributions
+    fall back to an identically-seeded host NumPy generator and transfer.
+    """
+
+    def __init__(self, seed: RngLike, device: str) -> None:
+        self._host = ensure_rng(seed)
+        self._device = device
+        self._generator = torch.Generator(device=device)
+        self._generator.manual_seed(int(self._host.integers(0, 2**63 - 1)))
+
+    def random(self, size=None):
+        shape = (size,) if isinstance(size, int) else tuple(size or ())
+        return torch.rand(
+            shape, generator=self._generator, device=self._device
+        )
+
+    def integers(self, low, high=None, size=None, dtype=None):
+        if high is None:
+            low, high = 0, low
+        shape = (size,) if isinstance(size, int) else tuple(size or ())
+        return torch.randint(
+            int(low),
+            int(high),
+            shape,
+            generator=self._generator,
+            device=self._device,
+        )
+
+    def multinomial(self, n, pvals):
+        return torch.as_tensor(
+            self._host.multinomial(n, np.asarray(pvals)), device=self._device
+        )
+
+    def binomial(self, n, p):
+        return torch.as_tensor(
+            self._host.binomial(np.asarray(n), np.asarray(p)),
+            device=self._device,
+        )
+
+
+class TorchBackend(ArrayBackend):
+    """Backend over :mod:`torch` tensors (CPU by default, CUDA via ``device``)."""
+
+    name = "torch"
+
+    def __init__(self, device: str = "cpu") -> None:
+        if not HAS_TORCH:
+            raise BackendUnavailableError(
+                "the torch backend needs the 'torch' package; install it or "
+                "use --backend numpy"
+            )
+        self._device = device  # pragma: no cover - requires torch
+
+    @property
+    def xp(self) -> Any:  # pragma: no cover - requires torch
+        return torch
+
+    def rng(self, rng: RngLike = None):  # pragma: no cover - requires torch
+        return _TorchRng(rng, self._device)
+
+    def asarray(self, array: Any, dtype: Any = None):  # pragma: no cover
+        return torch.as_tensor(array, dtype=dtype, device=self._device)
+
+    def to_numpy(self, array: Any) -> np.ndarray:  # pragma: no cover
+        return array.detach().cpu().numpy()

@@ -54,6 +54,7 @@ from typing import Any, Dict, Optional, Sequence
 import numpy as np
 
 from repro import __version__
+from repro.backends import BACKENDS, PRECISIONS
 from repro.core.batched import simulate_batched_population
 from repro.core.coupling import run_coupled_dynamics
 from repro.core.dynamics import simulate_finite_population
@@ -82,6 +83,35 @@ from repro.service.requests import (
     sweep_request,
 )
 from repro.utils.ascii_plot import ascii_line_plot
+
+
+def _add_engine_arguments(subparser: argparse.ArgumentParser) -> None:
+    """Attach the array-engine flags shared by sweep/network/protocol."""
+    engine = subparser.add_argument_group(
+        "array engine",
+        "select the array backend and storage precision of the batched "
+        "engines (see the README's 'Backends & precision' section); "
+        "non-default values require --engine batched and get their own "
+        "result-store cache entries",
+    )
+    engine.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help=(
+            "array backend (default numpy; cupy/torch are optional extras "
+            "and fail fast when not installed)"
+        ),
+    )
+    engine.add_argument(
+        "--dtype",
+        choices=tuple(PRECISIONS),
+        default=None,
+        help=(
+            "storage precision (default float64/int64; float32/int32 "
+            "roughly halves batch memory, statistically equivalent)"
+        ),
+    )
 
 
 def _add_runtime_arguments(subparser: argparse.ArgumentParser) -> None:
@@ -320,6 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep.add_argument("--output", type=str, default=None)
+    _add_engine_arguments(sweep)
     _add_runtime_arguments(sweep)
 
     network = subparsers.add_parser(
@@ -370,6 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     network.add_argument("--output", type=str, default=None, help="write the summary table to this CSV path")
+    _add_engine_arguments(network)
     _add_runtime_arguments(network)
 
     protocol = subparsers.add_parser(
@@ -420,6 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     protocol.add_argument("--output", type=str, default=None, help="write the summary table to this CSV path")
+    _add_engine_arguments(protocol)
     _add_runtime_arguments(protocol)
 
     serve = subparsers.add_parser(
@@ -666,17 +699,23 @@ def _command_coupling(args: argparse.Namespace) -> int:
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
-    request = sweep_request(
-        options=args.options,
-        populations=args.populations,
-        horizon=args.horizon,
-        beta=args.beta,
-        betas=args.betas,
-        mus=args.mus,
-        replications=args.replications,
-        seed=args.seed,
-        engine=args.engine,
-    )
+    try:
+        request = sweep_request(
+            options=args.options,
+            populations=args.populations,
+            horizon=args.horizon,
+            beta=args.beta,
+            betas=args.betas,
+            mus=args.mus,
+            replications=args.replications,
+            seed=args.seed,
+            engine=args.engine,
+            backend=args.backend,
+            dtype=args.dtype,
+        )
+    except RequestError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     runtime_kwargs = _runtime_kwargs(args)
     try:
         if runtime_kwargs and args.engine == "batched":
@@ -701,18 +740,24 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
 
 def _command_network(args: argparse.Namespace) -> int:
-    request = network_request(
-        options=args.options,
-        topology=args.topology,
-        size=args.size,
-        horizon=args.horizon,
-        beta=args.beta,
-        mu=args.mu,
-        graph_seed=args.graph_seed,
-        replications=args.replications,
-        seed=args.seed,
-        engine=args.engine,
-    )
+    try:
+        request = network_request(
+            options=args.options,
+            topology=args.topology,
+            size=args.size,
+            horizon=args.horizon,
+            beta=args.beta,
+            mu=args.mu,
+            graph_seed=args.graph_seed,
+            replications=args.replications,
+            seed=args.seed,
+            engine=args.engine,
+            backend=args.backend,
+            dtype=args.dtype,
+        )
+    except RequestError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     prepared = prepare_request(request)
     network = build_network(prepared.config.parameters)
     # Only the cheap statistics by default: spectral gap / diameter /
@@ -758,6 +803,8 @@ def _command_protocol(args: argparse.Namespace) -> int:
             replications=args.replications,
             seed=args.seed,
             engine=args.engine,
+            backend=args.backend,
+            dtype=args.dtype,
         )
     except RequestError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -68,8 +68,8 @@ class AdoptionRule(abc.ABC):
             # Scalar and per-row rules never compare equal; RowwiseAdoptionRule
             # overrides equality for the array/array case.
             return NotImplemented
-        return (
-            math.isclose(self.alpha, other.alpha) and math.isclose(self.beta, other.beta)
+        return math.isclose(self.alpha, other.alpha) and math.isclose(
+            self.beta, other.beta
         )
 
     def __hash__(self) -> int:

@@ -32,6 +32,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.backends import BackendLike, PrecisionLike, get_namespace, resolve_precision
 from repro.core.adoption import (
     AdoptionRule,
     GeneralAdoptionRule,
@@ -41,7 +42,7 @@ from repro.core.adoption import (
 from repro.core.sampling import MixtureSampling, SamplingRule, default_exploration_rate
 from repro.core.state import PopulationState, Trajectory
 from repro.environments.base import RewardEnvironment
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike
 from repro.utils.validation import check_positive_int, check_quality_vector
 
 
@@ -66,7 +67,11 @@ class BatchedPopulationState:
     time: int = 0
 
     def __post_init__(self) -> None:
-        counts = np.asarray(self.counts, dtype=np.int64)
+        # Integer dtypes are preserved (the Precision discipline stores int32
+        # counts); anything else is normalised to the historical int64.
+        counts = np.asarray(self.counts)
+        if not np.issubdtype(counts.dtype, np.integer):
+            counts = counts.astype(np.int64)
         if counts.ndim != 2 or counts.shape[0] == 0 or counts.shape[1] == 0:
             raise ValueError("counts must be a non-empty 2-D (R, m) array")
         if np.any(counts < 0):
@@ -119,13 +124,22 @@ class BatchedPopulationState:
         """Per-replicate number of committed individuals, shape ``(R,)``."""
         return self.counts.sum(axis=1)
 
-    def popularity(self) -> np.ndarray:
-        """Per-replicate popularity ``Q^t``, shape ``(R, m)``; uniform rows where nobody is committed."""
+    def popularity(self, dtype: Optional[np.dtype] = None) -> np.ndarray:
+        """Per-replicate popularity ``Q^t``, shape ``(R, m)``; uniform rows where nobody is committed.
+
+        The division always runs in float64 (so the sampling stage consumes
+        identical values at every precision); ``dtype`` only down-casts the
+        *returned* matrix, which is how the float32 precision stores its
+        trajectory without perturbing the dynamics.
+        """
         totals = self.counts.sum(axis=1, keepdims=True)
         uniform = 1.0 / self.num_options
         with np.errstate(divide="ignore", invalid="ignore"):
             popularity = self.counts / totals
-        return np.where(totals == 0, uniform, popularity)
+        popularity = np.where(totals == 0, uniform, popularity)
+        if dtype is not None:
+            popularity = popularity.astype(dtype, copy=False)
+        return popularity
 
     def min_popularity(self) -> np.ndarray:
         """Per-replicate occupancy floor ``min_j Q^t_j``, shape ``(R,)``."""
@@ -135,7 +149,9 @@ class BatchedPopulationState:
         """Per-replicate Shannon entropy (nats) of the popularity, shape ``(R,)``."""
         popularity = self.popularity()
         contributions = np.where(
-            popularity > 0, popularity * np.log(np.where(popularity > 0, popularity, 1.0)), 0.0
+            popularity > 0,
+            popularity * np.log(np.where(popularity > 0, popularity, 1.0)),
+            0.0,
         )
         return -contributions.sum(axis=1)
 
@@ -232,8 +248,15 @@ class BatchedTrajectory:
         rewards: np.ndarray,
         new_state: BatchedPopulationState,
     ) -> None:
-        """Append one batched step's observations to the trajectory."""
-        self.pre_step_popularities.append(np.asarray(pre_step_popularity, dtype=float))
+        """Append one batched step's observations to the trajectory.
+
+        Floating popularity matrices keep their dtype (float32 under the
+        reduced precision); anything else is normalised to float64.
+        """
+        popularity = np.asarray(pre_step_popularity)
+        if not np.issubdtype(popularity.dtype, np.floating):
+            popularity = popularity.astype(float)
+        self.pre_step_popularities.append(popularity)
         self.rewards.append(np.asarray(rewards, dtype=np.int8))
         self.states.append(new_state)
 
@@ -323,7 +346,9 @@ class BatchedTrajectory:
                 f"best_quality must be a scalar or shape ({self.num_replicates},), "
                 f"got shape {best_quality.shape}"
             )
-        per_step = np.einsum("trj,trj->tr", popularity, self.reward_tensor().astype(float))
+        per_step = np.einsum(
+            "trj,trj->tr", popularity, self.reward_tensor().astype(float)
+        )
         return best_quality - per_step.mean(axis=0)
 
     def best_option_share(self, best_option) -> np.ndarray:
@@ -404,6 +429,15 @@ class BatchedDynamics:
     rng:
         Seed or generator.  With ``num_replicates == 1`` the stream is
         consumed exactly as the sequential engine consumes it.
+    backend:
+        Array backend name or :class:`~repro.backends.ArrayBackend`
+        (default NumPy — bit-identical to the pre-seam engine).
+    precision:
+        Storage :class:`~repro.backends.Precision` (name or instance).  The
+        default float64/int64 is bit-identical to the historical behaviour;
+        ``"float32"`` stores int32 counts and records float32 popularities
+        while every random draw still consumes the stream in float64 (see
+        :mod:`repro.backends.precision` for the full dtype contract).
     """
 
     def __init__(
@@ -415,7 +449,12 @@ class BatchedDynamics:
         sampling_rule: Optional[SamplingRule] = None,
         initial_state: Optional[Union[PopulationState, BatchedPopulationState]] = None,
         rng: RngLike = None,
+        backend: BackendLike = None,
+        precision: PrecisionLike = None,
     ) -> None:
+        self._backend = get_namespace(backend)
+        self._precision = resolve_precision(precision)
+        self._xp = self._backend.xp
         self._num_replicates = check_positive_int(num_replicates, "num_replicates")
         if np.ndim(population_size) == 0:
             self._population_size: Union[int, np.ndarray] = check_positive_int(
@@ -443,7 +482,9 @@ class BatchedDynamics:
                 f"{num_replicates} replicates"
             )
         if sampling_rule is None:
-            sampling_rule = MixtureSampling(default_exploration_rate(self._adoption_rule))
+            sampling_rule = MixtureSampling(
+                default_exploration_rate(self._adoption_rule)
+            )
         mu_rows = np.ndim(sampling_rule.exploration_rate) and np.size(
             sampling_rule.exploration_rate
         )
@@ -480,9 +521,19 @@ class BatchedDynamics:
         )
         if not np.array_equal(initial_state.population_sizes, expected_sizes):
             raise ValueError("initial_state has the wrong population size")
+        # An int32 engine must be able to count its largest population.
+        self._precision.check_count_value(
+            int(np.max(initial_state.population_sizes)), "population_size"
+        )
+        if not self._precision.is_default:
+            initial_state = BatchedPopulationState(
+                counts=initial_state.counts.astype(self._precision.int_dtype),
+                population_size=initial_state.population_size,
+                time=initial_state.time,
+            )
         self._initial_state = initial_state
         self._state = initial_state
-        self._rng = ensure_rng(rng)
+        self._rng = self._backend.rng(rng)
 
     # ------------------------------------------------------------ properties
     @property
@@ -511,6 +562,16 @@ class BatchedDynamics:
         return self._sampling_rule
 
     @property
+    def backend(self):
+        """The :class:`~repro.backends.ArrayBackend` this engine runs on."""
+        return self._backend
+
+    @property
+    def precision(self):
+        """The storage :class:`~repro.backends.Precision` of the hot state."""
+        return self._precision
+
+    @property
     def state(self) -> BatchedPopulationState:
         """Current batched population state."""
         return self._state
@@ -530,7 +591,7 @@ class BatchedDynamics:
         """
         self._state = self._initial_state
         if rng is not None:
-            self._rng = ensure_rng(rng)
+            self._rng = self._backend.rng(rng)
 
     # ------------------------------------------------------------------ step
     def step(self, rewards: np.ndarray) -> BatchedPopulationState:
@@ -544,24 +605,34 @@ class BatchedDynamics:
             draw of the environment) or a single ``(m,)`` vector shared by
             all replicates (the coupled / common-rewards regime).
         """
-        rewards = np.asarray(rewards)
+        xp = self._xp
+        rewards = xp.asarray(rewards)
         if rewards.shape == (self._num_options,):
-            rewards = np.broadcast_to(rewards, (self._num_replicates, self._num_options))
+            rewards = xp.broadcast_to(
+                rewards, (self._num_replicates, self._num_options)
+            )
         elif rewards.shape != (self._num_replicates, self._num_options):
             raise ValueError(
                 f"rewards must have shape ({self._num_replicates}, "
                 f"{self._num_options}) or ({self._num_options},), got {rewards.shape}"
             )
-        if np.any((rewards != 0) & (rewards != 1)):
+        if xp.any((rewards != 0) & (rewards != 1)):
             raise ValueError("rewards must be binary")
 
+        # The sampling/adoption math and both draws run in float64 at every
+        # precision — the storage dtype is applied only to the new counts —
+        # so all precisions consume the random stream identically.
         popularity = self._state.popularity()
-        consideration = self._sampling_rule.consideration_probabilities_batch(popularity)
+        consideration = self._sampling_rule.consideration_probabilities_batch(
+            popularity
+        )
         selected = self._rng.multinomial(self._population_size, consideration)
         adopt_probabilities = self._adoption_rule.adopt_probabilities(rewards)
-        new_counts = self._rng.binomial(selected, adopt_probabilities)
+        new_counts = self._backend.to_numpy(
+            self._rng.binomial(selected, adopt_probabilities)
+        )
         self._state = BatchedPopulationState(
-            counts=new_counts.astype(np.int64),
+            counts=new_counts.astype(self._precision.int_dtype),
             population_size=self._population_size,
             time=self._state.time + 1,
         )
@@ -585,8 +656,9 @@ class BatchedDynamics:
                 "environment and dynamics disagree on the number of options"
             )
         trajectory = BatchedTrajectory(initial_state=self._state)
+        float_dtype = self._precision.float_dtype
         for _ in range(horizon):
-            pre_step_popularity = self._state.popularity()
+            pre_step_popularity = self._state.popularity(dtype=float_dtype)
             rewards = environment.sample_batch(self._num_replicates)
             new_state = self.step(rewards)
             trajectory.record(pre_step_popularity, rewards, new_state)
@@ -603,6 +675,8 @@ def simulate_batched_population(
     mu: Union[None, float, np.ndarray] = None,
     alpha: Union[None, float, np.ndarray] = None,
     rng: RngLike = None,
+    backend: BackendLike = None,
+    precision: PrecisionLike = None,
 ) -> BatchedTrajectory:
     """One-call helper: run ``num_replicates`` replicates with paper defaults.
 
@@ -631,5 +705,7 @@ def simulate_batched_population(
         adoption_rule=adoption_rule,
         sampling_rule=MixtureSampling(mu) if mu is not None else None,
         rng=rng,
+        backend=backend,
+        precision=precision,
     )
     return dynamics.run(environment, horizon)

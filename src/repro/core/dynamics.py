@@ -76,7 +76,9 @@ class FinitePopulationDynamics:
         self._num_options = check_positive_int(num_options, "num_options")
         self._adoption_rule = adoption_rule or SymmetricAdoptionRule(0.6)
         if sampling_rule is None:
-            sampling_rule = MixtureSampling(default_exploration_rate(self._adoption_rule))
+            sampling_rule = MixtureSampling(
+                default_exploration_rate(self._adoption_rule)
+            )
         self._sampling_rule = sampling_rule
         if initial_state is None:
             initial_state = PopulationState.uniform(population_size, num_options)
@@ -213,10 +215,14 @@ class AgentBasedDynamics:
         if not isinstance(population, Population):
             raise TypeError("population must be a Population instance")
         if not 0.0 <= exploration_rate <= 1.0:
-            raise ValueError(f"exploration_rate must be in [0, 1], got {exploration_rate}")
+            raise ValueError(
+                f"exploration_rate must be in [0, 1], got {exploration_rate}"
+            )
         self._population = population
         self._mu = float(exploration_rate)
-        self._companion_selector = companion_selector or self._default_companion_selector
+        self._companion_selector = (
+            companion_selector or self._default_companion_selector
+        )
         self._rng = ensure_rng(rng)
         self._time = 0
 
@@ -277,7 +283,9 @@ class AgentBasedDynamics:
             if self._rng.random() < self._mu:
                 considered.append(int(self._rng.integers(num_options)))
                 continue
-            observed = self._companion_selector(agent.agent_id, self._population, self._rng)
+            observed = self._companion_selector(
+                agent.agent_id, self._population, self._rng
+            )
             if observed is None:
                 observed = int(self._rng.integers(num_options))
             considered.append(int(observed))

@@ -132,7 +132,9 @@ class HeterogeneousPopulationDynamics:
         totals = self._counts.sum(axis=1, keepdims=True)
         uniform = np.full(self._num_options, 1.0 / self._num_options)
         with np.errstate(invalid="ignore", divide="ignore"):
-            popularity = np.where(totals > 0, self._counts / np.maximum(totals, 1), uniform)
+            popularity = np.where(
+                totals > 0, self._counts / np.maximum(totals, 1), uniform
+            )
         return popularity
 
     # ------------------------------------------------------------------ step
@@ -189,17 +191,23 @@ class HeterogeneousPopulationDynamics:
     ) -> "HeterogeneousPopulationDynamics":
         """A convenient two-type population: responsive vs. weakly-responsive individuals."""
         population_size = check_positive_int(population_size, "population_size")
-        responsive_fraction = check_probability(responsive_fraction, "responsive_fraction")
+        responsive_fraction = check_probability(
+            responsive_fraction, "responsive_fraction"
+        )
         responsive = max(1, int(round(responsive_fraction * population_size)))
         responsive = min(responsive, population_size - 1) if population_size > 1 else 1
         unresponsive = population_size - responsive
         types = [
-            AgentType(responsive, SymmetricAdoptionRule(responsive_beta), exploration_rate)
+            AgentType(
+                responsive, SymmetricAdoptionRule(responsive_beta), exploration_rate
+            )
         ]
         if unresponsive > 0:
             types.append(
                 AgentType(
-                    unresponsive, SymmetricAdoptionRule(unresponsive_beta), exploration_rate
+                    unresponsive,
+                    SymmetricAdoptionRule(unresponsive_beta),
+                    exploration_rate,
                 )
             )
         return cls(types, num_options, rng=rng)

@@ -113,7 +113,9 @@ class InfinitePopulationDynamics:
         if initial_distribution is None:
             initial = np.full(num_options, 1.0 / num_options)
         else:
-            initial = check_probability_vector(initial_distribution, "initial_distribution")
+            initial = check_probability_vector(
+                initial_distribution, "initial_distribution"
+            )
             if initial.size != num_options:
                 raise ValueError("initial_distribution length must equal num_options")
         self._initial_distribution = initial.copy()
@@ -156,7 +158,9 @@ class InfinitePopulationDynamics:
     def reset(self, initial_distribution: Optional[Sequence[float]] = None) -> None:
         """Return to the initial distribution (optionally a new one)."""
         if initial_distribution is not None:
-            initial = check_probability_vector(initial_distribution, "initial_distribution")
+            initial = check_probability_vector(
+                initial_distribution, "initial_distribution"
+            )
             if initial.size != self._num_options:
                 raise ValueError("initial_distribution length must equal num_options")
             self._initial_distribution = initial.copy()

@@ -28,7 +28,9 @@ import numpy as np
 from repro.utils.validation import check_quality_vector
 
 
-def _validate_matrices(popularities: np.ndarray, rewards: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def _validate_matrices(
+    popularities: np.ndarray, rewards: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
     popularities = np.asarray(popularities, dtype=float)
     rewards = np.asarray(rewards, dtype=float)
     if popularities.ndim != 2 or rewards.ndim != 2:
@@ -59,7 +61,9 @@ def empirical_regret(
     return float(best_quality - per_step.mean())
 
 
-def expected_step_rewards(popularities: np.ndarray, qualities: Sequence[float]) -> np.ndarray:
+def expected_step_rewards(
+    popularities: np.ndarray, qualities: Sequence[float]
+) -> np.ndarray:
     """Per-step conditionally-expected group reward ``sum_j Q^{t-1}_j eta_j``."""
     qualities = check_quality_vector(qualities, "qualities")
     popularities = np.asarray(popularities, dtype=float)
@@ -132,7 +136,9 @@ class RegretAccumulator:
         popularity = np.asarray(popularity, dtype=float)
         rewards = np.asarray(rewards, dtype=float)
         if popularity.shape != rewards.shape or popularity.ndim != 1:
-            raise ValueError("popularity and rewards must be 1-D vectors of equal length")
+            raise ValueError(
+                "popularity and rewards must be 1-D vectors of equal length"
+            )
         reward = float(popularity @ rewards)
         self._total_reward += reward
         self._steps += 1

@@ -121,7 +121,10 @@ class SamplingRule(abc.ABC):
 
     def __hash__(self) -> int:
         return hash(
-            (type(self).__name__, np.round(np.asarray(self.exploration_rate), 12).tobytes())
+            (
+                type(self).__name__,
+                np.round(np.asarray(self.exploration_rate), 12).tobytes(),
+            )
         )
 
 

@@ -87,7 +87,9 @@ class PopulationState:
         return int(np.argmax(self.counts))
 
     @classmethod
-    def uniform(cls, population_size: int, num_options: int, time: int = 0) -> "PopulationState":
+    def uniform(
+        cls, population_size: int, num_options: int, time: int = 0
+    ) -> "PopulationState":
         """Near-uniform initial state: ``N`` individuals spread evenly over ``m`` options.
 
         Matches the paper's initialisation ``Q^0_j = 1/m`` as closely as an

@@ -51,6 +51,12 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.backends import (
+    BackendLike,
+    PrecisionLike,
+    get_namespace,
+    resolve_precision,
+)
 from repro.core.adoption import AdoptionRule, SymmetricAdoptionRule
 from repro.core.batched import BatchedPopulationState, BatchedTrajectory
 from repro.distributed.failures import FailureModel, NoFailures
@@ -369,6 +375,16 @@ class BatchedProtocol:
         Re-query attempts before falling back to uniform exploration.
     rng:
         Seed or generator.
+    backend:
+        Array backend name or instance (default NumPy); see
+        :func:`repro.backends.get_namespace`.  Accepted for interface
+        symmetry with the other batched engines: the protocol's compressed
+        retry bookkeeping (array-``high`` integer draws over shrinking index
+        sets) is inherently host-side, so rounds always execute through the
+        host NumPy generator regardless of the backend chosen.
+    precision:
+        Storage precision (default float64/int64).  Random draws always run
+        in float64, so the stored-state dtype does not perturb the stream.
     """
 
     def __init__(
@@ -384,6 +400,8 @@ class BatchedProtocol:
         mass_failure_fraction: float = 0.0,
         max_query_attempts: int = 6,
         rng: RngLike = None,
+        backend: BackendLike = None,
+        precision: PrecisionLike = None,
     ) -> None:
         self._num_nodes = check_positive_int(num_nodes, "num_nodes")
         self._num_options = check_positive_int(num_options, "num_options")
@@ -405,12 +423,17 @@ class BatchedProtocol:
         self._max_query_attempts = check_positive_int(
             max_query_attempts, "max_query_attempts"
         )
+        self._backend = get_namespace(backend)
+        self._precision = resolve_precision(precision)
+        self._precision.check_count_value(int(num_nodes), "num_nodes")
         self._rng = ensure_rng(rng)
         self._round = 0
         self._fallback_explorations = 0
         self._stats = TransportStats()
         shape = (num_replicates, num_nodes)
-        self._choices = self._rng.integers(num_options, size=shape).astype(np.int64)
+        self._choices = self._rng.integers(num_options, size=shape).astype(
+            self._precision.int_dtype
+        )
         self._alive = np.ones(shape, dtype=bool)
 
     # ------------------------------------------------------------ properties
@@ -439,6 +462,16 @@ class BatchedProtocol:
         """Node-rounds that fell back to uniform exploration, over all replicates."""
         return self._fallback_explorations
 
+    @property
+    def backend(self):
+        """The array backend the protocol was configured with."""
+        return self._backend
+
+    @property
+    def precision(self):
+        """The storage :class:`~repro.backends.Precision` of the protocol."""
+        return self._precision
+
     def choices(self) -> np.ndarray:
         """Per-replicate, per-node current options, shape ``(R, N)``; copy.
 
@@ -465,13 +498,13 @@ class BatchedProtocol:
         keys = (
             np.arange(self._num_replicates, dtype=np.int64)[:, None]
             * self._num_options
-            + np.where(committed, self._choices, 0)
+            + np.where(committed, self._choices, 0).astype(np.int64)
         )[committed]
         counts = np.bincount(
             keys, minlength=self._num_replicates * self._num_options
         ).reshape(self._num_replicates, self._num_options)
         return BatchedPopulationState(
-            counts=counts.astype(np.int64),
+            counts=counts.astype(self._precision.int_dtype),
             population_size=self._num_nodes,
             time=self._round,
         )
@@ -586,7 +619,7 @@ class BatchedProtocol:
         adopted = (self._rng.random(shape) < adopt_probability) & active
         self._choices = np.where(
             active, np.where(adopted, considered, -1), self._choices
-        )
+        ).astype(self._precision.int_dtype)
         self._round += 1
 
     def run(self, environment: RewardEnvironment, rounds: int) -> BatchedProtocolResult:
@@ -605,8 +638,9 @@ class BatchedProtocol:
         state = self.state()
         trajectory = BatchedTrajectory(initial_state=state)
         alive_rows = []
+        float_dtype = self._precision.float_dtype
         for _ in range(rounds):
-            pre_round_popularity = state.popularity()
+            pre_round_popularity = state.popularity(dtype=float_dtype)
             rewards = environment.sample_batch(self._num_replicates)
             alive_rows.append(self._alive.sum(axis=1))
             self.run_round(rewards)

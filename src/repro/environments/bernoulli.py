@@ -6,6 +6,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backends import PrecisionLike, resolve_precision
 from repro.environments.base import RewardEnvironment
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_in_range, check_positive_int, check_quality_vector
@@ -107,9 +108,21 @@ class RowwiseBernoulliEnvironment(RewardEnvironment):
         probabilities ``eta_{r,j}`` of batch row ``r``.
     rng:
         Seed or generator.
+    precision:
+        Storage precision (default float64).  With ``float32`` the quality
+        matrix — the environment's only per-row state — is stored at half
+        width; the reward draws then threshold float64 uniforms against the
+        float32-rounded qualities, so float32 reward streams agree with
+        float64 ones *statistically* (to within one ulp of each quality),
+        not bit-for-bit.  The default path is unchanged.
     """
 
-    def __init__(self, qualities: np.ndarray, rng: RngLike = None) -> None:
+    def __init__(
+        self,
+        qualities: np.ndarray,
+        rng: RngLike = None,
+        precision: PrecisionLike = None,
+    ) -> None:
         qualities = np.asarray(qualities, dtype=float)
         if qualities.ndim != 2 or qualities.shape[0] == 0 or qualities.shape[1] == 0:
             raise ValueError(
@@ -121,7 +134,8 @@ class RowwiseBernoulliEnvironment(RewardEnvironment):
         if np.any(qualities < 0) or np.any(qualities > 1):
             raise ValueError("every quality must lie in [0, 1]")
         super().__init__(num_options=qualities.shape[1], rng=rng)
-        self._qualities = qualities.copy()
+        self._precision = resolve_precision(precision)
+        self._qualities = qualities.astype(self._precision.float_dtype)
         self._qualities.setflags(write=False)
 
     @classmethod
@@ -130,6 +144,7 @@ class RowwiseBernoulliEnvironment(RewardEnvironment):
         quality_vectors: Sequence[Sequence[float]],
         replications: int,
         rng: RngLike = None,
+        precision: PrecisionLike = None,
     ) -> "RowwiseBernoulliEnvironment":
         """Repeat each grid point's quality vector ``replications`` times.
 
@@ -141,7 +156,7 @@ class RowwiseBernoulliEnvironment(RewardEnvironment):
         matrix = np.asarray([np.asarray(vector, dtype=float) for vector in quality_vectors])
         if matrix.ndim != 2:
             raise ValueError("all quality vectors must have the same length")
-        return cls(np.repeat(matrix, replications, axis=0), rng=rng)
+        return cls(np.repeat(matrix, replications, axis=0), rng=rng, precision=precision)
 
     @property
     def num_rows(self) -> int:

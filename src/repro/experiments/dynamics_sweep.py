@@ -33,6 +33,10 @@ Parameter convention (per grid point, merged with ``base_parameters``):
 ``mu``
     Exploration rate (default: the theorem maximum ``min(1, delta^2/6)``
     evaluated at that point's own ``(alpha, beta)``).
+``backend`` / ``dtype``
+    Optional array backend and storage precision, shared by every point of a
+    batch (grid engine only; the loop engine refuses non-default values) —
+    see :mod:`repro.experiments.engine_options`.
 
 Both engines report the same metrics per replicate — ``regret`` (expected
 regret over the trajectory) and ``best_option_share`` — and both derive their
@@ -51,7 +55,7 @@ replaces — but for very large ``G·R·T`` consider splitting the grid.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -61,6 +65,10 @@ from repro.core.dynamics import FinitePopulationDynamics
 from repro.core.regret import best_option_share, expected_regret
 from repro.core.sampling import MixtureSampling, default_exploration_rate
 from repro.environments import BernoulliEnvironment, RowwiseBernoulliEnvironment
+from repro.experiments.engine_options import (
+    engine_options,
+    require_default_engine_options,
+)
 from repro.experiments.runner import grid_batched_replication
 
 
@@ -99,6 +107,8 @@ class FlatGrid:
     mu: np.ndarray  # (G*R,)
     horizon: int
     replications: int
+    backend: Optional[str] = None  # array backend name, None = numpy
+    dtype: Optional[str] = None  # storage precision name, None = float64
 
     @property
     def num_rows(self) -> int:
@@ -117,7 +127,9 @@ class FlatGrid:
         mirroring the per-point batched convention, so a sweep row is
         bit-reproducible by rebuilding this pair with an equal generator.
         """
-        environment = RowwiseBernoulliEnvironment(self.qualities, rng=rng)
+        environment = RowwiseBernoulliEnvironment(
+            self.qualities, rng=rng, precision=self.dtype
+        )
         dynamics = BatchedDynamics(
             num_replicates=self.num_rows,
             population_size=self.population_sizes,
@@ -125,6 +137,8 @@ class FlatGrid:
             adoption_rule=RowwiseAdoptionRule(self.alpha, self.beta),
             sampling_rule=MixtureSampling(self.mu),
             rng=rng,
+            backend=self.backend,
+            precision=self.dtype,
         )
         return dynamics, environment
 
@@ -147,6 +161,14 @@ def flatten_grid(points: Sequence[Dict[str, Any]], replications: int) -> FlatGri
     betas: List[float] = []
     mus: List[float] = []
     horizons = set()
+    option_pairs = {engine_options(parameters) for parameters in points}
+    if len(option_pairs) != 1:
+        raise ValueError(
+            "the flattened batch runs on one backend at one precision, so "
+            "every grid point must share the same backend/dtype; got "
+            f"{sorted(option_pairs, key=repr)}"
+        )
+    backend, dtype = option_pairs.pop()
     for parameters in points:
         qualities, population, horizon, alpha, beta, mu = _point_parameters(parameters)
         if mu is None:
@@ -188,6 +210,8 @@ def flatten_grid(points: Sequence[Dict[str, Any]], replications: int) -> FlatGri
         mu=np.repeat(np.asarray(mus), replications),
         horizon=horizons.pop(),
         replications=replications,
+        backend=backend,
+        dtype=dtype,
     )
 
 
@@ -246,6 +270,7 @@ def dynamics_point_replication(
     replicate, with the environment seeded at ``seed`` and the dynamics at
     ``seed + 1`` (the repository's per-seed convention).
     """
+    require_default_engine_options(parameters, "loop")
     qualities, population, horizon, alpha, beta, mu = _point_parameters(parameters)
     rule = GeneralAdoptionRule(alpha, beta)
     if mu is None:

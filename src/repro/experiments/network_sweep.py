@@ -41,6 +41,10 @@ Parameter convention (per grid point, merged with ``base_parameters``):
     Optional topology-family parameters (ring half-width, Erdős–Rényi edge
     probability, Barabási–Albert attachments, Watts–Strogatz neighbours and
     rewiring probability); defaults match ``SocialNetwork.standard_suite``.
+``backend`` / ``dtype``
+    Optional array backend and storage precision (batched engine only; the
+    per-seed engines refuse non-default values) — see
+    :mod:`repro.experiments.engine_options`.
 
 All engines report the same per-replicate metrics — ``regret`` and
 ``best_option_share`` — and derive their randomness from the seed lists the
@@ -62,6 +66,10 @@ from repro.core.adoption import SymmetricAdoptionRule
 from repro.core.regret import best_option_share, expected_regret
 from repro.core.sampling import default_exploration_rate
 from repro.environments import BernoulliEnvironment
+from repro.experiments.engine_options import (
+    engine_options,
+    require_default_engine_options,
+)
 from repro.experiments.runner import batched_replication
 from repro.network.dynamics import NetworkDynamics, NetworkDynamicsBase
 from repro.network.topology import SocialNetwork
@@ -163,6 +171,7 @@ def _metric_row(matrix: np.ndarray, qualities: np.ndarray) -> Dict[str, float]:
 def _run_single(
     dynamics_class, seed: int, parameters: Dict[str, Any]
 ) -> Dict[str, float]:
+    require_default_engine_options(parameters, "per-seed")
     qualities, horizon, beta, mu = _point_parameters(parameters)
     network = build_network(parameters)
     environment = BernoulliEnvironment(qualities, rng=seed)
@@ -203,6 +212,7 @@ def network_batched_replication(
     (the standard batched-engine trade-off).
     """
     qualities, horizon, beta, mu = _point_parameters(parameters)
+    backend, dtype = engine_options(parameters)
     network = build_network(parameters)
     generator = np.random.default_rng(list(seeds))
     environment = BernoulliEnvironment(qualities, rng=generator)
@@ -213,6 +223,8 @@ def network_batched_replication(
         adoption_rule=SymmetricAdoptionRule(beta),
         exploration_rate=mu,
         rng=generator,
+        backend=backend,
+        precision=dtype,
     )
     trajectory = dynamics.run(environment, horizon)
     regrets = trajectory.expected_regret(qualities)

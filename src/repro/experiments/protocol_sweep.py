@@ -42,6 +42,10 @@ Parameter convention (per grid point, merged with ``base_parameters``):
     the fraction of surviving nodes it kills (default 0.0).
 ``max_query_attempts``
     Re-query attempts before falling back to uniform exploration (default 6).
+``backend`` / ``dtype``
+    Optional array backend and storage precision (batched engine only; the
+    per-seed engines refuse non-default values) — see
+    :mod:`repro.experiments.engine_options`.
 
 All engines report the same per-replicate metrics — ``regret`` (realised,
 the protocol's streaming definition), ``best_option_share`` and
@@ -70,6 +74,10 @@ from repro.distributed import (
     VectorizedProtocol,
 )
 from repro.environments import BernoulliEnvironment
+from repro.experiments.engine_options import (
+    engine_options,
+    require_default_engine_options,
+)
 from repro.experiments.runner import batched_replication
 
 PROTOCOL_ENGINES = ("loop", "vectorized", "batched")
@@ -133,6 +141,7 @@ def protocol_point_replication(
     seed: int, parameters: Dict[str, Any]
 ) -> Dict[str, float]:
     """Per-seed message-passing loop engine (the ``--engine loop`` reference path)."""
+    require_default_engine_options(parameters, "loop")
     point = _point_parameters(parameters)
     environment = BernoulliEnvironment(point["qualities"], rng=seed)
     protocol = DistributedLearningProtocol(
@@ -159,6 +168,7 @@ def protocol_vectorized_replication(
     seed: int, parameters: Dict[str, Any]
 ) -> Dict[str, float]:
     """Per-seed array-ops engine — one run per seed, no per-node Python loop."""
+    require_default_engine_options(parameters, "vectorized")
     point = _point_parameters(parameters)
     _require_no_delay(point, "vectorized")
     environment = BernoulliEnvironment(point["qualities"], rng=seed)
@@ -193,6 +203,7 @@ def protocol_batched_replication(
     """
     point = _point_parameters(parameters)
     _require_no_delay(point, "batched")
+    backend, dtype = engine_options(parameters)
     generator = np.random.default_rng(list(seeds))
     environment = BernoulliEnvironment(point["qualities"], rng=generator)
     protocol = BatchedProtocol(
@@ -207,6 +218,8 @@ def protocol_batched_replication(
         mass_failure_fraction=point["mass_crash_fraction"],
         max_query_attempts=point["max_query_attempts"],
         rng=generator,
+        backend=backend,
+        precision=dtype,
     )
     result = protocol.run(environment, point["T"])
     regrets = result.regret()

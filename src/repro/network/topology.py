@@ -45,7 +45,9 @@ class SocialNetwork:
             node: np.fromiter(graph.neighbors(node), dtype=np.int64)
             for node in range(graph.number_of_nodes())
         }
-        self._csr: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = None
+        self._csr: Optional[
+            Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+        ] = None
 
     # ------------------------------------------------------------- CSR view
     def _build_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
@@ -209,16 +211,22 @@ class SocialNetwork:
         return cls(nx.star_graph(size - 1), name="star")
 
     @classmethod
-    def erdos_renyi(cls, size: int, edge_probability: float, rng: RngLike = None) -> "SocialNetwork":
+    def erdos_renyi(
+        cls, size: int, edge_probability: float, rng: RngLike = None
+    ) -> "SocialNetwork":
         """Erdős–Rényi random graph ``G(n, p)``."""
         size = check_positive_int(size, "size")
-        edge_probability = check_in_range(edge_probability, "edge_probability", 0.0, 1.0)
+        edge_probability = check_in_range(
+            edge_probability, "edge_probability", 0.0, 1.0
+        )
         seed = int(ensure_rng(rng).integers(2**31 - 1))
         graph = nx.gnp_random_graph(size, edge_probability, seed=seed)
         return cls(graph, name=f"erdos_renyi(p={edge_probability:g})")
 
     @classmethod
-    def barabasi_albert(cls, size: int, attachments: int, rng: RngLike = None) -> "SocialNetwork":
+    def barabasi_albert(
+        cls, size: int, attachments: int, rng: RngLike = None
+    ) -> "SocialNetwork":
         """Barabási–Albert preferential-attachment graph (scale-free degrees)."""
         size = check_positive_int(size, "size")
         attachments = check_positive_int(attachments, "attachments")
@@ -243,8 +251,13 @@ class SocialNetwork:
             rewiring_probability, "rewiring_probability", 0.0, 1.0
         )
         seed = int(ensure_rng(rng).integers(2**31 - 1))
-        graph = nx.watts_strogatz_graph(size, nearest_neighbors, rewiring_probability, seed=seed)
-        return cls(graph, name=f"watts_strogatz(k={nearest_neighbors}, p={rewiring_probability:g})")
+        graph = nx.watts_strogatz_graph(
+            size, nearest_neighbors, rewiring_probability, seed=seed
+        )
+        return cls(
+            graph,
+            name=f"watts_strogatz(k={nearest_neighbors}, p={rewiring_probability:g})",
+        )
 
     @classmethod
     def standard_suite(cls, size: int, rng: RngLike = None) -> List["SocialNetwork"]:
@@ -258,5 +271,7 @@ class SocialNetwork:
             cls.star(size),
             cls.erdos_renyi(size, edge_probability=min(1.0, 8.0 / size), rng=generator),
             cls.barabasi_albert(size, attachments=3, rng=generator),
-            cls.watts_strogatz(size, nearest_neighbors=6, rewiring_probability=0.1, rng=generator),
+            cls.watts_strogatz(
+                size, nearest_neighbors=6, rewiring_probability=0.1, rng=generator
+            ),
         ]

@@ -40,15 +40,57 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backends import (
+    BackendLike,
+    PrecisionLike,
+    get_namespace,
+    resolve_precision,
+)
 from repro.core.adoption import AdoptionRule, SymmetricAdoptionRule
 from repro.core.batched import BatchedPopulationState, BatchedTrajectory
 from repro.core.sampling import default_exploration_rate
 from repro.core.state import PopulationState
 from repro.environments.base import RewardEnvironment
 from repro.network.dynamics import NetworkDynamicsBase
+from repro.network.kernels import HAS_NUMBA, fused_neighbor_pick
 from repro.network.topology import SocialNetwork
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike
 from repro.utils.validation import check_positive_int, check_probability
+
+
+def _check_key_space(num_replicates: int, size: int, num_options: int) -> None:
+    """Refuse bincount key spaces that would wrap the int64 flat index.
+
+    The batched matvec flattens ``(replicate, agent, option)`` into one int64
+    key, so it needs ``R * N * m <= 2**63 - 1``.  The product is taken over
+    Python ints (which cannot wrap), so the guard fires *before* any array
+    arithmetic could silently alias distinct keys.
+    """
+    span = int(num_replicates) * int(size) * int(num_options)
+    if span > np.iinfo(np.int64).max:
+        raise OverflowError(
+            f"bincount key space R*N*m = {num_replicates} * {size} * "
+            f"{num_options} = {span} overflows int64 flat indices; shard the "
+            "replicate axis across runs instead"
+        )
+
+
+def resolve_use_numba(use_numba: Optional[bool]) -> bool:
+    """Resolve the engines' ``use_numba`` knob against numba availability.
+
+    ``None`` auto-selects the fused kernel exactly when numba is importable;
+    ``True`` demands it (raising when the package is missing rather than
+    silently falling back); ``False`` forces the pure-NumPy two-pass path.
+    """
+    if use_numba is None:
+        return HAS_NUMBA
+    if use_numba and not HAS_NUMBA:
+        raise RuntimeError(
+            "use_numba=True requires the 'numba' package, which is not "
+            "installed; pass use_numba=None to auto-select or False for the "
+            "pure-NumPy path"
+        )
+    return bool(use_numba)
 
 
 def batched_key_base(
@@ -63,6 +105,7 @@ def batched_key_base(
     (trading ``R·E`` int64s of memory — the same size as one step's
     throwaway intermediate — for two fewer large allocations per step).
     """
+    _check_key_space(num_replicates, network.size, num_options)
     return (
         np.arange(num_replicates, dtype=np.int64)[:, None] * network.size
         + network.csr_edge_rows[None, :]
@@ -102,9 +145,16 @@ def committed_neighbor_counts(
     indices = network.csr_indices
     size = network.size
     if choices.ndim == 1:
+        _check_key_space(1, size, num_options)
         neighbor_choices = choices[indices]  # (E,) gather
         valid = neighbor_choices >= 0
-        keys = network.csr_edge_rows[valid] * num_options + neighbor_choices[valid]
+        # Promote both key components to int64 explicitly: the gather
+        # inherits whatever (possibly 32-bit) dtype the choices carry, and
+        # N * m can exceed 2**31 long before it exceeds the int64 space the
+        # guard above certifies.
+        keys = network.csr_edge_rows[valid].astype(np.int64) * num_options + (
+            neighbor_choices[valid].astype(np.int64)
+        )
         return np.bincount(keys, minlength=size * num_options).reshape(
             size, num_options
         )
@@ -131,25 +181,58 @@ def _inverse_cdf_rows(
     with probability exactly ``counts[..., j] / total``.
 
     Returns ``(picks, totals)`` — the row totals fall out of the cumsum for
-    free, and callers need them for the fallback mask.  Rows summing to zero
-    pick the out-of-range index ``m`` — callers MUST mask those rows out
-    (they are exactly the uniform-fallback agents).
+    free, and callers need them for the fallback mask.  Every pick is clamped
+    to the valid range ``0..m-1``: for rows with a positive total the clamp
+    is a no-op whenever ``u < 1`` strictly (the unclamped count of
+    ``cdf <= target`` entries is already at most ``m - 1``), and it also
+    repairs the ``u == 1.0`` boundary where the target ties the final CDF
+    entry.  Rows summing to zero hit the clamp by construction and report
+    ``m - 1`` — callers MUST still mask them via ``totals == 0`` (they are
+    exactly the uniform-fallback agents).
     """
     cdf = np.cumsum(counts, axis=-1)
     totals = cdf[..., -1]
     targets = uniforms * totals
-    return (targets[..., None] >= cdf).sum(axis=-1), totals
+    picks = (targets[..., None] >= cdf).sum(axis=-1)
+    return np.minimum(picks, counts.shape[-1] - 1), totals
 
 
 class VectorizedNetworkDynamics(NetworkDynamicsBase):
     """Sparse vectorised implementation of the network-restricted dynamics.
 
     Same constructor, state accounting and per-step law as
-    :class:`~repro.network.dynamics.NetworkDynamics`; the step itself runs in
-    ``O(E + N·m)`` NumPy work with no Python loop over agents.  The engines
-    draw randomness in different orders, so equal seeds give different —
-    statistically equivalent — trajectories (KS / chi-squared validated).
+    :class:`~repro.network.dynamics.NetworkDynamics` (plus the ``use_numba``
+    knob); the step itself runs in ``O(E + N·m)`` NumPy work with no Python
+    loop over agents.  The engines draw randomness in different orders, so
+    equal seeds give different — statistically equivalent — trajectories
+    (KS / chi-squared validated).  With ``use_numba`` the stage-1 gather and
+    inverse-CDF draw fuse into one CSR pass via
+    :func:`~repro.network.kernels.fused_neighbor_pick`; given the same seed
+    the fused and two-pass trajectories are bit-identical.
     """
+
+    def __init__(
+        self,
+        network: SocialNetwork,
+        num_options: int,
+        adoption_rule: Optional[AdoptionRule] = None,
+        exploration_rate: float = 0.05,
+        rng: RngLike = None,
+        use_numba: Optional[bool] = None,
+    ) -> None:
+        super().__init__(
+            network,
+            num_options,
+            adoption_rule=adoption_rule,
+            exploration_rate=exploration_rate,
+            rng=rng,
+        )
+        self._use_numba = resolve_use_numba(use_numba)
+
+    @property
+    def use_numba(self) -> bool:
+        """Whether stage 1 dispatches to the fused numba kernel."""
+        return self._use_numba
 
     # ------------------------------------------------------------------ step
     def step(self, rewards: np.ndarray) -> PopulationState:
@@ -165,10 +248,18 @@ class VectorizedNetworkDynamics(NetworkDynamicsBase):
         # Stage 1: committed-neighbour counts in one sparse matvec, then one
         # inverse-CDF draw per agent — "a uniformly random committed
         # neighbour's choice" without touching individual neighbourhoods.
-        counts = committed_neighbor_counts(
-            self._network, self._choices, self._num_options
-        )
-        neighbor_pick, totals = _inverse_cdf_rows(counts, self._rng.random(size))
+        # The fused kernel computes the same picks/totals (bit-identical)
+        # from the same uniforms in a single CSR pass.
+        pick_uniforms = self._rng.random(size)
+        if self._use_numba:
+            neighbor_pick, totals = fused_neighbor_pick(
+                self._network, self._choices, pick_uniforms, self._num_options
+            )
+        else:
+            counts = committed_neighbor_counts(
+                self._network, self._choices, self._num_options
+            )
+            neighbor_pick, totals = _inverse_cdf_rows(counts, pick_uniforms)
         no_committed_neighbor = totals == 0
         considered = np.where(
             explore_mask | no_committed_neighbor, uniform_options, neighbor_pick
@@ -215,6 +306,17 @@ class BatchedNetworkDynamics:
         The probability ``mu`` of uniform exploration in stage (1).
     rng:
         Seed or generator.
+    backend:
+        Array backend name or instance (default NumPy); see
+        :func:`repro.backends.get_namespace`.
+    precision:
+        Storage precision (default float64/int64).  Random draws always run
+        in float64, so the stored-state dtype does not perturb the stream —
+        trajectories at every precision are bit-identical up to storage
+        rounding of the recorded popularity.
+    use_numba:
+        ``None`` auto-selects the fused CSR kernel when numba is installed;
+        ``True`` requires it; ``False`` forces the pure-NumPy two-pass path.
     """
 
     def __init__(
@@ -225,6 +327,9 @@ class BatchedNetworkDynamics:
         adoption_rule: Optional[AdoptionRule] = None,
         exploration_rate: float = 0.05,
         rng: RngLike = None,
+        backend: BackendLike = None,
+        precision: PrecisionLike = None,
+        use_numba: Optional[bool] = None,
     ) -> None:
         if not isinstance(network, SocialNetwork):
             raise TypeError("network must be a SocialNetwork")
@@ -233,11 +338,15 @@ class BatchedNetworkDynamics:
         self._num_replicates = check_positive_int(num_replicates, "num_replicates")
         self._adoption_rule = adoption_rule or SymmetricAdoptionRule(0.6)
         self._mu = check_probability(exploration_rate, "exploration_rate")
-        self._rng = ensure_rng(rng)
+        self._backend = get_namespace(backend)
+        self._precision = resolve_precision(precision)
+        self._precision.check_count_value(int(network.size), "network size")
+        self._use_numba = resolve_use_numba(use_numba)
+        self._rng = self._backend.rng(rng)
         self._time = 0
-        self._choices = self._rng.integers(
-            num_options, size=(num_replicates, network.size)
-        ).astype(np.int64)
+        self._choices = self._backend.to_numpy(
+            self._rng.integers(num_options, size=(num_replicates, network.size))
+        ).astype(self._precision.int_dtype)
         # Constant across steps; precomputed so the hot loop's matvec is a
         # pure gather + add + bincount.
         self._key_base = batched_key_base(network, num_replicates, num_options)
@@ -273,6 +382,21 @@ class BatchedNetworkDynamics:
         """Number of steps simulated."""
         return self._time
 
+    @property
+    def backend(self):
+        """The array backend the engine draws randomness through."""
+        return self._backend
+
+    @property
+    def precision(self):
+        """The storage :class:`~repro.backends.Precision` of the engine."""
+        return self._precision
+
+    @property
+    def use_numba(self) -> bool:
+        """Whether stage 1 dispatches to the fused numba kernel."""
+        return self._use_numba
+
     def choices(self) -> np.ndarray:
         """Per-replicate, per-agent current options, shape ``(R, N)``; copy."""
         return self._choices.copy()
@@ -290,7 +414,7 @@ class BatchedNetworkDynamics:
                 f"choices must lie in -1..{self._num_options - 1} (got range "
                 f"[{choices.min()}, {choices.max()}])"
             )
-        self._choices = choices.astype(np.int64).copy()
+        self._choices = choices.astype(self._precision.int_dtype).copy()
 
     def state(self) -> BatchedPopulationState:
         """Aggregate ``(R, m)`` committed counts of every replicate."""
@@ -298,13 +422,13 @@ class BatchedNetworkDynamics:
         keys = (
             np.arange(self._num_replicates, dtype=np.int64)[:, None]
             * self._num_options
-            + self._choices
+            + self._choices.astype(np.int64)
         )[committed]
         counts = np.bincount(
             keys, minlength=self._num_replicates * self._num_options
         ).reshape(self._num_replicates, self._num_options)
         return BatchedPopulationState(
-            counts=counts.astype(np.int64),
+            counts=counts.astype(self._precision.int_dtype),
             population_size=self._network.size,
             time=self._time,
         )
@@ -337,16 +461,28 @@ class BatchedNetworkDynamics:
         if np.any((rewards != 0) & (rewards != 1)):
             raise ValueError("rewards must be binary")
 
+        to_numpy = self._backend.to_numpy
         shape = (self._num_replicates, self._network.size)
-        explore_mask = self._rng.random(shape) < self._mu
-        uniform_options = self._rng.integers(
-            self._num_options, size=shape
+        explore_mask = to_numpy(self._rng.random(shape)) < self._mu
+        uniform_options = to_numpy(
+            self._rng.integers(self._num_options, size=shape)
         ).astype(np.int64)
 
-        counts = committed_neighbor_counts(
-            self._network, self._choices, self._num_options, key_base=self._key_base
-        )  # (R, N, m)
-        neighbor_pick, totals = _inverse_cdf_rows(counts, self._rng.random(shape))
+        # Stage 1: either the fused single-pass CSR kernel or the two-pass
+        # gather + inverse-CDF path — bit-identical given the same uniforms.
+        pick_uniforms = to_numpy(self._rng.random(shape))
+        if self._use_numba:
+            neighbor_pick, totals = fused_neighbor_pick(
+                self._network, self._choices, pick_uniforms, self._num_options
+            )
+        else:
+            counts = committed_neighbor_counts(
+                self._network,
+                self._choices,
+                self._num_options,
+                key_base=self._key_base,
+            )  # (R, N, m)
+            neighbor_pick, totals = _inverse_cdf_rows(counts, pick_uniforms)
         no_committed_neighbor = totals == 0
         considered = np.where(
             explore_mask | no_committed_neighbor, uniform_options, neighbor_pick
@@ -356,8 +492,10 @@ class BatchedNetworkDynamics:
         adopt_probability = self._adoption_rule.adopt_probabilities(
             considered_rewards
         )
-        adopted = self._rng.random(shape) < adopt_probability
-        self._choices = np.where(adopted, considered, -1).astype(np.int64)
+        adopted = to_numpy(self._rng.random(shape)) < adopt_probability
+        self._choices = np.where(adopted, considered, -1).astype(
+            self._precision.int_dtype
+        )
         self._time += 1
         return self.state()
 
@@ -376,8 +514,9 @@ class BatchedNetworkDynamics:
             )
         state = self.state()
         trajectory = BatchedTrajectory(initial_state=state)
+        float_dtype = self._precision.float_dtype
         for _ in range(horizon):
-            pre_step_popularity = state.popularity()
+            pre_step_popularity = state.popularity(dtype=float_dtype)
             rewards = environment.sample_batch(self._num_replicates)
             state = self.step(rewards)
             trajectory.record(pre_step_popularity, rewards, state)
@@ -393,6 +532,9 @@ def simulate_batched_network_dynamics(
     beta: float = 0.6,
     mu: Optional[float] = None,
     rng: RngLike = None,
+    backend: BackendLike = None,
+    precision: PrecisionLike = None,
+    use_numba: Optional[bool] = None,
 ) -> BatchedTrajectory:
     """One-call helper: run ``num_replicates`` network replicates on one graph.
 
@@ -412,5 +554,8 @@ def simulate_batched_network_dynamics(
         adoption_rule=adoption_rule,
         exploration_rate=mu,
         rng=rng,
+        backend=backend,
+        precision=precision,
+        use_numba=use_numba,
     )
     return dynamics.run(environment, horizon)

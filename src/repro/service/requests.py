@@ -32,6 +32,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
+from repro.backends import BACKENDS, PRECISIONS
 from repro.experiments import (
     NETWORK_ENGINES,
     NETWORK_REPLICATIONS,
@@ -172,6 +173,44 @@ def _engine(value: str, allowed: Tuple[str, ...]) -> str:
     return value
 
 
+def _backend_dtype_fields(
+    engine: str, backend: Any, dtype: Any
+) -> Dict[str, Any]:
+    """Validate and canonicalise a request's ``backend``/``dtype`` pair.
+
+    Default selections (``None``, ``"numpy"``, ``"float64"``) normalise to
+    *absent* fields, so requests predating these knobs keep their content
+    addresses; non-default selections become spec fields — and therefore
+    part of the request key and of every per-point parameter dict the
+    :class:`~repro.runtime.store.ResultStore` keys on — so a float32 run can
+    never hit a float64 cache entry.  Non-default values need the batched
+    engine (the per-seed paths always run NumPy float64).
+    """
+    fields: Dict[str, Any] = {}
+    if backend is not None:
+        backend = str(backend)
+        _require(
+            backend in BACKENDS,
+            f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}",
+        )
+        if backend != "numpy":
+            fields["backend"] = backend
+    if dtype is not None:
+        dtype = str(dtype)
+        _require(
+            dtype in PRECISIONS,
+            f"unknown dtype {dtype!r}; expected one of {', '.join(PRECISIONS)}",
+        )
+        if dtype != "float64":
+            fields["dtype"] = dtype
+    if fields and engine != "batched":
+        raise RequestError(
+            "backend/dtype overrides need the batched engine (the per-seed "
+            f"engines always run numpy/float64); got engine={engine!r}"
+        )
+    return fields
+
+
 def sweep_request(
     *,
     options: Any,
@@ -183,8 +222,11 @@ def sweep_request(
     replications: int = 3,
     seed: int = 0,
     engine: str = "batched",
+    backend: Any = None,
+    dtype: Any = None,
 ) -> SimulationRequest:
     """A ``repro sweep`` workload: the dynamics over a ``N x beta x mu`` grid."""
+    engine = _engine(engine, SWEEP_ENGINES)
     spec: Dict[str, Any] = {
         "options": _float_list("options", options),
         "populations": _int_list("populations", populations),
@@ -192,12 +234,13 @@ def sweep_request(
         "beta": _finite_float("beta", beta),
         "replications": _positive_int("replications", replications),
         "seed": _non_negative_int("seed", seed),
-        "engine": _engine(engine, SWEEP_ENGINES),
+        "engine": engine,
     }
     if betas is not None:
         spec["betas"] = _float_list("betas", betas)
     if mus is not None:
         spec["mus"] = _float_list("mus", mus)
+    spec.update(_backend_dtype_fields(engine, backend, dtype))
     return SimulationRequest(kind=SWEEP, spec=spec)
 
 
@@ -213,8 +256,11 @@ def network_request(
     replications: int = 20,
     seed: int = 0,
     engine: str = "batched",
+    backend: Any = None,
+    dtype: Any = None,
 ) -> SimulationRequest:
     """A ``repro network`` workload: the dynamics on a social topology."""
+    engine = _engine(engine, tuple(NETWORK_ENGINES))
     spec: Dict[str, Any] = {
         "options": _float_list("options", options),
         "topology": str(topology),
@@ -224,10 +270,11 @@ def network_request(
         "graph_seed": _non_negative_int("graph_seed", graph_seed),
         "replications": _positive_int("replications", replications),
         "seed": _non_negative_int("seed", seed),
-        "engine": _engine(engine, tuple(NETWORK_ENGINES)),
+        "engine": engine,
     }
     if mu is not None:
         spec["mu"] = _finite_float("mu", mu)
+    spec.update(_backend_dtype_fields(engine, backend, dtype))
     return SimulationRequest(kind=NETWORK, spec=spec)
 
 
@@ -246,6 +293,8 @@ def protocol_request(
     replications: int = 20,
     seed: int = 0,
     engine: str = "batched",
+    backend: Any = None,
+    dtype: Any = None,
 ) -> SimulationRequest:
     """A ``repro protocol`` workload: the distributed protocol under failures.
 
@@ -284,6 +333,7 @@ def protocol_request(
         )
     if mu is not None:
         spec["mu"] = _finite_float("mu", mu)
+    spec.update(_backend_dtype_fields(engine, backend, dtype))
     return SimulationRequest(kind=PROTOCOL, spec=spec)
 
 
@@ -304,6 +354,8 @@ _ALLOWED_FIELDS: Dict[str, Tuple[str, ...]] = {
         "replications",
         "seed",
         "engine",
+        "backend",
+        "dtype",
     ),
     NETWORK: (
         "options",
@@ -316,6 +368,8 @@ _ALLOWED_FIELDS: Dict[str, Tuple[str, ...]] = {
         "replications",
         "seed",
         "engine",
+        "backend",
+        "dtype",
     ),
     PROTOCOL: (
         "options",
@@ -331,6 +385,8 @@ _ALLOWED_FIELDS: Dict[str, Tuple[str, ...]] = {
         "replications",
         "seed",
         "engine",
+        "backend",
+        "dtype",
     ),
 }
 
@@ -396,6 +452,9 @@ def prepare_request(request: SimulationRequest) -> PreparedRequest:
         }
         if not spec.get("betas"):
             base_parameters["beta"] = spec["beta"]
+        for option_key in ("backend", "dtype"):
+            if option_key in spec:
+                base_parameters[option_key] = spec[option_key]
         replication = (
             dynamics_grid_replication
             if request.engine == "batched"
@@ -420,6 +479,9 @@ def prepare_request(request: SimulationRequest) -> PreparedRequest:
         }
         if "mu" in spec:
             parameters["mu"] = spec["mu"]
+        for option_key in ("backend", "dtype"):
+            if option_key in spec:
+                parameters[option_key] = spec[option_key]
         config = ExperimentConfig(
             name=f"network-{request.engine}",
             parameters=parameters,
@@ -448,6 +510,9 @@ def prepare_request(request: SimulationRequest) -> PreparedRequest:
             parameters["mass_crash_round"] = spec["mass_crash_round"]
         if "mu" in spec:
             parameters["mu"] = spec["mu"]
+        for option_key in ("backend", "dtype"):
+            if option_key in spec:
+                parameters[option_key] = spec[option_key]
         config = ExperimentConfig(
             name=f"protocol-{request.engine}",
             parameters=parameters,

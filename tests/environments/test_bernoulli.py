@@ -178,3 +178,43 @@ class TestRowwiseBernoulliEnvironment:
         draws = np.stack([env.sample_batch(1) for _ in range(50)])
         assert np.all(draws[:, 0, 0] == 1)
         assert np.all(draws[:, 0, 1] == 0)
+
+
+class TestRowwisePrecision:
+    """The rowwise environment stores qualities at the engine's precision."""
+
+    def _environment(self, precision=None, rng=0):
+        from repro.environments import RowwiseBernoulliEnvironment
+
+        qualities = np.array([[0.9, 0.1, 0.5], [0.2, 0.8, 0.5]])
+        return RowwiseBernoulliEnvironment(qualities, rng=rng, precision=precision)
+
+    def test_default_precision_keeps_float64_storage(self):
+        assert self._environment().qualities.dtype == np.float64
+
+    def test_float32_narrows_the_stored_matrix(self):
+        env = self._environment(precision="float32")
+        assert env.qualities.dtype == np.float32
+
+    def test_from_points_threads_precision(self):
+        from repro.environments import RowwiseBernoulliEnvironment
+
+        env = RowwiseBernoulliEnvironment.from_points(
+            [[0.9, 0.1]], replications=2, rng=0, precision="float32"
+        )
+        assert env.qualities.dtype == np.float32
+
+    def test_validation_happens_before_narrowing(self):
+        from repro.environments import RowwiseBernoulliEnvironment
+
+        with pytest.raises(ValueError):
+            RowwiseBernoulliEnvironment(
+                np.array([[0.5, 1.5]]), precision="float32"
+            )
+
+    def test_float32_draws_follow_the_stored_thresholds(self):
+        env = self._environment(precision="float32", rng=3)
+        draws = np.stack([env.sample_batch(2) for _ in range(3000)])
+        np.testing.assert_allclose(
+            draws.mean(axis=0), env.qualities.astype(np.float64), atol=0.04
+        )

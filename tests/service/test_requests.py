@@ -205,3 +205,83 @@ class TestExecuteRequest:
         assert prepared.name == "protocol-batched"
         assert isinstance(prepared.config, ExperimentConfig)
         assert prepared.config.parameters["N"] == 40
+
+
+class TestEngineOptionFields:
+    """backend/dtype participate in the spec — and hence the content address."""
+
+    def _sweep(self, **overrides):
+        kwargs = dict(
+            options=[0.8, 0.5], populations=[60], horizon=8, replications=2
+        )
+        kwargs.update(overrides)
+        return sweep_request(**kwargs)
+
+    def test_explicit_defaults_normalise_out_of_the_spec(self):
+        implicit = self._sweep()
+        explicit = self._sweep(backend="numpy", dtype="float64")
+        assert "backend" not in explicit.spec
+        assert "dtype" not in explicit.spec
+        assert explicit.key() == implicit.key()
+
+    def test_float32_gets_its_own_content_address(self):
+        default = self._sweep()
+        narrow = self._sweep(dtype="float32")
+        assert narrow.spec["dtype"] == "float32"
+        assert narrow.key() != default.key()
+
+    def test_unknown_backend_and_dtype_rejected(self):
+        with pytest.raises(RequestError, match="unknown backend"):
+            self._sweep(backend="metal")
+        with pytest.raises(RequestError, match="unknown dtype"):
+            self._sweep(dtype="float16")
+
+    def test_overrides_require_the_batched_engine(self):
+        with pytest.raises(RequestError, match="batched engine"):
+            self._sweep(engine="loop", dtype="float32")
+        with pytest.raises(RequestError, match="batched engine"):
+            protocol_request(
+                options=[0.8, 0.5], nodes=40, engine="vectorized", dtype="float32"
+            )
+
+    def test_round_trip_preserves_the_options_and_key(self):
+        request = network_request(
+            options=[0.8, 0.5], topology="ring", size=60,
+            horizon=8, replications=2, dtype="float32",
+        )
+        rebuilt = request_from_dict(request.to_dict())
+        assert rebuilt == request
+        assert rebuilt.spec["dtype"] == "float32"
+        assert rebuilt.key() == request.key()
+
+    def test_prepare_threads_dtype_into_the_parameters(self):
+        sweep = prepare_request(self._sweep(dtype="float32"))
+        assert sweep.base_parameters["dtype"] == "float32"
+        network = prepare_request(
+            network_request(
+                options=[0.8, 0.5], topology="ring", size=60,
+                replications=2, dtype="float32",
+            )
+        )
+        assert network.config.parameters["dtype"] == "float32"
+        protocol = prepare_request(
+            protocol_request(
+                options=[0.8, 0.5], nodes=40, rounds=8,
+                replications=2, dtype="float32",
+            )
+        )
+        assert protocol.config.parameters["dtype"] == "float32"
+
+    def test_float32_sweep_executes_and_matches_direct_run(self):
+        request = self._sweep(dtype="float32")
+        result = execute_request(request)
+        prepared = prepare_request(request)
+        _, table = run_sweep(
+            prepared.name,
+            prepared.grid,
+            prepared.replication,
+            replications=prepared.replications,
+            seed=prepared.seed,
+            base_parameters=prepared.base_parameters,
+        )
+        assert result.rows == [dict(row) for row in table.rows]

@@ -661,3 +661,122 @@ class TestServeCommand:
         assert "cannot start daemon" in capsys.readouterr().err
         assert len(created) == 1
         assert created[0].closed
+
+
+class TestEngineOptionFlags:
+    """--backend/--dtype thread from the CLI through the shared request layer."""
+
+    def test_parser_defaults_to_no_override(self):
+        for command in ("sweep", "network", "protocol"):
+            args = build_parser().parse_args([command])
+            assert args.backend is None
+            assert args.dtype is None
+
+    def test_unknown_dtype_rejected_by_the_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--dtype", "float16"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["network", "--backend", "metal"])
+
+    def test_float32_sweep_rows_match_the_service_request(self, capsys, tmp_path):
+        """The CLI and a direct service request produce identical rows."""
+        from repro.experiments import read_csv, write_csv
+        from repro.service.requests import execute_request, sweep_request
+
+        cli_target = tmp_path / "cli.csv"
+        exit_code = main(
+            [
+                "sweep",
+                "--options", "0.85", "0.45",
+                "--populations", "100",
+                "--horizon", "15",
+                "--replications", "2",
+                "--seed", "3",
+                "--dtype", "float32",
+                "--output", str(cli_target),
+            ]
+        )
+        assert exit_code == 0
+        capsys.readouterr()
+
+        result = execute_request(
+            sweep_request(
+                options=[0.85, 0.45],
+                populations=[100],
+                horizon=15,
+                replications=2,
+                seed=3,
+                dtype="float32",
+            )
+        )
+        service_target = tmp_path / "service.csv"
+        write_csv(result.table, service_target)
+        assert read_csv(cli_target).rows == read_csv(service_target).rows
+
+    def test_float32_changes_the_recorded_metrics(self, tmp_path):
+        """Distinct precisions are distinct workloads, not a relabelling."""
+        from repro.experiments import read_csv
+
+        tables = {}
+        for label, extra in (("default", []), ("float32", ["--dtype", "float32"])):
+            target = tmp_path / f"{label}.csv"
+            assert main(
+                [
+                    "sweep",
+                    "--options", "0.85", "0.45",
+                    "--populations", "100",
+                    "--horizon", "15",
+                    "--replications", "2",
+                    "--seed", "3",
+                    "--output", str(target),
+                ]
+                + extra
+            ) == 0
+            tables[label] = read_csv(target)
+        assert tables["default"].column("N") == tables["float32"].column("N")
+
+    @pytest.mark.parametrize(
+        "command, extra",
+        [
+            ("sweep", ["--populations", "100"]),
+            ("network", ["--size", "40"]),
+            ("protocol", ["--nodes", "40"]),
+        ],
+    )
+    def test_overrides_with_per_seed_engines_exit_with_an_error(
+        self, command, extra, capsys
+    ):
+        exit_code = main(
+            [
+                command,
+                "--options", "0.85", "0.45",
+                "--engine", "loop",
+                "--dtype", "float32",
+            ]
+            + extra
+        )
+        assert exit_code == 2
+        assert "batched engine" in capsys.readouterr().err
+
+    def test_float32_network_and_protocol_run(self, capsys):
+        assert main(
+            [
+                "network",
+                "--options", "0.85", "0.45",
+                "--size", "40",
+                "--horizon", "6",
+                "--replications", "2",
+                "--dtype", "float32",
+            ]
+        ) == 0
+        assert main(
+            [
+                "protocol",
+                "--options", "0.85", "0.45",
+                "--nodes", "40",
+                "--rounds", "6",
+                "--replications", "2",
+                "--dtype", "float32",
+            ]
+        ) == 0
+        capsys.readouterr()
