@@ -1,0 +1,116 @@
+"""Campaign dispatch overhead: socket brokers vs the local process pool.
+
+The broker backend adds JSON framing, loopback TCP and a coordinator select
+loop on top of the same ``execute_task`` compute path the process pool uses.
+This benchmark prices that overhead on a 20-task campaign (10 grid points x
+2 replications, loop engine) dispatched to two subprocess brokers started
+exactly as operators start them (``python -m repro broker --coordinator
+tcp://...``), and asserts the broker wall time stays within ``2x`` the
+process-pool wall time — the acceptance bound for running campaigns across
+hosts instead of cores.
+
+Both backends are warmed with one throwaway campaign before timing, so
+neither pays one-off costs (worker fork, broker dial + hello) inside the
+measured window.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.campaign import BrokerBackend, campaign_from_spec, run_campaign
+from repro.experiments import ResultTable
+from repro.runtime import ParallelExecutor
+
+MAX_OVERHEAD = 2.0
+POPULATIONS = list(range(30, 80, 5))  # 10 grid points
+REPLICATIONS = 2  # x2 -> 20 loop-engine tasks
+WORKERS = 2
+
+
+def campaign_spec(horizon, name):
+    return {
+        "name": name,
+        "nodes": [
+            {
+                "id": "sim",
+                "kind": "simulate",
+                "request": {
+                    "kind": "sweep",
+                    "options": [0.8, 0.5],
+                    "populations": POPULATIONS,
+                    "horizon": horizon,
+                    "replications": REPLICATIONS,
+                    "engine": "loop",
+                },
+            },
+            {"id": "stats", "kind": "analyse", "inputs": ["sim"]},
+            {"id": "summary", "kind": "report", "inputs": ["stats"]},
+        ],
+    }
+
+
+def _timed_run(campaign, backend):
+    start = time.perf_counter()
+    result = run_campaign(campaign, backend=backend)
+    return time.perf_counter() - start, result
+
+
+@pytest.mark.benchmark(group="campaign-dispatch")
+def test_broker_dispatch_overhead_within_2x_of_pool(save_results):
+    campaign = campaign_from_spec(campaign_spec(40, "bench"))
+    warmup = campaign_from_spec(campaign_spec(4, "warmup"))
+
+    pool = ParallelExecutor(WORKERS)
+    run_campaign(warmup, backend=pool)  # fork/import warm-up
+    pool_seconds, pool_result = _timed_run(campaign, pool)
+
+    with BrokerBackend(min_brokers=WORKERS, timeout=60.0) as backend:
+        brokers = [
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "broker",
+                    "--coordinator",
+                    backend.address,
+                ],
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+            for _ in range(WORKERS)
+        ]
+        try:
+            run_campaign(warmup, backend=backend)  # dial + hello warm-up
+            broker_seconds, broker_result = _timed_run(campaign, backend)
+        finally:
+            backend.close()  # shutdown frames let the brokers exit cleanly
+            for broker in brokers:
+                broker.wait(timeout=30.0)
+
+    # Same campaign, same numbers — dispatch must never change results.
+    assert [list(broker_result[n].rows) for n in broker_result.order] == [
+        list(pool_result[n].rows) for n in pool_result.order
+    ]
+
+    overhead = broker_seconds / pool_seconds
+    table = ResultTable()
+    table.add_row(
+        {
+            "tasks": len(POPULATIONS) * REPLICATIONS,
+            "workers": WORKERS,
+            "pool_seconds": pool_seconds,
+            "broker_seconds": broker_seconds,
+            "overhead_x": overhead,
+        }
+    )
+    save_results(table, "bench_campaign_dispatch")
+    assert overhead <= MAX_OVERHEAD, (
+        f"broker dispatch took {broker_seconds:.2f}s vs pool "
+        f"{pool_seconds:.2f}s ({overhead:.2f}x > {MAX_OVERHEAD}x)"
+    )

@@ -1,0 +1,60 @@
+"""Campaign compute graphs: DAG scheduling over pluggable backends.
+
+A campaign represents a whole paper reproduction — every simulate workload,
+the analyses over their outputs and the reports collating them — as one
+typed compute DAG (:mod:`repro.campaign.graph`) scheduled with ready-set
+dispatch (:mod:`repro.campaign.scheduler`) over any
+:class:`~repro.runtime.backend.Backend`: in-process, the multi-process pool,
+or the multi-host socket coordinator/broker backend
+(:mod:`repro.campaign.broker`).  All backends merge through the same
+content-addressed :class:`~repro.runtime.store.ResultStore` and produce
+bit-identical results; a warm store short-circuits completed nodes, making
+kill-and-resume campaign-wide.
+
+Entry points: ``repro campaign --spec FILE --backend inproc|pool|broker``,
+``repro broker --coordinator tcp://HOST:PORT``, and ``POST /v1/campaigns``
+on the service daemon.
+"""
+
+from repro.campaign.backends import BACKEND_NAMES, make_backend
+from repro.campaign.broker import (
+    BrokerBackend,
+    BrokerError,
+    BrokerProtocolError,
+    parse_address,
+    run_broker,
+)
+from repro.campaign.graph import (
+    ALLOWED_INPUT_KINDS,
+    NODE_KINDS,
+    Campaign,
+    CampaignError,
+    CampaignNode,
+    campaign_from_spec,
+)
+from repro.campaign.scheduler import (
+    CampaignResult,
+    CampaignScheduler,
+    NodeResult,
+    run_campaign,
+)
+
+__all__ = [
+    "ALLOWED_INPUT_KINDS",
+    "BACKEND_NAMES",
+    "BrokerBackend",
+    "BrokerError",
+    "BrokerProtocolError",
+    "Campaign",
+    "CampaignError",
+    "CampaignNode",
+    "CampaignResult",
+    "CampaignScheduler",
+    "NODE_KINDS",
+    "NodeResult",
+    "campaign_from_spec",
+    "make_backend",
+    "parse_address",
+    "run_broker",
+    "run_campaign",
+]

@@ -1,0 +1,548 @@
+"""Socket coordinator/broker backend: shard execution across hosts.
+
+The third campaign backend scales a :class:`~repro.runtime.shard.ShardPlan`
+past one machine with nothing but the stdlib.  Topology and handshake:
+
+* The **coordinator** (:class:`BrokerBackend`, created by ``repro campaign
+  --backend broker --brokers tcp://HOST:PORT``) binds the given TCP endpoint
+  and waits for brokers.
+* Each **broker** (``repro broker --coordinator tcp://HOST:PORT``, i.e.
+  :func:`run_broker`) dials the coordinator — retrying while it boots — and
+  introduces itself with a ``hello`` frame carrying its worker count.
+* The coordinator serialises task refs + parameters (:func:`task_to_wire`)
+  and streams one ``shard`` frame at a time to each idle broker; the broker
+  executes the shard's tasks — in-process, or fanned across a local
+  ``ProcessPoolExecutor`` when started with ``--workers K`` — and streams a
+  ``result`` frame back.  On ``close()`` the coordinator sends every broker
+  a ``shutdown`` frame.
+
+Framing is length-prefixed JSON: a 4-byte big-endian payload length followed
+by one UTF-8 JSON object.  Tasks survive the JSON round trip because the
+result store canonicalises tuples and lists identically — a broker-computed
+row merges under the same content address as a local one — and the
+coordinator pairs returned rows with its *own* :class:`Task` objects (by
+shard id and task order), so nothing the wire could mangle ever reaches the
+store keys.
+
+Fault containment: a broker that crashes or drops its connection forfeits
+exactly the one shard it was running — the coordinator requeues that shard
+for the next idle broker and carries on.  An ``error`` frame (the task
+itself raised) aborts the run instead: tasks are deterministic, so retrying
+elsewhere would fail the same way.
+
+Determinism: brokers run the same :func:`~repro.runtime.shard.execute_task`
+compute path as every other backend and tasks are execution-invariant, so a
+broker campaign is bit-identical to a ``SerialExecutor`` run — at any broker
+count, with any shard-to-broker assignment, crashes included.
+"""
+
+from __future__ import annotations
+
+import json
+import selectors
+import socket
+import struct
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.runtime.backend import check_resolvable
+from repro.runtime.executors import (
+    ShardResults,
+    _execute_shard,
+    _repro_import_root,
+    _worker_initializer,
+    resolve_replication,
+)
+from repro.runtime.shard import Task, execute_task
+
+_LENGTH = struct.Struct(">I")
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+"""Upper bound on one frame; a length beyond this means a corrupt stream."""
+
+DEFAULT_ADDRESS = "tcp://127.0.0.1:0"
+
+
+class BrokerError(RuntimeError):
+    """The broker run cannot make progress (no brokers, or a task failed)."""
+
+
+class BrokerProtocolError(BrokerError):
+    """A peer sent bytes that are not valid protocol frames."""
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Split ``tcp://host:port`` into ``(host, port)``."""
+    if not address.startswith("tcp://"):
+        raise ValueError(f"broker addresses look like tcp://host:port, got {address!r}")
+    host, _, port = address[len("tcp://") :].rpartition(":")
+    if not host or not port:
+        raise ValueError(f"broker addresses look like tcp://host:port, got {address!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(f"invalid port in broker address {address!r}") from None
+
+
+def task_to_wire(task: Task) -> Dict[str, Any]:
+    """The JSON-able form of one task (what a ``shard`` frame carries)."""
+    return {
+        "ordinal": task.ordinal,
+        "point_index": task.point_index,
+        "name": task.name,
+        "function_ref": task.function_ref,
+        "mode": task.mode,
+        "parameters": dict(task.parameters),
+        "seeds": list(task.seeds),
+        "replicate_offset": task.replicate_offset,
+    }
+
+
+def task_from_wire(payload: Dict[str, Any]) -> Task:
+    """Rebuild a :class:`Task` on the broker side of the wire."""
+    try:
+        return Task(
+            ordinal=int(payload["ordinal"]),
+            point_index=int(payload["point_index"]),
+            name=str(payload["name"]),
+            function_ref=str(payload["function_ref"]),
+            mode=str(payload["mode"]),
+            parameters=dict(payload["parameters"]),
+            seeds=tuple(int(seed) for seed in payload["seeds"]),
+            replicate_offset=int(payload["replicate_offset"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise BrokerProtocolError(f"malformed task frame: {error}") from None
+
+
+def send_frame(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Write one length-prefixed JSON frame (blocking)."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    blocking = sock.getblocking()
+    sock.setblocking(True)
+    try:
+        sock.sendall(_LENGTH.pack(len(payload)) + payload)
+    finally:
+        sock.setblocking(blocking)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks: List[bytes] = []
+    while count > 0:
+        chunk = sock.recv(count)
+        if not chunk:
+            raise ConnectionError("peer closed the connection mid-frame")
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Dict[str, Any]:
+    """Read one length-prefixed JSON frame (blocking)."""
+    length = _LENGTH.unpack(_recv_exact(sock, _LENGTH.size))[0]
+    if length > MAX_FRAME_BYTES:
+        raise BrokerProtocolError(f"frame of {length} bytes exceeds the protocol cap")
+    payload = _recv_exact(sock, length)
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise BrokerProtocolError(f"frame is not valid JSON: {error}") from None
+    if not isinstance(message, dict) or "type" not in message:
+        raise BrokerProtocolError(f"frame is not a typed message: {message!r}")
+    return message
+
+
+class _BrokerConnection:
+    """Coordinator-side state of one connected broker."""
+
+    def __init__(self, sock: socket.socket, peer: str) -> None:
+        self.sock = sock
+        self.peer = peer
+        self.buffer = b""
+        self.ready = False  # hello received
+        self.workers = 1
+        self.in_flight: Optional[int] = None  # shard id being executed
+
+    def feed(self) -> List[Dict[str, Any]]:
+        """Drain readable bytes; return complete frames (EOF raises)."""
+        while True:
+            try:
+                chunk = self.sock.recv(65536)
+            except BlockingIOError:
+                break
+            if not chunk:
+                raise ConnectionError(f"broker {self.peer} closed the connection")
+            self.buffer += chunk
+            if len(chunk) < 65536:
+                break
+        frames: List[Dict[str, Any]] = []
+        while len(self.buffer) >= _LENGTH.size:
+            length = _LENGTH.unpack(self.buffer[: _LENGTH.size])[0]
+            if length > MAX_FRAME_BYTES:
+                raise BrokerProtocolError(
+                    f"frame of {length} bytes from {self.peer} exceeds the "
+                    "protocol cap"
+                )
+            if len(self.buffer) < _LENGTH.size + length:
+                break
+            payload = self.buffer[_LENGTH.size : _LENGTH.size + length]
+            self.buffer = self.buffer[_LENGTH.size + length :]
+            try:
+                message = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise BrokerProtocolError(
+                    f"frame from {self.peer} is not valid JSON: {error}"
+                ) from None
+            if not isinstance(message, dict) or "type" not in message:
+                raise BrokerProtocolError(
+                    f"frame from {self.peer} is not a typed message: {message!r}"
+                )
+            frames.append(message)
+        return frames
+
+
+class BrokerBackend:
+    """Coordinator side of the socket backend (a runtime ``Backend``).
+
+    Parameters
+    ----------
+    address:
+        ``tcp://host:port`` endpoint to bind; port ``0`` picks an ephemeral
+        port (read the resolved endpoint back from :attr:`address` — tests
+        and the CLI print it for brokers to dial).
+    num_shards:
+        Dispatch granularity — how many shards a plan's pending tasks are
+        chunked into.  Finer shards balance better across brokers and bound
+        the loss from a broker crash to a smaller slice; it never changes
+        results.
+    min_brokers:
+        Wait for this many connected brokers before dispatching the first
+        shard, so a campaign doesn't funnel everything through whichever
+        broker happened to dial first.
+    timeout:
+        Seconds to wait with work pending but **zero** connected brokers
+        (at start-up, or after every broker died) before raising
+        :class:`BrokerError`.
+
+    The backend accepts brokers at any moment — late brokers join the
+    current run mid-stream — and connections persist across ``run_shards``
+    calls, so one fleet of brokers serves every simulate node of a campaign.
+    Call :meth:`close` (or use the backend as a context manager) to send
+    brokers a ``shutdown`` frame and release the listening socket.
+    """
+
+    def __init__(
+        self,
+        address: str = DEFAULT_ADDRESS,
+        *,
+        num_shards: int = 16,
+        min_brokers: int = 1,
+        timeout: float = 30.0,
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        if min_brokers <= 0:
+            raise ValueError(f"min_brokers must be positive, got {min_brokers}")
+        host, port = parse_address(address)
+        self.num_shards = num_shards
+        self.min_brokers = min_brokers
+        self.timeout = timeout
+        self._listener = socket.create_server((host, port))
+        self._listener.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listener, selectors.EVENT_READ, None)
+        self._brokers: List[_BrokerConnection] = []
+        self._closed = False
+
+    @property
+    def address(self) -> str:
+        """The bound ``tcp://host:port`` endpoint brokers should dial."""
+        host, port = self._listener.getsockname()[:2]
+        return f"tcp://{host}:{port}"
+
+    def __enter__(self) -> "BrokerBackend":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down connected brokers and release the listening socket."""
+        if self._closed:
+            return
+        self._closed = True
+        # _drop mutates self._brokers; iterate over a copy or every other
+        # broker is skipped and never told to shut down.
+        for broker in list(self._brokers):
+            try:
+                send_frame(broker.sock, {"type": "shutdown"})
+            except OSError:
+                pass
+            self._drop(broker)
+        try:
+            self._selector.unregister(self._listener)
+        except (KeyError, ValueError):
+            pass
+        self._listener.close()
+        self._selector.close()
+
+    def _drop(self, broker: _BrokerConnection) -> None:
+        try:
+            self._selector.unregister(broker.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            broker.sock.close()
+        except OSError:
+            pass
+        if broker in self._brokers:
+            self._brokers.remove(broker)
+
+    def _accept(self) -> None:
+        try:
+            sock, peer_address = self._listener.accept()
+        except (BlockingIOError, OSError):
+            return
+        sock.setblocking(False)
+        broker = _BrokerConnection(sock, f"{peer_address[0]}:{peer_address[1]}")
+        self._selector.register(sock, selectors.EVENT_READ, broker)
+        self._brokers.append(broker)
+
+    def _ready_brokers(self) -> List[_BrokerConnection]:
+        return [
+            broker
+            for broker in self._brokers
+            if broker.ready and broker.in_flight is None
+        ]
+
+    def run_shards(
+        self, shards: Sequence[Sequence[Task]], replication: Callable
+    ) -> Iterator[ShardResults]:
+        """Stream shards to idle brokers, yielding each result as it lands.
+
+        A broker that disconnects mid-shard forfeits exactly that shard —
+        it returns to the queue for the next idle broker.  Result rows are
+        paired with this process's own :class:`Task` objects, so the store
+        merge never depends on wire round-trip fidelity.
+        """
+        if self._closed:
+            raise BrokerError("this BrokerBackend is closed")
+        if not shards:
+            return
+        check_resolvable(replication, "BrokerBackend")
+        # A broker still marked busy here belongs to an abandoned earlier
+        # run; its eventual result frame would be misattributed, so drop it
+        # (its run_broker loop sees the hang-up and exits cleanly).
+        for broker in list(self._brokers):
+            if broker.in_flight is not None:
+                self._drop(broker)
+        shard_tasks: Dict[int, List[Task]] = {
+            shard_id: list(shard) for shard_id, shard in enumerate(shards)
+        }
+        pending: Deque[int] = deque(shard_tasks)
+        outstanding = len(shard_tasks)
+        # The min_brokers gate only delays the *first* dispatch; once enough
+        # brokers have shown up it stays open for the rest of the run even
+        # if some of them later die.
+        gate_open = self._ready_count() >= self.min_brokers
+        last_progress = time.monotonic()
+        while outstanding > 0:
+            if not gate_open and self._ready_count() >= self.min_brokers:
+                gate_open = True
+                last_progress = time.monotonic()
+            if gate_open:
+                self._dispatch(pending, shard_tasks)
+            in_flight = sum(
+                1 for broker in self._brokers if broker.in_flight is not None
+            )
+            if in_flight == 0 and time.monotonic() - last_progress > self.timeout:
+                raise BrokerError(
+                    f"no broker progress for {self.timeout:.0f}s with "
+                    f"{outstanding} shard(s) outstanding "
+                    f"({self._ready_count()} broker(s) connected, "
+                    f"{self.min_brokers} required); start brokers with "
+                    f"`repro broker --coordinator {self.address}`"
+                )
+            for key, _ in self._selector.select(timeout=0.05):
+                if key.data is None:
+                    self._accept()
+                    continue
+                broker: _BrokerConnection = key.data
+                try:
+                    frames = broker.feed()
+                except (ConnectionError, OSError):
+                    # At most this broker's one in-flight shard is lost;
+                    # requeue it and keep going on the survivors.
+                    if broker.in_flight is not None:
+                        pending.appendleft(broker.in_flight)
+                    self._drop(broker)
+                    continue
+                for frame in frames:
+                    done = self._handle(broker, frame, shard_tasks)
+                    if done is not None:
+                        outstanding -= 1
+                        last_progress = time.monotonic()
+                        yield done
+
+    def _ready_count(self) -> int:
+        return sum(1 for broker in self._brokers if broker.ready)
+
+    def _dispatch(
+        self, pending: Deque[int], shard_tasks: Dict[int, List[Task]]
+    ) -> None:
+        for broker in self._ready_brokers():
+            if not pending:
+                return
+            shard_id = pending.popleft()
+            message = {
+                "type": "shard",
+                "shard": shard_id,
+                "tasks": [task_to_wire(task) for task in shard_tasks[shard_id]],
+            }
+            try:
+                send_frame(broker.sock, message)
+            except OSError:
+                pending.appendleft(shard_id)
+                self._drop(broker)
+                continue
+            broker.in_flight = shard_id
+
+    def _handle(
+        self,
+        broker: _BrokerConnection,
+        frame: Dict[str, Any],
+        shard_tasks: Dict[int, List[Task]],
+    ) -> Optional[ShardResults]:
+        kind = frame.get("type")
+        if kind == "hello":
+            broker.ready = True
+            broker.workers = max(1, int(frame.get("workers", 1)))
+            return None
+        if kind == "error":
+            raise BrokerError(
+                f"broker {broker.peer} failed shard {frame.get('shard')}: "
+                f"{frame.get('message')}"
+            )
+        if kind != "result":
+            raise BrokerProtocolError(
+                f"unexpected {kind!r} frame from broker {broker.peer}"
+            )
+        shard_id = frame.get("shard")
+        if shard_id != broker.in_flight:
+            raise BrokerProtocolError(
+                f"broker {broker.peer} answered shard {shard_id!r} but was "
+                f"running {broker.in_flight!r}"
+            )
+        broker.in_flight = None
+        tasks = shard_tasks[shard_id]
+        rows_per_task = frame.get("rows")
+        if not isinstance(rows_per_task, list) or len(rows_per_task) != len(tasks):
+            raise BrokerProtocolError(
+                f"broker {broker.peer} returned "
+                f"{len(rows_per_task) if isinstance(rows_per_task, list) else '?'} "
+                f"row blocks for the {len(tasks)} tasks of shard {shard_id}"
+            )
+        return [
+            (task, [dict(row) for row in rows])
+            for task, rows in zip(tasks, rows_per_task)
+        ]
+
+
+def run_broker(
+    coordinator: str,
+    *,
+    workers: int = 1,
+    max_shards: Optional[int] = None,
+    connect_timeout: float = 30.0,
+    on_shard: Optional[Callable[[int, int], None]] = None,
+) -> int:
+    """Dial ``coordinator`` and execute shards until told to shut down.
+
+    This is the ``repro broker`` entry point.  With ``workers > 1`` the
+    shard's tasks fan out across a local ``ProcessPoolExecutor``; otherwise
+    they run in this process.  ``max_shards`` makes the broker drop its
+    connection after that many shards — the deterministic stand-in for a
+    crash that the fault-tolerance tests (and chaos drills) use.  Returns
+    the number of shards executed.
+    """
+    if workers <= 0:
+        raise ValueError(f"workers must be positive, got {workers}")
+    host, port = parse_address(coordinator)
+    deadline = time.monotonic() + connect_timeout
+    sock: Optional[socket.socket] = None
+    while sock is None:
+        try:
+            sock = socket.create_connection((host, port), timeout=connect_timeout)
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise BrokerError(
+                    f"could not reach coordinator at {coordinator} within "
+                    f"{connect_timeout:.0f}s"
+                ) from None
+            time.sleep(0.05)
+    pool: Optional[ProcessPoolExecutor] = None
+    if workers > 1:
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_initializer,
+            initargs=((_repro_import_root(),),),
+        )
+    executed = 0
+    try:
+        send_frame(sock, {"type": "hello", "workers": workers})
+        while True:
+            try:
+                message = recv_frame(sock)
+            except ConnectionError:
+                return executed  # coordinator went away; nothing in flight
+            kind = message.get("type")
+            if kind == "shutdown":
+                return executed
+            if kind != "shard":
+                raise BrokerProtocolError(f"unexpected {kind!r} frame from coordinator")
+            tasks = [task_from_wire(payload) for payload in message["tasks"]]
+            try:
+                rows_per_task = _execute_tasks(tasks, pool)
+            except Exception as error:  # noqa: BLE001 - forwarded to coordinator
+                send_frame(
+                    sock,
+                    {
+                        "type": "error",
+                        "shard": message["shard"],
+                        "message": f"{type(error).__name__}: {error}",
+                    },
+                )
+                return executed
+            send_frame(
+                sock,
+                {"type": "result", "shard": message["shard"], "rows": rows_per_task},
+            )
+            executed += 1
+            if on_shard is not None:
+                on_shard(executed, len(tasks))
+            if max_shards is not None and executed >= max_shards:
+                # Simulated crash: vanish without a goodbye, exactly like a
+                # dropped connection.  The coordinator requeues nothing (the
+                # last result was already sent) or at most one shard.
+                return executed
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def _execute_tasks(
+    tasks: List[Task], pool: Optional[ProcessPoolExecutor]
+) -> List[List[Dict[str, float]]]:
+    """Run one shard's tasks (in-process or on the local pool), in order."""
+    if pool is None:
+        return [
+            execute_task(task, resolve_replication(task.function_ref))
+            for task in tasks
+        ]
+    futures = [pool.submit(_execute_shard, [task]) for task in tasks]
+    return [future.result()[0][1] for future in futures]

@@ -1,0 +1,307 @@
+"""Typed compute DAG of an experiment campaign.
+
+A *campaign* is a whole reproduction run — many simulate workloads, the
+analyses over their outputs and the reports that collate the analyses — as
+one dependency-aware graph instead of a flat list of jobs.  Three node kinds
+exist, and the edges they may draw are part of the type:
+
+``simulate``
+    A leaf workload: one validated
+    :class:`~repro.service.requests.SimulationRequest` (the exact payload a
+    ``POST /v1/jobs`` submission carries).  Takes no inputs; at execution
+    time it expands into the request's
+    :class:`~repro.runtime.shard.ShardPlan` tasks.
+``analyse``
+    Aggregates the result rows of one or more upstream ``simulate`` nodes
+    into per-metric summary statistics.
+``report``
+    Collates upstream ``analyse`` (or raw ``simulate``) outputs into one
+    tagged table plus a rendered text report.
+
+:func:`campaign_from_spec` builds a validated :class:`Campaign` from plain
+JSON-able data (the ``POST /v1/campaigns`` payload and the ``repro campaign
+--spec`` file format), normalising simulate requests through the shared
+request layer so equivalent campaigns share one content address
+(:meth:`Campaign.key`) — which is what lets the daemon's job queue
+deduplicate identical in-flight campaign submissions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.runtime.store import canonical_json
+from repro.service.requests import (
+    RequestError,
+    SimulationRequest,
+    request_from_dict,
+)
+
+SIMULATE = "simulate"
+ANALYSE = "analyse"
+REPORT = "report"
+
+NODE_KINDS = (SIMULATE, ANALYSE, REPORT)
+
+#: Which upstream kinds each node kind may depend on.  ``simulate`` nodes are
+#: sources; ``analyse`` digests raw simulation output; ``report`` collates
+#: analyses (or taps raw output directly).  Because no kind may depend on
+#: ``report`` and ``simulate`` accepts no inputs, every well-typed campaign
+#: is acyclic by construction — the explicit cycle check in
+#: :func:`campaign_from_spec` guards future kinds, not today's.
+ALLOWED_INPUT_KINDS: Dict[str, Tuple[str, ...]] = {
+    SIMULATE: (),
+    ANALYSE: (SIMULATE,),
+    REPORT: (SIMULATE, ANALYSE),
+}
+
+_NODE_FIELDS: Dict[str, Tuple[str, ...]] = {
+    SIMULATE: ("id", "kind", "request"),
+    ANALYSE: ("id", "kind", "inputs", "metrics"),
+    REPORT: ("id", "kind", "inputs", "title"),
+}
+
+
+class CampaignError(ValueError):
+    """A campaign spec is malformed or names an impossible graph."""
+
+
+@dataclass(frozen=True)
+class CampaignNode:
+    """One typed node of a campaign graph.
+
+    ``request`` is set for ``simulate`` nodes (already validated and
+    canonicalised), ``metrics`` optionally restricts an ``analyse`` node to
+    named columns, and ``title`` labels a ``report``.
+    """
+
+    id: str
+    kind: str
+    inputs: Tuple[str, ...] = ()
+    request: Optional[SimulationRequest] = None
+    metrics: Optional[Tuple[str, ...]] = None
+    title: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The canonical JSON-able form of this node (spec round-trip)."""
+        payload: Dict[str, Any] = {"id": self.id, "kind": self.kind}
+        if self.kind == SIMULATE:
+            assert self.request is not None
+            payload["request"] = self.request.to_dict()
+        else:
+            payload["inputs"] = list(self.inputs)
+            if self.metrics is not None:
+                payload["metrics"] = list(self.metrics)
+            if self.title is not None:
+                payload["title"] = self.title
+        return payload
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A validated campaign: named, typed, acyclic, content-addressed.
+
+    ``nodes`` are stored in topological order (inputs before dependents), so
+    iterating them *is* a valid serial schedule; the ready-set scheduler
+    only improves on it, never needs to re-sort.
+    """
+
+    name: str
+    nodes: Tuple[CampaignNode, ...]
+
+    #: Job-queue routing tag (mirrors ``SimulationRequest.kind``).
+    kind = "campaign"
+
+    def node(self, node_id: str) -> CampaignNode:
+        """The node with ``node_id`` (:class:`KeyError` when absent)."""
+        for node in self.nodes:
+            if node.id == node_id:
+                return node
+        raise KeyError(node_id)
+
+    def dependents(self) -> Dict[str, Tuple[str, ...]]:
+        """Node id -> ids of the nodes that consume its output."""
+        downstream: Dict[str, List[str]] = {node.id: [] for node in self.nodes}
+        for node in self.nodes:
+            for upstream in node.inputs:
+                downstream[upstream].append(node.id)
+        return {key: tuple(value) for key, value in downstream.items()}
+
+    def simulate_nodes(self) -> Tuple[CampaignNode, ...]:
+        """The campaign's simulate nodes, in topological (= spec) order."""
+        return tuple(node for node in self.nodes if node.kind == SIMULATE)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The canonical spec that round-trips through :func:`campaign_from_spec`."""
+        return {
+            "name": self.name,
+            "nodes": [node.to_dict() for node in self.nodes],
+        }
+
+    def key(self) -> str:
+        """Content address: SHA-256 of the canonical spec JSON.
+
+        Simulate requests inside the spec are canonicalised exactly as
+        stand-alone job submissions are, so two spellings of the same
+        campaign (reordered fields, default values made explicit) share one
+        key and deduplicate onto one running job.
+        """
+        payload = canonical_json({"kind": self.kind, "spec": self.to_dict()})
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise CampaignError(message)
+
+
+def _string_list(name: str, values: Any, *, minimum: int = 1) -> List[str]:
+    _require(
+        isinstance(values, (list, tuple))
+        and len(values) >= minimum
+        and all(isinstance(value, str) and value for value in values),
+        f"{name} must be a list of at least {minimum} non-empty strings, "
+        f"got {values!r}",
+    )
+    return [str(value) for value in values]
+
+
+def _parse_node(index: int, payload: Any) -> CampaignNode:
+    _require(
+        isinstance(payload, Mapping),
+        f"node #{index} must be a JSON object, got {payload!r}",
+    )
+    fields = dict(payload)
+    node_id = fields.get("id")
+    _require(
+        isinstance(node_id, str) and bool(node_id),
+        f"node #{index} needs a non-empty string 'id', got {node_id!r}",
+    )
+    kind = fields.get("kind")
+    _require(
+        kind in NODE_KINDS,
+        f"node {node_id!r} has unknown kind {kind!r}; "
+        f"expected one of {', '.join(NODE_KINDS)}",
+    )
+    allowed = _NODE_FIELDS[kind]
+    unknown = sorted(name for name in fields if name not in allowed)
+    _require(
+        not unknown,
+        f"node {node_id!r} has unknown fields {unknown}; "
+        f"allowed for {kind}: {', '.join(allowed)}",
+    )
+    if kind == SIMULATE:
+        _require(
+            isinstance(fields.get("request"), Mapping),
+            f"simulate node {node_id!r} needs a 'request' object "
+            "(the same payload POST /v1/jobs accepts)",
+        )
+        try:
+            request = request_from_dict(fields["request"])
+        except RequestError as error:
+            raise CampaignError(
+                f"simulate node {node_id!r} has an invalid request: {error}"
+            ) from None
+        return CampaignNode(id=node_id, kind=SIMULATE, request=request)
+    inputs = tuple(
+        _string_list(f"{kind} node {node_id!r} 'inputs'", fields.get("inputs"))
+    )
+    _require(
+        len(set(inputs)) == len(inputs),
+        f"{kind} node {node_id!r} lists duplicate inputs {list(inputs)}",
+    )
+    metrics: Optional[Tuple[str, ...]] = None
+    if kind == ANALYSE and fields.get("metrics") is not None:
+        metrics = tuple(
+            _string_list(f"analyse node {node_id!r} 'metrics'", fields["metrics"])
+        )
+    title: Optional[str] = None
+    if kind == REPORT and fields.get("title") is not None:
+        _require(
+            isinstance(fields["title"], str),
+            f"report node {node_id!r} 'title' must be a string",
+        )
+        title = fields["title"]
+    return CampaignNode(
+        id=node_id, kind=kind, inputs=inputs, metrics=metrics, title=title
+    )
+
+
+def _topological_order(nodes: List[CampaignNode]) -> List[CampaignNode]:
+    """Kahn's algorithm, stable in spec order; raises on a cycle."""
+    by_id = {node.id: node for node in nodes}
+    remaining = {node.id: len(node.inputs) for node in nodes}
+    dependents: Dict[str, List[str]] = {node.id: [] for node in nodes}
+    for node in nodes:
+        for upstream in node.inputs:
+            dependents[upstream].append(node.id)
+    ready = [node.id for node in nodes if remaining[node.id] == 0]
+    order: List[CampaignNode] = []
+    while ready:
+        node_id = ready.pop(0)
+        order.append(by_id[node_id])
+        for downstream in dependents[node_id]:
+            remaining[downstream] -= 1
+            if remaining[downstream] == 0:
+                ready.append(downstream)
+    if len(order) != len(nodes):
+        stuck = sorted(node_id for node_id, count in remaining.items() if count > 0)
+        raise CampaignError(f"campaign graph has a cycle involving {stuck}")
+    return order
+
+
+def campaign_from_spec(payload: Any) -> Campaign:
+    """Build a validated :class:`Campaign` from a JSON-able spec.
+
+    The spec is ``{"name": <str>, "nodes": [<node>, ...]}``; each node is
+    ``{"id", "kind", ...}`` with the kind-specific fields documented on
+    :class:`CampaignNode`.  Unknown fields anywhere are rejected — a
+    silently-dropped typo would run a different campaign than the one
+    submitted.  Raises :class:`CampaignError` (a ``ValueError``) on any
+    problem, which the daemon maps to HTTP 400.
+    """
+    _require(isinstance(payload, Mapping), "campaign spec must be a JSON object")
+    fields = dict(payload)
+    unknown = sorted(name for name in fields if name not in ("name", "nodes"))
+    _require(
+        not unknown,
+        f"unknown campaign fields {unknown}; allowed: name, nodes",
+    )
+    name = fields.get("name", "campaign")
+    _require(
+        isinstance(name, str) and bool(name),
+        f"campaign 'name' must be a non-empty string, got {name!r}",
+    )
+    raw_nodes = fields.get("nodes")
+    _require(
+        isinstance(raw_nodes, (list, tuple)) and len(raw_nodes) > 0,
+        "campaign 'nodes' must be a non-empty list",
+    )
+    nodes = [_parse_node(index, node) for index, node in enumerate(raw_nodes)]
+    seen: Dict[str, str] = {}
+    for node in nodes:
+        _require(node.id not in seen, f"duplicate node id {node.id!r}")
+        seen[node.id] = node.kind
+    for node in nodes:
+        for upstream in node.inputs:
+            _require(
+                upstream in seen,
+                f"{node.kind} node {node.id!r} depends on unknown node "
+                f"{upstream!r}",
+            )
+            _require(
+                upstream != node.id,
+                f"node {node.id!r} cannot depend on itself",
+            )
+            _require(
+                seen[upstream] in ALLOWED_INPUT_KINDS[node.kind],
+                f"{node.kind} node {node.id!r} cannot consume "
+                f"{seen[upstream]} node {upstream!r}; allowed input kinds: "
+                f"{', '.join(ALLOWED_INPUT_KINDS[node.kind]) or 'none'}",
+            )
+    return Campaign(name=name, nodes=tuple(_topological_order(nodes)))

@@ -1,6 +1,6 @@
 """Command-line interface for quick simulations and bound calculations.
 
-Eight subcommands cover the workflows a user reaches for most often without
+Ten subcommands cover the workflows a user reaches for most often without
 writing a script::
 
     python -m repro simulate --options 0.8 0.5 0.5 --population 2000 --horizon 300
@@ -11,6 +11,8 @@ writing a script::
     python -m repro network  --topology watts_strogatz --size 10000 --replications 50
     python -m repro protocol --nodes 10000 --loss 0.2 --mass-crash-fraction 0.4
     python -m repro serve    --port 8765 --store results.sqlite
+    python -m repro campaign --spec campaign.json --backend pool --store results.sqlite
+    python -m repro broker   --coordinator tcp://coordinator-host:5555 --workers 4
 
 ``run`` executes many independent replications at once on the batched
 replicate-axis engine (:class:`repro.core.batched.BatchedDynamics`); pass
@@ -40,6 +42,14 @@ daemon (job submission, polling, cache-first result serving; see the
 README's "Serving" guide) — executes for jobs submitted over HTTP, so a CLI
 invocation and the equivalent API job produce bit-identical rows.
 
+``campaign`` runs a whole experiment campaign — a typed simulate → analyse
+→ report compute DAG (:mod:`repro.campaign`) — on a chosen backend:
+``--backend inproc`` (in-process), ``pool`` (worker processes) or ``broker``
+(the socket coordinator; point ``repro broker --coordinator tcp://HOST:PORT``
+processes, on any machine, at the endpoint given via ``--brokers``).  All
+backends produce bit-identical results, and with ``--store`` a killed
+campaign resumes from cache.  See the README's "Campaigns" guide.
+
 Every command prints an aligned text table; ``--output`` additionally writes
 CSV via :func:`repro.experiments.io.write_csv`.
 """
@@ -47,6 +57,7 @@ CSV via :func:`repro.experiments.io.write_csv`.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence
@@ -55,6 +66,15 @@ import numpy as np
 
 from repro import __version__
 from repro.backends import BACKENDS, PRECISIONS
+from repro.campaign import (
+    BACKEND_NAMES as CAMPAIGN_BACKENDS,
+    BrokerError,
+    CampaignError,
+    campaign_from_spec,
+    make_backend,
+    run_broker,
+    run_campaign,
+)
 from repro.core.batched import simulate_batched_population
 from repro.core.coupling import run_coupled_dynamics
 from repro.core.dynamics import simulate_finite_population
@@ -72,7 +92,7 @@ from repro.experiments import (
     run_replications,
     write_csv,
 )
-from repro.runtime import ParallelExecutor, ResultStore
+from repro.runtime import ExecutionOptions, ParallelExecutor, ResultStore
 from repro.service.daemon import SimulationDaemon, SimulationService
 from repro.service.requests import (
     RequestError,
@@ -157,15 +177,8 @@ def _add_runtime_arguments(subparser: argparse.ArgumentParser) -> None:
     )
 
 
-def _runtime_kwargs(args: argparse.Namespace) -> Dict[str, Any]:
-    """Translate --workers/--store/--resume into ``executor=``/``store=`` kwargs."""
-    kwargs: Dict[str, Any] = {}
-    if args.workers < 1:
-        print(
-            f"error: --workers must be at least 1, got {args.workers}",
-            file=sys.stderr,
-        )
-        raise SystemExit(2)
+def _open_store(args: argparse.Namespace) -> Optional[ResultStore]:
+    """Validate and open the ``--store``/``--resume`` flags (or ``None``)."""
     if args.resume and not args.store:
         print("error: --resume needs --store PATH", file=sys.stderr)
         raise SystemExit(2)
@@ -175,19 +188,30 @@ def _runtime_kwargs(args: argparse.Namespace) -> Dict[str, Any]:
             file=sys.stderr,
         )
         raise SystemExit(2)
-    if args.store:
-        if args.resume and not Path(args.store).exists():
-            print(
-                f"error: cannot resume: no result store at {args.store}",
-                file=sys.stderr,
-            )
-            raise SystemExit(2)
-        kwargs["store"] = ResultStore(
-            args.store, hot_budget_bytes=int(args.store_hot_mb * 2**20)
+    if not args.store:
+        return None
+    if args.resume and not Path(args.store).exists():
+        print(
+            f"error: cannot resume: no result store at {args.store}",
+            file=sys.stderr,
         )
-    if args.workers > 1:
-        kwargs["executor"] = ParallelExecutor(args.workers)
-    return kwargs
+        raise SystemExit(2)
+    return ResultStore(args.store, hot_budget_bytes=int(args.store_hot_mb * 2**20))
+
+
+def _runtime_options(args: argparse.Namespace) -> Optional[ExecutionOptions]:
+    """Translate --workers/--store/--resume into an :class:`ExecutionOptions`."""
+    if args.workers < 1:
+        print(
+            f"error: --workers must be at least 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    store = _open_store(args)
+    executor = ParallelExecutor(args.workers) if args.workers > 1 else None
+    if store is None and executor is None:
+        return None
+    return ExecutionOptions(executor=executor, store=store)
 
 
 def _warn_single_task(args: argparse.Namespace) -> None:
@@ -201,9 +225,8 @@ def _warn_single_task(args: argparse.Namespace) -> None:
         )
 
 
-def _finish_runtime(runtime_kwargs: Dict[str, Any]) -> None:
+def _print_store_stats(store: Optional[ResultStore]) -> None:
     """Report cache statistics and release the store, if one was opened."""
-    store = runtime_kwargs.get("store")
     if store is not None:
         counters = store.counters()
         print(
@@ -219,18 +242,23 @@ def _finish_runtime(runtime_kwargs: Dict[str, Any]) -> None:
         store.close()
 
 
-def _close_runtime(runtime_kwargs: Dict[str, Any]) -> None:
+def _finish_runtime(options: Optional[ExecutionOptions]) -> None:
+    """Print cache stats and close the options' store, if one was opened."""
+    if options is not None:
+        _print_store_stats(options.store)
+
+
+def _close_runtime(options: Optional[ExecutionOptions]) -> None:
     """Release the store unconditionally (the error-path counterpart).
 
     Commands call this from ``finally`` so a failure anywhere between
-    :func:`_runtime_kwargs` opening the store and :func:`_finish_runtime`
+    :func:`_runtime_options` opening the store and :func:`_finish_runtime`
     closing it cannot leak the sqlite connection; ``ResultStore.close`` is
     idempotent, so the success path (which already closed, after printing
     stats) is unaffected.
     """
-    store = runtime_kwargs.get("store")
-    if store is not None:
-        store.close()
+    if options is not None and options.store is not None:
+        options.store.close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -516,6 +544,122 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="log every HTTP request to stderr"
     )
 
+    campaign = subparsers.add_parser(
+        "campaign",
+        help=(
+            "run an experiment campaign (simulate -> analyse -> report "
+            "compute DAG) on a pluggable backend"
+        ),
+    )
+    campaign.add_argument(
+        "--spec",
+        type=str,
+        required=True,
+        help="campaign spec JSON file ('-' reads stdin); see the README's "
+        "'Campaigns' guide for the format",
+    )
+    campaign.add_argument(
+        "--backend",
+        choices=CAMPAIGN_BACKENDS,
+        default="inproc",
+        help=(
+            "execution backend: in-process (default), a local worker-process "
+            "pool, or the socket coordinator awaiting `repro broker` "
+            "processes — all bit-identical"
+        ),
+    )
+    campaign.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --backend pool (default: all cores)",
+    )
+    campaign.add_argument(
+        "--brokers",
+        type=str,
+        default="tcp://127.0.0.1:0",
+        help=(
+            "coordinator bind endpoint for --backend broker "
+            "(tcp://host:port; port 0 picks a free port, printed at start "
+            "for brokers to dial)"
+        ),
+    )
+    campaign.add_argument(
+        "--min-brokers",
+        type=int,
+        default=1,
+        help="wait for this many connected brokers before dispatching work",
+    )
+    campaign.add_argument(
+        "--broker-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for broker progress before giving up",
+    )
+    campaign.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        help=(
+            "sqlite result store: completed shards are flushed as they "
+            "finish; a warm store short-circuits whole nodes, so a killed "
+            "campaign resumes from cache"
+        ),
+    )
+    campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="fail fast unless --store already exists (continuing a killed run)",
+    )
+    campaign.add_argument(
+        "--store-hot-mb",
+        type=float,
+        default=64.0,
+        help="in-memory hot-tier budget of the result store in MiB (default 64)",
+    )
+    campaign.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        help="write the collated rows of every report node to this CSV path",
+    )
+
+    broker = subparsers.add_parser(
+        "broker",
+        help=(
+            "run a shard-execution broker that dials a campaign coordinator "
+            "and executes simulate shards"
+        ),
+    )
+    broker.add_argument(
+        "--coordinator",
+        type=str,
+        required=True,
+        help="coordinator endpoint to dial (tcp://host:port, retried while "
+        "the coordinator boots)",
+    )
+    broker.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="local worker processes per shard (default 1 = in-process)",
+    )
+    broker.add_argument(
+        "--max-shards",
+        type=int,
+        default=None,
+        help=(
+            "drop the connection after this many shards — a deterministic "
+            "crash stand-in for fault-tolerance drills"
+        ),
+    )
+    broker.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to keep retrying the initial connection (default 30)",
+    )
+
     return parser
 
 
@@ -716,9 +860,9 @@ def _command_sweep(args: argparse.Namespace) -> int:
     except RequestError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    runtime_kwargs = _runtime_kwargs(args)
+    options = _runtime_options(args)
     try:
-        if runtime_kwargs and args.engine == "batched":
+        if options is not None and args.engine == "batched":
             print(
                 "note: with --workers/--store the batched sweep runs one grid "
                 "point per task (the per-point batched convention) instead of "
@@ -727,15 +871,15 @@ def _command_sweep(args: argparse.Namespace) -> int:
                 "equivalent, and stable across worker counts and cache states",
                 file=sys.stderr,
             )
-        result = execute_request(request, **runtime_kwargs)
+        result = execute_request(request, options=options)
         print(
             result.description
             + (f" on {args.workers} workers" if args.workers > 1 else "")
         )
         _finish(result.table, args.output)
-        _finish_runtime(runtime_kwargs)
+        _finish_runtime(options)
     finally:
-        _close_runtime(runtime_kwargs)
+        _close_runtime(options)
     return 0
 
 
@@ -775,15 +919,15 @@ def _command_network(args: argparse.Namespace) -> int:
             f"diameter={diameter} clustering={metrics['clustering']:.4f}"
         )
     print(header)
-    runtime_kwargs = _runtime_kwargs(args)
+    options = _runtime_options(args)
     try:
         _warn_single_task(args)
-        result = execute_request(request, prepared=prepared, **runtime_kwargs)
+        result = execute_request(request, prepared=prepared, options=options)
         print(result.description)
         _finish(result.table, args.output)
-        _finish_runtime(runtime_kwargs)
+        _finish_runtime(options)
     finally:
-        _close_runtime(runtime_kwargs)
+        _close_runtime(options)
     return 0
 
 
@@ -814,15 +958,15 @@ def _command_protocol(args: argparse.Namespace) -> int:
         f"crash={args.crash} mass_crash_fraction={args.mass_crash_fraction} "
         f"engine={args.engine}"
     )
-    runtime_kwargs = _runtime_kwargs(args)
+    options = _runtime_options(args)
     try:
         _warn_single_task(args)
-        result = execute_request(request, **runtime_kwargs)
+        result = execute_request(request, options=options)
         print(result.description)
         _finish(result.table, args.output)
-        _finish_runtime(runtime_kwargs)
+        _finish_runtime(options)
     finally:
-        _close_runtime(runtime_kwargs)
+        _close_runtime(options)
     return 0
 
 
@@ -875,6 +1019,121 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_campaign_spec(source: str) -> Any:
+    """Read the campaign spec JSON from a file path or stdin (``-``)."""
+    try:
+        if source == "-":
+            return json.load(sys.stdin)
+        with open(source, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except OSError as error:
+        print(f"error: cannot read campaign spec: {error}", file=sys.stderr)
+        raise SystemExit(2)
+    except json.JSONDecodeError as error:
+        print(f"error: campaign spec is not valid JSON: {error}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _command_campaign(args: argparse.Namespace) -> int:
+    if args.workers is not None and args.workers < 1:
+        print(
+            f"error: --workers must be at least 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    try:
+        campaign = campaign_from_spec(_load_campaign_spec(args.spec))
+    except CampaignError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    store = _open_store(args)
+    backend = None
+    try:
+        backend = make_backend(
+            args.backend,
+            workers=args.workers,
+            brokers=args.brokers,
+            min_brokers=args.min_brokers,
+            timeout=args.broker_timeout,
+        )
+        if args.backend == "broker":
+            print(
+                f"coordinator listening on {backend.address} — connect "
+                f"brokers with `repro broker --coordinator {backend.address}`",
+                flush=True,
+            )
+        print(
+            f"campaign {campaign.name}: {len(campaign)} node(s) on "
+            f"{args.backend} backend"
+        )
+        total = len(campaign)
+        progress = {"done": 0}
+
+        def on_node(node, node_result):
+            progress["done"] += 1
+            print(
+                f"[{progress['done']}/{total}] {node.kind} {node.id}: "
+                f"{node_result.description}"
+            )
+
+        campaign_result = run_campaign(
+            campaign, backend=backend, store=store, on_node=on_node
+        )
+        for report in campaign_result.reports():
+            print()
+            print(report.text)
+        if args.output:
+            table = ResultTable()
+            for report in campaign_result.reports():
+                for row in report.rows:
+                    table.add_row({"report": report.node_id, **row})
+            if len(table):
+                path = write_csv(table, args.output)
+                print(f"\nwrote {len(table)} rows to {path}")
+            else:
+                print("\nno report rows to write", file=sys.stderr)
+        _print_store_stats(store)
+    except (BrokerError, CampaignError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        if backend is not None and hasattr(backend, "close"):
+            backend.close()
+        if store is not None:
+            store.close()
+    return 0
+
+
+def _command_broker(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        print(
+            f"error: --workers must be at least 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+
+    def on_shard(count: int, tasks: int) -> None:
+        print(f"shard {count}: {tasks} task(s) done", flush=True)
+
+    print(f"broker dialling {args.coordinator} ({args.workers} worker(s))")
+    try:
+        executed = run_broker(
+            args.coordinator,
+            workers=args.workers,
+            max_shards=args.max_shards,
+            connect_timeout=args.connect_timeout,
+            on_shard=on_shard,
+        )
+    except (BrokerError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("broker interrupted", file=sys.stderr)
+        return 130
+    print(f"broker done: {executed} shard(s) executed")
+    return 0
+
+
 _COMMANDS = {
     "simulate": _command_simulate,
     "run": _command_run,
@@ -884,6 +1143,8 @@ _COMMANDS = {
     "network": _command_network,
     "protocol": _command_protocol,
     "serve": _command_serve,
+    "campaign": _command_campaign,
+    "broker": _command_broker,
 }
 
 

@@ -147,6 +147,7 @@ def run_replications(
     config: ExperimentConfig,
     replication: ReplicationFunction,
     *,
+    options: Any = None,
     executor: Any = None,
     store: Any = None,
 ) -> ReplicatedResult:
@@ -161,28 +162,49 @@ def run_replications(
     seed; the derived seeds, and therefore the result's provenance record,
     are identical in both modes.
 
-    ``executor``/``store`` route execution through the parallel runtime
-    (:mod:`repro.runtime`): an executor (e.g.
-    :class:`~repro.runtime.executors.ParallelExecutor`) shards the per-seed
-    work across processes — per-seed functions parallelise seed by seed,
-    batched functions stay one indivisible task — and a
+    ``options`` — an :class:`~repro.runtime.options.ExecutionOptions` —
+    routes execution through the parallel runtime (:mod:`repro.runtime`):
+    its executor (e.g. :class:`~repro.runtime.executors.ParallelExecutor`,
+    or any :class:`~repro.runtime.backend.Backend`) shards the per-seed work
+    — per-seed functions parallelise seed by seed, batched functions stay
+    one indivisible task — and its
     :class:`~repro.runtime.store.ResultStore` serves cache hits and records
     results for resume.  The runtime derives identical seeds, so results are
-    bit-identical to the default in-process path.
+    bit-identical to the default in-process path.  The legacy ``executor=``/
+    ``store=`` keyword arguments still work but emit
+    ``DeprecationWarning`` and run the exact same code path.
     """
     if getattr(replication, "grid_replications", False):
         raise TypeError(
             "grid-batched replications run over a whole ParameterGrid; call "
             "run_sweep instead of run_replications"
         )
+    if options is not None or executor is not None or store is not None:
+        # Imported lazily: repro.runtime depends on this module.
+        from repro.runtime.options import resolve_options
+
+        options = resolve_options(
+            options, executor=executor, store=store, owner="run_replications"
+        )
+    if options is not None and options.engine_options:
+        config = ExperimentConfig(
+            name=config.name,
+            parameters=options.merged_parameters(config.parameters),
+            replications=config.replications,
+            seed=config.seed,
+        )
     seeds = seeds_for_replications(config.seed, config.replications)
     result = ReplicatedResult(config=config, seeds=seeds)
-    if executor is not None or store is not None:
+    runtime_executor = options.resolve_executor() if options is not None else None
+    runtime_store = options.store if options is not None else None
+    if runtime_executor is not None or runtime_store is not None:
         # Imported lazily: repro.runtime depends on this module.
         from repro.runtime import ShardPlan, run_plan
 
         plan = ShardPlan.from_config(config, replication)
-        rows_per_point = run_plan(plan, replication, executor=executor, store=store)
+        rows_per_point = run_plan(
+            plan, replication, executor=runtime_executor, store=runtime_store
+        )
         result.metrics.extend(rows_per_point[0])
         return result
     if getattr(replication, "batched_replications", False):

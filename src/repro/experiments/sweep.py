@@ -94,6 +94,7 @@ def run_sweep(
     replications: int = 5,
     seed: int = 0,
     base_parameters: Mapping[str, Any] | None = None,
+    options: Any = None,
     executor: Any = None,
     store: Any = None,
 ) -> tuple[List[ReplicatedResult], ResultTable]:
@@ -115,20 +116,33 @@ def run_sweep(
     per-point seed lists from ``seed``, so results stay reproducible from the
     arguments alone regardless of the engine.
 
-    ``executor``/``store`` route the sweep through the parallel runtime
-    (:mod:`repro.runtime`): the workload is decomposed into per-point (and,
-    for per-seed functions, per-seed) tasks, cache hits are served from the
-    :class:`~repro.runtime.store.ResultStore`, the misses run on the
+    ``options`` — an :class:`~repro.runtime.options.ExecutionOptions` —
+    routes the sweep through the parallel runtime (:mod:`repro.runtime`):
+    the workload is decomposed into per-point (and, for per-seed functions,
+    per-seed) tasks, cache hits are served from the options'
+    :class:`~repro.runtime.store.ResultStore`, the misses run on its
     executor — e.g. a multi-process
-    :class:`~repro.runtime.executors.ParallelExecutor` — and completed
-    shards are flushed to the store as they finish, making interrupted
-    sweeps resumable.  Task results are execution-invariant, so any executor
-    and any cache state yield bit-identical per-(point, seed) metrics.  One
+    :class:`~repro.runtime.executors.ParallelExecutor` or any other
+    :class:`~repro.runtime.backend.Backend` — and completed shards are
+    flushed to the store as they finish, making interrupted sweeps
+    resumable.  Task results are execution-invariant, so any executor and
+    any cache state yield bit-identical per-(point, seed) metrics.  One
     caveat: grid-batched functions run one *point* per task (the per-point
     batched convention) rather than as a single fused ``G x R`` launch, so
     their sampled trajectories differ from the in-process grid path while
-    remaining statistically equivalent and internally reproducible.
+    remaining statistically equivalent and internally reproducible.  The
+    legacy ``executor=``/``store=`` keyword arguments still work but emit
+    ``DeprecationWarning`` and run the exact same code path.
     """
+    if options is not None or executor is not None or store is not None:
+        # Imported lazily: repro.runtime depends on this module's siblings.
+        from repro.runtime.options import resolve_options
+
+        options = resolve_options(
+            options, executor=executor, store=store, owner="run_sweep"
+        )
+    if options is not None and options.engine_options:
+        base_parameters = options.merged_parameters(base_parameters)
     configs = sweep_configs(
         name,
         grid,
@@ -140,12 +154,16 @@ def run_sweep(
     results: List[ReplicatedResult] = []
     table = ResultTable()
 
-    if executor is not None or store is not None:
+    runtime_executor = options.resolve_executor() if options is not None else None
+    runtime_store = options.store if options is not None else None
+    if runtime_executor is not None or runtime_store is not None:
         # Imported lazily: repro.runtime depends on this module's siblings.
         from repro.runtime import ShardPlan, run_plan
 
         plan = ShardPlan.from_configs(configs, replication)
-        rows_per_point = run_plan(plan, replication, executor=executor, store=store)
+        rows_per_point = run_plan(
+            plan, replication, executor=runtime_executor, store=runtime_store
+        )
         for config, rows in zip(configs, rows_per_point):
             result = ReplicatedResult(
                 config=config,

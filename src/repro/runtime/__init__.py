@@ -23,12 +23,14 @@ Entry points: ``run_replications(..., executor=, store=)``,
 section for the executor/caching/resume guide.
 """
 
+from repro.runtime.backend import Backend, check_resolvable
 from repro.runtime.driver import run_plan
 from repro.runtime.executors import (
     ParallelExecutor,
     SerialExecutor,
     resolve_replication,
 )
+from repro.runtime.options import ExecutionOptions, resolve_options
 from repro.runtime.shard import (
     ShardPlan,
     Task,
@@ -46,6 +48,8 @@ from repro.runtime.store import (
 )
 
 __all__ = [
+    "Backend",
+    "ExecutionOptions",
     "ParallelExecutor",
     "ResultStore",
     "SerialExecutor",
@@ -54,10 +58,12 @@ __all__ = [
     "Task",
     "canonical_json",
     "canonical_value",
+    "check_resolvable",
     "execute_task",
     "function_reference",
     "partition_tasks",
     "replication_mode",
+    "resolve_options",
     "resolve_replication",
     "run_plan",
     "task_key",

@@ -27,7 +27,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from functools import lru_cache
 from typing import Callable, Dict, Iterator, List, Sequence, Tuple
 
-from repro.runtime.shard import Task, execute_task, function_reference
+from repro.runtime.shard import Task, execute_task
 
 ShardResults = List[Tuple[Task, List[Dict[str, float]]]]
 """One completed shard: each task paired with its per-seed metric rows."""
@@ -123,21 +123,10 @@ class ParallelExecutor:
         return self.max_workers * self.shards_per_worker
 
     def _check_resolvable(self, replication: Callable) -> None:
-        reference = function_reference(replication)
-        try:
-            resolved = resolve_replication(reference)
-        except (ImportError, AttributeError, ValueError) as error:
-            raise ValueError(
-                f"ParallelExecutor cannot ship {reference!r} to worker "
-                "processes; replication functions must be importable at "
-                "module level (use SerialExecutor for closures)"
-            ) from error
-        if resolved is not replication:
-            raise ValueError(
-                f"{reference!r} does not resolve back to the replication "
-                "function being run; replication functions must be "
-                "module-level (use SerialExecutor for closures)"
-            )
+        # Imported lazily: repro.runtime.backend imports this module.
+        from repro.runtime.backend import check_resolvable
+
+        check_resolvable(replication, "ParallelExecutor")
 
     def run_shards(
         self, shards: Sequence[Sequence[Task]], replication: Callable

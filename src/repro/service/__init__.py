@@ -11,9 +11,10 @@ cache-first API daemon on top of the parallel runtime (:mod:`repro.runtime`):
   threads + in-flight dedup by content address (back-pressure via
   :class:`QueueFull` -> HTTP 429);
 * :mod:`repro.service.daemon` — :class:`SimulationDaemon`: the stdlib
-  ``ThreadingHTTPServer`` front end (``POST /jobs``, ``GET /jobs/<id>``,
-  ``GET /jobs/<id>/result``, ``GET /healthz``, ``GET /stats``), embeddable
-  via :func:`start_daemon`;
+  ``ThreadingHTTPServer`` front end serving API v1 (``POST /v1/jobs``,
+  ``POST /v1/campaigns``, ``GET /v1/jobs/<id>``, ``GET /v1/jobs/<id>/result``,
+  ``GET /v1/healthz``, ``GET /v1/stats``; unversioned paths remain as
+  deprecated aliases), embeddable via :func:`start_daemon`;
 * :mod:`repro.service.client` — :class:`ServiceClient`: a thin
   ``urllib``-based client (submit/status/result/wait/run).
 

@@ -6,6 +6,11 @@ fetch rows) used by tests, examples and the CI smoke job.  Only
 :mod:`urllib.request` is used, so the client imports anywhere the library
 does.
 
+The client speaks **API v1**: every request it makes is prefixed with
+``/v1``, and it decodes the v1 error envelope ``{"error": {"code": ...,
+"message": ...}}`` (falling back gracefully on pre-v1 daemons whose errors
+were plain strings).
+
 Error contract: non-2xx responses raise :class:`ServiceError` carrying the
 HTTP status and the decoded JSON payload — ``status == 429`` is the daemon's
 back-pressure signal (full queue; retry later), ``400`` a malformed request,
@@ -21,6 +26,21 @@ from urllib import error as urllib_error
 from urllib import request as urllib_request
 
 from repro.service.requests import SimulationRequest
+
+API_PREFIX = "/v1"
+
+
+def _error_message(payload: Any) -> Optional[str]:
+    """The human-readable message of an error payload (envelope or legacy)."""
+    if not isinstance(payload, dict):
+        return None
+    envelope = payload.get("error")
+    if isinstance(envelope, dict):
+        message = envelope.get("message")
+        return str(message) if message is not None else None
+    if isinstance(envelope, str):
+        return envelope  # pre-v1 daemons sent a bare string
+    return None
 
 
 class ServiceError(RuntimeError):
@@ -53,7 +73,7 @@ class ServiceClient:
     ) -> Dict[str, Any]:
         data = None if body is None else json.dumps(body).encode("utf-8")
         request = urllib_request.Request(
-            f"{self.base_url}{path}",
+            f"{self.base_url}{API_PREFIX}{path}",
             data=data,
             headers={"Content-Type": "application/json"} if data else {},
             method="POST" if data is not None else "GET",
@@ -66,9 +86,9 @@ class ServiceClient:
                 payload = json.loads(error.read().decode("utf-8"))
             except (ValueError, UnicodeDecodeError):
                 payload = None
-            message = (
-                payload.get("error") if isinstance(payload, dict) else None
-            ) or f"daemon returned HTTP {error.code} for {path}"
+            message = _error_message(payload) or (
+                f"daemon returned HTTP {error.code} for {path}"
+            )
             raise ServiceError(
                 message, status=error.code, payload=payload
             ) from None
@@ -80,15 +100,15 @@ class ServiceClient:
     # -- endpoint methods ----------------------------------------------------
 
     def healthz(self) -> Dict[str, Any]:
-        """``GET /healthz``."""
+        """``GET /v1/healthz``."""
         return self._call("/healthz")
 
     def stats(self) -> Dict[str, Any]:
-        """``GET /stats``."""
+        """``GET /v1/stats``."""
         return self._call("/stats")
 
     def submit(self, request: Payload) -> Dict[str, Any]:
-        """``POST /jobs``; accepts a request object or a raw payload dict.
+        """``POST /v1/jobs``; accepts a request object or a raw payload dict.
 
         Returns ``{"job_id", "key", "status", "attached"}``; raises
         :class:`ServiceError` with ``status=429`` when the queue is full.
@@ -98,12 +118,22 @@ class ServiceClient:
         )
         return self._call("/jobs", body=payload)
 
+    def submit_campaign(self, spec: Any) -> Dict[str, Any]:
+        """``POST /v1/campaigns``; accepts a campaign spec or ``Campaign``.
+
+        Campaign jobs share the simulation-job lifecycle: poll them with
+        :meth:`status`/:meth:`wait`; the result rows are the per-node
+        results in execution order.
+        """
+        payload = spec.to_dict() if hasattr(spec, "to_dict") else spec
+        return self._call("/campaigns", body=payload)
+
     def status(self, job_id: str) -> Dict[str, Any]:
-        """``GET /jobs/<id>``."""
+        """``GET /v1/jobs/<id>``."""
         return self._call(f"/jobs/{job_id}")
 
     def result(self, job_id: str) -> Dict[str, Any]:
-        """``GET /jobs/<id>/result``.
+        """``GET /v1/jobs/<id>/result``.
 
         Raises :class:`ServiceError` with ``status=202`` while the job is
         still queued/running and ``status=500`` when it failed.
@@ -120,14 +150,24 @@ class ServiceClient:
         return payload
 
     def wait(
-        self, job_id: str, *, timeout: float = 120.0, poll_interval: float = 0.05
+        self,
+        job_id: str,
+        *,
+        timeout: float = 120.0,
+        poll_interval: float = 0.05,
+        max_poll_interval: float = 1.0,
     ) -> Dict[str, Any]:
-        """Poll ``/jobs/<id>`` until the job finishes; returns its result.
+        """Poll ``/v1/jobs/<id>`` until the job finishes; returns its result.
 
-        Raises :class:`JobFailed` if the job errored and
-        :class:`ServiceError` on timeout.
+        Polling backs off exponentially from ``poll_interval`` to
+        ``max_poll_interval`` (doubling after each miss), so a quick job is
+        noticed within ~50 ms while an hour-long campaign costs the daemon
+        ~one status request per second instead of twenty.  Raises
+        :class:`JobFailed` if the job errored and :class:`ServiceError` on
+        timeout.
         """
         deadline = time.monotonic() + timeout
+        interval = max(poll_interval, 0.0)
         while True:
             status = self.status(job_id)
             if status["status"] == "done":
@@ -138,11 +178,13 @@ class ServiceClient:
                     status=500,
                     payload=status,
                 )
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 raise ServiceError(
                     f"job {job_id} still {status['status']} after {timeout}s"
                 )
-            time.sleep(poll_interval)
+            time.sleep(min(interval, deadline - now))
+            interval = min(max(interval * 2, 0.001), max_poll_interval)
 
     def run(self, request: Payload, *, timeout: float = 120.0) -> List[Dict[str, Any]]:
         """Submit ``request``, wait for completion, and return its rows."""

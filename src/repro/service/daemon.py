@@ -14,19 +14,28 @@ to :class:`SimulationDaemon`, which owns
 * an optional per-job :class:`~repro.runtime.executors.ParallelExecutor`
   when the daemon is started with ``process_workers > 1``.
 
-Endpoints::
+Endpoints (API v1 — every route lives under ``/v1/``)::
 
-    POST /jobs              submit {"kind": ..., ...}; 202 + job id
-                            (200 when attached to an identical in-flight
-                            job; 429 when the queue is full; 400 on a
-                            malformed request)
-    GET  /jobs/<id>         job status (state, timings, cache hits/misses)
-    GET  /jobs/<id>/result  result rows once done (202 while pending,
-                            500 payload when the job failed)
-    GET  /healthz           liveness + version
-    GET  /stats             store tier counters (hot/cold hits, spills,
-                            evictions, compactions, residency) + queue depth
-                            + job counts
+    POST /v1/jobs              submit {"kind": ..., ...}; 202 + job id
+                               (200 when attached to an identical in-flight
+                               job; 429 when the queue is full; 400 on a
+                               malformed request)
+    POST /v1/campaigns         submit a campaign spec ({"name", "nodes"});
+                               same job lifecycle, rows are per-node results
+    GET  /v1/jobs/<id>         job status (state, timings, cache hits/misses)
+    GET  /v1/jobs/<id>/result  result rows once done (202 while pending,
+                               500 envelope when the job failed)
+    GET  /v1/healthz           liveness + version
+    GET  /v1/stats             store tier counters (hot/cold hits, spills,
+                               evictions, compactions, residency) + queue
+                               depth + job counts
+
+The pre-versioning unversioned paths (``/jobs``, ``/healthz``, ...) remain
+as deprecated aliases: they answer with byte-identical bodies plus a
+``Deprecation: true`` header.  Unknown version prefixes (``/v2/...``) are
+404s.  Every error response uses one envelope::
+
+    {"error": {"code": "<machine-readable>", "message": "<human-readable>"}}
 
 Run it via ``repro serve`` or embed it with :func:`start_daemon` (tests and
 examples start it on an ephemeral port in a background thread).
@@ -35,23 +44,27 @@ examples start it on an ephemeral port in a background thread).
 from __future__ import annotations
 
 import json
+import re
 import threading
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro import __version__
-from repro.runtime.executors import ParallelExecutor
+from repro.runtime.executors import ParallelExecutor, SerialExecutor
+from repro.runtime.options import ExecutionOptions
 from repro.runtime.store import ResultStore
 from repro.service.jobs import DONE, ERROR, JobQueue, QueueFull
 from repro.service.requests import (
     RequestError,
-    SimulationRequest,
     execute_request,
     request_from_dict,
 )
 
 MAX_REQUEST_BYTES = 1 << 20  # 1 MiB of JSON is far beyond any real request
+
+API_PREFIX = "/v1"
+_VERSION_SEGMENT = re.compile(r"v\d+")
 
 
 class SimulationService:
@@ -77,14 +90,32 @@ class SimulationService:
             self._execute, workers=job_workers, capacity=queue_capacity
         )
 
-    def _execute(
-        self, request: SimulationRequest
-    ) -> Tuple[List[Dict[str, Any]], str, int, int]:
+    def _execute(self, request: Any) -> Tuple[List[Dict[str, Any]], str, int, int]:
         executor = (
             ParallelExecutor(self.process_workers) if self.process_workers > 1 else None
         )
         before = self.store.counters() if self.store is not None else None
-        result = execute_request(request, executor=executor, store=self.store)
+        if getattr(request, "kind", None) == "campaign":
+            # Imported lazily: repro.campaign builds on this package.
+            from repro.campaign.scheduler import run_campaign
+
+            # Campaigns schedule their own nodes; the daemon's executor
+            # policy becomes the campaign backend (serial when unset, so
+            # results match any other backend bit for bit).
+            backend = executor if executor is not None else SerialExecutor()
+            campaign_result = run_campaign(request, backend=backend, store=self.store)
+            rows: List[Dict[str, Any]] = [
+                campaign_result[node_id].to_dict() for node_id in campaign_result.order
+            ]
+            description = (
+                f"campaign {request.name}: {len(request)} node(s), "
+                f"{len(request.simulate_nodes())} simulate"
+            )
+        else:
+            result = execute_request(
+                request, options=ExecutionOptions(executor=executor, store=self.store)
+            )
+            rows, description = result.rows, result.description
         # Counter deltas are attributed per job; with several jobs in flight
         # on one store they are approximate, exact when jobs run one at a
         # time (the /stats totals are always exact).
@@ -93,12 +124,25 @@ class SimulationService:
             hits, misses = after.hits - before.hits, after.misses - before.misses
         else:
             hits = misses = 0
-        return (result.rows, result.description, hits, misses)
+        return (rows, description, hits, misses)
 
     def submit(self, payload: Dict[str, Any]):
         """Validate and enqueue a request payload; returns ``(job, attached)``."""
         request = request_from_dict(payload)
         return self.queue.submit(request)
+
+    def submit_campaign(self, payload: Dict[str, Any]):
+        """Validate and enqueue a campaign spec; returns ``(job, attached)``.
+
+        Campaign jobs ride the same :class:`~repro.service.jobs.JobQueue` as
+        simulation jobs — same states, back-pressure and in-flight dedup
+        (by the campaign's content address).
+        """
+        # Imported lazily: repro.campaign builds on this package.
+        from repro.campaign.graph import campaign_from_spec
+
+        campaign = campaign_from_spec(payload)
+        return self.queue.submit(campaign)
 
     def stats(self) -> Dict[str, Any]:
         """The ``/stats`` payload: store counters plus queue counters."""
@@ -144,13 +188,54 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def service(self) -> SimulationService:
         return self.server.service  # type: ignore[attr-defined]
 
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+    def _send_json(
+        self, status: int, payload: Dict[str, Any], *, legacy: bool = False
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if legacy:
+            # Pre-versioning alias path: identical body, plus a deprecation
+            # signal so callers migrate to /v1.
+            self.send_header("Deprecation", "true")
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_error(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        *,
+        legacy: bool = False,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """One error envelope for every failure: ``{"error": {code, message}}``."""
+        payload: Dict[str, Any] = {"error": {"code": code, "message": message}}
+        if extra:
+            payload.update(extra)
+        self._send_json(status, payload, legacy=legacy)
+
+    def _route(self) -> Optional[Tuple[List[str], bool]]:
+        """Split the path into segments; returns ``(segments, legacy)``.
+
+        ``/v1/...`` is the canonical surface; bare paths are the deprecated
+        legacy aliases.  Any *other* version prefix (``/v2/...``) is answered
+        with a 404 envelope here and ``None`` is returned.
+        """
+        parts = [part for part in self.path.split("?")[0].split("/") if part]
+        if parts and parts[0] == API_PREFIX.lstrip("/"):
+            return parts[1:], False
+        if parts and _VERSION_SEGMENT.fullmatch(parts[0]):
+            self._send_error(
+                404,
+                "unknown_version",
+                f"unknown API version {parts[0]!r}; this daemon serves "
+                f"{API_PREFIX}",
+            )
+            return None
+        return parts, True
 
     def _read_json(self) -> Dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
@@ -172,16 +257,31 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     # -- routes --------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
-        if self.path.rstrip("/") != "/jobs":
-            self._send_json(404, {"error": f"unknown path {self.path}"})
+        route = self._route()
+        if route is None:
+            return
+        parts, legacy = route
+        if parts == ["jobs"]:
+            submit = self.service.submit
+            invalid_code = "invalid_request"
+        elif parts == ["campaigns"]:
+            submit = self.service.submit_campaign
+            invalid_code = "invalid_campaign"
+        else:
+            self._send_error(
+                404, "not_found", f"unknown path {self.path}", legacy=legacy
+            )
             return
         try:
-            job, attached = self.service.submit(self._read_json())
-        except RequestError as error:
-            self._send_json(400, {"error": str(error)})
+            job, attached = submit(self._read_json())
+        except ValueError as error:
+            # RequestError and CampaignError are both ValueErrors; the
+            # latter is only importable lazily (repro.campaign builds on
+            # this package), so catch the shared base.
+            self._send_error(400, invalid_code, str(error), legacy=legacy)
             return
         except QueueFull as error:
-            self._send_json(429, {"error": str(error)})
+            self._send_error(429, "queue_full", str(error), legacy=legacy)
             return
         self._send_json(
             200 if attached else 202,
@@ -191,36 +291,50 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 "status": job.status,
                 "attached": attached,
             },
+            legacy=legacy,
         )
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
-        parts = [part for part in self.path.split("?")[0].split("/") if part]
+        route = self._route()
+        if route is None:
+            return
+        parts, legacy = route
         if parts == ["healthz"]:
-            self._send_json(200, {"status": "ok", "version": __version__})
+            self._send_json(
+                200, {"status": "ok", "version": __version__}, legacy=legacy
+            )
             return
         if parts == ["stats"]:
-            self._send_json(200, self.service.stats())
+            self._send_json(200, self.service.stats(), legacy=legacy)
             return
         if len(parts) >= 2 and parts[0] == "jobs":
             job = self.service.queue.get(parts[1])
             if job is None:
-                self._send_json(404, {"error": f"unknown job {parts[1]!r}"})
+                self._send_error(
+                    404, "unknown_job", f"unknown job {parts[1]!r}", legacy=legacy
+                )
                 return
             if len(parts) == 2:
-                self._send_json(200, job.snapshot())
+                self._send_json(200, job.snapshot(), legacy=legacy)
                 return
             if len(parts) == 3 and parts[2] == "result":
                 if job.status == DONE:
                     payload = job.snapshot()
                     payload["description"] = job.description
                     payload["rows"] = job.rows
-                    self._send_json(200, payload)
+                    self._send_json(200, payload, legacy=legacy)
                 elif job.status == ERROR:
-                    self._send_json(500, job.snapshot())
+                    self._send_error(
+                        500,
+                        "job_failed",
+                        job.error or "job failed",
+                        legacy=legacy,
+                        extra={"job": job.snapshot()},
+                    )
                 else:
-                    self._send_json(202, job.snapshot())
+                    self._send_json(202, job.snapshot(), legacy=legacy)
                 return
-        self._send_json(404, {"error": f"unknown path {self.path}"})
+        self._send_error(404, "not_found", f"unknown path {self.path}", legacy=legacy)
 
 
 class SimulationDaemon(ThreadingHTTPServer):

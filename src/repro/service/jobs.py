@@ -31,8 +31,6 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable, ContextManager, Dict, List, Optional, Tuple
 
-from repro.service.requests import SimulationRequest
-
 QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
@@ -58,7 +56,7 @@ class Job:
 
     id: str
     key: str
-    request: SimulationRequest
+    request: Any  # anything content-addressed: .key() and .kind
     status: str = QUEUED
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
@@ -108,10 +106,8 @@ class Job:
             }
 
 
-ExecuteCallable = Callable[
-    [SimulationRequest], Tuple[List[Dict[str, Any]], str, int, int]
-]
-"""Runs a request, returning ``(rows, description, cache_hits, cache_misses)``."""
+ExecuteCallable = Callable[[Any], Tuple[List[Dict[str, Any]], str, int, int]]
+"""Runs a submission, returning ``(rows, description, cache_hits, cache_misses)``."""
 
 
 class JobQueue:
@@ -152,12 +148,16 @@ class JobQueue:
 
     # -- submission / lookup -------------------------------------------------
 
-    def submit(self, request: SimulationRequest) -> Tuple[Job, bool]:
+    def submit(self, request: Any) -> Tuple[Job, bool]:
         """Enqueue ``request``; returns ``(job, attached)``.
 
-        ``attached`` is True when the request deduplicated onto an existing
-        queued/running job instead of creating a new one.  Raises
-        :class:`QueueFull` when the pending queue is at capacity.
+        ``request`` is any content-addressed submission — a
+        :class:`~repro.service.requests.SimulationRequest` or a
+        :class:`~repro.campaign.graph.Campaign` — i.e. anything with a
+        ``key()`` content address and a ``kind`` tag.  ``attached`` is True
+        when the request deduplicated onto an existing queued/running job
+        instead of creating a new one.  Raises :class:`QueueFull` when the
+        pending queue is at capacity.
         """
         key = request.key()
         with self._lock:

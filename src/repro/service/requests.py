@@ -46,6 +46,7 @@ from repro.experiments import (
     run_replications,
     run_sweep,
 )
+from repro.runtime.options import ExecutionOptions, resolve_options
 from repro.runtime.store import canonical_json
 
 SWEEP = "sweep"
@@ -412,7 +413,12 @@ def request_from_dict(payload: Mapping[str, Any]) -> SimulationRequest:
         not unknown,
         f"unknown {kind} request fields {unknown}; allowed: {', '.join(allowed)}",
     )
-    return _BUILDERS[kind](**fields)
+    try:
+        return _BUILDERS[kind](**fields)
+    except TypeError as error:
+        # Missing required fields surface as TypeError from the builder
+        # signature; normalise to the validation error the daemon maps to 400.
+        raise RequestError(f"invalid {kind} request: {error}") from None
 
 
 @dataclass(frozen=True)
@@ -557,21 +563,27 @@ def _summary_table(result) -> ResultTable:
 def execute_request(
     request: SimulationRequest,
     *,
+    options: Optional[ExecutionOptions] = None,
     executor: Any = None,
     store: Any = None,
     prepared: Optional[PreparedRequest] = None,
 ) -> RequestResult:
     """Execute ``request`` and return its result table.
 
-    ``executor``/``store`` route execution through the parallel runtime
-    exactly as the CLI's ``--workers``/``--store`` flags do.  Pass a
+    ``options`` — an :class:`~repro.runtime.options.ExecutionOptions` —
+    routes execution through the parallel runtime exactly as the CLI's
+    ``--workers``/``--store`` flags do; the legacy ``executor=``/``store=``
+    keyword arguments still work but emit ``DeprecationWarning``.  Pass a
     ``prepared`` request to reuse a prior :func:`prepare_request` derivation
     (e.g. when a front end already resolved it for display purposes).
     """
+    options = resolve_options(
+        options, executor=executor, store=store, owner="execute_request"
+    )
     prepared = prepared if prepared is not None else prepare_request(request)
     notes: Tuple[str, ...] = ()
     if prepared.grid is not None:
-        if request.engine == "batched" and (executor is not None or store is not None):
+        if request.engine == "batched" and options is not None and options.active:
             notes = (PER_POINT_NOTE,)
         _, table = run_sweep(
             prepared.name,
@@ -580,8 +592,7 @@ def execute_request(
             replications=prepared.replications,
             seed=prepared.seed,
             base_parameters=prepared.base_parameters,
-            executor=executor,
-            store=store,
+            options=options,
         )
         description = (
             f"sweep engine={request.engine}: {len(prepared.grid)} grid points "
@@ -591,7 +602,7 @@ def execute_request(
             request=request, table=table, description=description, notes=notes
         )
     result = run_replications(
-        prepared.config, prepared.replication, executor=executor, store=store
+        prepared.config, prepared.replication, options=options
     )
     return RequestResult(
         request=request,

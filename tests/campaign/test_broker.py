@@ -1,0 +1,316 @@
+"""Socket coordinator/broker backend: framing, fault tolerance, bit-identity.
+
+Brokers run as daemon threads inside the test process (:func:`run_broker` is
+pure stdlib and thread-safe with ``workers=1``), so these tests exercise the
+real wire protocol over loopback TCP without spawning subprocesses.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.campaign import (
+    BrokerBackend,
+    BrokerError,
+    BrokerProtocolError,
+    campaign_from_spec,
+    parse_address,
+    run_broker,
+    run_campaign,
+)
+from repro.campaign.broker import (
+    recv_frame,
+    send_frame,
+    task_from_wire,
+    task_to_wire,
+)
+from repro.experiments.dynamics_sweep import dynamics_point_replication
+from repro.runtime import ResultStore, SerialExecutor, execute_task
+from repro.runtime.shard import Task
+
+REPLICATION_REF = "repro.experiments.dynamics_sweep:dynamics_point_replication"
+
+SWEEP_REQUEST = {
+    "kind": "sweep",
+    "options": [0.8, 0.5],
+    "populations": [50],
+    "horizon": 6,
+    "replications": 3,
+    "engine": "loop",
+}
+
+
+def campaign_spec():
+    return {
+        "name": "broker-demo",
+        "nodes": [
+            {"id": "sim", "kind": "simulate", "request": dict(SWEEP_REQUEST)},
+            {"id": "stats", "kind": "analyse", "inputs": ["sim"]},
+            {"id": "summary", "kind": "report", "inputs": ["stats"]},
+        ],
+    }
+
+
+def sample_task(ordinal=0, seeds=(11, 12)):
+    return Task(
+        ordinal=ordinal,
+        point_index=ordinal,
+        name=f"wire-{ordinal}",
+        function_ref=REPLICATION_REF,
+        mode="loop",
+        parameters={"qualities": [0.8, 0.5], "N": 40, "T": 6},
+        seeds=tuple(seeds),
+        replicate_offset=0,
+    )
+
+
+def start_broker(address, **kwargs):
+    """Run one broker in a daemon thread; returns (thread, result holder)."""
+    holder = {}
+
+    def target():
+        try:
+            holder["executed"] = run_broker(address, connect_timeout=10.0, **kwargs)
+        except BaseException as error:  # noqa: BLE001 - surfaced by the test
+            holder["error"] = error
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    return thread, holder
+
+
+class TestAddressParsing:
+    def test_round_trip(self):
+        assert parse_address("tcp://127.0.0.1:9000") == ("127.0.0.1", 9000)
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["127.0.0.1:9000", "tcp://:9000", "tcp://host:", "tcp://host:notaport"],
+    )
+    def test_malformed_addresses_rejected(self, bad):
+        with pytest.raises(ValueError, match="broker address"):
+            parse_address(bad)
+
+
+class TestWireFormat:
+    def test_task_round_trips_through_json(self):
+        task = sample_task()
+        restored = task_from_wire(task_to_wire(task))
+        assert restored == task
+        assert restored.seeds == (11, 12)  # tuple of ints, not list
+
+    def test_malformed_task_frame_raises_protocol_error(self):
+        with pytest.raises(BrokerProtocolError, match="malformed task frame"):
+            task_from_wire({"ordinal": 0})
+
+    def test_frame_round_trip_over_a_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, {"type": "hello", "workers": 3})
+            assert recv_frame(right) == {"type": "hello", "workers": 3}
+        finally:
+            left.close()
+            right.close()
+
+    def test_oversized_frame_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack(">I", 2**31))
+            with pytest.raises(BrokerProtocolError, match="exceeds the protocol cap"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_untyped_frame_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            payload = b'{"no_type": 1}'
+            left.sendall(struct.pack(">I", len(payload)) + payload)
+            with pytest.raises(BrokerProtocolError, match="not a typed message"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+
+class TestBrokerValidation:
+    def test_invalid_num_shards(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            BrokerBackend(num_shards=0)
+
+    def test_invalid_min_brokers(self):
+        with pytest.raises(ValueError, match="min_brokers"):
+            BrokerBackend(min_brokers=0)
+
+    def test_invalid_broker_worker_count(self):
+        with pytest.raises(ValueError, match="workers"):
+            run_broker("tcp://127.0.0.1:1", workers=0)
+
+    def test_closed_backend_refuses_work(self):
+        backend = BrokerBackend()
+        backend.close()
+        with pytest.raises(BrokerError, match="closed"):
+            list(
+                backend.run_shards([[sample_task()]], dynamics_point_replication)
+            )
+
+    def test_timeout_with_no_brokers(self):
+        with BrokerBackend(timeout=0.3) as backend:
+            with pytest.raises(BrokerError, match="no broker progress"):
+                list(
+                    backend.run_shards(
+                        [[sample_task()]], dynamics_point_replication
+                    )
+                )
+
+    def test_closure_replication_rejected_before_dispatch(self):
+        def closure(seed, parameters):
+            return {"x": 0.0}
+
+        with BrokerBackend(timeout=0.3) as backend:
+            with pytest.raises(ValueError, match="importable at module level"):
+                list(backend.run_shards([[sample_task()]], closure))
+
+
+class TestShardExecution:
+    def test_results_stream_back_bit_identical_to_local_execution(self):
+        tasks = [sample_task(0), sample_task(1)]
+        with BrokerBackend(timeout=10.0) as backend:
+            thread, holder = start_broker(backend.address)
+            results = list(
+                backend.run_shards(
+                    [[tasks[0]], [tasks[1]]], dynamics_point_replication
+                )
+            )
+        thread.join(timeout=10.0)
+        assert "error" not in holder
+        assert holder["executed"] == 2
+        merged = {task.ordinal: rows for shard in results for task, rows in shard}
+        expected = {
+            task.ordinal: execute_task(task, dynamics_point_replication)
+            for task in tasks
+        }
+        assert merged == expected
+
+    def test_result_rows_pair_with_the_coordinators_own_tasks(self):
+        task = sample_task()
+        with BrokerBackend(timeout=10.0) as backend:
+            thread, _ = start_broker(backend.address)
+            stream = backend.run_shards([[task]], dynamics_point_replication)
+            ((returned_task, rows),) = next(stream)
+            list(stream)  # drain to completion
+        thread.join(timeout=10.0)
+        assert returned_task is task  # identity, not a wire round-trip copy
+        assert len(rows) == len(task.seeds)
+
+    def test_task_failure_aborts_the_run(self):
+        broken = Task(
+            ordinal=0,
+            point_index=0,
+            name="broken",
+            function_ref="repro.experiments.dynamics_sweep:does_not_exist",
+            mode="loop",
+            parameters={},
+            seeds=(1,),
+            replicate_offset=0,
+        )
+        with BrokerBackend(timeout=10.0) as backend:
+            thread, _ = start_broker(backend.address)
+            with pytest.raises(BrokerError, match="failed shard"):
+                list(backend.run_shards([[broken]], dynamics_point_replication))
+        thread.join(timeout=10.0)
+
+
+class TestCampaignOnBrokers:
+    def test_two_brokers_bit_identical_to_serial(self):
+        campaign = campaign_from_spec(campaign_spec())
+        serial = run_campaign(campaign, backend=SerialExecutor())
+        with BrokerBackend(min_brokers=2, timeout=15.0) as backend:
+            threads = [start_broker(backend.address)[0] for _ in range(2)]
+            brokered = run_campaign(campaign, backend=backend)
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert [list(brokered[n].rows) for n in brokered.order] == [
+            list(serial[n].rows) for n in serial.order
+        ]
+
+    def test_killing_a_broker_mid_campaign_loses_at_most_one_shard(self):
+        # One broker vanishes after a single shard (the deterministic crash
+        # stand-in); the survivor absorbs the requeued work and the campaign
+        # still matches the serial run bit for bit.
+        campaign = campaign_from_spec(campaign_spec())
+        serial = run_campaign(campaign, backend=SerialExecutor())
+        with BrokerBackend(min_brokers=2, timeout=15.0) as backend:
+            crashy_thread, crashy = start_broker(backend.address, max_shards=1)
+            survivor_thread, survivor = start_broker(backend.address)
+            brokered = run_campaign(campaign, backend=backend)
+        crashy_thread.join(timeout=10.0)
+        survivor_thread.join(timeout=10.0)
+        assert crashy.get("executed") == 1
+        assert survivor.get("executed", 0) >= 1
+        assert [list(brokered[n].rows) for n in brokered.order] == [
+            list(serial[n].rows) for n in serial.order
+        ]
+
+    def test_resume_after_crash_replays_from_the_store(self, tmp_path):
+        # Kill-and-resume acceptance: a campaign re-run against the same
+        # store completes with zero new cache misses, even when the first
+        # run rode through a broker crash.
+        campaign = campaign_from_spec(campaign_spec())
+        with ResultStore(tmp_path / "resume.sqlite") as store:
+            with BrokerBackend(min_brokers=2, timeout=15.0) as backend:
+                crashy_thread, _ = start_broker(backend.address, max_shards=1)
+                survivor_thread, _ = start_broker(backend.address)
+                cold = run_campaign(campaign, backend=backend, store=store)
+            crashy_thread.join(timeout=10.0)
+            survivor_thread.join(timeout=10.0)
+            misses_after_cold = store.counters().misses
+            assert misses_after_cold > 0
+            with BrokerBackend(min_brokers=1, timeout=15.0) as backend:
+                idle_thread, _ = start_broker(backend.address)
+                warm = run_campaign(campaign, backend=backend, store=store)
+            idle_thread.join(timeout=10.0)
+            assert store.counters().misses == misses_after_cold  # 0 new misses
+        assert [list(warm[n].rows) for n in warm.order] == [
+            list(cold[n].rows) for n in cold.order
+        ]
+
+
+class TestLateAndPersistentBrokers:
+    def test_broker_joining_mid_run_is_used(self):
+        # The first broker dies after two of the four shards; a broker that
+        # dials in mid-run must be accepted and serve the remainder.
+        shards = [[sample_task(i)] for i in range(4)]
+        with BrokerBackend(min_brokers=1, timeout=15.0) as backend:
+            first_thread, first = start_broker(backend.address, max_shards=2)
+            stream = backend.run_shards(shards, dynamics_point_replication)
+            results = [next(stream), next(stream)]
+            late_thread, late = start_broker(backend.address)
+            results.extend(stream)
+        first_thread.join(timeout=10.0)
+        late_thread.join(timeout=10.0)
+        assert len(results) == 4
+        assert first["executed"] == 2
+        assert late["executed"] == 2
+
+    def test_one_fleet_serves_consecutive_runs(self):
+        with BrokerBackend(timeout=15.0) as backend:
+            thread, holder = start_broker(backend.address)
+            first = list(
+                backend.run_shards(
+                    [[sample_task(0)]], dynamics_point_replication
+                )
+            )
+            second = list(
+                backend.run_shards(
+                    [[sample_task(1)]], dynamics_point_replication
+                )
+            )
+        thread.join(timeout=10.0)
+        assert holder["executed"] == 2
+        assert len(first) == len(second) == 1

@@ -1,0 +1,184 @@
+"""Scheduler semantics: ready-set order, node execution, store short-circuit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import (
+    CampaignError,
+    CampaignScheduler,
+    run_campaign,
+    campaign_from_spec,
+)
+from repro.campaign.scheduler import _numeric_columns
+from repro.runtime import ResultStore, SerialExecutor
+from repro.service import execute_request, sweep_request
+from repro.runtime.options import ExecutionOptions
+
+SWEEP_REQUEST = {
+    "kind": "sweep",
+    "options": [0.8, 0.5],
+    "populations": [50],
+    "horizon": 6,
+    "replications": 2,
+    "engine": "loop",
+}
+
+
+def three_node_spec():
+    return {
+        "name": "demo",
+        "nodes": [
+            {"id": "sim", "kind": "simulate", "request": dict(SWEEP_REQUEST)},
+            {"id": "stats", "kind": "analyse", "inputs": ["sim"]},
+            {"id": "summary", "kind": "report", "inputs": ["sim", "stats"]},
+        ],
+    }
+
+
+@pytest.fixture()
+def campaign():
+    return campaign_from_spec(three_node_spec())
+
+
+class TestThreeNodeCampaign:
+    def test_runs_in_dependency_order(self, campaign):
+        result = run_campaign(campaign)
+        assert result.order == ["sim", "stats", "summary"]
+
+    def test_simulate_rows_match_a_direct_request_run(self, campaign):
+        # The scheduler routes simulate nodes through the same
+        # execute_request path the CLI and daemon use — bit-identical rows.
+        result = run_campaign(campaign)
+        direct = execute_request(
+            sweep_request(
+                options=[0.8, 0.5],
+                populations=[50],
+                horizon=6,
+                replications=2,
+                engine="loop",
+            ),
+            options=ExecutionOptions(executor=SerialExecutor()),
+        )
+        assert list(result["sim"].rows) == direct.rows
+
+    def test_analyse_summarises_numeric_columns(self, campaign):
+        result = run_campaign(campaign)
+        rows = result["stats"].rows
+        metrics = [row["metric"] for row in rows]
+        assert len(metrics) == len(set(metrics)) > 0
+        for row in rows:
+            for stat in ("mean", "std", "min", "max", "ci_low", "ci_high"):
+                assert stat in row
+            assert row["min"] <= row["mean"] <= row["max"]
+
+    def test_report_tags_rows_and_renders_text(self, campaign):
+        result = run_campaign(campaign)
+        report = result["summary"]
+        tags = {row["node"] for row in report.rows}
+        assert tags == {"sim", "stats"}
+        assert len(report.rows) == len(result["sim"].rows) + len(
+            result["stats"].rows
+        )
+        assert report.text is not None
+        assert report.text.splitlines()[0] == "Report summary"
+        assert "[analyse] stats:" in report.text
+
+    def test_reports_accessor_and_to_dict(self, campaign):
+        result = run_campaign(campaign)
+        assert [report.node_id for report in result.reports()] == ["summary"]
+        payload = result.to_dict()
+        assert payload["campaign"] == "demo"
+        assert payload["key"] == campaign.key()
+        assert payload["order"] == result.order
+        assert [node["id"] for node in payload["nodes"]] == result.order
+
+    def test_on_node_callback_fires_per_node(self, campaign):
+        seen = []
+        run_campaign(campaign, on_node=lambda node, res: seen.append(node.id))
+        assert seen == ["sim", "stats", "summary"]
+
+
+class TestReadySetOrder:
+    def test_ready_analysis_preempts_queued_simulates(self):
+        # With two independent simulate chains, the analyse over the first
+        # finished sweep must run before the second (expensive) simulate.
+        spec = {
+            "name": "interleave",
+            "nodes": [
+                {"id": "sim-a", "kind": "simulate", "request": dict(SWEEP_REQUEST)},
+                {
+                    "id": "sim-b",
+                    "kind": "simulate",
+                    "request": {**SWEEP_REQUEST, "seed": 1},
+                },
+                {"id": "stats-a", "kind": "analyse", "inputs": ["sim-a"]},
+                {"id": "stats-b", "kind": "analyse", "inputs": ["sim-b"]},
+            ],
+        }
+        result = run_campaign(campaign_from_spec(spec))
+        assert result.order == ["sim-a", "stats-a", "sim-b", "stats-b"]
+
+
+class TestStoreIntegration:
+    def test_warm_store_short_circuits_every_shard(self, campaign, tmp_path):
+        with ResultStore(tmp_path / "campaign.sqlite") as store:
+            cold = run_campaign(campaign, store=store)
+            cold_misses = store.counters().misses
+            assert cold_misses > 0
+            warm = run_campaign(campaign, store=store)
+            counters = store.counters()
+            assert counters.misses == cold_misses  # zero new misses
+            assert counters.hits > 0
+        for node_id in cold.order:
+            assert list(warm[node_id].rows) == list(cold[node_id].rows)
+
+    def test_storeless_and_stored_runs_are_bit_identical(self, campaign, tmp_path):
+        bare = run_campaign(campaign)
+        with ResultStore(tmp_path / "campaign.sqlite") as store:
+            stored = run_campaign(campaign, store=store)
+        assert [list(stored[n].rows) for n in stored.order] == [
+            list(bare[n].rows) for n in bare.order
+        ]
+
+
+class TestAnalyseValidation:
+    def test_named_metric_missing_from_rows_is_an_error(self):
+        spec = three_node_spec()
+        spec["nodes"][1]["metrics"] = ["no_such_metric"]
+        campaign = campaign_from_spec(spec)
+        with pytest.raises(CampaignError, match="no_such_metric"):
+            run_campaign(campaign)
+
+    def test_named_metrics_restrict_the_summary(self):
+        spec = three_node_spec()
+        spec["nodes"][1]["metrics"] = ["best_option_share"]
+        result = run_campaign(campaign_from_spec(spec))
+        assert [row["metric"] for row in result["stats"].rows] == [
+            "best_option_share"
+        ]
+
+
+class TestNumericColumns:
+    def test_booleans_and_strings_are_not_metrics(self):
+        rows = [
+            {"name": "a", "value": 1.0, "flag": True, "count": 3},
+            {"name": "b", "value": 2.0, "flag": False, "count": 4},
+        ]
+        assert _numeric_columns(rows) == ["value", "count"]
+
+    def test_column_must_be_numeric_in_every_row(self):
+        rows = [{"value": 1.0, "extra": 2.0}, {"value": 3.0, "extra": None}]
+        assert _numeric_columns(rows) == ["value"]
+
+    def test_empty_rows_give_no_columns(self):
+        assert _numeric_columns([]) == []
+
+
+def test_scheduler_defaults_to_serial_executor(campaign):
+    # Explicit backend=None must behave exactly like the default.
+    explicit = CampaignScheduler(backend=None).run(campaign)
+    default = CampaignScheduler().run(campaign)
+    assert [list(explicit[n].rows) for n in explicit.order] == [
+        list(default[n].rows) for n in default.order
+    ]
