@@ -24,9 +24,12 @@ import pytest
 
 from repro.campaign import BrokerBackend, campaign_from_spec, run_campaign
 from repro.experiments import ResultTable
+from repro.obs import MemorySink, Tracer
 from repro.runtime import ParallelExecutor
 
 MAX_OVERHEAD = 2.0
+MAX_TRACE_OVERHEAD = 1.02  # tracing must stay within 2% of the untraced run
+TRACE_EPSILON_S = 0.05  # absolute slack so sub-second runs aren't noise-bound
 POPULATIONS = list(range(30, 80, 5))  # 10 grid points
 REPLICATIONS = 2  # x2 -> 20 loop-engine tasks
 WORKERS = 2
@@ -113,4 +116,61 @@ def test_broker_dispatch_overhead_within_2x_of_pool(save_results):
     assert overhead <= MAX_OVERHEAD, (
         f"broker dispatch took {broker_seconds:.2f}s vs pool "
         f"{pool_seconds:.2f}s ({overhead:.2f}x > {MAX_OVERHEAD}x)"
+    )
+
+
+@pytest.mark.benchmark(group="campaign-tracing")
+def test_tracing_overhead_within_2_percent(save_results):
+    """The observability layer must be free when off and near-free when on.
+
+    Min-of-3 on the same 20-task campaign, first untraced (NULL_TRACER hot
+    path) then with a live MemorySink tracer; the traced minimum must stay
+    within 2% (+50ms absolute slack for sub-second runs) of the untraced
+    minimum.  Min-of-N is the standard scheduler-noise filter: any single
+    slow run is a preemption, the minimum is the cost.
+    """
+    repeats = 3
+    campaign = campaign_from_spec(campaign_spec(40, "bench-trace"))
+    warmup = campaign_from_spec(campaign_spec(4, "warmup"))
+    executor = ParallelExecutor(WORKERS)
+    run_campaign(warmup, backend=executor)  # fork/import warm-up
+
+    base_seconds = min(
+        _timed_run(campaign, executor)[0] for _ in range(repeats)
+    )
+
+    traced_runs = []
+    for _ in range(repeats):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        start = time.perf_counter()
+        result = run_campaign(campaign, backend=executor, tracer=tracer)
+        traced_runs.append((time.perf_counter() - start, sink, result))
+    traced_seconds, sink, result = min(traced_runs, key=lambda run: run[0])
+
+    # The traced run really traced: one span per shard plus the DAG nodes.
+    with sink._lock:
+        [trace_id] = list(sink._traces)
+    records = sink.records(trace_id)
+    ends = [r for r in records if r["event"] == "span_end"]
+    names = [r["name"] for r in ends]
+    assert names.count("shard") == executor.num_shards
+    assert names.count("campaign_node") == len(result.order)
+
+    overhead = traced_seconds / base_seconds
+    table = ResultTable()
+    table.add_row(
+        {
+            "tasks": len(POPULATIONS) * REPLICATIONS,
+            "workers": WORKERS,
+            "base_seconds": base_seconds,
+            "traced_seconds": traced_seconds,
+            "overhead_x": overhead,
+        }
+    )
+    save_results(table, "bench_campaign_tracing")
+    budget = base_seconds * MAX_TRACE_OVERHEAD + TRACE_EPSILON_S
+    assert traced_seconds <= budget, (
+        f"tracing took {traced_seconds:.3f}s vs {base_seconds:.3f}s untraced "
+        f"({overhead:.3f}x; budget {budget:.3f}s)"
     )

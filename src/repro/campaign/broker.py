@@ -47,15 +47,21 @@ from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, get_registry
+from repro.obs.trace import current_context, get_tracer, set_ambient_context
 from repro.runtime.backend import check_resolvable
 from repro.runtime.executors import (
     ShardResults,
+    ShardTiming,
     _execute_shard,
     _repro_import_root,
     _worker_initializer,
     resolve_replication,
 )
 from repro.runtime.shard import Task, execute_task
+from repro.utils.logging import get_logger
+
+logger = get_logger("campaign.broker")
 
 _LENGTH = struct.Struct(">I")
 MAX_FRAME_BYTES = 64 * 1024 * 1024
@@ -163,6 +169,7 @@ class _BrokerConnection:
         self.ready = False  # hello received
         self.workers = 1
         self.in_flight: Optional[int] = None  # shard id being executed
+        self.dispatched_at: float = 0.0  # perf_counter at shard send
 
     def feed(self) -> List[Dict[str, Any]]:
         """Drain readable bytes; return complete frames (EOF raises)."""
@@ -254,6 +261,28 @@ class BrokerBackend:
         self._selector.register(self._listener, selectors.EVENT_READ, None)
         self._brokers: List[_BrokerConnection] = []
         self._closed = False
+        #: Broker-measured timing of the most recently yielded shard (read
+        #: by the driver right after each ``run_shards`` yield).
+        self.last_shard_timing: Optional[ShardTiming] = None
+        registry = get_registry()
+        self._in_flight_gauge = registry.gauge(
+            "repro_shards_in_flight",
+            "Shards currently submitted to an execution backend.",
+        )
+        self._completed_counter = registry.counter(
+            "repro_shards_completed_total",
+            "Shards completed, by execution backend.",
+        )
+        self._requeue_counter = registry.counter(
+            "repro_broker_requeues_total",
+            "Shards requeued after a broker dropped its connection.",
+        )
+        self._dispatch_histogram = registry.histogram(
+            "repro_shard_dispatch_overhead_seconds",
+            "Parent-side shard latency minus worker-measured wall time "
+            "(pickling, pool queueing, result transfer).",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
 
     @property
     def address(self) -> str:
@@ -376,6 +405,8 @@ class BrokerBackend:
                     # requeue it and keep going on the survivors.
                     if broker.in_flight is not None:
                         pending.appendleft(broker.in_flight)
+                        self._in_flight_gauge.dec(backend="broker")
+                        self._record_requeue(broker, broker.in_flight)
                     self._drop(broker)
                     continue
                 for frame in frames:
@@ -388,9 +419,31 @@ class BrokerBackend:
     def _ready_count(self) -> int:
         return sum(1 for broker in self._brokers if broker.ready)
 
+    def _record_requeue(self, broker: _BrokerConnection, shard_id: int) -> None:
+        """Structured accounting of one dropped-connection shard requeue."""
+        in_flight = sum(
+            1 for other in self._brokers if other.in_flight is not None
+        )
+        self._requeue_counter.inc()
+        logger.warning(
+            "broker_requeue broker=%s shard=%s in_flight=%d",
+            broker.peer,
+            shard_id,
+            in_flight,
+        )
+        tracer = get_tracer()
+        if getattr(tracer, "enabled", False):
+            tracer.event(
+                "broker_requeue",
+                {"broker": broker.peer, "shard": shard_id, "in_flight": in_flight},
+            )
+
     def _dispatch(
         self, pending: Deque[int], shard_tasks: Dict[int, List[Task]]
     ) -> None:
+        # The coordinator's span context rides in every shard frame so
+        # broker-side events join the campaign trace.
+        context = current_context()
         for broker in self._ready_brokers():
             if not pending:
                 return
@@ -400,13 +453,21 @@ class BrokerBackend:
                 "shard": shard_id,
                 "tasks": [task_to_wire(task) for task in shard_tasks[shard_id]],
             }
+            if context is not None:
+                message["trace"] = {
+                    "trace_id": context.trace_id,
+                    "span_id": context.span_id,
+                }
             try:
                 send_frame(broker.sock, message)
             except OSError:
                 pending.appendleft(shard_id)
+                self._record_requeue(broker, shard_id)
                 self._drop(broker)
                 continue
             broker.in_flight = shard_id
+            broker.dispatched_at = time.perf_counter()
+            self._in_flight_gauge.inc(backend="broker")
 
     def _handle(
         self,
@@ -435,6 +496,24 @@ class BrokerBackend:
                 f"running {broker.in_flight!r}"
             )
         broker.in_flight = None
+        self._in_flight_gauge.dec(backend="broker")
+        self._completed_counter.inc(backend="broker")
+        elapsed = time.perf_counter() - broker.dispatched_at
+        timing = frame.get("timing")
+        if isinstance(timing, dict) and "wall_s" in timing:
+            # Broker-measured compute time; the remainder of the round trip
+            # is wire + scheduling overhead.
+            self.last_shard_timing = {
+                "wall_s": float(timing.get("wall_s", 0.0)),
+                "cpu_s": float(timing.get("cpu_s", 0.0)),
+            }
+            self._dispatch_histogram.observe(
+                max(0.0, elapsed - self.last_shard_timing["wall_s"]),
+                backend="broker",
+            )
+        else:
+            self.last_shard_timing = {"wall_s": elapsed, "cpu_s": 0.0}
+            self._dispatch_histogram.observe(0.0, backend="broker")
         tasks = shard_tasks[shard_id]
         rows_per_task = frame.get("rows")
         if not isinstance(rows_per_task, list) or len(rows_per_task) != len(tasks):
@@ -501,7 +580,14 @@ def run_broker(
                 return executed
             if kind != "shard":
                 raise BrokerProtocolError(f"unexpected {kind!r} frame from coordinator")
+            trace = message.get("trace")
+            if isinstance(trace, dict):
+                # Adopt the coordinator's span context so events emitted on
+                # this side of the wire join the campaign trace.
+                set_ambient_context(trace.get("trace_id"), trace.get("span_id"))
             tasks = [task_from_wire(payload) for payload in message["tasks"]]
+            wall_start = time.perf_counter()
+            cpu_start = time.process_time()
             try:
                 rows_per_task = _execute_tasks(tasks, pool)
             except Exception as error:  # noqa: BLE001 - forwarded to coordinator
@@ -516,7 +602,15 @@ def run_broker(
                 return executed
             send_frame(
                 sock,
-                {"type": "result", "shard": message["shard"], "rows": rows_per_task},
+                {
+                    "type": "result",
+                    "shard": message["shard"],
+                    "rows": rows_per_task,
+                    "timing": {
+                        "wall_s": time.perf_counter() - wall_start,
+                        "cpu_s": time.process_time() - cpu_start,
+                    },
+                },
             )
             executed += 1
             if on_shard is not None:

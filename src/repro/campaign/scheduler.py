@@ -47,6 +47,7 @@ from repro.campaign.graph import (
     CampaignError,
     CampaignNode,
 )
+from repro.obs.trace import resolve_tracer
 from repro.runtime.executors import SerialExecutor
 from repro.runtime.options import ExecutionOptions
 from repro.service.requests import execute_request
@@ -152,6 +153,13 @@ class CampaignScheduler:
     on_node:
         Optional ``callback(node, result)`` invoked after each node merges
         (progress reporting).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer` (defaults to the process
+        tracer, a no-op unless installed).  With tracing on, each run opens
+        one ``campaign`` root span keyed by the campaign's content address
+        and one ``campaign_node`` span per node — carrying its kind and
+        input edges, with shard spans nesting under the simulate nodes —
+        so a trace reconstructs the full DAG with per-node latency.
     """
 
     def __init__(
@@ -160,10 +168,12 @@ class CampaignScheduler:
         *,
         store: Any = None,
         on_node: Optional[Callable[[CampaignNode, NodeResult], None]] = None,
+        tracer: Any = None,
     ) -> None:
         self._backend = backend if backend is not None else SerialExecutor()
         self._store = store
         self._on_node = on_node
+        self._tracer = tracer  # resolved per run, so set_tracer() applies
 
     def run(self, campaign: Campaign) -> CampaignResult:
         """Run every node of ``campaign``; returns the merged results.
@@ -173,6 +183,9 @@ class CampaignScheduler:
         topological index — deterministic, and never blocked on an
         unrelated "phase".
         """
+        tracer = resolve_tracer(self._tracer)
+        traced = bool(getattr(tracer, "enabled", False))
+        campaign_key = campaign.key() if traced else ""
         topo_index = {node.id: index for index, node in enumerate(campaign.nodes)}
         waiting = {node.id: len(node.inputs) for node in campaign.nodes}
         dependents = campaign.dependents()
@@ -183,37 +196,63 @@ class CampaignScheduler:
                     ready, (KIND_PRIORITY[node.kind], topo_index[node.id], node.id)
                 )
         result = CampaignResult(campaign=campaign)
-        while ready:
-            _, _, node_id = heapq.heappop(ready)
-            node = campaign.node(node_id)
-            node_result = self._run_node(node, result)
-            result.node_results[node_id] = node_result
-            result.order.append(node_id)
-            if self._on_node is not None:
-                self._on_node(node, node_result)
-            for downstream in dependents[node_id]:
-                waiting[downstream] -= 1
-                if waiting[downstream] == 0:
-                    kind = campaign.node(downstream).kind
-                    heapq.heappush(
-                        ready, (KIND_PRIORITY[kind], topo_index[downstream], downstream)
+        with tracer.span(
+            "campaign",
+            campaign_key,
+            attributes={"name": campaign.name, "nodes": len(campaign.nodes)},
+        ):
+            while ready:
+                _, _, node_id = heapq.heappop(ready)
+                node = campaign.node(node_id)
+                # The node span key extends the campaign's content address,
+                # so node span ids are deterministic across runs/backends
+                # and the recorded `inputs` edges reconstruct the DAG.
+                with tracer.span(
+                    "campaign_node",
+                    f"{campaign_key}/{node_id}",
+                    attributes={
+                        "node": node_id,
+                        "kind": node.kind,
+                        "inputs": list(node.inputs),
+                    },
+                ) as node_span:
+                    node_result = self._run_node(
+                        node, result, tracer if traced else None
                     )
+                    if traced:
+                        node_span.set_attribute("rows", len(node_result.rows))
+                result.node_results[node_id] = node_result
+                result.order.append(node_id)
+                if self._on_node is not None:
+                    self._on_node(node, node_result)
+                for downstream in dependents[node_id]:
+                    waiting[downstream] -= 1
+                    if waiting[downstream] == 0:
+                        kind = campaign.node(downstream).kind
+                        heapq.heappush(
+                            ready,
+                            (KIND_PRIORITY[kind], topo_index[downstream], downstream),
+                        )
         return result
 
-    def _run_node(self, node: CampaignNode, result: CampaignResult) -> NodeResult:
+    def _run_node(
+        self, node: CampaignNode, result: CampaignResult, tracer: Any = None
+    ) -> NodeResult:
         if node.kind == SIMULATE:
-            return self._run_simulate(node)
+            return self._run_simulate(node, tracer)
         upstream = [result.node_results[input_id] for input_id in node.inputs]
         if node.kind == ANALYSE:
             return self._run_analyse(node, upstream)
         return self._run_report(node, upstream)
 
-    def _run_simulate(self, node: CampaignNode) -> NodeResult:
+    def _run_simulate(self, node: CampaignNode, tracer: Any = None) -> NodeResult:
         assert node.request is not None
         # Always hand execute_request an executor: the runtime per-point
         # path is the one every backend shares, so in-process, pool and
         # broker runs of the same node are bit-identical by construction.
-        options = ExecutionOptions(executor=self._backend, store=self._store)
+        options = ExecutionOptions(
+            executor=self._backend, store=self._store, tracer=tracer
+        )
         request_result = execute_request(node.request, options=options)
         return NodeResult(
             node_id=node.id,
@@ -295,7 +334,8 @@ def run_campaign(
     backend: Any = None,
     store: Any = None,
     on_node: Optional[Callable[[CampaignNode, NodeResult], None]] = None,
+    tracer: Any = None,
 ) -> CampaignResult:
     """Convenience wrapper: schedule ``campaign`` on ``backend`` with ``store``."""
-    scheduler = CampaignScheduler(backend, store=store, on_node=on_node)
+    scheduler = CampaignScheduler(backend, store=store, on_node=on_node, tracer=tracer)
     return scheduler.run(campaign)

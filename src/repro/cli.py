@@ -1,6 +1,6 @@
 """Command-line interface for quick simulations and bound calculations.
 
-Ten subcommands cover the workflows a user reaches for most often without
+Eleven subcommands cover the workflows a user reaches for most often without
 writing a script::
 
     python -m repro simulate --options 0.8 0.5 0.5 --population 2000 --horizon 300
@@ -13,6 +13,7 @@ writing a script::
     python -m repro serve    --port 8765 --store results.sqlite
     python -m repro campaign --spec campaign.json --backend pool --store results.sqlite
     python -m repro broker   --coordinator tcp://coordinator-host:5555 --workers 4
+    python -m repro trace    summarize trace.jsonl
 
 ``run`` executes many independent replications at once on the batched
 replicate-axis engine (:class:`repro.core.batched.BatchedDynamics`); pass
@@ -50,6 +51,13 @@ processes, on any machine, at the endpoint given via ``--brokers``).  All
 backends produce bit-identical results, and with ``--store`` a killed
 campaign resumes from cache.  See the README's "Campaigns" guide.
 
+The runtime-enabled commands (``sweep``/``network``/``protocol``/``campaign``)
+and ``serve`` additionally accept ``--trace-out PATH`` (default: the
+``REPRO_TRACE_OUT`` environment variable): every span — per-shard execution,
+cache lookups, campaign DAG nodes — is appended to a JSONL trace file that
+``repro trace summarize PATH`` renders as a per-phase latency breakdown.
+See the README's "Observability" guide.
+
 Every command prints an aligned text table; ``--output`` additionally writes
 CSV via :func:`repro.experiments.io.write_csv`.
 """
@@ -58,6 +66,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence
@@ -92,6 +101,7 @@ from repro.experiments import (
     run_replications,
     write_csv,
 )
+from repro.obs import TRACE_OUT_ENV, JsonlSink, Tracer, summarize_trace_file
 from repro.runtime import ExecutionOptions, ParallelExecutor, ResultStore
 from repro.service.daemon import SimulationDaemon, SimulationService
 from repro.service.requests import (
@@ -175,6 +185,34 @@ def _add_runtime_arguments(subparser: argparse.ArgumentParser) -> None:
             "64); entries beyond it are served from the columnar cold tier"
         ),
     )
+    _add_trace_argument(runtime)
+
+
+def _add_trace_argument(target: Any) -> None:
+    """Attach the shared ``--trace-out`` flag to a parser or argument group."""
+    target.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        help=(
+            "append structured trace records (spans, shard timings, cache "
+            "events) to this JSONL file; defaults to the "
+            f"{TRACE_OUT_ENV} environment variable; summarize with "
+            "`repro trace summarize PATH`"
+        ),
+    )
+
+
+def _open_tracer(args: argparse.Namespace) -> Optional[Tracer]:
+    """Build a JSONL tracer from ``--trace-out`` / ``REPRO_TRACE_OUT``."""
+    path = args.trace_out or os.environ.get(TRACE_OUT_ENV)
+    if not path:
+        return None
+    try:
+        return Tracer(JsonlSink(path))
+    except OSError as error:
+        print(f"error: cannot open trace file {path}: {error}", file=sys.stderr)
+        raise SystemExit(2)
 
 
 def _open_store(args: argparse.Namespace) -> Optional[ResultStore]:
@@ -209,9 +247,10 @@ def _runtime_options(args: argparse.Namespace) -> Optional[ExecutionOptions]:
         raise SystemExit(2)
     store = _open_store(args)
     executor = ParallelExecutor(args.workers) if args.workers > 1 else None
-    if store is None and executor is None:
+    tracer = _open_tracer(args)
+    if store is None and executor is None and tracer is None:
         return None
-    return ExecutionOptions(executor=executor, store=store)
+    return ExecutionOptions(executor=executor, store=store, tracer=tracer)
 
 
 def _warn_single_task(args: argparse.Namespace) -> None:
@@ -246,19 +285,28 @@ def _finish_runtime(options: Optional[ExecutionOptions]) -> None:
     """Print cache stats and close the options' store, if one was opened."""
     if options is not None:
         _print_store_stats(options.store)
+        if options.tracer is not None:
+            sink = getattr(options.tracer, "sink", None)
+            path = getattr(sink, "path", None)
+            if path is not None:
+                print(
+                    f"trace {path}: summarize with `repro trace summarize {path}`"
+                )
 
 
 def _close_runtime(options: Optional[ExecutionOptions]) -> None:
-    """Release the store unconditionally (the error-path counterpart).
+    """Release the store and tracer unconditionally (error-path counterpart).
 
     Commands call this from ``finally`` so a failure anywhere between
     :func:`_runtime_options` opening the store and :func:`_finish_runtime`
-    closing it cannot leak the sqlite connection; ``ResultStore.close`` is
-    idempotent, so the success path (which already closed, after printing
-    stats) is unaffected.
+    closing it cannot leak the sqlite connection or the trace file handle;
+    ``ResultStore.close`` and ``Tracer.close`` are idempotent, so the
+    success path (which already closed, after printing stats) is unaffected.
     """
     if options is not None and options.store is not None:
         options.store.close()
+    if options is not None and options.tracer is not None:
+        options.tracer.close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -543,6 +591,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request to stderr"
     )
+    _add_trace_argument(serve)
 
     campaign = subparsers.add_parser(
         "campaign",
@@ -623,6 +672,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the collated rows of every report node to this CSV path",
     )
+    _add_trace_argument(campaign)
 
     broker = subparsers.add_parser(
         "broker",
@@ -658,6 +708,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=30.0,
         help="seconds to keep retrying the initial connection (default 30)",
+    )
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="inspect JSONL trace files recorded via --trace-out",
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_commands.add_parser(
+        "summarize",
+        help=(
+            "render a per-phase latency breakdown (count, total, mean, "
+            "p50/p95, max, cpu) of a recorded trace"
+        ),
+    )
+    summarize.add_argument(
+        "path",
+        type=str,
+        help="JSONL trace file written via --trace-out / REPRO_TRACE_OUT",
     )
 
     return parser
@@ -994,6 +1062,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             job_workers=args.job_workers,
             queue_capacity=args.queue_size,
             process_workers=args.workers,
+            trace_out=args.trace_out or os.environ.get(TRACE_OUT_ENV),
         )
         server = SimulationDaemon((args.host, args.port), service, verbose=args.verbose)
     except (OSError, ValueError) as error:
@@ -1047,6 +1116,7 @@ def _command_campaign(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     store = _open_store(args)
+    tracer = _open_tracer(args)
     backend = None
     try:
         backend = make_backend(
@@ -1077,7 +1147,7 @@ def _command_campaign(args: argparse.Namespace) -> int:
             )
 
         campaign_result = run_campaign(
-            campaign, backend=backend, store=store, on_node=on_node
+            campaign, backend=backend, store=store, on_node=on_node, tracer=tracer
         )
         for report in campaign_result.reports():
             print()
@@ -1093,6 +1163,11 @@ def _command_campaign(args: argparse.Namespace) -> int:
             else:
                 print("\nno report rows to write", file=sys.stderr)
         _print_store_stats(store)
+        if tracer is not None:
+            print(
+                f"trace {tracer.sink.path}: summarize with "
+                f"`repro trace summarize {tracer.sink.path}`"
+            )
     except (BrokerError, CampaignError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -1101,6 +1176,8 @@ def _command_campaign(args: argparse.Namespace) -> int:
             backend.close()
         if store is not None:
             store.close()
+        if tracer is not None:
+            tracer.close()
     return 0
 
 
@@ -1134,6 +1211,18 @@ def _command_broker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_trace(args: argparse.Namespace) -> int:
+    try:
+        print(summarize_trace_file(args.path))
+    except OSError as error:
+        print(f"error: cannot read trace file: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
 _COMMANDS = {
     "simulate": _command_simulate,
     "run": _command_run,
@@ -1145,6 +1234,7 @@ _COMMANDS = {
     "serve": _command_serve,
     "campaign": _command_campaign,
     "broker": _command_broker,
+    "trace": _command_trace,
 }
 
 

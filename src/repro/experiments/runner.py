@@ -197,13 +197,22 @@ def run_replications(
     result = ReplicatedResult(config=config, seeds=seeds)
     runtime_executor = options.resolve_executor() if options is not None else None
     runtime_store = options.store if options is not None else None
-    if runtime_executor is not None or runtime_store is not None:
+    runtime_tracer = options.tracer if options is not None else None
+    if (
+        runtime_executor is not None
+        or runtime_store is not None
+        or runtime_tracer is not None
+    ):
         # Imported lazily: repro.runtime depends on this module.
         from repro.runtime import ShardPlan, run_plan
 
         plan = ShardPlan.from_config(config, replication)
         rows_per_point = run_plan(
-            plan, replication, executor=runtime_executor, store=runtime_store
+            plan,
+            replication,
+            executor=runtime_executor,
+            store=runtime_store,
+            tracer=runtime_tracer,
         )
         result.metrics.extend(rows_per_point[0])
         return result

@@ -1,0 +1,88 @@
+"""Observability: metrics registry, deterministic tracing, trace summaries.
+
+Stdlib-only.  :mod:`repro.obs.metrics` holds the thread-safe
+:class:`~repro.obs.metrics.MetricsRegistry` (counters, gauges, fixed-bucket
+histograms, Prometheus text exposition); :mod:`repro.obs.trace` holds the
+content-address-derived :class:`~repro.obs.trace.Tracer` with its JSONL and
+in-memory sinks; :mod:`repro.obs.summary` turns a JSONL trace into a
+per-phase latency table.  The defaults — a process-wide registry and a
+null tracer — make instrumentation zero-cost until explicitly enabled.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_sample,
+    freeze_labels,
+    get_registry,
+)
+from repro.obs.summary import (
+    PhaseSummary,
+    load_records,
+    render_summary,
+    summarize_records,
+    summarize_trace_file,
+)
+from repro.obs.trace import (
+    EVENT,
+    NULL_TRACER,
+    SPAN_END,
+    SPAN_START,
+    TRACE_OUT_ENV,
+    JsonlSink,
+    MemorySink,
+    NullTracer,
+    Span,
+    SpanContext,
+    TeeSink,
+    Tracer,
+    current_context,
+    get_tracer,
+    resolve_tracer,
+    set_ambient_context,
+    set_tracer,
+    span_id_for,
+    trace_id_for_key,
+    tracer_from_env,
+    validate_record,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "format_sample",
+    "freeze_labels",
+    "get_registry",
+    "PhaseSummary",
+    "load_records",
+    "render_summary",
+    "summarize_records",
+    "summarize_trace_file",
+    "EVENT",
+    "NULL_TRACER",
+    "SPAN_END",
+    "SPAN_START",
+    "TRACE_OUT_ENV",
+    "JsonlSink",
+    "MemorySink",
+    "NullTracer",
+    "Span",
+    "SpanContext",
+    "TeeSink",
+    "Tracer",
+    "current_context",
+    "get_tracer",
+    "resolve_tracer",
+    "set_ambient_context",
+    "set_tracer",
+    "span_id_for",
+    "trace_id_for_key",
+    "tracer_from_env",
+    "validate_record",
+]

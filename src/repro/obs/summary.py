@@ -1,0 +1,161 @@
+"""Per-phase latency breakdown from a JSONL trace file.
+
+Powers ``repro trace summarize PATH``: read every ``span_end`` record,
+group by span name (the phase — ``shard``, ``campaign_node``, ``job`` …),
+and render a fixed-width table of count / total / mean / p50 / p95 wall
+time plus total CPU time.  Pure functions over parsed records, so the
+daemon and tests can reuse the aggregation without touching the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.obs.trace import SPAN_END
+
+
+@dataclass(frozen=True)
+class PhaseSummary:
+    """Aggregated wall/CPU statistics for one span name."""
+
+    name: str
+    count: int
+    total_wall_s: float
+    mean_wall_s: float
+    p50_wall_s: float
+    p95_wall_s: float
+    max_wall_s: float
+    total_cpu_s: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total_wall_s": self.total_wall_s,
+            "mean_wall_s": self.mean_wall_s,
+            "p50_wall_s": self.p50_wall_s,
+            "p95_wall_s": self.p95_wall_s,
+            "max_wall_s": self.max_wall_s,
+            "total_cpu_s": self.total_cpu_s,
+        }
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Linear-interpolated percentile of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return sorted_values[low] * (1.0 - fraction) + sorted_values[high] * fraction
+
+
+def load_records(path: Any) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace file; raises ``ValueError`` on a malformed line."""
+    records: List[Dict[str, Any]] = []
+    with open(str(path), "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{number}: not valid JSON: {error}") from None
+            if not isinstance(record, dict):
+                raise ValueError(f"{path}:{number}: record is not an object")
+            records.append(record)
+    return records
+
+
+def summarize_records(records: Iterable[Dict[str, Any]]) -> List[PhaseSummary]:
+    """Group ``span_end`` records by name; heaviest total wall time first."""
+    walls: Dict[str, List[float]] = {}
+    cpus: Dict[str, float] = {}
+    for record in records:
+        if record.get("event") != SPAN_END:
+            continue
+        name = record.get("name")
+        wall = record.get("wall_s")
+        if not isinstance(name, str) or not isinstance(wall, (int, float)):
+            continue
+        walls.setdefault(name, []).append(float(wall))
+        cpu = record.get("cpu_s")
+        if isinstance(cpu, (int, float)):
+            cpus[name] = cpus.get(name, 0.0) + float(cpu)
+    summaries: List[PhaseSummary] = []
+    for name, values in walls.items():
+        values.sort()
+        total = sum(values)
+        summaries.append(
+            PhaseSummary(
+                name=name,
+                count=len(values),
+                total_wall_s=total,
+                mean_wall_s=total / len(values),
+                p50_wall_s=_percentile(values, 0.50),
+                p95_wall_s=_percentile(values, 0.95),
+                max_wall_s=values[-1],
+                total_cpu_s=cpus.get(name, 0.0),
+            )
+        )
+    summaries.sort(key=lambda summary: (-summary.total_wall_s, summary.name))
+    return summaries
+
+
+def _format_seconds(value: float) -> str:
+    if value >= 100.0:
+        return f"{value:.1f}s"
+    if value >= 0.1:
+        return f"{value:.3f}s"
+    return f"{value * 1000.0:.2f}ms"
+
+
+def render_summary(
+    summaries: List[PhaseSummary], *, total_events: int = 0
+) -> str:
+    """Fixed-width text table of the per-phase breakdown."""
+    if not summaries:
+        return "no span_end records found"
+    headers = ("phase", "count", "total", "mean", "p50", "p95", "max", "cpu")
+    rows: List[Tuple[str, ...]] = []
+    for summary in summaries:
+        rows.append(
+            (
+                summary.name,
+                str(summary.count),
+                _format_seconds(summary.total_wall_s),
+                _format_seconds(summary.mean_wall_s),
+                _format_seconds(summary.p50_wall_s),
+                _format_seconds(summary.p95_wall_s),
+                _format_seconds(summary.max_wall_s),
+                _format_seconds(summary.total_cpu_s),
+            )
+        )
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in rows))
+        for column in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    if total_events:
+        span_count = sum(summary.count for summary in summaries)
+        lines.append("")
+        lines.append(f"{span_count} spans over {total_events} records")
+    return "\n".join(lines)
+
+
+def summarize_trace_file(path: Any) -> str:
+    """Load ``path`` and render the per-phase breakdown table."""
+    records = load_records(path)
+    summaries = summarize_records(records)
+    return render_summary(summaries, total_events=len(records))

@@ -13,15 +13,27 @@
 Because tasks are execution-invariant (see :mod:`repro.runtime.shard`), the
 merged output is bit-identical whichever executor ran the misses and however
 many of the tasks came from the cache.
+
+With a :class:`~repro.obs.trace.Tracer` attached (explicitly or via
+:func:`~repro.obs.trace.set_tracer`), the driver opens one ``run_plan`` span
+keyed by the plan's content (the hash of its task keys) and records one
+``shard`` span per completed shard — worker-measured wall/CPU time, row
+count and rows/s — plus a ``cache_lookup`` event attributing hits vs
+misses.  All span ids derive from task content addresses, so the same plan
+traces identically on every backend; with the default null tracer the
+traced path is never entered at all.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import hashlib
+from typing import Dict, List, Optional, Sequence
 
+from repro.obs.metrics import get_registry
+from repro.obs.trace import resolve_tracer
 from repro.runtime.executors import SerialExecutor
-from repro.runtime.shard import ShardPlan, partition_tasks
-from repro.runtime.store import ResultStore
+from repro.runtime.shard import ShardPlan, Task, partition_tasks
+from repro.runtime.store import ResultStore, task_key
 
 PointMetrics = List[List[Dict[str, float]]]
 """Per grid point, one metrics dict per seed (in seed order)."""
@@ -33,6 +45,7 @@ def run_plan(
     *,
     executor=None,
     store: Optional[ResultStore] = None,
+    tracer=None,
 ) -> PointMetrics:
     """Execute ``plan`` and return per-point metric rows in replicate order.
 
@@ -40,11 +53,15 @@ def run_plan(
     optional.  If the executor raises (worker crash, ``KeyboardInterrupt``),
     every shard that completed before the failure has already been flushed
     to the store, so re-running the same plan against the same store picks
-    up where the run died.
+    up where the run died.  ``tracer`` defaults to the process tracer
+    (:func:`~repro.obs.trace.get_tracer`), a no-op unless one was installed.
     """
     executor = executor if executor is not None else SerialExecutor()
-    completed: Dict[int, List[Dict[str, float]]] = {}
+    tracer = resolve_tracer(tracer)
+    if getattr(tracer, "enabled", False):
+        return _run_plan_traced(plan, replication, executor, store, tracer)
 
+    completed: Dict[int, List[Dict[str, float]]] = {}
     pending = list(plan.tasks)
     if store is not None:
         # One bulk index lookup instead of a query per task: at 10^5 cached
@@ -66,7 +83,93 @@ def run_plan(
         for task, metrics in shard_results:
             completed[task.ordinal] = metrics
 
+    return _merge(plan, completed)
+
+
+def _merge(plan: ShardPlan, completed: Dict[int, List[Dict[str, float]]]):
     merged: PointMetrics = [[] for _ in range(plan.num_points)]
     for task in plan.tasks:
         merged[task.point_index].extend(completed[task.ordinal])
     return merged
+
+
+def _content_key(task_keys: Sequence[str]) -> str:
+    """Content address of a group of tasks: the hash of their keys, in order."""
+    return hashlib.sha256("\n".join(task_keys).encode("utf-8")).hexdigest()
+
+
+def _run_plan_traced(
+    plan: ShardPlan, replication, executor, store, tracer
+) -> PointMetrics:
+    """The traced twin of :func:`run_plan` — same work, spans recorded.
+
+    Kept separate so the untraced hot path pays nothing: no key hashing, no
+    attribute dicts, no getattr per shard.
+    """
+    registry = get_registry()
+    cache_hits = registry.counter(
+        "repro_plan_cache_hits_total", "Plan tasks served from the result store."
+    )
+    cache_misses = registry.counter(
+        "repro_plan_cache_misses_total", "Plan tasks that had to execute."
+    )
+    completed: Dict[int, List[Dict[str, float]]] = {}
+    keys = [
+        store.key_for(task) if store is not None else task_key(task)
+        for task in plan.tasks
+    ]
+    key_by_ordinal = {
+        task.ordinal: key for task, key in zip(plan.tasks, keys)
+    }
+    with tracer.span(
+        "run_plan",
+        _content_key(keys),
+        attributes={"tasks": len(plan.tasks), "points": plan.num_points},
+    ) as span:
+        pending: List[Task] = list(plan.tasks)
+        if store is not None:
+            cached = store.get_many(keys)
+            pending = []
+            for task, key in zip(plan.tasks, keys):
+                metrics = cached.get(key)
+                if metrics is None:
+                    pending.append(task)
+                else:
+                    completed[task.ordinal] = metrics
+            hits = len(plan.tasks) - len(pending)
+            cache_hits.inc(hits)
+            cache_misses.inc(len(pending))
+            span.set_attribute("cache_hits", hits)
+            span.set_attribute("cache_misses", len(pending))
+            tracer.event(
+                "cache_lookup",
+                {"hits": hits, "misses": len(pending), "tasks": len(plan.tasks)},
+            )
+
+        shards = partition_tasks(pending, executor.num_shards)
+        for shard_results in executor.run_shards(shards, replication):
+            if store is not None:
+                store.put_many(shard_results)
+            rows = 0
+            for task, metrics in shard_results:
+                completed[task.ordinal] = metrics
+                rows += len(metrics)
+            timing = getattr(executor, "last_shard_timing", None) or {}
+            wall = float(timing.get("wall_s", 0.0))
+            attributes = {"tasks": len(shard_results), "rows": rows}
+            if wall > 0.0:
+                attributes["rows_per_s"] = rows / wall
+            # Shard spans are recorded retroactively — executors yield
+            # completed shards in arbitrary order — under a key derived
+            # from the shard's task keys, so ids are completion-order- and
+            # backend-independent.
+            tracer.record_span(
+                "shard",
+                _content_key(
+                    [key_by_ordinal[task.ordinal] for task, _ in shard_results]
+                ),
+                wall_s=wall,
+                cpu_s=float(timing.get("cpu_s", 0.0)),
+                attributes=attributes,
+            )
+    return _merge(plan, completed)

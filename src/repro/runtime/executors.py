@@ -23,14 +23,20 @@ from __future__ import annotations
 import importlib
 import os
 import sys
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from functools import lru_cache
-from typing import Callable, Dict, Iterator, List, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, get_registry
+from repro.obs.trace import current_context, set_ambient_context
 from repro.runtime.shard import Task, execute_task
 
 ShardResults = List[Tuple[Task, List[Dict[str, float]]]]
 """One completed shard: each task paired with its per-seed metric rows."""
+
+ShardTiming = Dict[str, float]
+"""Worker-measured timings for one shard: ``wall_s`` and ``cpu_s``."""
 
 
 @lru_cache(maxsize=64)
@@ -46,11 +52,20 @@ def resolve_replication(reference: str) -> Callable:
     return target
 
 
-def _worker_initializer(extra_sys_path: Sequence[str]) -> None:
-    """Make the parent's package importable in spawn-started workers."""
+def _worker_initializer(
+    extra_sys_path: Sequence[str],
+    trace_context: Optional[Tuple[str, str]] = None,
+) -> None:
+    """Make the parent's package importable in spawn-started workers.
+
+    Also installs the parent's trace context as the worker's ambient span
+    context, so any events the worker emits join the parent trace.
+    """
     for entry in extra_sys_path:  # pragma: no cover - runs in worker processes
         if entry not in sys.path:
             sys.path.insert(0, entry)
+    if trace_context is not None:  # pragma: no cover - runs in worker processes
+        set_ambient_context(trace_context[0], trace_context[1])
 
 
 def _execute_shard(tasks: Sequence[Task]) -> ShardResults:
@@ -59,6 +74,24 @@ def _execute_shard(tasks: Sequence[Task]) -> ShardResults:
         (task, execute_task(task, resolve_replication(task.function_ref)))
         for task in tasks
     ]
+
+
+def _execute_shard_timed(
+    tasks: Sequence[Task],
+) -> Tuple[ShardResults, ShardTiming]:
+    """Run one shard and report worker-measured wall and CPU seconds.
+
+    The timings are measured where the work happens, so the parent can
+    attribute the remainder of a shard's parent-side latency to dispatch
+    (pickling, queueing, result transfer) rather than compute.
+    """
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    results = _execute_shard(tasks)
+    return results, {
+        "wall_s": time.perf_counter() - wall_start,
+        "cpu_s": time.process_time() - cpu_start,
+    }
 
 
 class SerialExecutor:
@@ -72,13 +105,23 @@ class SerialExecutor:
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
         self.num_shards = num_shards
+        #: Timing of the most recently yielded shard (read by the driver
+        #: right after each ``run_shards`` yield to label shard spans).
+        self.last_shard_timing: Optional[ShardTiming] = None
 
     def run_shards(
         self, shards: Sequence[Sequence[Task]], replication: Callable
     ) -> Iterator[ShardResults]:
         """Run each shard in order, yielding it as soon as it completes."""
         for shard in shards:
-            yield [(task, execute_task(task, replication)) for task in shard]
+            wall_start = time.perf_counter()
+            cpu_start = time.process_time()
+            results = [(task, execute_task(task, replication)) for task in shard]
+            self.last_shard_timing = {
+                "wall_s": time.perf_counter() - wall_start,
+                "cpu_s": time.process_time() - cpu_start,
+            }
+            yield results
 
 
 class ParallelExecutor:
@@ -116,6 +159,8 @@ class ParallelExecutor:
         self.max_workers = max_workers
         self.shards_per_worker = shards_per_worker
         self.mp_context = mp_context
+        #: Worker-measured timing of the most recently yielded shard.
+        self.last_shard_timing: Optional[ShardTiming] = None
 
     @property
     def num_shards(self) -> int:
@@ -141,19 +186,50 @@ class ParallelExecutor:
         self._check_resolvable(replication)
         # Workers started with "spawn" know nothing of the parent's
         # sys.path; record the library location so they can re-import it.
+        # The parent's span context rides along so worker-side events join
+        # the parent trace.
         package_root = _repro_import_root()
+        context = current_context()
+        trace_context = (context.trace_id, context.span_id) if context else None
+        registry = get_registry()
+        in_flight = registry.gauge(
+            "repro_shards_in_flight",
+            "Shards currently submitted to an execution backend.",
+        )
+        dispatch = registry.histogram(
+            "repro_shard_dispatch_overhead_seconds",
+            "Parent-side shard latency minus worker-measured wall time "
+            "(pickling, pool queueing, result transfer).",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        completed = registry.counter(
+            "repro_shards_completed_total",
+            "Shards completed, by execution backend.",
+        )
         pool = ProcessPoolExecutor(
             max_workers=self.max_workers,
             mp_context=self.mp_context,
             initializer=_worker_initializer,
-            initargs=((package_root,),),
+            initargs=((package_root,), trace_context),
         )
         try:
-            pending = {pool.submit(_execute_shard, list(shard)) for shard in shards}
+            submitted = time.perf_counter()
+            pending = {
+                pool.submit(_execute_shard_timed, list(shard)) for shard in shards
+            }
+            in_flight.inc(len(pending), backend="parallel")
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    yield future.result()
+                    results, timing = future.result()
+                    in_flight.dec(backend="parallel")
+                    completed.inc(backend="parallel")
+                    elapsed = time.perf_counter() - submitted
+                    dispatch.observe(
+                        max(0.0, elapsed - timing["wall_s"]), backend="parallel"
+                    )
+                    self.last_shard_timing = timing
+                    yield results
         except BaseException:
             # Abort path (worker crash, KeyboardInterrupt, abandoned
             # generator): drop every not-yet-started shard and return
@@ -161,6 +237,7 @@ class ParallelExecutor:
             # until in-flight shards finish, hanging a Ctrl-C for as long as
             # the slowest running shard.  Workers still running their
             # current shard exit on their own once it completes.
+            in_flight.dec(len(pending), backend="parallel")
             pool.shutdown(wait=False, cancel_futures=True)
             raise
         else:

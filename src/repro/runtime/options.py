@@ -22,6 +22,11 @@ scheduler all build once and thread through every layer:
     Extra per-point parameters (e.g. ``{"backend": "torch", "dtype":
     "float32"}``) merged over every grid point's parameter dict — they ride
     into result rows and content-address keys like any other parameter.
+``tracer``
+    An optional :class:`~repro.obs.trace.Tracer`.  When set, execution
+    routes through the runtime path and every shard/node records a span;
+    trace ids derive from content addresses, so enabling tracing never
+    perturbs results.
 
 The legacy keyword arguments keep working but emit ``DeprecationWarning``;
 :func:`resolve_options` is the single place that folds them in, so every
@@ -51,6 +56,7 @@ class ExecutionOptions:
     store: Any = None
     workers: int = 1
     engine_options: Mapping[str, Any] = field(default_factory=dict)
+    tracer: Any = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -66,7 +72,12 @@ class ExecutionOptions:
     @property
     def active(self) -> bool:
         """Whether these options route execution through the parallel runtime."""
-        return self.executor is not None or self.store is not None or self.workers > 1
+        return (
+            self.executor is not None
+            or self.store is not None
+            or self.workers > 1
+            or self.tracer is not None
+        )
 
     def resolve_executor(self) -> Any:
         """The executor to run with: the given one, a pool, or ``None`` (serial)."""

@@ -791,7 +791,19 @@ class ResultStore:
         even a single segment (tests use this for determinism).
         """
         with self._compact_lock:
-            return self._compact_locked(force)
+            compacted = self._compact_locked(force)
+        if compacted:
+            # Imported lazily: the store is import-cost sensitive and the
+            # tracer is a no-op unless one was installed.
+            from repro.obs.trace import get_tracer
+
+            tracer = get_tracer()
+            if getattr(tracer, "enabled", False):
+                tracer.event(
+                    "store_compaction",
+                    {"segments": self.segment_count(), "path": str(self.path)},
+                )
+        return compacted
 
     def _compact_locked(self, force: bool) -> bool:
         if self.segments_dir is None:

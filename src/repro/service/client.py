@@ -107,6 +107,28 @@ class ServiceClient:
         """``GET /v1/stats``."""
         return self._call("/stats")
 
+    def metrics(self) -> str:
+        """``GET /v1/metrics``: the Prometheus text exposition, verbatim."""
+        request = urllib_request.Request(
+            f"{self.base_url}{API_PREFIX}/metrics", method="GET"
+        )
+        try:
+            with urllib_request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib_error.HTTPError as error:
+            raise ServiceError(
+                f"daemon returned HTTP {error.code} for /metrics",
+                status=error.code,
+            ) from None
+        except urllib_error.URLError as error:
+            raise ServiceError(
+                f"cannot reach daemon at {self.base_url}: {error.reason}"
+            ) from None
+
+    def trace(self, job_id: str) -> Dict[str, Any]:
+        """``GET /v1/jobs/<id>/trace``: the job's buffered span records."""
+        return self._call(f"/jobs/{job_id}/trace")
+
     def submit(self, request: Payload) -> Dict[str, Any]:
         """``POST /v1/jobs``; accepts a request object or a raw payload dict.
 

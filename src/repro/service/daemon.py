@@ -25,10 +25,16 @@ Endpoints (API v1 — every route lives under ``/v1/``)::
     GET  /v1/jobs/<id>         job status (state, timings, cache hits/misses)
     GET  /v1/jobs/<id>/result  result rows once done (202 while pending,
                                500 envelope when the job failed)
+    GET  /v1/jobs/<id>/trace   the job's buffered span records (trace id,
+                               span start/end events, shard timings)
     GET  /v1/healthz           liveness + version
     GET  /v1/stats             store tier counters (hot/cold hits, spills,
                                evictions, compactions, residency) + queue
-                               depth + job counts
+                               depth + job counts + queue-wait percentiles
+    GET  /v1/metrics           Prometheus text exposition: the same store
+                               counters as /stats (one snapshot source, so
+                               they never disagree), the queue-wait
+                               histogram, and runtime shard/broker metrics
 
 The pre-versioning unversioned paths (``/jobs``, ``/healthz``, ...) remain
 as deprecated aliases: they answer with byte-identical bodies plus a
@@ -51,6 +57,14 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro import __version__
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import (
+    JsonlSink,
+    MemorySink,
+    TeeSink,
+    Tracer,
+    trace_id_for_key,
+)
 from repro.runtime.executors import ParallelExecutor, SerialExecutor
 from repro.runtime.options import ExecutionOptions
 from repro.runtime.store import ResultStore
@@ -81,41 +95,99 @@ class SimulationService:
         job_workers: int = 2,
         queue_capacity: int = 16,
         process_workers: int = 1,
+        trace_out: Optional[str] = None,
     ) -> None:
         if process_workers < 1:
             raise ValueError(f"process_workers must be >= 1, got {process_workers}")
         self.store = store
         self.process_workers = process_workers
-        self.queue = JobQueue(
-            self._execute, workers=job_workers, capacity=queue_capacity
+        # Per-service registry, so parallel daemons (tests) never share
+        # series.  The store counters come in through a collector that reads
+        # the same counters() snapshot /stats serves, so /v1/metrics and
+        # /v1/stats can never structurally disagree.
+        self.registry = MetricsRegistry()
+        if store is not None:
+            self.registry.register_collector(self._store_samples)
+        # Every job's spans land in a bounded in-memory sink keyed by trace
+        # id (GET /v1/jobs/<id>/trace); trace_out additionally appends the
+        # records to a JSONL file.
+        self.trace_sink = MemorySink()
+        sink = (
+            TeeSink(self.trace_sink, JsonlSink(trace_out))
+            if trace_out
+            else self.trace_sink
         )
+        self.tracer = Tracer(sink)
+        self.queue = JobQueue(
+            self._execute,
+            workers=job_workers,
+            capacity=queue_capacity,
+            registry=self.registry,
+        )
+
+    def _store_samples(self):
+        """Collector bridging the store's counters into ``/v1/metrics``."""
+        counters = self.store.counters()
+        for name, value in counters.as_dict().items():
+            yield (
+                f"repro_store_{name}_total",
+                "counter",
+                f"Result store {name} (matches the /v1/stats store field).",
+                {},
+                value,
+            )
+        for name, value in (
+            ("rows", len(self.store)),
+            ("hot_entries", self.store.hot_entries),
+            ("hot_bytes", self.store.hot_bytes),
+            ("segments", self.store.segment_count()),
+        ):
+            yield (
+                f"repro_store_{name}",
+                "gauge",
+                f"Result store {name} residency.",
+                {},
+                value,
+            )
 
     def _execute(self, request: Any) -> Tuple[List[Dict[str, Any]], str, int, int]:
         executor = (
             ParallelExecutor(self.process_workers) if self.process_workers > 1 else None
         )
         before = self.store.counters() if self.store is not None else None
-        if getattr(request, "kind", None) == "campaign":
-            # Imported lazily: repro.campaign builds on this package.
-            from repro.campaign.scheduler import run_campaign
+        # The job span is the trace root; its id derives from the request's
+        # content address, which is exactly the trace_id a job snapshot
+        # reports — GET /v1/jobs/<id>/trace joins the two.
+        with self.tracer.span(
+            "job", request.key(), attributes={"kind": getattr(request, "kind", None)}
+        ):
+            if getattr(request, "kind", None) == "campaign":
+                # Imported lazily: repro.campaign builds on this package.
+                from repro.campaign.scheduler import run_campaign
 
-            # Campaigns schedule their own nodes; the daemon's executor
-            # policy becomes the campaign backend (serial when unset, so
-            # results match any other backend bit for bit).
-            backend = executor if executor is not None else SerialExecutor()
-            campaign_result = run_campaign(request, backend=backend, store=self.store)
-            rows: List[Dict[str, Any]] = [
-                campaign_result[node_id].to_dict() for node_id in campaign_result.order
-            ]
-            description = (
-                f"campaign {request.name}: {len(request)} node(s), "
-                f"{len(request.simulate_nodes())} simulate"
-            )
-        else:
-            result = execute_request(
-                request, options=ExecutionOptions(executor=executor, store=self.store)
-            )
-            rows, description = result.rows, result.description
+                # Campaigns schedule their own nodes; the daemon's executor
+                # policy becomes the campaign backend (serial when unset, so
+                # results match any other backend bit for bit).
+                backend = executor if executor is not None else SerialExecutor()
+                campaign_result = run_campaign(
+                    request, backend=backend, store=self.store, tracer=self.tracer
+                )
+                rows: List[Dict[str, Any]] = [
+                    campaign_result[node_id].to_dict()
+                    for node_id in campaign_result.order
+                ]
+                description = (
+                    f"campaign {request.name}: {len(request)} node(s), "
+                    f"{len(request.simulate_nodes())} simulate"
+                )
+            else:
+                result = execute_request(
+                    request,
+                    options=ExecutionOptions(
+                        executor=executor, store=self.store, tracer=self.tracer
+                    ),
+                )
+                rows, description = result.rows, result.description
         # Counter deltas are attributed per job; with several jobs in flight
         # on one store they are approximate, exact when jobs run one at a
         # time (the /stats totals are always exact).
@@ -167,9 +239,33 @@ class SimulationService:
             "queue": self.queue.stats(),
         }
 
+    def render_metrics(self) -> str:
+        """The ``/v1/metrics`` body: service registry plus runtime metrics.
+
+        The service registry holds the queue histogram and the store
+        collector; the process-wide registry holds the executor/broker
+        metrics (shards in flight, dispatch overhead, requeues).  Their
+        metric names are disjoint, so the concatenation is valid Prometheus
+        text.
+        """
+        service_text = self.registry.render_prometheus()
+        runtime_text = get_registry().render_prometheus()
+        return service_text + runtime_text
+
+    def job_trace(self, job: Any) -> Dict[str, Any]:
+        """The ``/v1/jobs/<id>/trace`` payload: buffered span records."""
+        trace_id = trace_id_for_key(job.key)
+        return {
+            "job_id": job.id,
+            "trace_id": trace_id,
+            "truncated": self.trace_sink.truncated(trace_id),
+            "records": self.trace_sink.records(trace_id),
+        }
+
     def close(self) -> None:
         """Stop the workers; the store is owned by the caller and stays open."""
         self.queue.close()
+        self.tracer.close()
 
 
 class _ServiceHandler(BaseHTTPRequestHandler):
@@ -201,6 +297,17 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self.send_header("Deprecation", "true")
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_text(self, status: int, body: str, *, legacy: bool = False) -> None:
+        """Plain-text response (the Prometheus exposition endpoint)."""
+        encoded = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(encoded)))
+        if legacy:
+            self.send_header("Deprecation", "true")
+        self.end_headers()
+        self.wfile.write(encoded)
 
     def _send_error(
         self,
@@ -307,6 +414,9 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         if parts == ["stats"]:
             self._send_json(200, self.service.stats(), legacy=legacy)
             return
+        if parts == ["metrics"]:
+            self._send_text(200, self.service.render_metrics(), legacy=legacy)
+            return
         if len(parts) >= 2 and parts[0] == "jobs":
             job = self.service.queue.get(parts[1])
             if job is None:
@@ -316,6 +426,9 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 return
             if len(parts) == 2:
                 self._send_json(200, job.snapshot(), legacy=legacy)
+                return
+            if len(parts) == 3 and parts[2] == "trace":
+                self._send_json(200, self.service.job_trace(job), legacy=legacy)
                 return
             if len(parts) == 3 and parts[2] == "result":
                 if job.status == DONE:
@@ -394,6 +507,7 @@ def start_daemon(
     queue_capacity: int = 16,
     process_workers: int = 1,
     verbose: bool = False,
+    trace_out: Optional[str] = None,
 ) -> DaemonHandle:
     """Start a daemon in a background thread; ``port=0`` picks a free port."""
     service = SimulationService(
@@ -401,6 +515,7 @@ def start_daemon(
         job_workers=job_workers,
         queue_capacity=queue_capacity,
         process_workers=process_workers,
+        trace_out=trace_out,
     )
     server = SimulationDaemon((host, port), service, verbose=verbose)
     thread = threading.Thread(

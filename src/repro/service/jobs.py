@@ -31,6 +31,9 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable, ContextManager, Dict, List, Optional, Tuple
 
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry, get_registry
+from repro.obs.trace import trace_id_for_key
+
 QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
@@ -61,6 +64,12 @@ class Job:
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    # Monotonic twins of the wall-clock stamps: duration arithmetic must
+    # survive a wall-clock step (NTP slew mid-job), so every duration in
+    # snapshot() derives from these, never from the *_at fields.
+    submitted_mono: float = field(default_factory=time.monotonic)
+    started_mono: Optional[float] = None
+    finished_mono: Optional[float] = None
     rows: Optional[List[Dict[str, Any]]] = None
     description: str = ""
     error: Optional[str] = None
@@ -91,14 +100,33 @@ class Job:
         still ``None``).
         """
         with self._guard():
+            queue_wait_s = (
+                self.started_mono - self.submitted_mono
+                if self.started_mono is not None
+                else None
+            )
+            run_s = (
+                self.finished_mono - self.started_mono
+                if self.finished_mono is not None and self.started_mono is not None
+                else None
+            )
+            total_s = (
+                self.finished_mono - self.submitted_mono
+                if self.finished_mono is not None
+                else None
+            )
             return {
                 "id": self.id,
                 "key": self.key,
                 "kind": self.request.kind,
                 "status": self.status,
+                "trace_id": trace_id_for_key(self.key),
                 "submitted_at": self.submitted_at,
                 "started_at": self.started_at,
                 "finished_at": self.finished_at,
+                "queue_wait_s": queue_wait_s,
+                "run_s": run_s,
+                "total_s": total_s,
                 "subscribers": self.subscribers,
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
@@ -120,6 +148,7 @@ class JobQueue:
         workers: int = 2,
         capacity: int = 16,
         history_limit: int = 1024,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -127,6 +156,12 @@ class JobQueue:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self._execute = execute
         self.capacity = capacity
+        registry = registry if registry is not None else get_registry()
+        self._queue_wait = registry.histogram(
+            "repro_job_queue_wait_seconds",
+            "Seconds a job waited in the queue before a worker picked it up.",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
         self.history_limit = max(history_limit, capacity + workers)
         self._queue: "queue.Queue[Optional[Job]]" = queue.Queue(maxsize=capacity)
         self._lock = threading.Lock()
@@ -194,6 +229,8 @@ class JobQueue:
 
     def stats(self) -> Dict[str, Any]:
         """Queue-level counters for the ``/stats`` endpoint."""
+        p50 = self._queue_wait.quantile(0.5)
+        p99 = self._queue_wait.quantile(0.99)
         with self._lock:
             by_status: Dict[str, int] = {state: 0 for state in JOB_STATES}
             for job in self._jobs.values():
@@ -205,6 +242,8 @@ class JobQueue:
                 "completed": self.completed,
                 "failed": self.failed,
                 "deduplicated": self.deduplicated,
+                "queue_wait_p50_ms": p50 * 1000.0 if p50 is not None else None,
+                "queue_wait_p99_ms": p99 * 1000.0 if p99 is not None else None,
             }
 
     # -- worker side ---------------------------------------------------------
@@ -220,7 +259,10 @@ class JobQueue:
                 return
             with self._lock:
                 job.started_at = time.time()
+                job.started_mono = time.monotonic()
                 job.status = RUNNING
+                wait_s = job.started_mono - job.submitted_mono
+            self._queue_wait.observe(wait_s)
             try:
                 rows, description, hits, misses = self._execute(job.request)
             except Exception as error:  # noqa: BLE001 - jobs report any failure
@@ -234,6 +276,7 @@ class JobQueue:
             # finished status with half-written results or timings.
             with self._lock:
                 job.finished_at = time.time()
+                job.finished_mono = time.monotonic()
                 if outcome is None:
                     job.error = failure
                     job.status = ERROR
@@ -274,6 +317,7 @@ class JobQueue:
             return True
         with self._lock:
             job.finished_at = time.time()
+            job.finished_mono = time.monotonic()
             job.error = "job queue closed before execution"
             job.status = ERROR
             self.failed += 1

@@ -12,8 +12,6 @@ from __future__ import annotations
 import logging
 from typing import Optional
 
-_CONFIGURED: set[str] = set()
-
 
 def get_logger(name: str, *, level: Optional[int] = None) -> logging.Logger:
     """Return a namespaced logger under the ``repro`` hierarchy.
@@ -29,9 +27,12 @@ def get_logger(name: str, *, level: Optional[int] = None) -> logging.Logger:
     if not name.startswith("repro"):
         name = f"repro.{name}"
     logger = logging.getLogger(name)
-    if name not in _CONFIGURED:
+    # Keyed off the logger's own handlers, not a module-global name set: the
+    # logging manager owns logger lifetimes, so a side table desyncs the
+    # moment the manager is reset (test harnesses do) and then either leaks
+    # or double-adds handlers.
+    if not any(isinstance(h, logging.NullHandler) for h in logger.handlers):
         logger.addHandler(logging.NullHandler())
-        _CONFIGURED.add(name)
     if level is not None:
         logger.setLevel(level)
     return logger

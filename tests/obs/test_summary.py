@@ -1,0 +1,116 @@
+"""Trace summarization: JSONL loading, per-phase stats, table rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MemorySink,
+    Tracer,
+    load_records,
+    render_summary,
+    summarize_records,
+    summarize_trace_file,
+)
+
+
+def write_trace(path, records):
+    path.write_text("".join(json.dumps(record) + "\n" for record in records))
+
+
+def span_end(name, wall_s, cpu_s=0.0):
+    return {
+        "event": "span_end",
+        "ts": 0.0,
+        "trace": "t" * 32,
+        "span": "s" * 16,
+        "parent": None,
+        "name": name,
+        "key": "",
+        "wall_s": wall_s,
+        "cpu_s": cpu_s,
+        "attributes": {},
+    }
+
+
+class TestLoadRecords:
+    def test_round_trips_jsonl(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(path, [span_end("shard", 0.5)])
+        assert load_records(path)[0]["name"] == "shard"
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps(span_end("a", 0.1)) + "\n\n\n")
+        assert len(load_records(path)) == 1
+
+    def test_malformed_line_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"event": "span_end"}\nnot json\n')
+        with pytest.raises(ValueError, match=r":2: not valid JSON"):
+            load_records(path)
+
+
+class TestSummarize:
+    def test_groups_by_phase_and_sorts_by_total_wall(self):
+        records = [
+            span_end("shard", 0.1),
+            span_end("shard", 0.3, cpu_s=0.2),
+            span_end("run_plan", 0.5),
+            {"event": "span_start", "name": "shard"},  # starts are ignored
+            {"event": "event", "name": "cache_lookup"},
+        ]
+        summaries = summarize_records(records)
+        assert [summary.name for summary in summaries] == ["run_plan", "shard"]
+        shard = summaries[1]
+        assert shard.count == 2
+        assert shard.total_wall_s == pytest.approx(0.4)
+        assert shard.mean_wall_s == pytest.approx(0.2)
+        assert shard.max_wall_s == pytest.approx(0.3)
+        assert shard.total_cpu_s == pytest.approx(0.2)
+        assert shard.as_dict()["count"] == 2
+
+    def test_percentiles_interpolate(self):
+        records = [span_end("s", wall) for wall in (0.1, 0.2, 0.3, 0.4)]
+        [summary] = summarize_records(records)
+        assert summary.p50_wall_s == pytest.approx(0.25)
+        assert summary.p95_wall_s == pytest.approx(0.385)
+
+    def test_empty_trace_renders_a_note(self):
+        assert "no span_end records" in render_summary([])
+
+
+class TestRendering:
+    def test_table_has_aligned_columns_and_footer(self):
+        summaries = summarize_records(
+            [span_end("shard", 0.004), span_end("run_plan", 120.0)]
+        )
+        text = render_summary(summaries, total_events=4)
+        lines = text.splitlines()
+        assert lines[0].split() == [
+            "phase",
+            "count",
+            "total",
+            "mean",
+            "p50",
+            "p95",
+            "max",
+            "cpu",
+        ]
+        assert "run_plan" in lines[2]  # biggest total first
+        assert "120.0s" in text
+        assert "4.00ms" in text
+        assert "2 spans over 4 records" in text
+
+    def test_summarize_trace_file_end_to_end(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("outer", "key") as outer:
+            pass
+        write_trace(path, sink.records(outer.trace_id))
+        text = summarize_trace_file(path)
+        assert "outer" in text
+        assert "1 spans over 2 records" in text
